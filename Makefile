@@ -1,0 +1,24 @@
+# Convenience targets for the repro project.
+
+PYTHON ?= python
+
+.PHONY: install test bench examples report lint-clean all
+
+install:
+	# Offline-friendly editable install (pip install -e . needs network
+	# for build isolation; setup.py develop does not).
+	$(PYTHON) setup.py develop
+
+test:
+	$(PYTHON) -m pytest tests/
+
+bench:
+	$(PYTHON) -m pytest benchmarks/ --benchmark-only
+
+examples:
+	for script in examples/*.py; do echo "== $$script"; $(PYTHON) $$script; done
+
+report:
+	$(PYTHON) -m repro report
+
+all: install test bench

@@ -1,0 +1,33 @@
+"""Shared helpers for the benchmark suite.
+
+Each benchmark regenerates one figure/claim from the paper (see
+DESIGN.md's per-experiment index), prints the same rows/series the paper
+plots, and archives the table under ``benchmarks/results/`` so the
+output survives pytest's stdout capture.
+"""
+
+from __future__ import annotations
+
+import pathlib
+
+RESULTS_DIR = pathlib.Path(__file__).parent / "results"
+
+
+def emit(experiment_id: str, text: str) -> None:
+    """Print a result table and archive it under benchmarks/results/."""
+    print()
+    print(text)
+    RESULTS_DIR.mkdir(exist_ok=True)
+    path = RESULTS_DIR / f"{experiment_id}.txt"
+    path.write_text(text + "\n")
+
+
+def once(benchmark, fn):
+    """Run ``fn`` exactly once under pytest-benchmark timing.
+
+    The experiments are deterministic simulations — statistical runtime
+    sampling would just re-run minutes of simulation — so every bench
+    uses a single timed round and reports its scientific output via
+    :func:`emit`.
+    """
+    return benchmark.pedantic(fn, rounds=1, iterations=1)

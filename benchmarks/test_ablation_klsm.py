@@ -1,0 +1,72 @@
+"""Ablation: k-LSM relaxation factor.
+
+The paper benchmarks kLSM at k = 256 ("found to perform best").  This
+bench sweeps k and shows why: small k forces frequent shared-component
+merges (contention), large k buys throughput with rank slack that
+eventually stops paying.
+"""
+
+import numpy as np
+from _helpers import emit, once
+
+from repro.bench.tables import format_table
+from repro.concurrent import KLSMPQ, OpRecorder
+from repro.sim.engine import Engine
+from repro.sim.workload import AlternatingWorkload, run_throughput_experiment
+
+KS = [4, 16, 64, 256, 1024]
+THREADS = 8
+SEED = 91
+
+
+def _measure(k):
+    def make(engine, rng):
+        return KLSMPQ(engine, relaxation=k, rng=rng)
+
+    tput = run_throughput_experiment(make, THREADS, 200, prefill=4000, seed=SEED).throughput
+
+    rec = OpRecorder()
+    eng = Engine()
+    model = KLSMPQ(eng, relaxation=k, rng=SEED, recorder=rec)
+    model.prefill(np.random.default_rng(SEED).integers(2**40, size=10_000))
+    AlternatingWorkload(model, THREADS, 600, rng=SEED + 1).spawn_on(eng)
+    eng.run()
+    trace = rec.rank_trace()
+    return tput, trace.mean_rank(), trace.max_rank()
+
+
+def _run():
+    rows = []
+    for k in KS:
+        tput, mean_rank, max_rank = _measure(k)
+        rows.append(
+            {
+                "k": k,
+                "throughput (ops/Mcyc)": tput,
+                "mean rank": mean_rank,
+                "max rank": max_rank,
+                "slack bound k*(P-1)": k * (THREADS - 1),
+            }
+        )
+    return rows
+
+
+def test_ablation_klsm(benchmark):
+    rows = once(benchmark, _run)
+    table = format_table(
+        rows,
+        title=(
+            "Ablation — k-LSM relaxation factor at 8 threads\n"
+            "small k merges constantly; large k trades rank slack for speed"
+        ),
+        floatfmt=".1f",
+    )
+    emit("ablation_klsm", table)
+
+    by_k = {r["k"]: r for r in rows}
+    # Throughput improves from tiny k to the paper's 256.
+    assert by_k[256]["throughput (ops/Mcyc)"] > by_k[4]["throughput (ops/Mcyc)"]
+    # Rank slack grows with k but honours the k*(P-1)+P envelope.
+    assert by_k[1024]["mean rank"] > by_k[4]["mean rank"]
+    for r in rows:
+        assert r["max rank"] <= r["slack bound k*(P-1)"] + THREADS + 1

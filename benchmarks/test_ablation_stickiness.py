@@ -1,0 +1,71 @@
+"""Ablation: MultiQueue stickiness (locality vs. rank quality).
+
+Follow-up MultiQueue work keeps a thread's random queue choices for k
+consecutive operations to win cache locality.  This bench sweeps k and
+reports simulated throughput alongside measured rank error — the
+trade-off a deployment has to price.
+"""
+
+import numpy as np
+from _helpers import emit, once
+
+from repro.bench.tables import format_table
+from repro.concurrent import ConcurrentMultiQueue, OpRecorder
+from repro.sim.engine import Engine
+from repro.sim.workload import AlternatingWorkload, run_throughput_experiment
+
+STICKINESS = [1, 2, 4, 8, 16, 64]
+N_QUEUES = 16
+THREADS = 8
+SEED = 41
+
+
+def _measure(stickiness):
+    def make(engine, rng):
+        return ConcurrentMultiQueue(engine, N_QUEUES, rng=rng, stickiness=stickiness)
+
+    tput = run_throughput_experiment(make, THREADS, 200, prefill=4000, seed=SEED).throughput
+
+    rec = OpRecorder()
+    eng = Engine()
+    model = ConcurrentMultiQueue(
+        eng, N_QUEUES, rng=SEED, stickiness=stickiness, recorder=rec
+    )
+    model.prefill(np.random.default_rng(SEED).integers(2**40, size=10_000))
+    AlternatingWorkload(model, THREADS, 800, rng=SEED + 1).spawn_on(eng)
+    eng.run()
+    trace = rec.rank_trace()
+    return tput, trace.mean_rank(), trace.quantile(0.99)
+
+
+def _run():
+    rows = []
+    for k in STICKINESS:
+        tput, mean_rank, p99 = _measure(k)
+        rows.append(
+            {
+                "stickiness": k,
+                "throughput (ops/Mcyc)": tput,
+                "mean rank": mean_rank,
+                "p99 rank": p99,
+            }
+        )
+    return rows
+
+
+def test_ablation_stickiness(benchmark):
+    rows = once(benchmark, _run)
+    table = format_table(
+        rows,
+        title=(
+            "Ablation — MultiQueue stickiness, 16 queues / 8 threads\n"
+            "locality buys throughput, costs rank quality"
+        ),
+    )
+    emit("ablation_stickiness", table)
+
+    by_k = {r["stickiness"]: r for r in rows}
+    # Throughput improves with stickiness ...
+    assert by_k[16]["throughput (ops/Mcyc)"] > by_k[1]["throughput (ops/Mcyc)"]
+    # ... rank quality pays for it.
+    assert by_k[64]["mean rank"] > by_k[1]["mean rank"]

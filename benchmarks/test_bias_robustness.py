@@ -1,0 +1,74 @@
+"""Bias robustness (Theorem 1 with gamma > 0): the guarantees survive
+insertion bias bounded by gamma, *for beta = Omega(gamma)*.
+
+Sweeps gamma for the adversarial two-point bias pattern at beta in
+{1.0, 0.5}.  Two regimes emerge, both matching the paper:
+
+* beta = 1: the two-choice preference absorbs the full gamma range —
+  mean rank moves by a small constant factor;
+* beta = 0.5 with large gamma violates beta = Omega(gamma)'s premise and
+  costs blow up — the empirical counterpart of the paper's observation
+  that 'the epsilon >= delta bias assumptions break down' past the
+  beta ~ 0.5 inflection.
+"""
+
+from _helpers import emit, once
+
+from repro.bench.tables import format_table
+from repro.core.policies import biased_insert_probs, effective_gamma
+from repro.core.process import SequentialProcess
+
+N = 16
+GAMMAS = [0.0, 0.1, 0.2, 0.3, 0.4, 0.5]
+BETAS = [1.0, 0.5]
+PREFILL = 12_000
+STEPS = 8_000
+SEEDS = [0, 1]
+
+
+def _measure(gamma, beta, seed):
+    pi = biased_insert_probs(N, gamma, pattern="two-point") if gamma else None
+    proc = SequentialProcess(N, PREFILL + STEPS, beta=beta, insert_probs=pi, rng=seed)
+    run = proc.run_steady_state_sampled(PREFILL, STEPS, sample_every=1000)
+    return run.trace.mean_rank(), float(run.max_top_ranks.mean())
+
+
+def _run():
+    rows = []
+    for beta in BETAS:
+        for gamma in GAMMAS:
+            means, maxes = zip(*(_measure(gamma, beta, s) for s in SEEDS))
+            pi = biased_insert_probs(N, gamma, pattern="two-point") if gamma else None
+            rows.append(
+                {
+                    "beta": beta,
+                    "gamma": gamma,
+                    "realized gamma": effective_gamma(pi) if pi is not None else 0.0,
+                    "mean rank": sum(means) / len(means),
+                    "E[max top rank]": sum(maxes) / len(maxes),
+                }
+            )
+    return rows
+
+
+def test_bias_robustness(benchmark):
+    rows = once(benchmark, _run)
+    table = format_table(
+        rows,
+        title=(
+            "Bias robustness — two-point adversarial insertion bias, n=16\n"
+            "paper claim: rank guarantees survive gamma-bounded bias"
+        ),
+    )
+    emit("bias_robustness", table)
+
+    ranks = {(r["beta"], r["gamma"]): r["mean rank"] for r in rows}
+    # beta=1 absorbs the full bias range at a small constant factor.
+    for gamma in GAMMAS:
+        assert ranks[(1.0, gamma)] < 2.0 * ranks[(1.0, 0.0)]
+    # beta=0.5 with modest gamma (beta = Omega(gamma) plausible) holds up.
+    for gamma in (0.1, 0.2):
+        assert ranks[(0.5, gamma)] < 2.0 * ranks[(0.5, 0.0)]
+    # ... but gamma far beyond the beta = Omega(gamma) regime degrades,
+    # demonstrating the theorem's premise is real, not an artifact.
+    assert ranks[(0.5, 0.5)] > 3.0 * ranks[(0.5, 0.0)]

@@ -1,0 +1,119 @@
+"""Figure 1: throughput vs. thread count for every contender.
+
+Paper claim: MultiQueue variants dominate Lindén–Jonsson and kLSM except
+at very low thread counts, and the (1+beta) variants with beta < 1 beat
+the original MultiQueue (beta=1) by up to ~20%.
+
+Reproduction: simulated threads on the discrete-event engine; throughput
+in operations per megacycle (see DESIGN.md for the substitution).  The
+shape to check: MQ curves grow with threads, MQ(beta<1) >= MQ(1),
+LJ peaks early then collapses, kLSM scales poorly.
+"""
+
+from _helpers import emit, once
+
+from repro.analysis.ascii_plot import line_chart
+from repro.bench.tables import format_table
+from repro.concurrent import ConcurrentMultiQueue, KLSMPQ, LindenJonssonPQ, SprayListPQ
+from repro.sim.workload import run_throughput_experiment
+
+THREAD_COUNTS = [1, 2, 4, 8, 16]
+OPS_PER_THREAD = 150
+PREFILL = 4000
+SEEDS = [1701, 1702, 1703]
+
+
+def _mq(beta):
+    def factory(threads):
+        def make(engine, rng):
+            return ConcurrentMultiQueue(engine, n_queues=2 * threads, beta=beta, rng=rng)
+
+        return make
+
+    return factory
+
+
+def _lj(threads):
+    def make(engine, rng):
+        return LindenJonssonPQ(engine, rng=rng)
+
+    return make
+
+
+def _klsm(threads):
+    def make(engine, rng):
+        return KLSMPQ(engine, relaxation=256, rng=rng)
+
+    return make
+
+
+def _spray(threads):
+    def make(engine, rng):
+        return SprayListPQ(engine, n_threads=threads, rng=rng)
+
+    return make
+
+
+CONTENDERS = [
+    ("MQ beta=1.0", _mq(1.0)),
+    ("MQ beta=0.75", _mq(0.75)),
+    ("MQ beta=0.5", _mq(0.5)),
+    ("Linden-Jonsson", _lj),
+    ("kLSM k=256", _klsm),
+    ("SprayList", _spray),
+]
+
+
+def _run():
+    import numpy as np
+
+    rows = []
+    for threads in THREAD_COUNTS:
+        row = {"threads": threads}
+        for name, factory in CONTENDERS:
+            samples = [
+                run_throughput_experiment(
+                    factory(threads), threads, OPS_PER_THREAD, prefill=PREFILL, seed=seed
+                ).throughput
+                for seed in SEEDS
+            ]
+            row[name] = float(np.mean(samples))
+            row[f"{name} sd"] = float(np.std(samples, ddof=1))
+        rows.append(row)
+    return rows
+
+
+def test_fig1_throughput(benchmark):
+    rows = once(benchmark, _run)
+    table = format_table(
+        rows,
+        columns=["threads"]
+        + [name for name, _f in CONTENDERS]
+        + ["MQ beta=1.0 sd", "Linden-Jonsson sd"],
+        title=(
+            "Figure 1 — throughput (ops/Mcycle) vs threads\n"
+            f"paper shape: MQ scales, MQ(beta<1) >= MQ(1), LJ collapses, kLSM lags\n"
+            f"(means over {len(SEEDS)} seeds; sd columns show run-to-run spread)"
+        ),
+        floatfmt=".0f",
+    )
+    chart = line_chart(
+        [r["threads"] for r in rows],
+        {name: [r[name] for r in rows] for name, _f in CONTENDERS},
+        title="Figure 1 (ASCII): throughput vs threads",
+        width=60,
+        height=14,
+    )
+    emit("fig1_throughput", table + "\n\n" + chart)
+
+    by_threads = {r["threads"]: r for r in rows}
+    top = by_threads[THREAD_COUNTS[-1]]
+    # MultiQueues beat LJ and kLSM at high thread counts.
+    assert top["MQ beta=1.0"] > top["Linden-Jonsson"]
+    assert top["MQ beta=1.0"] > top["kLSM k=256"]
+    # beta < 1 improves on the original MultiQueue.
+    assert top["MQ beta=0.5"] > top["MQ beta=1.0"]
+    # "except at very low thread counts": LJ wins at 1 thread.
+    assert by_threads[1]["Linden-Jonsson"] > by_threads[1]["MQ beta=1.0"]
+    # MQ actually scales: 16 threads >> 1 thread.
+    assert top["MQ beta=1.0"] > 4 * by_threads[1]["MQ beta=1.0"]

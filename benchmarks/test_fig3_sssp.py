@@ -1,0 +1,99 @@
+"""Figure 3: single-source shortest path running time vs thread count.
+
+Paper claim: relaxed (1+beta) versions with beta < 1 beat beta = 1 by up
+to ~10% and kLSM by ~40% at higher thread counts; beta = 0 is fastest at
+low thread counts but loses beyond ~8 threads due to excessive
+relaxation (wasted relaxations overwhelm the contention savings).
+
+Reproduction: simulated parallel Dijkstra over a synthetic road network
+(the California-graph substitution of DESIGN.md); runtime is simulated
+completion time in megacycles — lower is better.
+"""
+
+import numpy as np
+from _helpers import emit, once
+
+from repro.bench.tables import format_table
+from repro.concurrent import ConcurrentMultiQueue, KLSMPQ
+from repro.graphs import (
+    dijkstra,
+    parallel_delta_stepping,
+    parallel_dijkstra,
+    road_network,
+    suggest_delta,
+)
+
+THREAD_COUNTS = [1, 2, 4, 8]
+GRAPH_SIZE = 2500
+SEED = 33
+
+
+def _mq(beta):
+    def factory(threads):
+        def make(engine, rng):
+            return ConcurrentMultiQueue(engine, n_queues=2 * threads, beta=beta, rng=rng)
+
+        return make
+
+    return factory
+
+
+def _klsm(threads):
+    def make(engine, rng):
+        return KLSMPQ(engine, relaxation=256, rng=rng)
+
+    return make
+
+
+CONTENDERS = [
+    ("MQ beta=1.0", _mq(1.0)),
+    ("MQ beta=0.5", _mq(0.5)),
+    ("MQ beta=0.0", _mq(0.0)),
+    ("kLSM k=256", _klsm),
+]
+
+
+def _run():
+    graph = road_network(GRAPH_SIZE, rng=SEED)
+    reference = dijkstra(graph, 0)
+    delta = suggest_delta(graph) * 4
+    rows = []
+    for threads in THREAD_COUNTS:
+        row = {"threads": threads}
+        for name, factory in CONTENDERS:
+            res = parallel_dijkstra(
+                graph, 0, factory(threads), n_threads=threads, seed=SEED + threads
+            )
+            assert np.array_equal(res.dist, reference.dist), f"{name} wrong distances"
+            row[f"{name} (Mcyc)"] = res.sim_time / 1e6
+            row[f"{name} stale%"] = 100.0 * res.wasted_fraction
+        # The non-priority-queue comparator, in the same simulated cycles.
+        ds = parallel_delta_stepping(graph, 0, delta=delta, n_threads=threads)
+        assert np.array_equal(ds.dist, reference.dist), "delta-stepping wrong distances"
+        row["delta-stepping (Mcyc)"] = ds.sim_time / 1e6
+        rows.append(row)
+    return rows
+
+
+def test_fig3_sssp(benchmark):
+    rows = once(benchmark, _run)
+    table = format_table(
+        rows,
+        title=(
+            "Figure 3 — parallel SSSP runtime (Mcycles, lower is better) on a\n"
+            "synthetic road network; paper shape: beta<1 beats beta=1 beats kLSM\n"
+            "at high threads; beta=0 competitive early, degrades with threads"
+        ),
+    )
+    emit("fig3_sssp", table)
+
+    by_threads = {r["threads"]: r for r in rows}
+    top = by_threads[THREAD_COUNTS[-1]]
+    # beta=0.5 at least matches beta=1 at high thread count.
+    assert top["MQ beta=0.5 (Mcyc)"] <= 1.05 * top["MQ beta=1.0 (Mcyc)"]
+    # Both relaxed MQs clearly beat kLSM.
+    assert top["MQ beta=1.0 (Mcyc)"] < top["kLSM k=256 (Mcyc)"]
+    # Parallelism helps: 8 threads much faster than 1.
+    assert top["MQ beta=1.0 (Mcyc)"] < 0.6 * by_threads[1]["MQ beta=1.0 (Mcyc)"]
+    # beta=0 pays more wasted relaxations than beta=1 at 8 threads.
+    assert top["MQ beta=0.0 stale%"] >= top["MQ beta=1.0 stale%"] - 1.0

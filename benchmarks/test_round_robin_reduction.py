@@ -1,0 +1,61 @@
+"""A-reduction (Appendix A): round-robin insertion reduces removals to
+classic two-choice balls-into-bins on virtual bins.
+
+Checks the coupling exactly (removal counts == allocation loads under a
+shared choice stream) and reports the virtual-bin gap trajectory next to
+an independent two-choice allocation's gap — both stay O(log log n)-ish
+regardless of run length.
+"""
+
+import numpy as np
+from _helpers import emit, once
+
+from repro.ballsbins.processes import gap_history
+from repro.bench.tables import format_table
+from repro.core.round_robin import coupled_virtual_loads, virtual_load_history
+
+N = 16
+PREFILL = 60_000
+REMOVALS = 30_000
+SAMPLE_EVERY = 3_000
+
+
+def _run():
+    exact_matches = []
+    for seed in range(5):
+        rr, tc = coupled_virtual_loads(N, 8_000, 4_000, seed=seed)
+        exact_matches.append(bool(np.array_equal(rr, tc)))
+
+    steps, rr_gaps, _snaps = virtual_load_history(
+        N, PREFILL, REMOVALS, seed=77, sample_every=SAMPLE_EVERY
+    )
+    bb_steps, bb_gaps = gap_history(N, REMOVALS, d=2, rng=77, sample_every=SAMPLE_EVERY)
+    rows = [
+        {
+            "t": int(t),
+            "round-robin virtual gap": float(rg),
+            "two-choice allocation gap": float(bg),
+        }
+        for t, rg, bg in zip(steps, rr_gaps, bb_gaps)
+    ]
+    return exact_matches, rows
+
+
+def test_round_robin_reduction(benchmark):
+    exact_matches, rows = once(benchmark, _run)
+    table = format_table(
+        rows,
+        title=(
+            "Appendix A — round-robin removals == two-choice allocation\n"
+            f"exact coupling across 5 seeds: {exact_matches}"
+        ),
+    )
+    emit("round_robin_reduction", table)
+
+    assert all(exact_matches)
+    # Both gaps stay small and non-growing (heavily-loaded two-choice).
+    final = rows[-1]
+    assert final["round-robin virtual gap"] < 6.0
+    assert final["two-choice allocation gap"] < 6.0
+    first = rows[0]
+    assert final["round-robin virtual gap"] < first["round-robin virtual gap"] + 4.0

@@ -1,0 +1,79 @@
+"""T6-diverge (Theorem 6): the single-choice process diverges as
+sqrt(t * n * log n), while the two-choice process stays flat.
+
+Reports the seed-averaged max-top-rank growth curve for both processes,
+the fitted log-log growth exponents, and the ratio of the single-choice
+curve to the sqrt(t n log n) prediction (which should be roughly
+constant over time if the law is right).
+"""
+
+import numpy as np
+from _helpers import emit, once
+
+from repro.analysis.stats import loglog_slope
+from repro.analysis.theory import divergence_prediction
+from repro.bench.tables import format_table
+from repro.core.process import SequentialProcess
+from repro.core.single_choice import SingleChoiceProcess
+
+N = 16
+PREFILL = 50_000
+STEPS = 50_000
+SAMPLE_EVERY = 5_000
+SEEDS = [0, 1, 2, 3]
+
+
+def _curve(single: bool, seed: int):
+    capacity = PREFILL + STEPS
+    if single:
+        proc = SingleChoiceProcess(N, capacity, rng=seed)
+    else:
+        proc = SequentialProcess(N, capacity, beta=1.0, rng=seed)
+    run = proc.run_steady_state_sampled(PREFILL, STEPS, sample_every=SAMPLE_EVERY)
+    return run.sample_steps, run.max_top_ranks
+
+
+def _run():
+    steps = None
+    single_curves, double_curves = [], []
+    for seed in SEEDS:
+        steps, single = _curve(True, seed)
+        single_curves.append(single)
+        _, double = _curve(False, seed)
+        double_curves.append(double)
+    single_avg = np.mean(single_curves, axis=0)
+    double_avg = np.mean(double_curves, axis=0)
+    rows = []
+    for t, s, d in zip(steps, single_avg, double_avg):
+        rows.append(
+            {
+                "t": int(t),
+                "single-choice max rank": float(s),
+                "two-choice max rank": float(d),
+                "sqrt(t n log n)": divergence_prediction(int(t), N),
+                "single / prediction": float(s) / divergence_prediction(int(t), N),
+            }
+        )
+    return rows, steps, single_avg, double_avg
+
+
+def test_single_choice_divergence(benchmark):
+    rows, steps, single_avg, double_avg = once(benchmark, _run)
+    slope_single, r2_single = loglog_slope(steps, single_avg, drop_first=2)
+    slope_double, _ = loglog_slope(steps, double_avg, drop_first=2)
+    table = format_table(
+        rows,
+        title=(
+            "Theorem 6 — single-choice divergence vs two-choice stability\n"
+            f"fitted growth exponents: single={slope_single:.3f} "
+            f"(R^2={r2_single:.3f}), two-choice={slope_double:.3f}"
+        ),
+    )
+    emit("single_choice_divergence", table)
+
+    # Single-choice grows like a power law, two-choice essentially flat.
+    assert slope_single > 0.3
+    assert r2_single > 0.8
+    assert abs(slope_double) < 0.2
+    # At the final time the gap between strategies is enormous.
+    assert single_avg[-1] > 10 * double_avg[-1]

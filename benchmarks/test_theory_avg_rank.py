@@ -1,0 +1,69 @@
+"""T1-avg (Theorem 1 / Corollary 2): E[rank removed] = O(n / beta^2).
+
+Sweeps n and beta for the sequential process and reports the measured
+mean rank against the n/beta^2 envelope, plus the fitted scaling
+exponent in n (should be ~1: the bound is linear and tight).
+"""
+
+from _helpers import emit, once
+
+from repro.analysis.stats import loglog_slope
+from repro.analysis.theory import avg_rank_bound, envelope_constant
+from repro.bench.tables import format_table
+from repro.core.process import SequentialProcess
+
+NS = [8, 16, 32, 64, 128]
+BETAS = [1.0, 0.5, 0.25]
+PREFILL_FACTOR = 600
+STEPS_FACTOR = 400
+SEEDS = [0, 1]
+
+
+def _mean_rank(n, beta, seed):
+    prefill = PREFILL_FACTOR * n
+    steps = STEPS_FACTOR * n
+    proc = SequentialProcess(n, prefill + steps, beta=beta, rng=seed)
+    return proc.run_steady_state(prefill, steps).mean_rank()
+
+
+def _run():
+    rows = []
+    for n in NS:
+        for beta in BETAS:
+            mean = sum(_mean_rank(n, beta, s) for s in SEEDS) / len(SEEDS)
+            bound = avg_rank_bound(n, beta)
+            rows.append(
+                {
+                    "n": n,
+                    "beta": beta,
+                    "mean rank": mean,
+                    "bound n/beta^2": bound,
+                    "ratio": mean / bound,
+                }
+            )
+    return rows
+
+
+def test_theory_avg_rank(benchmark):
+    rows = once(benchmark, _run)
+
+    beta1 = [r for r in rows if r["beta"] == 1.0]
+    slope, r2 = loglog_slope([r["n"] for r in beta1], [r["mean rank"] for r in beta1])
+    c = envelope_constant([r["mean rank"] for r in rows], [r["bound n/beta^2"] for r in rows])
+    table = format_table(
+        rows,
+        title=(
+            "Theorem 1 / Corollary 2 — mean removed rank vs n/beta^2 envelope\n"
+            f"fitted exponent in n at beta=1: {slope:.3f} (R^2={r2:.3f}); "
+            f"worst envelope constant: {c:.3f}"
+        ),
+    )
+    emit("theory_avg_rank", table)
+
+    assert 0.85 < slope < 1.15  # linear in n
+    assert r2 > 0.98
+    assert c < 1.5  # comfortably O(n/beta^2)
+    # Within each n, smaller beta never cheaper.
+    for n in NS:
+        sub = {r["beta"]: r["mean rank"] for r in rows if r["n"] == n}
+        assert sub[0.25] > sub[1.0]

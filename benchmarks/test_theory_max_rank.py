@@ -1,0 +1,78 @@
+"""T1-max (Theorem 1 / Corollary 1): E[max top rank] = O((n/b) log(n/b)).
+
+Sweeps n (beta=1) and beta (n=16), sampling the worst rank among queue
+tops during steady state, and checks the (n/beta)(log n + log 1/beta)
+envelope.  Also verifies time-uniformity: late samples look like early
+samples.
+"""
+
+import numpy as np
+from _helpers import emit, once
+
+from repro.analysis.theory import envelope_constant, max_rank_bound
+from repro.bench.tables import format_table
+from repro.core.process import SequentialProcess
+
+NS = [8, 16, 32, 64]
+BETAS = [1.0, 0.5, 0.25]
+SEED = 5
+
+
+def _max_top_rank_profile(n, beta):
+    prefill = 600 * n
+    steps = 400 * n
+    proc = SequentialProcess(n, prefill + steps, beta=beta, rng=SEED)
+    run = proc.run_steady_state_sampled(prefill, steps, sample_every=max(steps // 20, 1))
+    maxes = run.max_top_ranks
+    half = len(maxes) // 2
+    return float(maxes.mean()), float(maxes[:half].mean()), float(maxes[half:].mean())
+
+
+def _run():
+    rows = []
+    for n in NS:
+        mean_max, early, late = _max_top_rank_profile(n, 1.0)
+        rows.append(
+            {
+                "n": n,
+                "beta": 1.0,
+                "E[max top rank]": mean_max,
+                "early-half": early,
+                "late-half": late,
+                "bound": max_rank_bound(n, 1.0),
+            }
+        )
+    for beta in BETAS[1:]:
+        mean_max, early, late = _max_top_rank_profile(16, beta)
+        rows.append(
+            {
+                "n": 16,
+                "beta": beta,
+                "E[max top rank]": mean_max,
+                "early-half": early,
+                "late-half": late,
+                "bound": max_rank_bound(16, beta),
+            }
+        )
+    return rows
+
+
+def test_theory_max_rank(benchmark):
+    rows = once(benchmark, _run)
+    c = envelope_constant([r["E[max top rank]"] for r in rows], [r["bound"] for r in rows])
+    table = format_table(
+        rows,
+        title=(
+            "Corollary 1 — expected max rank among queue tops vs the\n"
+            f"(n/beta)(log n + log 1/beta) envelope; worst constant {c:.3f}"
+        ),
+    )
+    emit("theory_max_rank", table)
+
+    assert c < 1.5
+    # Time-uniform: late half within 1.5x of early half everywhere.
+    for r in rows:
+        assert r["late-half"] < 1.5 * r["early-half"] + 5
+    # Growing in n.
+    beta1 = [r["E[max top rank]"] for r in rows if r["beta"] == 1.0]
+    assert all(np.diff(beta1) > 0)

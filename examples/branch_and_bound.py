@@ -1,0 +1,129 @@
+#!/usr/bin/env python
+"""Branch-and-bound with a relaxed frontier (the Karp–Zhang motivation).
+
+The first relaxed priority queue (Karp & Zhang 1993) was built exactly
+for this: parallel best-first branch-and-bound tolerates exploring a
+node that is not *the* best open node — it merely wastes a little work.
+This example solves a 0/1 knapsack instance by best-first search with
+
+* an exact priority queue (baseline node count), and
+* a (1+beta) MultiQueue frontier for several beta,
+
+and reports how many extra nodes the relaxation explores — the
+sequential analogue of the 'extra work vs. parallelism' trade the paper
+discusses for Dijkstra.
+
+Run:  python examples/branch_and_bound.py
+"""
+
+from dataclasses import dataclass
+from typing import List, Tuple
+
+import numpy as np
+
+from repro.core.multiqueue import MultiQueue
+from repro.pqueues import BinaryHeap
+
+
+@dataclass(frozen=True)
+class Node:
+    level: int
+    value: int
+    weight: int
+
+
+def make_instance(n_items: int = 26, seed: int = 5) -> Tuple[List[int], List[int], int]:
+    rng = np.random.default_rng(seed)
+    values = [int(v) for v in rng.integers(20, 100, size=n_items)]
+    weights = [int(w) for w in rng.integers(5, 40, size=n_items)]
+    capacity = int(sum(weights) * 0.4)
+    return values, weights, capacity
+
+
+def fractional_bound(node: Node, values, weights, capacity) -> float:
+    """Classic fractional-knapsack upper bound from this node."""
+    remaining = capacity - node.weight
+    bound = float(node.value)
+    for i in range(node.level, len(values)):
+        if weights[i] <= remaining:
+            remaining -= weights[i]
+            bound += values[i]
+        else:
+            bound += values[i] * remaining / weights[i]
+            break
+    return bound
+
+
+def solve(queue, values, weights, capacity) -> Tuple[int, int]:
+    """Best-first branch and bound; returns (best value, explored nodes)."""
+    ratio_order = sorted(
+        range(len(values)), key=lambda i: -values[i] / weights[i]
+    )
+    values = [values[i] for i in ratio_order]
+    weights = [weights[i] for i in ratio_order]
+
+    best = 0
+    explored = 0
+    root = Node(0, 0, 0)
+    # Min-queue: push negated bound so the most promising node pops first.
+    _push(queue, -fractional_bound(root, values, weights, capacity), root)
+    while len(queue):
+        entry = _pop(queue)
+        node: Node = entry.item
+        explored += 1
+        if -entry.priority <= best:  # bound can't beat the incumbent
+            continue
+        if node.level == len(values):
+            continue
+        # Branch: take item `level` (if it fits), or skip it.
+        take = Node(
+            node.level + 1, node.value + values[node.level], node.weight + weights[node.level]
+        )
+        if take.weight <= capacity:
+            best = max(best, take.value)
+            bound = fractional_bound(take, values, weights, capacity)
+            if bound > best:
+                _push(queue, -bound, take)
+        skip = Node(node.level + 1, node.value, node.weight)
+        bound = fractional_bound(skip, values, weights, capacity)
+        if bound > best:
+            _push(queue, -bound, skip)
+    return best, explored
+
+
+def _push(queue, priority, item):
+    if hasattr(queue, "insert"):
+        queue.insert(priority, item)
+    else:
+        queue.push(priority, item)
+
+
+def _pop(queue):
+    return queue.delete_min() if hasattr(queue, "delete_min") else queue.pop()
+
+
+def main() -> None:
+    values, weights, capacity = make_instance()
+    print(f"0/1 knapsack: {len(values)} items, capacity {capacity}")
+
+    exact_value, exact_nodes = solve(BinaryHeap(), values, weights, capacity)
+    print(f"\nexact best-first:      optimum={exact_value}  explored={exact_nodes} nodes")
+
+    print("\nrelaxed (MultiQueue) frontier — same optimum, extra exploration:")
+    print(f"{'beta':>5}  {'optimum':>8}  {'explored':>9}  {'extra work':>10}")
+    for beta in (1.0, 0.5, 0.25):
+        value, nodes = solve(
+            MultiQueue(8, beta=beta, rng=17), values, weights, capacity
+        )
+        assert value == exact_value, "branch and bound must stay exact"
+        extra = nodes / exact_nodes - 1.0
+        print(f"{beta:>5.2f}  {value:>8}  {nodes:>9}  {100 * extra:>9.1f}%")
+
+    print(
+        "\nKarp-Zhang's point: the relaxation's extra nodes are the price of a\n"
+        "contention-free parallel frontier - and Theorem 1 bounds that price."
+    )
+
+
+if __name__ == "__main__":
+    main()

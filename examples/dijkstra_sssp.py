@@ -1,0 +1,69 @@
+#!/usr/bin/env python
+"""Single-source shortest paths with relaxed priority queues (Figure 3).
+
+Reproduces the paper's headline application at example scale:
+
+1. exact sequential Dijkstra on a synthetic road network;
+2. sequential Dijkstra driven by a relaxed MultiQueue — same distances,
+   measurable extra work (stale pops);
+3. simulated *parallel* Dijkstra for several thread counts and beta
+   values, showing the relaxation buying real (simulated) speedup.
+
+Run:  python examples/dijkstra_sssp.py
+"""
+
+import numpy as np
+
+from repro.concurrent import ConcurrentMultiQueue
+from repro.core.multiqueue import MultiQueue
+from repro.graphs import dijkstra, parallel_dijkstra, road_network
+
+GRAPH_SIZE = 2_000
+SEED = 11
+
+
+def main() -> None:
+    graph = road_network(GRAPH_SIZE, rng=SEED)
+    print(
+        f"synthetic road network: {graph.n_vertices} vertices, "
+        f"{graph.n_edges} edges, avg degree {graph.average_degree():.2f}"
+    )
+
+    # 1. Exact baseline.
+    exact = dijkstra(graph, 0)
+    print(
+        f"\nexact Dijkstra:   pops={exact.pops}  stale={exact.stale_pops} "
+        f"({100 * exact.stale_pops / exact.pops:.1f}% lazy-deletion rework)"
+    )
+
+    # 2. Same computation through a relaxed MultiQueue.
+    relaxed = dijkstra(graph, 0, pq=MultiQueue(8, beta=1.0, rng=3))
+    assert np.array_equal(relaxed.dist, exact.dist), "distances must be exact"
+    print(
+        f"relaxed Dijkstra: pops={relaxed.pops}  stale={relaxed.stale_pops} "
+        f"({100 * relaxed.stale_pops / relaxed.pops:.1f}% rework) — "
+        "distances identical, relaxation only costs extra pops"
+    )
+
+    # 3. Simulated parallel runs (Figure 3's experiment, example scale).
+    print("\nsimulated parallel relaxed Dijkstra (lower Mcycles = faster):")
+    print(f"{'threads':>8}  {'beta':>5}  {'Mcycles':>8}  {'stale%':>7}")
+    for threads in (1, 2, 4, 8):
+        for beta in (1.0, 0.5):
+
+            def make(engine, rng, threads=threads, beta=beta):
+                return ConcurrentMultiQueue(
+                    engine, n_queues=2 * threads, beta=beta, rng=rng
+                )
+
+            res = parallel_dijkstra(graph, 0, make, n_threads=threads, seed=SEED)
+            assert np.array_equal(res.dist, exact.dist)
+            print(
+                f"{threads:>8}  {beta:>5.2f}  {res.sim_time / 1e6:>8.2f}  "
+                f"{100 * res.wasted_fraction:>6.1f}%"
+            )
+    print("\npaper shape: time drops with threads; beta=0.5 edges out beta=1.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,52 @@
+#!/usr/bin/env python
+"""The Section 6 graph choice process: expansion decides rank quality.
+
+Labels arrive at random vertices of a graph; each removal samples a
+random *edge* and removes the better endpoint top.  The paper
+conjectures that good expansion recovers the two-choice guarantees; this
+example runs the process over a spectrum of graphs and prints the rank
+profile alongside the unlabelled graphical-allocation gap.
+
+Run:  python examples/graph_choice.py
+"""
+
+from repro.ballsbins.graphical import GraphicalAllocation
+from repro.graphs.choice_process import GraphChoiceProcess
+from repro.graphs.generators import (
+    complete_graph,
+    cycle_graph,
+    random_regular_graph,
+    torus_graph,
+)
+
+N = 36
+PREFILL = 10_000
+STEPS = 10_000
+
+
+def main() -> None:
+    graphs = [
+        ("cycle (worst expansion)", cycle_graph(N)),
+        ("torus 6x6", torus_graph(6, 6)),
+        ("random 4-regular (expander)", random_regular_graph(N, 4, rng=1)),
+        ("complete (= two-choice)", complete_graph(N)),
+    ]
+    print(f"graph choice process, n={N} vertices, {STEPS} steady-state removals\n")
+    print(f"{'graph':>28}  {'mean rank':>9}  {'max rank':>8}  {'alloc gap':>9}")
+    for name, graph in graphs:
+        proc = GraphChoiceProcess(graph, PREFILL + STEPS, rng=7)
+        trace = proc.run_steady_state(PREFILL, STEPS)
+        alloc = GraphicalAllocation(N, list(graph.edges()), rng=7)
+        alloc.insert_many(20_000)
+        print(
+            f"{name:>28}  {trace.mean_rank():>9.1f}  {trace.max_rank():>8}  "
+            f"{alloc.gap():>9.2f}"
+        )
+    print(
+        "\nbetter expansion -> smaller ranks; the complete graph matches the\n"
+        "paper's sequential two-choice process (mean rank ~ n)."
+    )
+
+
+if __name__ == "__main__":
+    main()

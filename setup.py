@@ -1,0 +1,10 @@
+"""Setuptools shim.
+
+Kept alongside ``pyproject.toml`` so that ``pip install -e .`` works in
+offline environments that lack the ``wheel`` package (legacy editable
+installs go through ``setup.py develop``, which needs this file).
+"""
+
+from setuptools import setup
+
+setup()

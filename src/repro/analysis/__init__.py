@@ -1,0 +1,50 @@
+"""Statistics and theory-checking helpers for experiment analysis."""
+
+from repro.analysis.stats import (
+    StreamingMoments,
+    bootstrap_ci,
+    linear_fit,
+    loglog_slope,
+)
+from repro.analysis.rank_series import (
+    TimeUniformityReport,
+    aggregate_summaries,
+    time_uniformity,
+)
+from repro.analysis.theory import (
+    avg_rank_bound,
+    divergence_prediction,
+    fit_scaling_exponent,
+    max_rank_bound,
+)
+from repro.analysis.inversions import count_inversions, inversion_rate
+from repro.analysis.ascii_plot import bar_chart, line_chart, sparkline
+from repro.analysis.convergence import (
+    BurnInReport,
+    drift_rate,
+    estimate_burn_in,
+    is_stationary,
+)
+
+__all__ = [
+    "StreamingMoments",
+    "bootstrap_ci",
+    "linear_fit",
+    "loglog_slope",
+    "TimeUniformityReport",
+    "aggregate_summaries",
+    "time_uniformity",
+    "avg_rank_bound",
+    "max_rank_bound",
+    "divergence_prediction",
+    "fit_scaling_exponent",
+    "count_inversions",
+    "inversion_rate",
+    "sparkline",
+    "line_chart",
+    "bar_chart",
+    "BurnInReport",
+    "estimate_burn_in",
+    "is_stationary",
+    "drift_rate",
+]

@@ -1,0 +1,143 @@
+"""Terminal-friendly ASCII charts for benchmark output.
+
+The paper communicates through figures; the benches reproduce them as
+tables plus, via this module, quick ASCII renderings so a terminal run
+shows the *curve shapes* (scaling, collapse, divergence) directly.
+No plotting dependencies required.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, List, Optional, Sequence
+
+#: Markers assigned to series, in order.
+_MARKERS = "ox+*#@%&"
+
+
+def sparkline(values: Sequence[float], width: Optional[int] = None) -> str:
+    """A one-line unicode sparkline of ``values``.
+
+    Example
+    -------
+    >>> sparkline([1, 2, 4, 8])
+    '▁▂▄█'
+    """
+    blocks = "▁▂▃▄▅▆▇█"
+    vals = [float(v) for v in values]
+    if not vals:
+        return ""
+    if width is not None and len(vals) > width:
+        # Downsample by taking bucket means.
+        bucket = len(vals) / width
+        vals = [
+            sum(vals[int(i * bucket) : max(int((i + 1) * bucket), int(i * bucket) + 1)])
+            / max(int((i + 1) * bucket) - int(i * bucket), 1)
+            for i in range(width)
+        ]
+    lo, hi = min(vals), max(vals)
+    if hi == lo:
+        return blocks[0] * len(vals)
+    return "".join(blocks[int((v - lo) / (hi - lo) * (len(blocks) - 1))] for v in vals)
+
+
+def line_chart(
+    x: Sequence[float],
+    series: Dict[str, Sequence[float]],
+    width: int = 64,
+    height: int = 16,
+    title: Optional[str] = None,
+    logy: bool = False,
+) -> str:
+    """Render one or more series as an ASCII scatter/line chart.
+
+    Parameters
+    ----------
+    x:
+        Shared x values (must be non-decreasing).
+    series:
+        Mapping of label -> y values (same length as ``x``).
+    logy:
+        Plot ``log10(y)`` (the paper's Figure 2 is log-scale).
+    """
+    if width < 8 or height < 4:
+        raise ValueError(f"chart must be at least 8x4, got {width}x{height}")
+    x = [float(v) for v in x]
+    if not x:
+        raise ValueError("empty x axis")
+    for label, ys in series.items():
+        if len(ys) != len(x):
+            raise ValueError(f"series {label!r} has {len(ys)} points for {len(x)} x values")
+
+    def transform(v: float) -> float:
+        if logy:
+            if v <= 0:
+                raise ValueError("logy chart requires positive values")
+            return math.log10(v)
+        return float(v)
+
+    all_y = [transform(v) for ys in series.values() for v in ys]
+    ylo, yhi = min(all_y), max(all_y)
+    if yhi == ylo:
+        yhi = ylo + 1.0
+    xlo, xhi = x[0], x[-1]
+    if xhi == xlo:
+        xhi = xlo + 1.0
+
+    grid = [[" "] * width for _ in range(height)]
+    for k, (label, ys) in enumerate(series.items()):
+        marker = _MARKERS[k % len(_MARKERS)]
+        for xv, yv in zip(x, ys):
+            col = int((xv - xlo) / (xhi - xlo) * (width - 1))
+            row = int((transform(yv) - ylo) / (yhi - ylo) * (height - 1))
+            grid[height - 1 - row][col] = marker
+
+    def fmt(v: float, is_y: bool = False) -> str:
+        if logy and is_y:
+            v = 10**v
+        if abs(v) >= 1000:
+            return f"{v:.3g}"
+        return f"{v:.4g}"
+
+    lines: List[str] = []
+    if title:
+        lines.append(title)
+    ylabel_width = max(len(fmt(yhi, True)), len(fmt(ylo, True)))
+    for r, row in enumerate(grid):
+        if r == 0:
+            label = fmt(yhi, True)
+        elif r == height - 1:
+            label = fmt(ylo, True)
+        else:
+            label = ""
+        lines.append(f"{label:>{ylabel_width}} |{''.join(row)}")
+    lines.append(f"{'':>{ylabel_width}} +{'-' * width}")
+    xlab_left, xlab_right = fmt(xlo), fmt(xhi)
+    pad = width - len(xlab_left) - len(xlab_right)
+    lines.append(f"{'':>{ylabel_width}}  {xlab_left}{' ' * max(pad, 1)}{xlab_right}")
+    legend = "   ".join(
+        f"{_MARKERS[k % len(_MARKERS)]} {label}" for k, label in enumerate(series)
+    )
+    lines.append(f"{'':>{ylabel_width}}  {legend}" + ("   [log y]" if logy else ""))
+    return "\n".join(lines)
+
+
+def bar_chart(
+    labels: Sequence[str], values: Sequence[float], width: int = 50, title: Optional[str] = None
+) -> str:
+    """Horizontal ASCII bar chart."""
+    if len(labels) != len(values):
+        raise ValueError(f"{len(labels)} labels for {len(values)} values")
+    if not labels:
+        raise ValueError("empty chart")
+    vmax = max(float(v) for v in values)
+    if vmax <= 0:
+        vmax = 1.0
+    label_width = max(len(str(l)) for l in labels)
+    lines: List[str] = []
+    if title:
+        lines.append(title)
+    for label, value in zip(labels, values):
+        bar = "#" * max(1, int(float(value) / vmax * width)) if value > 0 else ""
+        lines.append(f"{str(label):>{label_width}} |{bar} {float(value):g}")
+    return "\n".join(lines)

@@ -1,0 +1,96 @@
+"""Burn-in detection and stationarity checks for rank series.
+
+The theorems are time-uniform, but finite runs still have a transient
+(the prefill's random layout relaxes into the process's stationary
+profile).  These helpers estimate where the transient ends, so benches
+can justify their prefill/measurement splits, and classify series as
+stationary vs drifting (two-choice vs single-choice, quantitatively).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Sequence
+
+import numpy as np
+
+
+@dataclass
+class BurnInReport:
+    """Outcome of burn-in estimation on a series."""
+
+    #: Index (in samples) where the series first looks stationary, or
+    #: None if it never settles within tolerance.
+    burn_in: Optional[int]
+    #: Mean over the reference (final) region.
+    reference_mean: float
+    #: Windowed means used for the decision.
+    window_means: np.ndarray
+    window: int
+
+    @property
+    def converged(self) -> bool:
+        """Whether a burn-in point was found."""
+        return self.burn_in is not None
+
+
+def estimate_burn_in(
+    series: Sequence[float],
+    n_windows: int = 20,
+    tolerance: float = 0.15,
+) -> BurnInReport:
+    """Find where a series settles near its long-run level.
+
+    The series is split into ``n_windows`` equal windows; the reference
+    level is the mean of the final quarter of windows.  Burn-in is the
+    start of the first window from which *every* subsequent window mean
+    stays within ``tolerance`` (relative) of the reference.
+    """
+    data = np.asarray(series, dtype=float)
+    if len(data) < n_windows:
+        raise ValueError(f"series of {len(data)} too short for {n_windows} windows")
+    if not 0 < tolerance < 1:
+        raise ValueError(f"tolerance must be in (0, 1), got {tolerance}")
+    window = len(data) // n_windows
+    usable = window * n_windows
+    means = data[:usable].reshape(n_windows, window).mean(axis=1)
+    reference = float(means[-max(n_windows // 4, 1):].mean())
+    scale = abs(reference) if reference != 0 else 1.0
+    burn_in: Optional[int] = None
+    for start in range(n_windows):
+        if np.all(np.abs(means[start:] - reference) <= tolerance * scale):
+            burn_in = start * window
+            break
+    return BurnInReport(
+        burn_in=burn_in, reference_mean=reference, window_means=means, window=window
+    )
+
+
+def is_stationary(
+    series: Sequence[float], n_windows: int = 20, tolerance: float = 0.15
+) -> bool:
+    """Whether the series settles within the first half of its length.
+
+    A drifting series (single-choice rank cost) either never converges
+    or 'converges' only in its last windows; a stationary one (two-choice)
+    settles early.
+    """
+    report = estimate_burn_in(series, n_windows=n_windows, tolerance=tolerance)
+    if report.burn_in is None:
+        return False
+    return report.burn_in <= len(series) // 2
+
+
+def drift_rate(series: Sequence[float]) -> float:
+    """Relative drift: (last-quarter mean - first-quarter mean) / overall mean.
+
+    ~0 for stationary series; strongly positive for diverging ones.
+    """
+    data = np.asarray(series, dtype=float)
+    if len(data) < 8:
+        raise ValueError(f"series of {len(data)} too short")
+    quarter = len(data) // 4
+    overall = data.mean()
+    if overall == 0:
+        return 0.0
+    return float((data[-quarter:].mean() - data[:quarter].mean()) / overall)

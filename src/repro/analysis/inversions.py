@@ -1,0 +1,58 @@
+"""Rank-inversion counting over removal sequences.
+
+The paper's Figure 2 methodology timestamps returned elements and counts
+inversions in post-processing.  Given the sequence of priorities in
+removal order, an *inversion* is a pair removed in the wrong relative
+order.  A strict queue has zero; relaxed queues trade inversions for
+scalability.
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence, Tuple
+
+
+def count_inversions(sequence: Sequence) -> int:
+    """Number of out-of-order pairs, via merge sort in O(m log m).
+
+    ``sequence`` holds comparable priorities in removal order; the count
+    is ``#{(i, j) : i < j, seq[i] > seq[j]}``.
+    """
+    items = list(sequence)
+    _, inversions = _sort_count(items)
+    return inversions
+
+
+def inversion_rate(sequence: Sequence) -> float:
+    """Inversions normalized by the maximum possible ``m(m-1)/2``.
+
+    0 for a perfectly ordered output, 1 for fully reversed; a useful
+    scale-free quality score when comparing runs of different lengths.
+    """
+    m = len(sequence)
+    if m < 2:
+        return 0.0
+    return count_inversions(sequence) / (m * (m - 1) / 2)
+
+
+def _sort_count(items: List) -> Tuple[List, int]:
+    if len(items) <= 1:
+        return items, 0
+    mid = len(items) // 2
+    left, inv_l = _sort_count(items[:mid])
+    right, inv_r = _sort_count(items[mid:])
+    merged: List = []
+    inversions = inv_l + inv_r
+    i = j = 0
+    while i < len(left) and j < len(right):
+        if left[i] <= right[j]:
+            merged.append(left[i])
+            i += 1
+        else:
+            # right[j] jumps over every remaining left element.
+            inversions += len(left) - i
+            merged.append(right[j])
+            j += 1
+    merged.extend(left[i:])
+    merged.extend(right[j:])
+    return merged, inversions

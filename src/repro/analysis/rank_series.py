@@ -1,0 +1,77 @@
+"""Rank-trace aggregation and time-uniformity checks.
+
+Theorem 1's headline property is *time uniformity*: the expected rank at
+step ``t`` does not depend on ``t``.  :func:`time_uniformity` quantifies
+this by comparing the cost of early vs. late windows of a run; a
+diverging process (Theorem 6) fails it loudly.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Sequence
+
+import numpy as np
+
+from repro.core.records import RankTrace
+
+
+def aggregate_summaries(traces: Sequence[RankTrace]) -> Dict[str, float]:
+    """Cross-seed aggregation of trace summaries.
+
+    Returns means of the per-trace statistics plus the spread of the
+    per-trace mean rank (for error bars).
+    """
+    if not traces:
+        raise ValueError("no traces to aggregate")
+    means = np.array([t.mean_rank() for t in traces])
+    maxes = np.array([t.max_rank() for t in traces])
+    p99s = np.array([t.quantile(0.99) for t in traces])
+    return {
+        "runs": len(traces),
+        "mean_rank": float(means.mean()),
+        "mean_rank_std": float(means.std(ddof=1)) if len(traces) > 1 else 0.0,
+        "max_rank_mean": float(maxes.mean()),
+        "max_rank_worst": float(maxes.max()),
+        "p99_rank_mean": float(p99s.mean()),
+    }
+
+
+@dataclass
+class TimeUniformityReport:
+    """Early-vs-late comparison of a rank trace."""
+
+    early_mean: float
+    late_mean: float
+    #: ``late_mean / early_mean``; ~1 for time-uniform processes,
+    #: substantially > 1 for diverging ones.
+    growth_ratio: float
+    window: int
+
+    def is_uniform(self, tolerance: float = 0.5) -> bool:
+        """Whether late cost stayed within ``(1 + tolerance)x`` of early."""
+        return self.growth_ratio <= 1.0 + tolerance
+
+    def __repr__(self) -> str:
+        return (
+            f"TimeUniformityReport(early={self.early_mean:.2f}, "
+            f"late={self.late_mean:.2f}, ratio={self.growth_ratio:.2f})"
+        )
+
+
+def time_uniformity(trace: RankTrace, window_fraction: float = 0.2) -> TimeUniformityReport:
+    """Compare the first and last ``window_fraction`` of a rank trace."""
+    if not 0 < window_fraction <= 0.5:
+        raise ValueError(f"window_fraction must be in (0, 0.5], got {window_fraction}")
+    ranks = trace.ranks
+    if len(ranks) < 10:
+        raise ValueError(f"trace too short ({len(ranks)}) for a uniformity check")
+    window = max(1, int(len(ranks) * window_fraction))
+    early = float(ranks[:window].mean())
+    late = float(ranks[-window:].mean())
+    return TimeUniformityReport(
+        early_mean=early,
+        late_mean=late,
+        growth_ratio=late / early if early > 0 else float("inf"),
+        window=window,
+    )

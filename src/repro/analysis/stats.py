@@ -1,0 +1,134 @@
+"""Small self-contained statistics toolkit (no scipy required)."""
+
+from __future__ import annotations
+
+import math
+from typing import Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.utils.rngtools import SeedLike, as_generator
+
+
+class StreamingMoments:
+    """Online mean/variance (Welford) for long runs without storing data.
+
+    Example
+    -------
+    >>> sm = StreamingMoments()
+    >>> for x in [1.0, 2.0, 3.0]:
+    ...     sm.update(x)
+    >>> sm.mean
+    2.0
+    """
+
+    __slots__ = ("count", "mean", "_m2", "min", "max")
+
+    def __init__(self) -> None:
+        self.count = 0
+        self.mean = 0.0
+        self._m2 = 0.0
+        self.min = math.inf
+        self.max = -math.inf
+
+    def update(self, x: float) -> None:
+        """Fold one observation into the running moments."""
+        self.count += 1
+        delta = x - self.mean
+        self.mean += delta / self.count
+        self._m2 += delta * (x - self.mean)
+        if x < self.min:
+            self.min = x
+        if x > self.max:
+            self.max = x
+
+    def update_many(self, xs) -> None:
+        """Fold a batch of observations."""
+        for x in xs:
+            self.update(float(x))
+
+    @property
+    def variance(self) -> float:
+        """Sample variance (``n - 1`` denominator)."""
+        if self.count < 2:
+            return 0.0
+        return self._m2 / (self.count - 1)
+
+    @property
+    def std(self) -> float:
+        """Sample standard deviation."""
+        return math.sqrt(self.variance)
+
+    @property
+    def stderr(self) -> float:
+        """Standard error of the mean."""
+        if self.count == 0:
+            return 0.0
+        return self.std / math.sqrt(self.count)
+
+    def __repr__(self) -> str:
+        return f"StreamingMoments(n={self.count}, mean={self.mean:.4g}, std={self.std:.4g})"
+
+
+def bootstrap_ci(
+    data: Sequence[float],
+    stat=np.mean,
+    confidence: float = 0.95,
+    n_resamples: int = 2000,
+    rng: SeedLike = None,
+) -> Tuple[float, float, float]:
+    """Percentile bootstrap confidence interval.
+
+    Returns ``(point_estimate, lower, upper)``.
+    """
+    data = np.asarray(data, dtype=float)
+    if len(data) == 0:
+        raise ValueError("cannot bootstrap empty data")
+    if not 0 < confidence < 1:
+        raise ValueError(f"confidence must be in (0, 1), got {confidence}")
+    gen = as_generator(rng)
+    point = float(stat(data))
+    idx = gen.integers(len(data), size=(n_resamples, len(data)))
+    stats = np.asarray([stat(data[row]) for row in idx])
+    alpha = (1.0 - confidence) / 2.0
+    lower, upper = np.quantile(stats, [alpha, 1.0 - alpha])
+    return point, float(lower), float(upper)
+
+
+def linear_fit(x: Sequence[float], y: Sequence[float]) -> Tuple[float, float, float]:
+    """Ordinary least squares ``y = a*x + b``.
+
+    Returns ``(slope, intercept, r_squared)``.
+    """
+    x = np.asarray(x, dtype=float)
+    y = np.asarray(y, dtype=float)
+    if len(x) != len(y) or len(x) < 2:
+        raise ValueError("need at least two paired points")
+    xm, ym = x.mean(), y.mean()
+    sxx = ((x - xm) ** 2).sum()
+    if sxx == 0:
+        raise ValueError("x has zero variance")
+    slope = ((x - xm) * (y - ym)).sum() / sxx
+    intercept = ym - slope * xm
+    ss_res = ((y - (slope * x + intercept)) ** 2).sum()
+    ss_tot = ((y - ym) ** 2).sum()
+    r2 = 1.0 - ss_res / ss_tot if ss_tot > 0 else 1.0
+    return float(slope), float(intercept), float(r2)
+
+
+def loglog_slope(
+    x: Sequence[float], y: Sequence[float], drop_first: int = 0
+) -> Tuple[float, float]:
+    """Growth exponent: slope of ``log y`` against ``log x``.
+
+    Used to classify growth laws — the single-choice divergence bench
+    expects a slope near 0.5 (``sqrt(t)``), the two-choice process a
+    slope near 0 (time-uniform).  ``drop_first`` discards warm-up points.
+    Returns ``(slope, r_squared)``.
+    """
+    x = np.asarray(x, dtype=float)[drop_first:]
+    y = np.asarray(y, dtype=float)[drop_first:]
+    if np.any(x <= 0) or np.any(y <= 0):
+        raise ValueError("log-log fit requires positive data")
+    slope, _intercept, r2 = linear_fit(np.log(x), np.log(y))
+    return slope, r2

@@ -1,0 +1,82 @@
+"""The paper's bounds as checkable predictions.
+
+These helpers turn the asymptotic statements of Theorems 1 and 6 into
+quantities benches and tests can compare against measurements.  Constants
+are not specified by the theory, so checks are of two kinds:
+
+* *scaling* checks — fit the growth exponent across a parameter sweep
+  (e.g. mean rank vs. ``n`` should be linear, max rank vs. ``t`` for
+  single-choice should be a square root);
+* *envelope* checks — measured values stay below ``constant x bound``
+  for a generous constant, with the constant reported so regressions
+  are visible.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Sequence, Tuple
+
+import numpy as np
+
+from repro.analysis.stats import loglog_slope
+
+
+def avg_rank_bound(n: int, beta: float) -> float:
+    """The Theorem 1 average-rank envelope ``n / beta^2`` (constant 1).
+
+    Measurements divide by this; Theorem 1 says the quotient is O(1)
+    uniformly in time and in ``n``.
+    """
+    if n <= 0:
+        raise ValueError(f"n must be positive, got {n}")
+    if not 0 < beta <= 1:
+        raise ValueError(f"beta must be in (0, 1], got {beta}")
+    return n / beta**2
+
+
+def max_rank_bound(n: int, beta: float) -> float:
+    """The Corollary 1 max-rank envelope ``(n/beta)(log n + log 1/beta)``."""
+    if n <= 1:
+        raise ValueError(f"n must be at least 2, got {n}")
+    if not 0 < beta <= 1:
+        raise ValueError(f"beta must be in (0, 1], got {beta}")
+    return (n / beta) * (math.log(n) + math.log(1.0 / beta) + 1.0)
+
+
+def divergence_prediction(t: float, n: int) -> float:
+    """The Theorem 6 single-choice envelope ``sqrt(t * n * log n)``."""
+    if t < 0:
+        raise ValueError(f"t must be non-negative, got {t}")
+    if n <= 1:
+        raise ValueError(f"n must be at least 2, got {n}")
+    return math.sqrt(t * n * math.log(n))
+
+
+def fit_scaling_exponent(
+    params: Sequence[float], measurements: Sequence[float], drop_first: int = 0
+) -> Tuple[float, float]:
+    """Fit ``measurement ~ param^slope`` on a log-log scale.
+
+    Convenience alias of :func:`repro.analysis.stats.loglog_slope` named
+    for its use in theory checks:
+
+    * mean rank vs ``n`` (two-choice): slope ~ 1 (Theorem 1 is linear);
+    * max top rank vs ``t`` (two-choice): slope ~ 0 (time-uniform);
+    * max top rank vs ``t`` (single-choice): slope ~ 0.5 (Theorem 6).
+    """
+    return loglog_slope(params, measurements, drop_first=drop_first)
+
+
+def envelope_constant(
+    measurements: Sequence[float], bounds: Sequence[float]
+) -> float:
+    """The smallest constant ``c`` with ``measurement <= c * bound``
+    across a sweep — the empirical hidden constant of a bound."""
+    measurements = np.asarray(measurements, dtype=float)
+    bounds = np.asarray(bounds, dtype=float)
+    if measurements.shape != bounds.shape or len(measurements) == 0:
+        raise ValueError("measurements and bounds must be equal-length, non-empty")
+    if np.any(bounds <= 0):
+        raise ValueError("bounds must be positive")
+    return float((measurements / bounds).max())

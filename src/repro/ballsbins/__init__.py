@@ -1,0 +1,41 @@
+"""Balls-into-bins processes: the classical substrate behind the analysis.
+
+The paper's proof connects priority scheduling to "heavily loaded"
+balls-into-bins theory (Berenbrink et al., Peres–Talwar–Wieder).  This
+package implements the classical processes so the reductions and
+tightness arguments can be exercised empirically:
+
+* one-choice, two-choice, d-choice and (1+beta)-choice allocations;
+* the heavily-loaded *long-lived* variant (insert + delete each step);
+* weighted allocations (exponential weights — [30, Example 2], the
+  source of the ``Theta(log n)`` gap behind the ``Theta(n log n)``
+  max-rank tightness claim);
+* graphical allocations, where choices are the endpoints of a random
+  edge of a graph (the Section 6 future-work process is its labelled
+  sibling).
+"""
+
+from repro.ballsbins.processes import (
+    BallsIntoBins,
+    d_choice_loads,
+    gap,
+    gap_history,
+    one_choice_loads,
+    one_plus_beta_loads,
+    two_choice_loads,
+)
+from repro.ballsbins.weighted import WeightedBallsIntoBins, exponential_weight_gap
+from repro.ballsbins.graphical import GraphicalAllocation
+
+__all__ = [
+    "BallsIntoBins",
+    "one_choice_loads",
+    "two_choice_loads",
+    "d_choice_loads",
+    "one_plus_beta_loads",
+    "gap",
+    "gap_history",
+    "WeightedBallsIntoBins",
+    "exponential_weight_gap",
+    "GraphicalAllocation",
+]

@@ -1,0 +1,86 @@
+"""Graphical balanced allocation (Peres–Talwar–Wieder).
+
+The two choices are the endpoints of a uniformly random *edge* of a
+graph ``G`` on the bins; the complete graph recovers classic two-choice.
+Expansion of ``G`` governs the gap — the same phenomenon the paper's
+Section 6 conjectures for the labelled graph process (implemented in
+:mod:`repro.graphs.choice_process`).
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence, Tuple
+
+import numpy as np
+
+from repro.utils.rngtools import SeedLike, as_generator
+
+Edge = Tuple[int, int]
+
+
+class GraphicalAllocation:
+    """Balls-into-bins where choices come from random edges of a graph.
+
+    Parameters
+    ----------
+    n:
+        Number of bins (graph vertices ``0..n-1``).
+    edges:
+        Edge list; each step samples one edge uniformly and places the
+        ball on its lesser-loaded endpoint (random tie-break).
+    """
+
+    def __init__(self, n: int, edges: Sequence[Edge], rng: SeedLike = None) -> None:
+        if n <= 0:
+            raise ValueError(f"n must be positive, got {n}")
+        if not edges:
+            raise ValueError("edge list must be non-empty")
+        self.n = n
+        self._edges = np.asarray(edges, dtype=np.int64)
+        if self._edges.ndim != 2 or self._edges.shape[1] != 2:
+            raise ValueError("edges must be a sequence of (u, v) pairs")
+        if self._edges.min() < 0 or self._edges.max() >= n:
+            raise ValueError("edge endpoints out of range")
+        self._rng = as_generator(rng)
+        self._loads = np.zeros(n, dtype=np.int64)
+        self.balls = 0
+
+    @property
+    def loads(self) -> np.ndarray:
+        """Current load vector (a copy)."""
+        return self._loads.copy()
+
+    def gap(self) -> float:
+        """``max(loads) - mean(loads)``."""
+        return float(self._loads.max() - self._loads.mean())
+
+    def insert_many(self, m: int) -> None:
+        """Throw ``m`` balls along uniformly random edges."""
+        rng = self._rng
+        edge_idx = rng.integers(len(self._edges), size=m)
+        ties = rng.random(size=m) < 0.5
+        loads = self._loads
+        edges = self._edges
+        for b in range(m):
+            u, v = edges[edge_idx[b]]
+            lu, lv = loads[u], loads[v]
+            if lv < lu or (lv == lu and ties[b]):
+                u = v
+            loads[u] += 1
+        self.balls += m
+
+    def gap_history(self, m: int, sample_every: int = 1000) -> Tuple[np.ndarray, np.ndarray]:
+        """Insert ``m`` balls, sampling the gap periodically."""
+        steps: List[int] = []
+        gaps: List[float] = []
+        remaining = m
+        while remaining > 0:
+            chunk = min(sample_every, remaining)
+            self.insert_many(chunk)
+            remaining -= chunk
+            steps.append(self.balls)
+            gaps.append(self.gap())
+        return np.asarray(steps), np.asarray(gaps)
+
+    def __repr__(self) -> str:
+        return f"GraphicalAllocation(n={self.n}, edges={len(self._edges)}, balls={self.balls})"

@@ -1,0 +1,225 @@
+"""Classical (unweighted) balls-into-bins allocation processes."""
+
+from __future__ import annotations
+
+from typing import List, Optional, Tuple
+
+import numpy as np
+
+from repro.utils.rngtools import SeedLike, as_generator
+
+
+def gap(loads: np.ndarray) -> float:
+    """The load gap ``max(loads) - mean(loads)``.
+
+    The headline statistic of allocation theory: ``Theta(sqrt(m log n / n))``
+    for one-choice after ``m`` balls, but only ``log log n + O(1)`` for
+    two-choice — independent of ``m`` (heavily-loaded case).
+    """
+    loads = np.asarray(loads)
+    return float(loads.max() - loads.mean())
+
+
+def one_choice_loads(n: int, m: int, rng: SeedLike = None) -> np.ndarray:
+    """Throw ``m`` balls into ``n`` bins uniformly (vectorized)."""
+    if n <= 0:
+        raise ValueError(f"n must be positive, got {n}")
+    if m < 0:
+        raise ValueError(f"m must be non-negative, got {m}")
+    gen = as_generator(rng)
+    return np.bincount(gen.integers(n, size=m), minlength=n).astype(np.int64)
+
+
+def d_choice_loads(
+    n: int, m: int, d: int = 2, rng: SeedLike = None, tie_break: str = "random"
+) -> np.ndarray:
+    """Throw ``m`` balls, each into the least loaded of ``d`` uniform choices.
+
+    Choices are sampled with replacement.  ``tie_break`` is ``"random"``
+    (uniform among tied minima, the textbook process) or ``"index"``
+    (smallest bin index, the deterministic variant used by the App. A
+    reduction).
+    """
+    if n <= 0:
+        raise ValueError(f"n must be positive, got {n}")
+    if d <= 0:
+        raise ValueError(f"d must be positive, got {d}")
+    if tie_break not in ("random", "index"):
+        raise ValueError(f"unknown tie_break {tie_break!r}")
+    gen = as_generator(rng)
+    loads = np.zeros(n, dtype=np.int64)
+    # Draw all choices up front: an (m, d) matrix of bin indices.
+    choices = gen.integers(n, size=(m, d))
+    if tie_break == "random":
+        # Pre-draw per-ball tiebreak permutations lazily via random keys.
+        keys = gen.random(size=(m, d))
+    for b in range(m):
+        row = choices[b]
+        best = row[0]
+        best_load = loads[best]
+        if tie_break == "random":
+            best_key = keys[b, 0]
+            for k in range(1, d):
+                c = row[k]
+                lc = loads[c]
+                if lc < best_load or (lc == best_load and keys[b, k] < best_key):
+                    best, best_load, best_key = c, lc, keys[b, k]
+        else:
+            for k in range(1, d):
+                c = row[k]
+                lc = loads[c]
+                if lc < best_load or (lc == best_load and c < best):
+                    best, best_load = c, lc
+        loads[best] += 1
+    return loads
+
+
+def two_choice_loads(n: int, m: int, rng: SeedLike = None, tie_break: str = "random") -> np.ndarray:
+    """The classic power-of-two-choices allocation (``d_choice`` with d=2)."""
+    return d_choice_loads(n, m, d=2, rng=rng, tie_break=tie_break)
+
+
+def one_plus_beta_loads(n: int, m: int, beta: float, rng: SeedLike = None) -> np.ndarray:
+    """The (1+beta)-choice mixture of Peres–Talwar–Wieder.
+
+    Each ball uses two choices with probability ``beta`` and a single
+    uniform choice otherwise.
+    """
+    if not 0 <= beta <= 1:
+        raise ValueError(f"beta must be in [0, 1], got {beta}")
+    gen = as_generator(rng)
+    loads = np.zeros(n, dtype=np.int64)
+    coins = gen.random(size=m) < beta
+    first = gen.integers(n, size=m)
+    second = gen.integers(n, size=m)
+    ties = gen.random(size=m) < 0.5
+    for b in range(m):
+        i = first[b]
+        if coins[b]:
+            j = second[b]
+            li, lj = loads[i], loads[j]
+            if lj < li or (lj == li and ties[b]):
+                i = j
+        loads[i] += 1
+    return loads
+
+
+def gap_history(
+    n: int,
+    m: int,
+    d: int = 2,
+    beta: float = 1.0,
+    rng: SeedLike = None,
+    sample_every: int = 1000,
+) -> Tuple[np.ndarray, np.ndarray]:
+    """Gap trajectory of a (1+beta) d-choice allocation.
+
+    Returns ``(sample_steps, gaps)``.  For ``d=2`` the gap plateaus
+    (heavily-loaded two-choice); for ``d=1`` (or ``beta=0``) it grows as
+    ``sqrt(m)`` — the dichotomy mirrored by Theorems 1 and 6.
+    """
+    gen = as_generator(rng)
+    loads = np.zeros(n, dtype=np.int64)
+    steps: List[int] = []
+    gaps: List[float] = []
+    for ball in range(1, m + 1):
+        use_two = d >= 2 and (beta >= 1.0 or gen.random() < beta)
+        i = int(gen.integers(n))
+        if use_two:
+            best, best_load = i, loads[i]
+            for _ in range(d - 1):
+                j = int(gen.integers(n))
+                if loads[j] < best_load:
+                    best, best_load = j, loads[j]
+            i = best
+        loads[i] += 1
+        if ball % sample_every == 0:
+            steps.append(ball)
+            gaps.append(gap(loads))
+    return np.asarray(steps), np.asarray(gaps)
+
+
+class BallsIntoBins:
+    """Long-lived (heavily loaded) allocation: inserts and deletions.
+
+    Each :meth:`step` inserts one ball by the (1+beta) d-choice rule and
+    (optionally) deletes one ball from a uniformly random *non-empty*
+    bin, keeping the total load roughly constant — the regime of
+    Berenbrink et al.'s heavily-loaded analysis.
+    """
+
+    def __init__(
+        self,
+        n: int,
+        d: int = 2,
+        beta: float = 1.0,
+        rng: SeedLike = None,
+    ) -> None:
+        if n <= 0:
+            raise ValueError(f"n must be positive, got {n}")
+        if d <= 0:
+            raise ValueError(f"d must be positive, got {d}")
+        if not 0 <= beta <= 1:
+            raise ValueError(f"beta must be in [0, 1], got {beta}")
+        self.n = n
+        self.d = d
+        self.beta = beta
+        self._rng = as_generator(rng)
+        self._loads = np.zeros(n, dtype=np.int64)
+        self.steps = 0
+
+    @property
+    def loads(self) -> np.ndarray:
+        """Current load vector (a copy)."""
+        return self._loads.copy()
+
+    def gap(self) -> float:
+        """Current max-minus-mean gap."""
+        return gap(self._loads)
+
+    def insert(self) -> int:
+        """Insert one ball; returns the chosen bin."""
+        rng = self._rng
+        use_two = self.d >= 2 and (self.beta >= 1.0 or rng.random() < self.beta)
+        best = int(rng.integers(self.n))
+        if use_two:
+            best_load = self._loads[best]
+            for _ in range(self.d - 1):
+                j = int(rng.integers(self.n))
+                if self._loads[j] < best_load:
+                    best, best_load = j, self._loads[j]
+        self._loads[best] += 1
+        return best
+
+    def delete_uniform(self) -> Optional[int]:
+        """Delete one ball from a uniform random non-empty bin.
+
+        Returns the bin index, or ``None`` if the system is empty.
+        """
+        if self._loads.sum() == 0:
+            return None
+        rng = self._rng
+        while True:
+            i = int(rng.integers(self.n))
+            if self._loads[i] > 0:
+                self._loads[i] -= 1
+                return i
+
+    def step(self) -> None:
+        """One heavily-loaded round: insert then delete."""
+        self.insert()
+        self.delete_uniform()
+        self.steps += 1
+
+    def run(self, steps: int, prefill: int = 0) -> None:
+        """Prefill ``prefill`` balls then run ``steps`` insert+delete rounds."""
+        for _ in range(prefill):
+            self.insert()
+        for _ in range(steps):
+            self.step()
+
+    def __repr__(self) -> str:
+        return (
+            f"BallsIntoBins(n={self.n}, d={self.d}, beta={self.beta}, "
+            f"total={int(self._loads.sum())})"
+        )

@@ -1,0 +1,115 @@
+"""Weighted balls-into-bins (Talwar–Wieder, Peres–Talwar–Wieder).
+
+Balls carry i.i.d. weights; each ball goes to the lighter of its random
+choices.  With ``Exp(1)`` weights this is [30, Example 2] — the process
+whose ``Theta(log n)`` expected gap underlies the paper's tightness
+argument for the ``Theta(n log n)`` expected max rank.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Optional, Tuple
+
+import numpy as np
+
+from repro.utils.rngtools import SeedLike, as_generator
+
+#: A weight sampler: maps (generator, count) to an array of weights.
+WeightSampler = Callable[[np.random.Generator, int], np.ndarray]
+
+
+def exponential_weights(gen: np.random.Generator, count: int) -> np.ndarray:
+    """``Exp(1)`` ball weights — the canonical heavy-ish tailed case."""
+    return gen.exponential(1.0, size=count)
+
+
+def uniform_weights(gen: np.random.Generator, count: int) -> np.ndarray:
+    """``U[0, 2]`` ball weights (mean 1, bounded)."""
+    return gen.uniform(0.0, 2.0, size=count)
+
+
+def unit_weights(gen: np.random.Generator, count: int) -> np.ndarray:
+    """Constant weight 1 — recovers the unweighted process."""
+    return np.ones(count)
+
+
+class WeightedBallsIntoBins:
+    """(1+beta) d-choice allocation of weighted balls.
+
+    Parameters
+    ----------
+    n:
+        Number of bins.
+    beta:
+        Probability of using two choices (else one).
+    weight_sampler:
+        Callable drawing ball weights; defaults to ``Exp(1)``.
+    """
+
+    def __init__(
+        self,
+        n: int,
+        beta: float = 1.0,
+        weight_sampler: WeightSampler = exponential_weights,
+        rng: SeedLike = None,
+    ) -> None:
+        if n <= 0:
+            raise ValueError(f"n must be positive, got {n}")
+        if not 0 <= beta <= 1:
+            raise ValueError(f"beta must be in [0, 1], got {beta}")
+        self.n = n
+        self.beta = beta
+        self._sampler = weight_sampler
+        self._rng = as_generator(rng)
+        self._loads = np.zeros(n, dtype=float)
+        self.balls = 0
+
+    @property
+    def loads(self) -> np.ndarray:
+        """Current (real-valued) load vector, as a copy."""
+        return self._loads.copy()
+
+    def gap(self) -> float:
+        """``max(loads) - mean(loads)``."""
+        return float(self._loads.max() - self._loads.mean())
+
+    def insert_many(self, m: int) -> None:
+        """Throw ``m`` weighted balls via the (1+beta) rule."""
+        rng = self._rng
+        weights = self._sampler(rng, m)
+        coins = rng.random(size=m) < self.beta if self.beta < 1.0 else np.ones(m, bool)
+        first = rng.integers(self.n, size=m)
+        second = rng.integers(self.n, size=m)
+        loads = self._loads
+        for b in range(m):
+            i = first[b]
+            if coins[b]:
+                j = second[b]
+                if loads[j] < loads[i]:
+                    i = j
+            loads[i] += weights[b]
+        self.balls += m
+
+    def gap_history(self, m: int, sample_every: int = 1000) -> Tuple[np.ndarray, np.ndarray]:
+        """Insert ``m`` balls, sampling the gap periodically."""
+        steps, gaps = [], []
+        remaining = m
+        while remaining > 0:
+            chunk = min(sample_every, remaining)
+            self.insert_many(chunk)
+            remaining -= chunk
+            steps.append(self.balls)
+            gaps.append(self.gap())
+        return np.asarray(steps), np.asarray(gaps)
+
+    def __repr__(self) -> str:
+        return f"WeightedBallsIntoBins(n={self.n}, beta={self.beta}, balls={self.balls})"
+
+
+def exponential_weight_gap(
+    n: int, m: int, beta: float = 1.0, rng: SeedLike = None
+) -> float:
+    """Final gap after ``m`` exponential-weight balls (convenience)."""
+    proc = WeightedBallsIntoBins(n, beta=beta, rng=rng)
+    proc.insert_many(m)
+    return proc.gap()

@@ -1,0 +1,22 @@
+"""Experiment harness: seed sweeps and paper-style table printing."""
+
+from repro.bench.tables import format_series, format_table
+from repro.bench.harness import ExperimentResult, run_seeds, sweep
+from repro.bench.registry import (
+    ExperimentSpec,
+    all_experiments,
+    coverage_report,
+    get_experiment,
+)
+
+__all__ = [
+    "format_table",
+    "format_series",
+    "ExperimentResult",
+    "run_seeds",
+    "sweep",
+    "ExperimentSpec",
+    "all_experiments",
+    "get_experiment",
+    "coverage_report",
+]

@@ -1,0 +1,62 @@
+"""Seed sweeps and parameter sweeps for experiments."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, Iterable, List, Sequence
+
+import numpy as np
+
+
+@dataclass
+class ExperimentResult:
+    """A named batch of result rows plus free-form metadata."""
+
+    name: str
+    rows: List[Dict] = field(default_factory=list)
+    meta: Dict[str, Any] = field(default_factory=dict)
+
+    def column(self, key: str) -> np.ndarray:
+        """Extract one column across rows as an array."""
+        return np.asarray([row[key] for row in self.rows])
+
+    def __repr__(self) -> str:
+        return f"ExperimentResult({self.name!r}, rows={len(self.rows)})"
+
+
+def run_seeds(fn: Callable[[int], Any], seeds: Sequence[int]) -> List[Any]:
+    """Run ``fn(seed)`` for each seed and collect the results."""
+    if not seeds:
+        raise ValueError("need at least one seed")
+    return [fn(int(seed)) for seed in seeds]
+
+
+def sweep(
+    fn: Callable[..., Dict],
+    param_name: str,
+    values: Iterable,
+    seeds: Sequence[int],
+    reduce: str = "mean",
+    **fixed,
+) -> List[Dict]:
+    """Sweep one parameter, averaging numeric outputs across seeds.
+
+    ``fn(param_name=value, seed=seed, **fixed)`` must return a dict of
+    numbers (non-numeric values are taken from the first seed's run).
+    Returns one row per parameter value with the parameter included.
+    """
+    if reduce not in ("mean", "median"):
+        raise ValueError(f"unknown reduce {reduce!r}")
+    rows: List[Dict] = []
+    for value in values:
+        outputs = [fn(**{param_name: value, "seed": int(s)}, **fixed) for s in seeds]
+        row: Dict = {param_name: value}
+        for key in outputs[0]:
+            samples = [out[key] for out in outputs]
+            if all(isinstance(s, (int, float, np.integer, np.floating)) for s in samples):
+                agg = np.mean(samples) if reduce == "mean" else np.median(samples)
+                row[key] = float(agg)
+            else:
+                row[key] = samples[0]
+        rows.append(row)
+    return rows

@@ -1,0 +1,62 @@
+"""Plain-text table/series formatting for benchmark output.
+
+The benchmarks print the same rows/series the paper's figures plot, so
+the output of ``pytest benchmarks/ --benchmark-only -s`` can be compared
+to the paper's curves by eye (and is captured in EXPERIMENTS.md).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence
+
+
+def _fmt(value, floatfmt: str) -> str:
+    if isinstance(value, bool):
+        return str(value)
+    if isinstance(value, float):
+        return format(value, floatfmt)
+    return str(value)
+
+
+def format_table(
+    rows: Sequence[Dict],
+    columns: Optional[Sequence[str]] = None,
+    title: Optional[str] = None,
+    floatfmt: str = ".2f",
+) -> str:
+    """Render dict-rows as an aligned ASCII table.
+
+    ``columns`` fixes the column order (default: keys of the first row).
+    """
+    if not rows:
+        return f"{title}\n(no rows)" if title else "(no rows)"
+    cols = list(columns) if columns is not None else list(rows[0].keys())
+    header = [str(c) for c in cols]
+    body = [[_fmt(row.get(c, ""), floatfmt) for c in cols] for row in rows]
+    widths = [
+        max(len(header[i]), max((len(r[i]) for r in body), default=0))
+        for i in range(len(cols))
+    ]
+    lines: List[str] = []
+    if title:
+        lines.append(title)
+    lines.append("  ".join(h.rjust(w) for h, w in zip(header, widths)))
+    lines.append("  ".join("-" * w for w in widths))
+    for r in body:
+        lines.append("  ".join(v.rjust(w) for v, w in zip(r, widths)))
+    return "\n".join(lines)
+
+
+def format_series(
+    x: Sequence,
+    y: Sequence,
+    x_label: str = "x",
+    y_label: str = "y",
+    title: Optional[str] = None,
+    floatfmt: str = ".2f",
+) -> str:
+    """Render paired series as a two-column table."""
+    if len(x) != len(y):
+        raise ValueError(f"series lengths differ: {len(x)} vs {len(y)}")
+    rows = [{x_label: xi, y_label: yi} for xi, yi in zip(x, y)]
+    return format_table(rows, columns=[x_label, y_label], title=title, floatfmt=floatfmt)

@@ -1,0 +1,376 @@
+"""Command-line interface: run the paper's experiments from a terminal.
+
+Usage (after ``pip install -e .``)::
+
+    python -m repro throughput --threads 1 2 4 8 --ops 150
+    python -m repro rank --betas 1.0 0.5 0.25
+    python -m repro sssp --threads 1 4 8 --graph-size 2000
+    python -m repro process --n 16 --beta 0.5 --steps 20000
+    python -m repro divergence --n 16 --steps 40000
+    python -m repro potential --n 16 --beta 1.0 --steps 20000
+    python -m repro graph-choice --n 36
+
+Every subcommand prints a paper-style table and, where a curve is the
+point, an ASCII chart.  All experiments accept ``--seed`` for exact
+reproducibility.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+import numpy as np
+
+from repro.analysis.ascii_plot import line_chart
+from repro.bench.tables import format_table
+from repro.core.process import SequentialProcess
+from repro.core.single_choice import SingleChoiceProcess
+
+
+def _add_seed(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--seed", type=int, default=1, help="root RNG seed (default 1)")
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Experiments from 'The Power of Choice in Priority Scheduling'",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p = sub.add_parser("throughput", help="Figure 1: simulated throughput vs threads")
+    p.add_argument("--threads", type=int, nargs="+", default=[1, 2, 4, 8])
+    p.add_argument("--ops", type=int, default=150, help="insert+delete pairs per thread")
+    p.add_argument("--prefill", type=int, default=4000)
+    p.add_argument(
+        "--contenders",
+        nargs="+",
+        default=["mq1.0", "mq0.5", "lj", "klsm"],
+        help="any of: mq<beta>, lj, klsm, spray",
+    )
+    _add_seed(p)
+
+    p = sub.add_parser("rank", help="Figure 2: mean rank vs beta (concurrent model)")
+    p.add_argument("--betas", type=float, nargs="+", default=[1.0, 0.75, 0.5, 0.25])
+    p.add_argument("--queues", type=int, default=8)
+    p.add_argument("--threads", type=int, default=8)
+    p.add_argument("--prefill", type=int, default=20000)
+    p.add_argument("--ops", type=int, default=1000)
+    _add_seed(p)
+
+    p = sub.add_parser("sssp", help="Figure 3: simulated parallel Dijkstra")
+    p.add_argument("--threads", type=int, nargs="+", default=[1, 2, 4, 8])
+    p.add_argument("--graph-size", type=int, default=2000)
+    p.add_argument("--betas", type=float, nargs="+", default=[1.0, 0.5])
+    _add_seed(p)
+
+    p = sub.add_parser("process", help="sequential (1+beta) process statistics")
+    p.add_argument("--n", type=int, default=16, help="number of queues")
+    p.add_argument("--beta", type=float, default=1.0)
+    p.add_argument("--gamma", type=float, default=0.0, help="insertion bias bound")
+    p.add_argument("--prefill", type=int, default=20000)
+    p.add_argument("--steps", type=int, default=20000)
+    _add_seed(p)
+
+    p = sub.add_parser("divergence", help="Theorem 6: single vs two choice over time")
+    p.add_argument("--n", type=int, default=16)
+    p.add_argument("--prefill", type=int, default=40000)
+    p.add_argument("--steps", type=int, default=40000)
+    _add_seed(p)
+
+    p = sub.add_parser("potential", help="Theorem 3: Gamma potential over time")
+    p.add_argument("--n", type=int, default=16)
+    p.add_argument("--beta", type=float, default=1.0)
+    p.add_argument("--steps", type=int, default=20000)
+    p.add_argument("--alpha", type=float, default=None)
+    _add_seed(p)
+
+    p = sub.add_parser("graph-choice", help="Section 6: the process on graphs")
+    p.add_argument("--n", type=int, default=36)
+    p.add_argument("--prefill", type=int, default=10000)
+    p.add_argument("--steps", type=int, default=10000)
+    _add_seed(p)
+
+    sub.add_parser("experiments", help="list all reproduced experiments")
+
+    p = sub.add_parser(
+        "report", help="print all archived benchmark tables (benchmarks/results/)"
+    )
+    p.add_argument("--ids", nargs="*", default=None, help="limit to experiment ids")
+
+    return parser
+
+
+# -- subcommand implementations ---------------------------------------------
+
+
+def _contender_factory(spec: str, threads: int):
+    from repro.concurrent import ConcurrentMultiQueue, KLSMPQ, LindenJonssonPQ, SprayListPQ
+
+    if spec.startswith("mq"):
+        beta = float(spec[2:]) if len(spec) > 2 else 1.0
+
+        def make(engine, rng):
+            return ConcurrentMultiQueue(engine, n_queues=2 * threads, beta=beta, rng=rng)
+
+        return make
+    if spec == "lj":
+        return lambda engine, rng: LindenJonssonPQ(engine, rng=rng)
+    if spec == "klsm":
+        return lambda engine, rng: KLSMPQ(engine, relaxation=256, rng=rng)
+    if spec == "spray":
+        return lambda engine, rng: SprayListPQ(engine, n_threads=threads, rng=rng)
+    raise SystemExit(f"unknown contender {spec!r} (use mq<beta>, lj, klsm, spray)")
+
+
+def cmd_throughput(args) -> None:
+    from repro.sim.workload import run_throughput_experiment
+
+    rows = []
+    for threads in args.threads:
+        row = {"threads": threads}
+        for spec in args.contenders:
+            res = run_throughput_experiment(
+                _contender_factory(spec, threads),
+                threads,
+                args.ops,
+                prefill=args.prefill,
+                seed=args.seed,
+            )
+            row[spec] = res.throughput
+        rows.append(row)
+    print(format_table(rows, title="throughput (ops/Mcycle) vs threads", floatfmt=".0f"))
+    series = {spec: [r[spec] for r in rows] for spec in args.contenders}
+    print()
+    print(line_chart(args.threads, series, title="throughput curves"))
+
+
+def cmd_rank(args) -> None:
+    from repro.concurrent import ConcurrentMultiQueue, OpRecorder
+    from repro.sim.engine import Engine
+    from repro.sim.workload import AlternatingWorkload
+
+    rows = []
+    for beta in args.betas:
+        rec = OpRecorder()
+        eng = Engine()
+        model = ConcurrentMultiQueue(
+            eng, args.queues, beta=beta, rng=args.seed, recorder=rec
+        )
+        model.prefill(np.random.default_rng(args.seed).integers(2**40, size=args.prefill))
+        AlternatingWorkload(model, args.threads, args.ops, rng=args.seed + 1).spawn_on(eng)
+        eng.run()
+        trace = rec.rank_trace()
+        rows.append(
+            {
+                "beta": beta,
+                "mean rank": trace.mean_rank(),
+                "p99 rank": trace.quantile(0.99),
+                "max rank": trace.max_rank(),
+            }
+        )
+    print(
+        format_table(
+            rows,
+            title=f"mean rank vs beta ({args.queues} queues, {args.threads} threads)",
+        )
+    )
+    print()
+    print(
+        line_chart(
+            args.betas,
+            {"mean rank": [r["mean rank"] for r in rows]},
+            title="rank vs beta (log y)",
+            logy=True,
+        )
+    )
+
+
+def cmd_sssp(args) -> None:
+    from repro.concurrent import ConcurrentMultiQueue
+    from repro.graphs import dijkstra, parallel_dijkstra, road_network
+
+    graph = road_network(args.graph_size, rng=args.seed)
+    reference = dijkstra(graph, 0)
+    rows = []
+    for threads in args.threads:
+        row = {"threads": threads}
+        for beta in args.betas:
+
+            def make(engine, rng, threads=threads, beta=beta):
+                return ConcurrentMultiQueue(
+                    engine, n_queues=2 * threads, beta=beta, rng=rng
+                )
+
+            res = parallel_dijkstra(graph, 0, make, n_threads=threads, seed=args.seed)
+            if not np.array_equal(res.dist, reference.dist):
+                raise SystemExit("internal error: distances diverged")
+            row[f"beta={beta} Mcyc"] = res.sim_time / 1e6
+        rows.append(row)
+    print(
+        format_table(
+            rows,
+            title=(
+                f"parallel SSSP on synthetic road network "
+                f"({graph.n_vertices} vertices); lower is better"
+            ),
+        )
+    )
+
+
+def cmd_process(args) -> None:
+    from repro.core.policies import biased_insert_probs
+
+    pi = biased_insert_probs(args.n, args.gamma) if args.gamma else None
+    proc = SequentialProcess(
+        args.n, args.prefill + args.steps, beta=args.beta, insert_probs=pi, rng=args.seed
+    )
+    run = proc.run_steady_state_sampled(args.prefill, args.steps, sample_every=max(args.steps // 20, 1))
+    summary = run.trace.summary()
+    summary.update(
+        {
+            "n": args.n,
+            "beta": args.beta,
+            "gamma": args.gamma,
+            "E[max top rank]": float(run.max_top_ranks.mean()),
+            "bound n/beta^2": args.n / args.beta**2,
+        }
+    )
+    print(format_table([summary], title="sequential (1+beta) process"))
+    means = run.trace.windowed_means(max(args.steps // 40, 1))
+    print()
+    from repro.analysis.ascii_plot import sparkline
+
+    print(f"rank cost over time (should be flat): {sparkline(means, width=60)}")
+
+
+def cmd_divergence(args) -> None:
+    capacity = args.prefill + args.steps
+    sample = max(args.steps // 10, 1)
+    single = SingleChoiceProcess(args.n, capacity, rng=args.seed)
+    run_s = single.run_steady_state_sampled(args.prefill, args.steps, sample_every=sample)
+    double = SequentialProcess(args.n, capacity, beta=1.0, rng=args.seed)
+    run_d = double.run_steady_state_sampled(args.prefill, args.steps, sample_every=sample)
+    rows = [
+        {
+            "t": int(t),
+            "single-choice max rank": int(s),
+            "two-choice max rank": int(d),
+        }
+        for t, s, d in zip(run_s.sample_steps, run_s.max_top_ranks, run_d.max_top_ranks)
+    ]
+    print(format_table(rows, title="Theorem 6: divergence of the single-choice process"))
+    print()
+    print(
+        line_chart(
+            [r["t"] for r in rows],
+            {
+                "single": [r["single-choice max rank"] for r in rows],
+                "two-choice": [r["two-choice max rank"] for r in rows],
+            },
+            title="max top rank over time",
+        )
+    )
+
+
+def cmd_potential(args) -> None:
+    from repro.core.exponential import ExponentialTopProcess
+    from repro.core.potential import PotentialTracker, recommended_alpha
+
+    proc = ExponentialTopProcess(args.n, beta=args.beta, rng=args.seed)
+    alpha = args.alpha if args.alpha is not None else recommended_alpha(args.beta)
+    tracker = PotentialTracker(proc, alpha=alpha)
+    series = tracker.run(args.steps, sample_every=max(args.steps // 50, 1))
+    g = series.gamma_over_n(args.n)
+    print(
+        format_table(
+            [
+                {
+                    "n": args.n,
+                    "beta": args.beta,
+                    "alpha": alpha,
+                    "mean Gamma/n": float(g.mean()),
+                    "max Gamma/n": float(g.max()),
+                }
+            ],
+            title="Theorem 3: Gamma potential (floor 2.0 by AM-GM)",
+            floatfmt=".4f",
+        )
+    )
+    from repro.analysis.ascii_plot import sparkline
+
+    print(f"\nGamma(t)/n over time: {sparkline(g, width=60)}")
+
+
+def cmd_graph_choice(args) -> None:
+    from repro.graphs.choice_process import GraphChoiceProcess
+    from repro.graphs.generators import complete_graph, cycle_graph, random_regular_graph
+
+    rows = []
+    for name, graph in [
+        ("cycle", cycle_graph(args.n)),
+        ("random 4-regular", random_regular_graph(args.n, 4, rng=args.seed)),
+        ("complete", complete_graph(args.n)),
+    ]:
+        proc = GraphChoiceProcess(graph, args.prefill + args.steps, rng=args.seed)
+        trace = proc.run_steady_state(args.prefill, args.steps)
+        rows.append(
+            {"graph": name, "mean rank": trace.mean_rank(), "max rank": trace.max_rank()}
+        )
+    print(format_table(rows, title=f"Section 6 graph choice process, n={args.n}"))
+
+
+def cmd_experiments(args) -> None:
+    from repro.bench.registry import coverage_report
+
+    rows = coverage_report()
+    print(format_table(rows, title="Reproduced experiments (see DESIGN.md)"))
+
+
+def cmd_report(args) -> None:
+    import pathlib
+
+    from repro.bench.registry import all_experiments, get_experiment
+
+    specs = (
+        [get_experiment(i) for i in args.ids] if args.ids else all_experiments()
+    )
+    results_dir = pathlib.Path(__file__).resolve().parents[2] / "benchmarks" / "results"
+    missing = []
+    for spec in specs:
+        path = results_dir / f"{spec.result_name}.txt"
+        print(f"===== {spec.experiment_id} ({spec.paper_ref}) =====")
+        if path.exists():
+            print(path.read_text().rstrip())
+        else:
+            print("(no archived result; run pytest benchmarks/ --benchmark-only)")
+            missing.append(spec.experiment_id)
+        print()
+    if missing:
+        print(f"missing results for: {', '.join(missing)}")
+
+
+_COMMANDS = {
+    "throughput": cmd_throughput,
+    "rank": cmd_rank,
+    "sssp": cmd_sssp,
+    "process": cmd_process,
+    "divergence": cmd_divergence,
+    "potential": cmd_potential,
+    "graph-choice": cmd_graph_choice,
+    "experiments": cmd_experiments,
+    "report": cmd_report,
+}
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """Entry point; returns a process exit code."""
+    args = build_parser().parse_args(argv)
+    _COMMANDS[args.command](args)
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

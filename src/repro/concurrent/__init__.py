@@ -1,0 +1,47 @@
+"""Concurrent priority-queue models running on the simulator.
+
+Each model implements the contention structure of one contender from the
+paper's Section 5 evaluation:
+
+* :class:`~repro.concurrent.multiqueue.ConcurrentMultiQueue` — the
+  (1+beta) MultiQueue: ``c*P`` lock-protected sequential heaps, try-lock
+  with random retry, lock-free top peeking (``beta=1`` recovers Rihani
+  et al.'s original MultiQueue; ``beta<1`` is the paper's contribution).
+* :class:`~repro.concurrent.linden_jonsson.LindenJonssonPQ` — a single
+  skiplist whose ``deleteMin`` serializes through one hot head pointer.
+* :class:`~repro.concurrent.klsm.KLSMPQ` — the k-LSM: thread-local
+  buffers merged into a shared component, trading rank slack for
+  locality.
+* :class:`~repro.concurrent.spraylist.SprayListPQ` — bonus baseline: a
+  skiplist with random "spray" descents instead of a hot head.
+
+All models operate on *real* element data (priorities and element ids),
+record their linearization points with
+:class:`~repro.concurrent.recorder.OpRecorder`, and therefore yield
+measurable rank errors — exactly the methodology of the paper's Figure 2,
+minus the probe effect of wall-clock timestamps.
+"""
+
+from repro.concurrent.recorder import OpRecorder
+from repro.concurrent.multiqueue import ConcurrentMultiQueue
+from repro.concurrent.linden_jonsson import LindenJonssonPQ
+from repro.concurrent.klsm import KLSMPQ
+from repro.concurrent.spraylist import SprayListPQ
+from repro.concurrent.linearizability import (
+    DistributionalComparisonReport,
+    compare_rank_distributions,
+    multiqueue_vs_sequential,
+    stalled_lock_counterexample,
+)
+
+__all__ = [
+    "OpRecorder",
+    "ConcurrentMultiQueue",
+    "LindenJonssonPQ",
+    "KLSMPQ",
+    "SprayListPQ",
+    "DistributionalComparisonReport",
+    "compare_rank_distributions",
+    "multiqueue_vs_sequential",
+    "stalled_lock_counterexample",
+]

@@ -1,0 +1,111 @@
+"""Model of the Lindén–Jonsson skiplist-based concurrent priority queue.
+
+The real algorithm is a lock-free skiplist where ``deleteMin`` marks the
+first node's next-pointer; all deleting threads race on the *same* head
+region of the list, so every ``deleteMin`` implies a CAS on a cache line
+that another core just modified.  That single hot line is why the
+structure stops scaling beyond a few threads — the effect Figure 1 shows
+and this model reproduces.
+
+Model structure:
+
+* one shared, exact heap of real elements (Lindén–Jonsson is strict:
+  its rank error is 0 by construction, which the rank benches confirm);
+* ``deleteMin``: read the head-version cell, then CAS it forward;
+  losers retry.  The winner pops the true minimum.
+* ``insert``: an O(log n) traversal delay, then a CAS on one of many
+  *insertion region* cells (contention spread over the list body, hence
+  usually cheap), retrying on conflict.
+"""
+
+from __future__ import annotations
+
+from typing import Generator, Optional
+
+from repro.concurrent.recorder import OpRecorder
+from repro.pqueues import BinaryHeap
+from repro.sim.engine import Engine
+from repro.sim.primitives import SimCell
+from repro.sim.syscalls import CAS, Delay, Read
+from repro.utils.rngtools import SeedLike, as_generator
+
+#: Number of independent insertion regions in the list body.  Inserts
+#: conflict only when they hit the same region at the same time.
+_INSERT_REGIONS = 64
+
+
+class LindenJonssonPQ:
+    """Simulated Lindén–Jonsson priority queue (strict semantics)."""
+
+    def __init__(
+        self,
+        engine: Engine,
+        rng: SeedLike = None,
+        recorder: Optional[OpRecorder] = None,
+    ) -> None:
+        self.engine = engine
+        self._rng = as_generator(rng)
+        self._recorder = recorder
+        self._heap = BinaryHeap()
+        #: The hot cache line: version counter advanced by every deleteMin.
+        self._head = SimCell(0, name="lj-head")
+        self._regions = [SimCell(0, name=f"lj-region-{i}") for i in range(_INSERT_REGIONS)]
+
+    def prefill(self, priorities) -> None:
+        """Bulk-load before the clock starts (zero simulated cost)."""
+        for priority in priorities:
+            priority = int(priority)
+            eid = self._new_eid(priority)
+            self._heap.push(priority, eid)
+            if self._recorder is not None:
+                self._recorder.record_insert(0.0, eid)
+
+    def _new_eid(self, priority: int) -> int:
+        if self._recorder is not None:
+            return self._recorder.new_element(priority)
+        return -1
+
+    def total_size(self) -> int:
+        """Elements currently stored."""
+        return len(self._heap)
+
+    def insert_op(self, tid: int, priority: int) -> Generator:
+        """Concurrent insert: traverse, then CAS into a body region."""
+        cost = self.engine.cost
+        eid = self._new_eid(priority)
+        # Skiplist search from the top level down.
+        yield Delay(cost.pq_op_cost(len(self._heap)))
+        while True:
+            region = self._regions[int(self._rng.integers(_INSERT_REGIONS))]
+            version = yield Read(region)
+            ok = yield CAS(region, version, version + 1)
+            if ok:
+                break
+            # Lost a race on this region: short re-traversal, try again.
+            yield Delay(cost.local_work)
+        self._heap.push(priority, eid)
+        if self._recorder is not None:
+            self._recorder.record_insert(self.engine.now, eid)
+        return eid
+
+    def delete_min_op(self, tid: int) -> Generator:
+        """Concurrent deleteMin: win the head CAS, pop the true minimum."""
+        cost = self.engine.cost
+        while True:
+            version = yield Read(self._head)
+            if not len(self._heap):
+                return None
+            ok = yield CAS(self._head, version, version + 1)
+            if ok:
+                break
+            # Lost the race on the hot head line; the read + failed CAS
+            # already cost a cache transfer each — that's the bottleneck.
+        entry = self._heap.pop()
+        if self._recorder is not None and entry.item != -1:
+            self._recorder.record_remove(self.engine.now, entry.item)
+        # Physical unlink / restructure after the logical delete.
+        yield Delay(cost.local_work)
+        return (entry.priority, entry.item)
+
+    def __repr__(self) -> str:
+        return f"LindenJonssonPQ(size={self.total_size()})"

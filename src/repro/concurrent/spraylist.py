@@ -1,0 +1,135 @@
+"""Model of the SprayList (Alistarh, Kopinsky, Li, Shavit 2015).
+
+The SprayList avoids the skiplist's hot head by having ``deleteMin``
+perform a random descending walk ("spray") that lands uniformly-ish on
+one of the ``O(P log^3 P)`` smallest elements.  Contention is spread
+over the spray window instead of a single cache line, trading rank
+slack for scalability — a cousin of the MultiQueue relaxation and a
+natural extra baseline for Figure 1/2-style comparisons.
+
+Model structure:
+
+* one shared sorted array of real elements (exact semantics available
+  to the spray);
+* ``deleteMin``: pay the spray-walk delay, pick a uniform index inside
+  the spray window, CAS the landing region's cell to claim it; lost
+  races retry with a re-spray;
+* ``insert``: O(log n) traversal then a CAS on one of many body regions.
+"""
+
+from __future__ import annotations
+
+import bisect
+import math
+from typing import Generator, List, Optional, Tuple
+
+from repro.concurrent.recorder import OpRecorder
+from repro.sim.engine import Engine
+from repro.sim.primitives import SimCell
+from repro.sim.syscalls import CAS, Delay, Read
+from repro.utils.rngtools import SeedLike, as_generator
+
+#: Number of independent claim/insertion regions.  Sprays land near the
+#: front of the list, so claims collide noticeably more often than
+#: inserts spread over the whole body.
+_REGIONS = 16
+
+
+class SprayListPQ:
+    """Simulated SprayList with a ``P``-dependent spray window.
+
+    Parameters
+    ----------
+    n_threads:
+        Used to size the spray window ``max(1, ceil(p * log2(p+1)**3))``
+        per the SprayList analysis.
+    """
+
+    def __init__(
+        self,
+        engine: Engine,
+        n_threads: int,
+        rng: SeedLike = None,
+        recorder: Optional[OpRecorder] = None,
+    ) -> None:
+        if n_threads <= 0:
+            raise ValueError(f"n_threads must be positive, got {n_threads}")
+        self.engine = engine
+        self.n_threads = n_threads
+        self._rng = as_generator(rng)
+        self._recorder = recorder
+        #: Sorted list of (priority, eid); index 0 is the minimum.
+        self._items: List[Tuple[int, int]] = []
+        self._regions = [SimCell(0, name=f"spray-region-{i}") for i in range(_REGIONS)]
+
+    @property
+    def spray_width(self) -> int:
+        """Size of the window the spray walk lands in."""
+        p = self.n_threads
+        return max(1, int(math.ceil(p * math.log2(p + 1) ** 3)))
+
+    def prefill(self, priorities) -> None:
+        """Bulk-load before the clock starts."""
+        for priority in priorities:
+            priority = int(priority)
+            eid = self._new_eid(priority)
+            bisect.insort(self._items, (priority, eid))
+            if self._recorder is not None:
+                self._recorder.record_insert(0.0, eid)
+
+    def _new_eid(self, priority: int) -> int:
+        if self._recorder is not None:
+            return self._recorder.new_element(priority)
+        return -1
+
+    def total_size(self) -> int:
+        """Elements currently stored."""
+        return len(self._items)
+
+    def insert_op(self, tid: int, priority: int) -> Generator:
+        """Traverse then CAS into a body region."""
+        cost = self.engine.cost
+        eid = self._new_eid(priority)
+        yield Delay(cost.pq_op_cost(len(self._items)))
+        while True:
+            region = self._regions[int(self._rng.integers(_REGIONS))]
+            version = yield Read(region)
+            ok = yield CAS(region, version, version + 1)
+            if ok:
+                break
+            yield Delay(cost.local_work)
+        bisect.insort(self._items, (priority, eid))
+        if self._recorder is not None:
+            self._recorder.record_insert(self.engine.now, eid)
+        return eid
+
+    def delete_min_op(self, tid: int) -> Generator:
+        """Spray-walk, then claim an element near the front."""
+        cost = self.engine.cost
+        while True:
+            if not self._items:
+                return None
+            # The spray: a randomized descent of ~log^2 p levels, each a
+            # pointer chase through recently-modified (hence cache-cold)
+            # nodes, plus skipping over logically-deleted nodes near the
+            # front that cleanup has not collected yet.
+            walk = math.log2(self.n_threads + 1) ** 2
+            cleanup_skip = 0.5 * cost.pq_per_level * math.log2(len(self._items) + 2)
+            yield Delay(cost.read * 4 * (1 + walk) + cleanup_skip)
+            window = min(self.spray_width, len(self._items))
+            k = int(self._rng.integers(window))
+            region = self._regions[k % _REGIONS]
+            version = yield Read(region)
+            ok = yield CAS(region, version, version + 1)
+            if not ok:
+                continue  # lost the claim race: re-spray
+            if k >= len(self._items):
+                continue  # structure shrank under us: re-spray
+            priority, eid = self._items.pop(k)
+            if self._recorder is not None and eid != -1:
+                self._recorder.record_remove(self.engine.now, eid)
+            yield Delay(cost.local_work)
+            return (priority, eid)
+
+    def __repr__(self) -> str:
+        return f"SprayListPQ(threads={self.n_threads}, size={self.total_size()})"

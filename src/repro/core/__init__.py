@@ -1,0 +1,79 @@
+"""The paper's primary contribution: the (1+beta) MultiQueue process.
+
+Contents
+--------
+:class:`~repro.core.multiqueue.MultiQueue`
+    The user-facing relaxed priority queue (sequential semantics).
+:class:`~repro.core.process.SequentialProcess`
+    The labelled random process of Section 3, instrumented with exact
+    rank-cost accounting.
+:class:`~repro.core.exponential.ExponentialProcess`
+    The continuous-label analysis device of Section 4, plus the
+    rank-equivalence coupling of Theorem 2.
+:mod:`~repro.core.potential`
+    The Gamma = Phi + Psi potential of Theorem 3 and drift estimation.
+:class:`~repro.core.single_choice.SingleChoiceProcess`
+    The divergent one-choice baseline of Theorem 6.
+:class:`~repro.core.round_robin.RoundRobinProcess`
+    The round-robin-insertion variant whose removals reduce exactly to
+    classic two-choice balls-into-bins (Appendix A).
+"""
+
+from repro.core.records import RankTrace, RemovalRecord
+from repro.core.policies import (
+    biased_insert_probs,
+    effective_gamma,
+    removal_rank_probabilities,
+    uniform_insert_probs,
+)
+from repro.core.rank import RankOracle
+from repro.core.multiqueue import MultiQueue
+from repro.core.process import SequentialProcess
+from repro.core.exponential import ExponentialProcess, coupled_removal_costs
+from repro.core.potential import (
+    PotentialTracker,
+    gamma_potential,
+    phi_potential,
+    psi_potential,
+    recommended_alpha,
+    tail_bin_counts,
+    tail_decay_estimate,
+)
+from repro.core.dchoice import DChoiceProcess
+from repro.core.general import GeneralPriorityProcess, priority_sequence
+from repro.core.exact import (
+    exact_mean_rank,
+    exact_removal_rank_distribution,
+    total_variation,
+)
+from repro.core.single_choice import SingleChoiceProcess
+from repro.core.round_robin import RoundRobinProcess
+
+__all__ = [
+    "RankTrace",
+    "RemovalRecord",
+    "uniform_insert_probs",
+    "biased_insert_probs",
+    "effective_gamma",
+    "removal_rank_probabilities",
+    "RankOracle",
+    "MultiQueue",
+    "SequentialProcess",
+    "ExponentialProcess",
+    "coupled_removal_costs",
+    "PotentialTracker",
+    "phi_potential",
+    "psi_potential",
+    "gamma_potential",
+    "recommended_alpha",
+    "tail_bin_counts",
+    "tail_decay_estimate",
+    "SingleChoiceProcess",
+    "RoundRobinProcess",
+    "DChoiceProcess",
+    "GeneralPriorityProcess",
+    "priority_sequence",
+    "exact_removal_rank_distribution",
+    "exact_mean_rank",
+    "total_variation",
+]

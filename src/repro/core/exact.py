@@ -1,0 +1,153 @@
+"""Exact (enumerated) distributions for tiny instances of the process.
+
+For small numbers of queues and labels the (1+beta) process's randomness
+can be enumerated exhaustively: each removal samples an ordered pair of
+queues (probability ``1/n^2`` each) with probability ``beta``, or a
+single queue (``1/n``) otherwise.  This module computes *exact* removal
+rank distributions by dynamic programming over system states, giving the
+test suite a ground truth that Monte-Carlo implementations (the process,
+the MultiQueue, the coupled exponential process) must match — a much
+sharper check than comparing two samplers to each other.
+
+State spaces explode quickly; intended for ``n <= 3`` and ``<= 10``
+labels, where enumeration is instant.
+"""
+
+from __future__ import annotations
+
+from functools import lru_cache
+from typing import Dict, List, Sequence, Tuple
+
+import numpy as np
+
+
+def exact_removal_rank_distribution(
+    layout: Sequence[Sequence[int]],
+    removals: int,
+    beta: float = 1.0,
+) -> List[Dict[int, float]]:
+    """Exact per-step rank distributions for a fixed initial layout.
+
+    Parameters
+    ----------
+    layout:
+        Per-queue lists of labels in queue (FIFO) order; all labels
+        distinct.  This fixes the insertion outcome, isolating the
+        removal process (whose randomness is enumerated exactly).
+    removals:
+        Number of removal steps to analyze.
+    beta:
+        Two-choice probability.
+
+    Returns
+    -------
+    A list of ``removals`` dicts; entry ``t`` maps rank -> probability
+    that the removal at step ``t`` pays that rank.  Steps where the
+    system might already be empty contribute mass to rank ``0``
+    (no-op), which callers can treat as "process exhausted".
+    """
+    if not 0.0 <= beta <= 1.0:
+        raise ValueError(f"beta must be in [0, 1], got {beta}")
+    n = len(layout)
+    if n == 0:
+        raise ValueError("layout must have at least one queue")
+    all_labels = [lab for queue in layout for lab in queue]
+    if len(set(all_labels)) != len(all_labels):
+        raise ValueError("labels must be distinct")
+    total = len(all_labels)
+    if removals > total:
+        raise ValueError(f"cannot analyze {removals} removals of {total} labels")
+    initial = tuple(tuple(q) for q in layout)
+
+    # Transition: from a state, each (coin, choice) outcome removes one
+    # label (or none if every inspected queue is empty — the redraw in
+    # the implementation; here we follow the *prefixed* convention and
+    # condition on hitting a non-empty queue by renormalizing).
+    def outcomes(state) -> List[Tuple[float, int, Tuple]]:
+        """(probability, removed label, next state) triples."""
+        result: List[Tuple[float, int, Tuple]] = []
+        # Two-choice component.
+        if beta > 0.0:
+            pair_prob = beta / (n * n)
+            for i in range(n):
+                for j in range(n):
+                    qi, qj = state[i], state[j]
+                    if qi and qj:
+                        target = i if qi[0] <= qj[0] else j
+                    elif qi:
+                        target = i
+                    elif qj:
+                        target = j
+                    else:
+                        continue  # both empty: redraw (renormalized below)
+                    result.append((pair_prob, state[target][0], _pop(state, target)))
+        if beta < 1.0:
+            single_prob = (1.0 - beta) / n
+            for i in range(n):
+                if state[i]:
+                    result.append((single_prob, state[i][0], _pop(state, i)))
+        mass = sum(p for p, _lab, _s in result)
+        if mass > 0:
+            result = [(p / mass, lab, s) for p, lab, s in result]
+        return result
+
+    # Forward DP over state distribution.
+    distribution: Dict[Tuple, float] = {initial: 1.0}
+    step_rank_dists: List[Dict[int, float]] = []
+    for _step in range(removals):
+        rank_dist: Dict[int, float] = {}
+        next_distribution: Dict[Tuple, float] = {}
+        for state, prob in distribution.items():
+            outs = outcomes(state)
+            if not outs:  # fully empty system
+                rank_dist[0] = rank_dist.get(0, 0.0) + prob
+                next_distribution[state] = next_distribution.get(state, 0.0) + prob
+                continue
+            present = sorted(lab for q in state for lab in q)
+            for p, label, nxt in outs:
+                rank = present.index(label) + 1
+                rank_dist[rank] = rank_dist.get(rank, 0.0) + prob * p
+                next_distribution[nxt] = next_distribution.get(nxt, 0.0) + prob * p
+        step_rank_dists.append(rank_dist)
+        distribution = next_distribution
+    return step_rank_dists
+
+
+def _pop(state: Tuple, index: int) -> Tuple:
+    queues = list(state)
+    queues[index] = queues[index][1:]
+    return tuple(queues)
+
+
+def exact_mean_rank(
+    layout: Sequence[Sequence[int]], removals: int, beta: float = 1.0
+) -> float:
+    """Expected average rank over ``removals`` steps (exact)."""
+    dists = exact_removal_rank_distribution(layout, removals, beta)
+    means = []
+    for dist in dists:
+        live = {r: p for r, p in dist.items() if r > 0}
+        mass = sum(live.values())
+        if mass == 0:
+            continue
+        means.append(sum(r * p for r, p in live.items()) / mass)
+    if not means:
+        raise ValueError("no live removal steps")
+    return float(np.mean(means))
+
+
+def empirical_rank_distribution(samples: Sequence[int]) -> Dict[int, float]:
+    """Normalize a sample of ranks into an empirical distribution."""
+    if len(samples) == 0:
+        raise ValueError("no samples")
+    counts: Dict[int, float] = {}
+    for r in samples:
+        counts[int(r)] = counts.get(int(r), 0.0) + 1.0
+    total = float(len(samples))
+    return {r: c / total for r, c in counts.items()}
+
+
+def total_variation(p: Dict[int, float], q: Dict[int, float]) -> float:
+    """Total-variation distance between two rank distributions."""
+    keys = set(p) | set(q)
+    return 0.5 * sum(abs(p.get(k, 0.0) - q.get(k, 0.0)) for k in keys)

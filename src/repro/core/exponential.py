@@ -1,0 +1,323 @@
+"""The exponential process (Section 4) and the Theorem 2 coupling.
+
+The analysis device of the paper: instead of inserting consecutive
+integer labels, each bin ``i`` generates real-valued labels as cumulative
+sums of ``Exp(1/pi_i)`` increments.  Theorem 2 states that after
+insertion, the *rank* content of the bins has exactly the same
+distribution as in the original process — for every global rank ``r``
+and bin ``j``, ``Pr[rank r lands in bin j] = pi_j``, independently
+across ranks.
+
+This module provides:
+
+* :class:`ExponentialProcess` — finite-horizon generation of ``m``
+  labels plus (1+beta) removals with exact rank-cost accounting;
+* :class:`ExponentialTopProcess` — the infinite-supply variant used by
+  the potential analysis of Theorem 3 (bins never empty; only the top
+  weights matter);
+* :func:`coupled_removal_costs` — the operational coupling: both
+  processes driven by one choice stream over one shared rank layout pay
+  *identical* costs, which is the bridge the proof of Theorem 1 crosses.
+"""
+
+from __future__ import annotations
+
+import heapq
+from collections import deque
+from typing import Deque, List, Optional, Tuple
+
+import numpy as np
+
+from repro.core.policies import RemovalChooser
+from repro.core.rank import RankOracle
+from repro.core.records import RankTrace, RemovalRecord
+from repro.utils.rngtools import SeedLike, as_generator
+
+
+class ExponentialProcess:
+    """Finite-horizon exponential process with rank-cost accounting.
+
+    ``generate(m)`` lazily merges the ``n`` per-bin renewal streams in
+    increasing label order, assigning global ranks ``0..m-1`` as it goes;
+    by the memorylessness argument of Theorem 2, each successive rank
+    lands in bin ``j`` with probability ``pi_j`` independently.
+
+    Removals then run the (1+beta) rule over the *ranks* (the real
+    values have served their purpose once ranks are assigned), paying
+    the present-rank cost exactly as the original process does.
+    """
+
+    def __init__(
+        self,
+        n_queues: int,
+        capacity: int,
+        beta: float = 1.0,
+        insert_probs: Optional[np.ndarray] = None,
+        rng: SeedLike = None,
+    ) -> None:
+        if n_queues <= 0:
+            raise ValueError(f"n_queues must be positive, got {n_queues}")
+        if capacity <= 0:
+            raise ValueError(f"capacity must be positive, got {capacity}")
+        self.n_queues = n_queues
+        self.beta = beta
+        gen = as_generator(rng)
+        self._rng = gen
+        self._chooser = RemovalChooser(n_queues, beta, gen)
+        if insert_probs is None:
+            self._means = np.full(n_queues, float(n_queues))
+        else:
+            probs = np.asarray(insert_probs, dtype=float)
+            if len(probs) != n_queues:
+                raise ValueError(
+                    f"insert_probs has length {len(probs)}, expected {n_queues}"
+                )
+            self._means = 1.0 / probs
+        #: Per-bin queues of (value, rank) pairs, increasing in both.
+        self._bins: List[Deque[Tuple[float, int]]] = [deque() for _ in range(n_queues)]
+        #: Pending smallest-ungenerated value per bin, as a merge heap of
+        #: (value, bin).  Persisting it across generate() calls keeps the
+        #: conditioning exact: a bin that lost merges up to value v is
+        #: known to have its next renewal beyond v.
+        self._frontier: Optional[List[Tuple[float, int]]] = None
+        self._oracle = RankOracle(capacity)
+        self._generated = 0
+        self._removal_step = 0
+        self.empty_redraws = 0
+
+    # -- generation -------------------------------------------------------
+
+    def generate(self, m: int) -> None:
+        """Generate the next ``m`` labels in global increasing order."""
+        if self._generated + m > self._oracle.capacity:
+            raise RuntimeError(
+                f"capacity {self._oracle.capacity} exhausted; size the process larger"
+            )
+        rng = self._rng
+        means = self._means
+        if self._frontier is None:
+            self._frontier = [
+                (rng.exponential(means[i]), i) for i in range(self.n_queues)
+            ]
+            heapq.heapify(self._frontier)
+        frontier = self._frontier
+        for _ in range(m):
+            value, i = heapq.heappop(frontier)
+            rank = self._generated
+            self._bins[i].append((value, rank))
+            self._oracle.insert(rank)
+            self._generated += 1
+            heapq.heappush(frontier, (value + rng.exponential(means[i]), i))
+
+    @property
+    def generated(self) -> int:
+        """Total labels generated so far."""
+        return self._generated
+
+    @property
+    def present_count(self) -> int:
+        """Labels currently present (generated minus removed)."""
+        return self._oracle.present_count
+
+    def bin_assignment(self) -> np.ndarray:
+        """Array mapping each global rank to the bin that holds it.
+
+        Only meaningful before removals.  Theorem 2 predicts the entries
+        are i.i.d. draws from ``pi`` — the statistical equivalence tests
+        compare this against the original process's insertion choices.
+        """
+        assignment = np.full(self._generated, -1, dtype=np.int64)
+        for i, bin_ in enumerate(self._bins):
+            for _value, rank in bin_:
+                assignment[rank] = i
+        if np.any(assignment < 0):
+            raise RuntimeError("bin_assignment called after removals")
+        return assignment
+
+    def bin_rank_sequences(self) -> List[List[int]]:
+        """Per-bin lists of the global ranks currently held, in order."""
+        return [[rank for _v, rank in bin_] for bin_ in self._bins]
+
+    def top_weights(self) -> List[Optional[float]]:
+        """Real-valued label on top of each bin (``None`` when empty)."""
+        return [bin_[0][0] if bin_ else None for bin_ in self._bins]
+
+    # -- removal -----------------------------------------------------------
+
+    def remove(self) -> RemovalRecord:
+        """One (1+beta) removal over the bins; cost = present rank."""
+        if self._oracle.present_count == 0:
+            raise LookupError("remove from empty exponential process")
+        bins = self._bins
+        while True:
+            two, i, j = self._chooser.draw()
+            if two:
+                bi, bj = bins[i], bins[j]
+                if bi and bj:
+                    idx = i if bi[0][0] <= bj[0][0] else j
+                elif bi:
+                    idx = i
+                elif bj:
+                    idx = j
+                else:
+                    self.empty_redraws += 1
+                    continue
+            else:
+                if bins[i]:
+                    idx = i
+                else:
+                    self.empty_redraws += 1
+                    continue
+            break
+        _value, rank = bins[idx].popleft()
+        cost = self._oracle.remove(rank)
+        record = RemovalRecord(
+            step=self._removal_step, label=rank, rank=cost, queue=idx, two_choice=two
+        )
+        self._removal_step += 1
+        return record
+
+    def run_drain(self, removals: int) -> RankTrace:
+        """Remove ``removals`` elements, returning the rank trace."""
+        trace = RankTrace()
+        for _ in range(removals):
+            trace.append(self.remove().rank)
+        return trace
+
+    def __repr__(self) -> str:
+        return (
+            f"ExponentialProcess(n={self.n_queues}, beta={self.beta}, "
+            f"present={self.present_count})"
+        )
+
+
+class ExponentialTopProcess:
+    """Infinite-supply exponential process tracking only bin tops.
+
+    This is precisely the object the potential argument of Theorem 3
+    manipulates: ``n`` bins, bin ``i`` holding a top weight ``w_i``;
+    each step removes per the (1+beta) rule and the removed bin's top
+    advances by a fresh ``Exp(1/pi_i)`` increment (``kappa`` in Lemma 1).
+    Bins never empty, so the process runs forever — ideal for verifying
+    that ``E[Gamma(t)]`` stays ``O(n)`` uniformly in ``t``.
+    """
+
+    def __init__(
+        self,
+        n_queues: int,
+        beta: float = 1.0,
+        insert_probs: Optional[np.ndarray] = None,
+        rng: SeedLike = None,
+    ) -> None:
+        if n_queues <= 0:
+            raise ValueError(f"n_queues must be positive, got {n_queues}")
+        self.n_queues = n_queues
+        self.beta = beta
+        gen = as_generator(rng)
+        self._rng = gen
+        self._chooser = RemovalChooser(n_queues, beta, gen)
+        if insert_probs is None:
+            self._means = np.full(n_queues, float(n_queues))
+        else:
+            probs = np.asarray(insert_probs, dtype=float)
+            if len(probs) != n_queues:
+                raise ValueError(
+                    f"insert_probs has length {len(probs)}, expected {n_queues}"
+                )
+            self._means = 1.0 / probs
+        # Initial tops: first renewal of each bin (the t=0 state of
+        # Lemma 13, whose Gamma(0) = O(n) computation assumes exactly this).
+        self._tops = np.array([gen.exponential(m) for m in self._means])
+        self.steps = 0
+
+    @property
+    def top_weights(self) -> np.ndarray:
+        """Current top weight of each bin (a copy)."""
+        return self._tops.copy()
+
+    def step(self) -> int:
+        """One (1+beta) removal; returns the bin removed from."""
+        two, i, j = self._chooser.draw()
+        if two:
+            idx = i if self._tops[i] <= self._tops[j] else j
+        else:
+            idx = i
+        self._tops[idx] += self._rng.exponential(self._means[idx])
+        self.steps += 1
+        return idx
+
+    def run(self, steps: int) -> None:
+        """Advance the process by ``steps`` removals."""
+        for _ in range(steps):
+            self.step()
+
+    def __repr__(self) -> str:
+        return f"ExponentialTopProcess(n={self.n_queues}, beta={self.beta}, t={self.steps})"
+
+
+def coupled_removal_costs(
+    n_queues: int,
+    prefill: int,
+    removals: int,
+    beta: float = 1.0,
+    insert_probs: Optional[np.ndarray] = None,
+    seed: SeedLike = None,
+) -> Tuple[RankTrace, RankTrace]:
+    """Run the Theorem-2 coupling end to end; returns both rank traces.
+
+    The exponential process generates ``prefill`` labels; its per-bin
+    rank layout is then *replayed* as the original process's insertion
+    outcome (legitimate, because Theorem 2 says the layouts are equal in
+    distribution).  Both sides then consume an identical stream of
+    beta-coins and queue choices.  Under this coupling the two cost
+    sequences are **identical step by step** — the returned traces must
+    compare equal, and a test enforces it.
+    """
+    if removals > prefill:
+        raise ValueError(f"cannot remove {removals} of {prefill} labels")
+    seeds = as_generator(seed).integers(2**63, size=3)
+
+    exp_proc = ExponentialProcess(
+        n_queues, prefill, beta=beta, insert_probs=insert_probs, rng=int(seeds[0])
+    )
+    exp_proc.generate(prefill)
+    layout = exp_proc.bin_rank_sequences()
+
+    # Original-process side: same layout, fresh oracle, same choice stream.
+    chooser_orig = RemovalChooser(n_queues, beta, int(seeds[1]))
+    chooser_exp = RemovalChooser(n_queues, beta, int(seeds[1]))
+    # Replace the exponential process's internal chooser so both sides
+    # consume the identical stream from here on.
+    exp_proc._chooser = chooser_exp
+
+    bins: List[Deque[int]] = [deque(ranks) for ranks in layout]
+    oracle = RankOracle(prefill)
+    for ranks in layout:
+        for r in ranks:
+            oracle.insert(r)
+
+    trace_orig = RankTrace()
+    for _ in range(removals):
+        while True:
+            two, i, j = chooser_orig.draw()
+            if two:
+                bi, bj = bins[i], bins[j]
+                if bi and bj:
+                    idx = i if bi[0] <= bj[0] else j
+                elif bi:
+                    idx = i
+                elif bj:
+                    idx = j
+                else:
+                    continue
+            else:
+                if bins[i]:
+                    idx = i
+                else:
+                    continue
+            break
+        label = bins[idx].popleft()
+        trace_orig.append(oracle.remove(label))
+
+    trace_exp = exp_proc.run_drain(removals)
+    return trace_orig, trace_exp

@@ -1,0 +1,273 @@
+"""The potential functions of Theorem 3 and empirical drift verification.
+
+With ``x_i = w_i / n`` the normalized top weight of bin ``i``,
+``mu = mean(x)`` and ``y_i = x_i - mu``, the paper defines
+
+    Phi(t)   = sum_i exp(+alpha * y_i)
+    Psi(t)   = sum_i exp(-alpha * y_i)
+    Gamma(t) = Phi(t) + Psi(t)
+
+and proves (Lemma 2 / Lemma 3) that ``Gamma`` behaves like a
+supermartingale above an ``O(n)`` threshold, hence ``E[Gamma(t)] <= C n``
+for all ``t``.  This module evaluates the potentials, chooses ``alpha``
+per the paper's parameter inequalities (1)-(2), and estimates the drift
+``E[Delta Gamma | Gamma]`` empirically.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Sequence
+
+import numpy as np
+
+from repro.core.exponential import ExponentialTopProcess
+
+
+def _normalized_deviation(weights: np.ndarray) -> np.ndarray:
+    """Return ``y = w/n - mean(w/n)`` for a vector of top weights."""
+    w = np.asarray(weights, dtype=float)
+    if w.ndim != 1 or len(w) == 0:
+        raise ValueError("weights must be a non-empty 1-D array")
+    x = w / len(w)
+    return x - x.mean()
+
+
+def phi_potential(weights: np.ndarray, alpha: float) -> float:
+    """``Phi = sum exp(alpha * y_i)`` — penalizes bins far *above* the mean."""
+    y = _normalized_deviation(weights)
+    return float(np.exp(alpha * y).sum())
+
+
+def psi_potential(weights: np.ndarray, alpha: float) -> float:
+    """``Psi = sum exp(-alpha * y_i)`` — penalizes bins far *below* the mean."""
+    y = _normalized_deviation(weights)
+    return float(np.exp(-alpha * y).sum())
+
+
+def gamma_potential(weights: np.ndarray, alpha: float) -> float:
+    """``Gamma = Phi + Psi``, the paper's global potential."""
+    y = _normalized_deviation(weights)
+    e = np.exp(alpha * y)
+    return float((e + 1.0 / e).sum())
+
+
+def recommended_alpha(beta: float, gamma: float = 0.0, c: float = 2.0) -> float:
+    """The largest ``alpha`` satisfying the paper's inequality (2).
+
+    The analysis requires ``delta <= epsilon = beta/16`` where (eq. 1)
+
+        1 + delta = (1 + gamma + c*alpha*(1+gamma)^2)
+                    / (1 - gamma - c*alpha*(1+gamma)^2).
+
+    Solving ``delta = epsilon`` for ``alpha`` gives
+
+        alpha = (epsilon - gamma*(2 + epsilon)) / (c * (2 + epsilon) * (1+gamma)^2),
+
+    positive exactly when ``beta = Omega(gamma)`` holds quantitatively
+    (``epsilon > 2*gamma / (1 - gamma...)``); otherwise a ``ValueError``
+    explains that the bias is too large for this ``beta``.
+    """
+    if not 0 < beta <= 1:
+        raise ValueError(f"beta must be in (0, 1], got {beta}")
+    if not 0 <= gamma < 1:
+        raise ValueError(f"gamma must be in [0, 1), got {gamma}")
+    eps = beta / 16.0
+    numerator = eps - gamma * (2.0 + eps)
+    if numerator <= 0:
+        raise ValueError(
+            f"insertion bias gamma={gamma} too large for beta={beta}: the "
+            f"analysis needs beta = Omega(gamma) (epsilon={eps:.4f} <= "
+            f"gamma*(2+epsilon)={gamma * (2 + eps):.4f})"
+        )
+    return numerator / (c * (2.0 + eps) * (1.0 + gamma) ** 2)
+
+
+def tail_bin_counts(weights: np.ndarray, s: float) -> "tuple[int, int]":
+    """The Lemma 5 striping quantities ``(b_{>s}, b_{<-s})``.
+
+    ``b_{>s}`` counts bins whose normalized top weight exceeds the mean
+    by more than ``s``; ``b_{<-s}`` counts bins more than ``s`` below.
+    Lemma 5 bounds both expectations by ``n * C * exp(-alpha * s)``; the
+    tail bench estimates the decay rate empirically.
+    """
+    y = _normalized_deviation(weights)
+    return int((y > s).sum()), int((y < -s).sum())
+
+
+def tail_decay_estimate(
+    process: ExponentialTopProcess,
+    steps: int,
+    s_values: "Sequence[float]",
+    sample_every: int = 50,
+) -> "np.ndarray":
+    """Mean ``b_{>s} + b_{<-s}`` at each ``s`` along a run.
+
+    Lemma 5 predicts geometric decay in ``s`` (rate ``alpha``); the
+    returned averages let callers fit the decay.
+    """
+    if sample_every <= 0:
+        raise ValueError(f"sample_every must be positive, got {sample_every}")
+    s_values = list(s_values)
+    totals = np.zeros(len(s_values))
+    samples = 0
+    for step in range(1, steps + 1):
+        process.step()
+        if step % sample_every == 0:
+            w = process.top_weights
+            y = _normalized_deviation(w)
+            for k, s in enumerate(s_values):
+                totals[k] += int((y > s).sum()) + int((y < -s).sum())
+            samples += 1
+    if samples == 0:
+        raise ValueError("steps too small for any sample")
+    return totals / samples
+
+
+@dataclass
+class PotentialSeries:
+    """Time series of the potentials along one run."""
+
+    steps: np.ndarray
+    phi: np.ndarray
+    psi: np.ndarray
+
+    @property
+    def gamma(self) -> np.ndarray:
+        """``Gamma(t) = Phi(t) + Psi(t)`` at each sample."""
+        return self.phi + self.psi
+
+    def gamma_over_n(self, n: int) -> np.ndarray:
+        """``Gamma(t)/n`` — Theorem 3 says its mean is O(1)."""
+        return self.gamma / n
+
+    def summary(self) -> dict:
+        """Headline statistics for table printing."""
+        g = self.gamma
+        return {
+            "samples": len(self.steps),
+            "mean_gamma": float(g.mean()),
+            "max_gamma": float(g.max()),
+            "final_gamma": float(g[-1]),
+        }
+
+
+@dataclass
+class DriftEstimate:
+    """Empirical conditional drift of Gamma around a threshold."""
+
+    threshold: float
+    mean_drift_above: float
+    mean_drift_below: float
+    samples_above: int
+    samples_below: int
+
+
+class PotentialTracker:
+    """Tracks ``Phi/Psi/Gamma`` along an :class:`ExponentialTopProcess` run.
+
+    Parameters
+    ----------
+    process:
+        The infinite-supply exponential process to advance.
+    alpha:
+        Potential parameter; default follows :func:`recommended_alpha`
+        for the process's ``beta`` (with ``gamma=0``).
+    """
+
+    def __init__(
+        self, process: ExponentialTopProcess, alpha: Optional[float] = None
+    ) -> None:
+        self.process = process
+        if alpha is None:
+            alpha = recommended_alpha(process.beta if process.beta > 0 else 1.0)
+        if alpha <= 0:
+            raise ValueError(f"alpha must be positive, got {alpha}")
+        self.alpha = alpha
+
+    def run(self, steps: int, sample_every: int = 1) -> PotentialSeries:
+        """Advance ``steps`` removals, sampling potentials periodically."""
+        if sample_every <= 0:
+            raise ValueError(f"sample_every must be positive, got {sample_every}")
+        ts, phis, psis = [], [], []
+        for step in range(1, steps + 1):
+            self.process.step()
+            if step % sample_every == 0:
+                w = self.process.top_weights
+                y = _normalized_deviation(w)
+                e = np.exp(self.alpha * y)
+                ts.append(self.process.steps)
+                phis.append(float(e.sum()))
+                psis.append(float((1.0 / e).sum()))
+        return PotentialSeries(
+            steps=np.asarray(ts, dtype=np.int64),
+            phi=np.asarray(phis, dtype=float),
+            psi=np.asarray(psis, dtype=float),
+        )
+
+    def binned_drift(
+        self, steps: int, n_bins: int = 8
+    ) -> "tuple[np.ndarray, np.ndarray, np.ndarray]":
+        """The drift *curve*: ``E[Delta Gamma | Gamma]`` binned by Gamma.
+
+        Lemma 2's qualitative content is that the curve crosses zero:
+        positive (or flat) drift at small Gamma, negative drift once
+        Gamma exceeds the O(n) threshold.  Returns
+        ``(bin_centers, mean_drifts, counts)``; empty bins carry NaN.
+        """
+        if n_bins < 2:
+            raise ValueError(f"n_bins must be >= 2, got {n_bins}")
+        gammas = np.empty(steps)
+        deltas = np.empty(steps)
+        prev = gamma_potential(self.process.top_weights, self.alpha)
+        for k in range(steps):
+            self.process.step()
+            cur = gamma_potential(self.process.top_weights, self.alpha)
+            gammas[k] = prev
+            deltas[k] = cur - prev
+            prev = cur
+        edges = np.quantile(gammas, np.linspace(0.0, 1.0, n_bins + 1))
+        edges[-1] += 1e-9
+        centers = np.full(n_bins, np.nan)
+        means = np.full(n_bins, np.nan)
+        counts = np.zeros(n_bins, dtype=np.int64)
+        for b in range(n_bins):
+            mask = (gammas >= edges[b]) & (gammas < edges[b + 1])
+            counts[b] = int(mask.sum())
+            if counts[b]:
+                centers[b] = float(gammas[mask].mean())
+                means[b] = float(deltas[mask].mean())
+        return centers, means, counts
+
+    def drift_estimate(self, steps: int, threshold: Optional[float] = None) -> DriftEstimate:
+        """Estimate ``E[Delta Gamma | Gamma above/below threshold]``.
+
+        Lemma 2 predicts negative conditional drift once ``Gamma``
+        exceeds an ``O(n)`` threshold.  Default threshold: ``4n`` (the
+        supermartingale region comfortably above ``Gamma >= 2n``, the
+        AM-GM floor of the potential).
+        """
+        n = self.process.n_queues
+        if threshold is None:
+            threshold = 4.0 * n
+        above_sum = below_sum = 0.0
+        above_cnt = below_cnt = 0
+        prev = gamma_potential(self.process.top_weights, self.alpha)
+        for _ in range(steps):
+            self.process.step()
+            cur = gamma_potential(self.process.top_weights, self.alpha)
+            delta = cur - prev
+            if prev > threshold:
+                above_sum += delta
+                above_cnt += 1
+            else:
+                below_sum += delta
+                below_cnt += 1
+            prev = cur
+        return DriftEstimate(
+            threshold=threshold,
+            mean_drift_above=above_sum / above_cnt if above_cnt else float("nan"),
+            mean_drift_below=below_sum / below_cnt if below_cnt else float("nan"),
+            samples_above=above_cnt,
+            samples_below=below_cnt,
+        )

@@ -1,0 +1,94 @@
+"""Exact rank bookkeeping for the labelled process.
+
+At every removal the process pays the *rank* of the removed label among
+labels still present anywhere in the system (1-based; the global minimum
+has rank 1).  :class:`RankOracle` maintains the present-label multiset
+over a fixed integer label universe and answers rank queries in
+``O(log M)`` via a Fenwick tree.
+"""
+
+from __future__ import annotations
+
+from repro.utils.fenwick import FenwickTree
+
+
+class RankOracle:
+    """Tracks which labels of ``[0, capacity)`` are present and ranks them.
+
+    Labels are assumed distinct (each label inserted at most once while
+    present) — exactly the setting of the paper, where labels are
+    consecutive integers.
+
+    Example
+    -------
+    >>> oracle = RankOracle(10)
+    >>> for label in (2, 5, 7):
+    ...     oracle.insert(label)
+    >>> oracle.rank(5)
+    2
+    >>> oracle.remove(5)
+    2
+    >>> oracle.rank(7)
+    2
+    """
+
+    __slots__ = ("_tree", "_present")
+
+    def __init__(self, capacity: int) -> None:
+        if capacity <= 0:
+            raise ValueError(f"capacity must be positive, got {capacity}")
+        self._tree = FenwickTree(capacity)
+        self._present = bytearray(capacity)
+
+    @property
+    def capacity(self) -> int:
+        """Size of the label universe."""
+        return self._tree.size
+
+    @property
+    def present_count(self) -> int:
+        """Number of labels currently present."""
+        return self._tree.total
+
+    def __contains__(self, label: int) -> bool:
+        return bool(self._present[label])
+
+    def insert(self, label: int) -> None:
+        """Mark ``label`` present."""
+        if self._present[label]:
+            raise ValueError(f"label {label} already present")
+        self._present[label] = 1
+        self._tree.add(label, 1)
+
+    def rank(self, label: int) -> int:
+        """Rank of ``label`` among present labels (1-based, inclusive).
+
+        ``label`` itself must be present.
+        """
+        if not self._present[label]:
+            raise KeyError(f"label {label} not present")
+        return self._tree.prefix_sum(label)
+
+    def rank_of_value(self, label: int) -> int:
+        """Count of present labels ``<= label`` (label need not be present)."""
+        return self._tree.prefix_sum(label)
+
+    def remove(self, label: int) -> int:
+        """Remove ``label`` and return the rank it had when removed."""
+        r = self.rank(label)
+        self._present[label] = 0
+        self._tree.add(label, -1)
+        return r
+
+    def kth_smallest(self, k: int) -> int:
+        """Return the ``k``-th smallest present label (1-based)."""
+        return self._tree.find_kth(k)
+
+    def min_label(self) -> int:
+        """The smallest present label."""
+        if self.present_count == 0:
+            raise LookupError("no labels present")
+        return self.kth_smallest(1)
+
+    def __repr__(self) -> str:
+        return f"RankOracle(capacity={self.capacity}, present={self.present_count})"

@@ -1,0 +1,174 @@
+"""Removal records and rank traces produced by process runs."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, List, Optional, Sequence
+
+import numpy as np
+
+
+@dataclass(frozen=True)
+class RemovalRecord:
+    """One removal step of a process.
+
+    Attributes
+    ----------
+    step:
+        0-based removal index within the run.
+    label:
+        The label (or global rank, for the exponential process) removed.
+    rank:
+        Rank of the removed element among elements present *at the moment
+        of removal* (1-based; 1 means the optimal choice).
+    queue:
+        Index of the queue removed from.
+    two_choice:
+        Whether this step used two choices (``True``) or one (``False``)
+        — the beta coin of the (1+beta) process.
+    """
+
+    step: int
+    label: int
+    rank: int
+    queue: int
+    two_choice: bool
+
+
+@dataclass
+class SampledRun:
+    """A steady-state run with periodic snapshots of the top-rank profile.
+
+    Attributes
+    ----------
+    trace:
+        Per-removal rank costs (as in :class:`RankTrace`).
+    sample_steps:
+        Removal-step indices at which the queue tops were snapshotted.
+    max_top_ranks:
+        ``max_i rank(top_i)`` at each sample — the Corollary 1 quantity.
+    mean_top_ranks:
+        Average top rank across queues at each sample.
+    """
+
+    trace: "RankTrace"
+    sample_steps: "np.ndarray"
+    max_top_ranks: "np.ndarray"
+    mean_top_ranks: "np.ndarray"
+
+
+class RankTrace:
+    """An append-only trace of removal ranks with summary statistics.
+
+    The trace stores the rank paid at each removal step.  Summary
+    accessors are vectorized over an internal numpy array; appends are
+    O(1) amortized.
+    """
+
+    def __init__(self, ranks: Optional[Iterable[int]] = None) -> None:
+        self._ranks: List[int] = list(ranks) if ranks is not None else []
+        self._frozen: Optional[np.ndarray] = None
+
+    def append(self, rank: int) -> None:
+        """Record the rank paid by one removal."""
+        self._ranks.append(rank)
+        self._frozen = None
+
+    def extend(self, ranks: Iterable[int]) -> None:
+        """Record several removal ranks at once."""
+        self._ranks.extend(ranks)
+        self._frozen = None
+
+    @property
+    def ranks(self) -> np.ndarray:
+        """All recorded ranks as an immutable-by-convention numpy array."""
+        if self._frozen is None:
+            self._frozen = np.asarray(self._ranks, dtype=np.int64)
+        return self._frozen
+
+    def __len__(self) -> int:
+        return len(self._ranks)
+
+    def __getitem__(self, idx):
+        return self._ranks[idx]
+
+    # -- summary statistics ---------------------------------------------
+
+    def mean_rank(self) -> float:
+        """Average rank over the whole trace (the paper's 'average cost')."""
+        if not self._ranks:
+            raise ValueError("empty trace has no mean rank")
+        return float(self.ranks.mean())
+
+    def max_rank(self) -> int:
+        """Worst rank paid anywhere in the trace."""
+        if not self._ranks:
+            raise ValueError("empty trace has no max rank")
+        return int(self.ranks.max())
+
+    def quantile(self, q: float) -> float:
+        """The ``q``-quantile of ranks (e.g. ``q=0.99`` for tail cost)."""
+        if not self._ranks:
+            raise ValueError("empty trace has no quantiles")
+        return float(np.quantile(self.ranks, q))
+
+    def windowed_means(self, window: int) -> np.ndarray:
+        """Non-overlapping window means — rank cost as a function of time.
+
+        Used to verify the *time-uniformity* of Theorem 1: for the
+        two-choice process these should stay flat; for the single-choice
+        process they grow like ``sqrt(t)``.
+        """
+        if window <= 0:
+            raise ValueError(f"window must be positive, got {window}")
+        r = self.ranks
+        usable = (len(r) // window) * window
+        if usable == 0:
+            return np.empty(0, dtype=float)
+        return r[:usable].reshape(-1, window).mean(axis=1)
+
+    def windowed_maxes(self, window: int) -> np.ndarray:
+        """Non-overlapping window maxima of the rank series."""
+        if window <= 0:
+            raise ValueError(f"window must be positive, got {window}")
+        r = self.ranks
+        usable = (len(r) // window) * window
+        if usable == 0:
+            return np.empty(0, dtype=float)
+        return r[:usable].reshape(-1, window).max(axis=1)
+
+    def summary(self) -> dict:
+        """A dict of the headline statistics, for table printing."""
+        return {
+            "removals": len(self),
+            "mean_rank": self.mean_rank(),
+            "p50_rank": self.quantile(0.50),
+            "p99_rank": self.quantile(0.99),
+            "max_rank": self.max_rank(),
+        }
+
+    @staticmethod
+    def merge(traces: Sequence["RankTrace"]) -> "RankTrace":
+        """Concatenate several traces (e.g. across seeds) into one."""
+        merged = RankTrace()
+        for t in traces:
+            merged.extend(t._ranks)
+        return merged
+
+    def save(self, path) -> None:
+        """Persist the trace as a compressed ``.npz`` artifact."""
+        np.savez_compressed(path, ranks=self.ranks)
+
+    @staticmethod
+    def load(path) -> "RankTrace":
+        """Load a trace previously written by :meth:`save`."""
+        with np.load(path) as data:
+            return RankTrace(data["ranks"].tolist())
+
+    def __repr__(self) -> str:
+        if not self._ranks:
+            return "RankTrace(empty)"
+        return (
+            f"RankTrace(n={len(self)}, mean={self.mean_rank():.2f}, "
+            f"max={self.max_rank()})"
+        )

@@ -1,0 +1,114 @@
+"""Round-robin insertion and the Appendix A reduction.
+
+When labels are inserted round-robin (label ``t`` goes to queue
+``t mod n``), the queue with the smaller top label is exactly the queue
+that has been removed from *fewer* times (ties broken by queue index).
+Removals therefore simulate the classic two-choice balls-into-bins
+process on "virtual bins" that count removals — Appendix A's reduction.
+
+:func:`coupled_virtual_loads` operationalizes the reduction: it drives a
+round-robin process and a two-choice balls-into-bins allocation with the
+*same* choice stream and returns both load vectors, which must be
+identical entry for entry (a test asserts this).
+"""
+
+from __future__ import annotations
+
+from typing import List, Tuple
+
+import numpy as np
+
+from repro.core.process import SequentialProcess
+from repro.utils.rngtools import SeedLike, as_generator
+
+
+class RoundRobinProcess(SequentialProcess):
+    """The sequential process with deterministic round-robin insertion.
+
+    Removals still follow the (1+beta) rule (default pure two-choice,
+    ``beta=1``, as in Appendix A).
+    """
+
+    def __init__(
+        self, n_queues: int, capacity: int, beta: float = 1.0, rng: SeedLike = None
+    ) -> None:
+        super().__init__(n_queues, capacity, beta=beta, insert_probs=None, rng=rng)
+        self._removal_counts = np.zeros(n_queues, dtype=np.int64)
+
+    def _choose_insert_queue(self, label: int) -> int:
+        return label % self.n_queues
+
+    def remove(self):
+        record = super().remove()
+        self._removal_counts[record.queue] += 1
+        return record
+
+    def removal_counts(self) -> np.ndarray:
+        """Removals per queue so far — the 'virtual bin' loads of App. A."""
+        return self._removal_counts.copy()
+
+    def virtual_gap(self) -> float:
+        """Max virtual load minus average — the two-choice gap statistic.
+
+        Classic heavily-loaded two-choice theory predicts this stays
+        ``O(log log n)``-ish, independent of the number of steps.
+        """
+        counts = self._removal_counts
+        return float(counts.max() - counts.mean())
+
+
+def coupled_virtual_loads(
+    n_queues: int,
+    prefill: int,
+    removals: int,
+    seed: SeedLike = None,
+) -> Tuple[np.ndarray, np.ndarray]:
+    """Drive the App. A reduction with a shared choice stream.
+
+    Returns ``(round_robin_removal_counts, two_choice_loads)``.  The two
+    arrays are equal entry-for-entry when the reduction is implemented
+    correctly: removing from the lower-top queue *is* inserting into the
+    less-loaded virtual bin, with ties broken toward the smaller index.
+    """
+    if removals > prefill:
+        raise ValueError(f"cannot remove {removals} of {prefill} labels")
+    root = as_generator(seed)
+    choice_seed = int(root.integers(2**63))
+
+    proc = RoundRobinProcess(n_queues, prefill, beta=1.0, rng=choice_seed)
+    proc.prefill(prefill)
+    for _ in range(removals):
+        proc.remove()
+
+    # Replay the identical choice stream against plain two-choice
+    # balls-into-bins with (load, index) tie-breaking.
+    rng = as_generator(choice_seed)
+    loads = np.zeros(n_queues, dtype=np.int64)
+    for _ in range(removals):
+        i = int(rng.integers(n_queues))
+        j = int(rng.integers(n_queues))
+        if (loads[i], i) <= (loads[j], j):
+            loads[i] += 1
+        else:
+            loads[j] += 1
+    return proc.removal_counts(), loads
+
+
+def virtual_load_history(
+    n_queues: int, prefill: int, removals: int, seed: SeedLike = None, sample_every: int = 100
+) -> Tuple[np.ndarray, np.ndarray, List[np.ndarray]]:
+    """Gap trajectory of the round-robin process's virtual bins.
+
+    Returns ``(sample_steps, gaps, load_snapshots)`` where ``gaps[k]``
+    is ``max load - mean load`` at ``sample_steps[k]``.
+    """
+    proc = RoundRobinProcess(n_queues, prefill, beta=1.0, rng=seed)
+    proc.prefill(prefill)
+    steps, gaps, snaps = [], [], []
+    for step in range(1, removals + 1):
+        proc.remove()
+        if step % sample_every == 0:
+            steps.append(step)
+            gaps.append(proc.virtual_gap())
+            snaps.append(proc.removal_counts())
+    return np.asarray(steps), np.asarray(gaps), snaps

@@ -1,0 +1,56 @@
+"""Graph substrate: generators, Dijkstra, and the Section 6 process.
+
+Provides everything the SSSP benchmark (Figure 3) and the graph-process
+future-work experiment need:
+
+* synthetic graph generators, including a road-network generator that
+  stands in for the paper's California road graph (see DESIGN.md for the
+  substitution argument);
+* sequential Dijkstra over any :mod:`repro.pqueues` implementation;
+* a simulated *parallel relaxed* Dijkstra that runs on any
+  :mod:`repro.concurrent` priority-queue model and counts the extra work
+  caused by relaxation;
+* the labelled graph choice process sketched in the paper's Section 6.
+"""
+
+from repro.graphs.generators import (
+    Graph,
+    complete_graph,
+    cycle_graph,
+    grid_graph,
+    random_regular_graph,
+    road_network,
+    torus_graph,
+)
+from repro.graphs.dijkstra import DijkstraResult, dijkstra
+from repro.graphs.delta_stepping import DeltaSteppingResult, delta_stepping, suggest_delta
+from repro.graphs.parallel_dijkstra import ParallelSSSPResult, parallel_dijkstra
+from repro.graphs.parallel_delta_stepping import (
+    ParallelDeltaSteppingResult,
+    parallel_delta_stepping,
+)
+from repro.graphs.choice_process import GraphChoiceProcess
+from repro.graphs.expansion import cheeger_bounds, edge_expansion_sample, spectral_gap
+
+__all__ = [
+    "Graph",
+    "grid_graph",
+    "torus_graph",
+    "cycle_graph",
+    "complete_graph",
+    "random_regular_graph",
+    "road_network",
+    "DijkstraResult",
+    "dijkstra",
+    "DeltaSteppingResult",
+    "delta_stepping",
+    "suggest_delta",
+    "ParallelSSSPResult",
+    "parallel_dijkstra",
+    "ParallelDeltaSteppingResult",
+    "parallel_delta_stepping",
+    "GraphChoiceProcess",
+    "spectral_gap",
+    "cheeger_bounds",
+    "edge_expansion_sample",
+]

@@ -1,0 +1,144 @@
+"""The labelled graph choice process (paper, Section 6 / future work).
+
+Vertices of a connected graph each hold a queue.  Labels of increasing
+value are inserted at uniformly random vertices; each removal samples a
+uniformly random *edge* and removes the smaller of the two endpoint top
+labels, paying its present rank.  The complete graph recovers the
+two-choice sequential process; the paper conjectures that good expansion
+suffices for the same O(n) / O(n log n) guarantees, while poor expanders
+(cycles) should degrade — the graph-choice bench measures exactly this.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Deque, List, Optional
+
+import numpy as np
+
+from repro.core.rank import RankOracle
+from repro.core.records import RankTrace, RemovalRecord, SampledRun
+from repro.graphs.generators import Graph
+from repro.utils.rngtools import SeedLike, as_generator
+
+
+class GraphChoiceProcess:
+    """The Section 6 process on an arbitrary connected graph.
+
+    Parameters
+    ----------
+    graph:
+        The choice graph; one queue per vertex.
+    capacity:
+        Maximum number of labels the run will insert.
+    rng:
+        Seed or generator.
+    """
+
+    def __init__(self, graph: Graph, capacity: int, rng: SeedLike = None) -> None:
+        if capacity <= 0:
+            raise ValueError(f"capacity must be positive, got {capacity}")
+        if graph.n_edges == 0:
+            raise ValueError("graph must have at least one edge")
+        self.graph = graph
+        self.n_vertices = graph.n_vertices
+        self._edges = np.asarray(list(graph.edges()), dtype=np.int64)
+        self._rng = as_generator(rng)
+        self._queues: List[Deque[int]] = [deque() for _ in range(graph.n_vertices)]
+        self._oracle = RankOracle(capacity)
+        self._next_label = 0
+        self._removal_step = 0
+        self.empty_redraws = 0
+
+    @property
+    def present_count(self) -> int:
+        """Labels currently in the system."""
+        return self._oracle.present_count
+
+    def insert(self) -> int:
+        """Insert the next label at a uniformly random vertex."""
+        label = self._next_label
+        if label >= self._oracle.capacity:
+            raise RuntimeError(f"capacity {self._oracle.capacity} exhausted")
+        v = int(self._rng.integers(self.n_vertices))
+        self._queues[v].append(label)
+        self._oracle.insert(label)
+        self._next_label += 1
+        return v
+
+    def prefill(self, m: int) -> None:
+        """Insert ``m`` labels."""
+        for _ in range(m):
+            self.insert()
+
+    def remove(self) -> RemovalRecord:
+        """Sample a random edge; remove the better endpoint top label."""
+        if self._oracle.present_count == 0:
+            raise LookupError("remove from empty graph process")
+        queues = self._queues
+        edges = self._edges
+        rng = self._rng
+        while True:
+            u, v = edges[int(rng.integers(len(edges)))]
+            qu, qv = queues[u], queues[v]
+            if qu and qv:
+                idx = u if qu[0] <= qv[0] else v
+            elif qu:
+                idx = u
+            elif qv:
+                idx = v
+            else:
+                self.empty_redraws += 1
+                continue
+            break
+        label = queues[idx].popleft()
+        rank = self._oracle.remove(label)
+        record = RemovalRecord(
+            step=self._removal_step, label=label, rank=rank, queue=int(idx), two_choice=True
+        )
+        self._removal_step += 1
+        return record
+
+    def top_ranks(self) -> List[int]:
+        """Ranks of all non-empty vertex queue tops."""
+        oracle = self._oracle
+        return [oracle.rank(q[0]) for q in self._queues if q]
+
+    def run_steady_state(self, prefill: int, steps: int) -> RankTrace:
+        """Prefill, then alternate insert+remove for ``steps`` rounds."""
+        self.prefill(prefill)
+        trace = RankTrace()
+        for _ in range(steps):
+            self.insert()
+            trace.append(self.remove().rank)
+        return trace
+
+    def run_steady_state_sampled(
+        self, prefill: int, steps: int, sample_every: int = 1000
+    ) -> SampledRun:
+        """Steady-state run with periodic top-rank snapshots."""
+        if sample_every <= 0:
+            raise ValueError(f"sample_every must be positive, got {sample_every}")
+        self.prefill(prefill)
+        trace = RankTrace()
+        sample_steps, max_ranks, mean_ranks = [], [], []
+        for step in range(steps):
+            self.insert()
+            trace.append(self.remove().rank)
+            if (step + 1) % sample_every == 0:
+                ranks = self.top_ranks()
+                sample_steps.append(step + 1)
+                max_ranks.append(max(ranks))
+                mean_ranks.append(sum(ranks) / len(ranks))
+        return SampledRun(
+            trace=trace,
+            sample_steps=np.asarray(sample_steps, dtype=np.int64),
+            max_top_ranks=np.asarray(max_ranks, dtype=np.int64),
+            mean_top_ranks=np.asarray(mean_ranks, dtype=float),
+        )
+
+    def __repr__(self) -> str:
+        return (
+            f"GraphChoiceProcess(vertices={self.n_vertices}, "
+            f"edges={len(self._edges)}, present={self.present_count})"
+        )

@@ -1,0 +1,187 @@
+"""Simulated parallel delta-stepping: the Figure 3 comparator, in cycles.
+
+Runs Meyer–Sanders delta-stepping on the discrete-event engine with real
+barrier synchronization, so its completion time is directly comparable
+(same simulated cycles) to the relaxed-queue parallel Dijkstra of
+:mod:`repro.graphs.parallel_dijkstra`.
+
+Phase structure per generation:
+
+1. barrier — the last arriver (leader) extracts the minimum bucket's
+   frontier (cheap serial bookkeeping, charged per node);
+2. barrier — workers take *static* slices of the frontier (contiguous
+   ``total/p`` ranges; relaxation costs are uniform enough that dynamic
+   claiming would only add a hot counter line), scan their nodes' light
+   or heavy edges, and apply relaxations;
+3. repeat; a shared flag set by the leader ends the loop when the
+   buckets drain.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Generator, List, Optional, Set, Tuple
+
+import numpy as np
+
+from repro.graphs.generators import Graph
+from repro.sim.cost_model import CostModel
+from repro.sim.engine import Engine
+from repro.sim.primitives import SimBarrier
+from repro.sim.syscalls import BarrierWait, Delay
+from repro.utils.rngtools import SeedLike
+
+_INF = np.iinfo(np.int64).max
+
+
+@dataclass
+class ParallelDeltaSteppingResult:
+    """Outcome of one simulated parallel delta-stepping run."""
+
+    dist: np.ndarray
+    delta: int
+    n_threads: int
+    sim_time: float
+    phases: int
+    relaxations: int
+
+    def __repr__(self) -> str:
+        return (
+            f"ParallelDeltaSteppingResult(delta={self.delta}, "
+            f"threads={self.n_threads}, Mcycles={self.sim_time / 1e6:.2f})"
+        )
+
+
+class _State:
+    """Shared algorithm state (plain Python; mutations are atomic at
+    simulation instants — the costed contention point is the claim
+    counter and the barriers)."""
+
+    def __init__(self, graph: Graph, source: int, delta: int) -> None:
+        self.delta = delta
+        self.dist = np.full(graph.n_vertices, _INF, dtype=np.int64)
+        self.dist[source] = 0
+        self.buckets: Dict[int, Set[int]] = {0: {source}}
+        self.light: List[List[Tuple[int, int]]] = [[] for _ in range(graph.n_vertices)]
+        self.heavy: List[List[Tuple[int, int]]] = [[] for _ in range(graph.n_vertices)]
+        for u in range(graph.n_vertices):
+            for v, w in graph.adj[u]:
+                (self.light if w <= delta else self.heavy)[u].append((v, w))
+        #: Frontier nodes whose edges this phase scans.
+        self.frontier: List[int] = []
+        #: Which adjacency ('light' or 'heavy') this phase scans.
+        self.phase_kind = "light"
+        self.current_bucket = 0
+        self.settled: Set[int] = set()
+        self.mode = "light"  # leader scheduling state
+        self.done = False
+        self.phases = 0
+        self.relaxations = 0
+
+    def bucket_of(self, d: int) -> int:
+        return d // self.delta
+
+    def relax(self, v: int, d: int) -> None:
+        if d < self.dist[v]:
+            old = int(self.dist[v])
+            if old != _INF:
+                self.buckets.get(self.bucket_of(old), set()).discard(v)
+            self.dist[v] = d
+            self.buckets.setdefault(self.bucket_of(d), set()).add(v)
+
+    def prepare_phase(self) -> int:
+        """Leader step: pick the next frontier; returns its size."""
+        self.frontier = []
+        # Drop emptied buckets.
+        for b in [b for b, s in self.buckets.items() if not s]:
+            del self.buckets[b]
+        if self.mode == "light":
+            if not self.buckets:
+                self.done = True
+                return 0
+            current = min(self.buckets)
+            if current != self.current_bucket:
+                self.current_bucket = current
+                self.settled = set()
+            frontier = self.buckets.pop(current, set())
+            if not frontier:
+                return self.prepare_phase()
+            self.settled |= frontier
+            self.frontier = sorted(frontier)
+            self.phase_kind = "light"
+            # Once the current bucket stops refilling, run its heavy phase.
+            self.mode = "check"
+        elif self.mode == "check":
+            if self.buckets.get(self.current_bucket):
+                self.mode = "light"
+                return self.prepare_phase()
+            self.frontier = sorted(self.settled)
+            self.phase_kind = "heavy"
+            self.mode = "light"
+        self.phases += 1
+        return len(self.frontier)
+
+
+def parallel_delta_stepping(
+    graph: Graph,
+    source: int,
+    delta: int,
+    n_threads: int,
+    cost_model: Optional[CostModel] = None,
+    seed: SeedLike = None,
+) -> ParallelDeltaSteppingResult:
+    """Run delta-stepping with ``n_threads`` simulated workers."""
+    if not 0 <= source < graph.n_vertices:
+        raise IndexError(f"source {source} out of range")
+    if delta <= 0:
+        raise ValueError(f"delta must be positive, got {delta}")
+    if n_threads <= 0:
+        raise ValueError(f"n_threads must be positive, got {n_threads}")
+    engine = Engine(cost_model)
+    state = _State(graph, source, delta)
+    barrier = SimBarrier(n_threads, name="ds-phase")
+
+    for k in range(n_threads):
+        engine.spawn(_worker(k, state, barrier, engine), name=f"ds-{k}")
+    engine.run()
+    return ParallelDeltaSteppingResult(
+        dist=state.dist,
+        delta=delta,
+        n_threads=n_threads,
+        sim_time=engine.now,
+        phases=state.phases,
+        relaxations=state.relaxations,
+    )
+
+
+def _worker(k: int, state: _State, barrier: SimBarrier, engine: Engine) -> Generator:
+    cost = engine.cost
+    leader_index = barrier.parties - 1
+    parties = barrier.parties
+    while True:
+        index = yield BarrierWait(barrier)
+        if index == leader_index:
+            size = state.prepare_phase()
+            # Serial leader work: the bucket scan and frontier snapshot
+            # (a pointer copy per node, not an edge scan).
+            yield Delay(cost.local_work * 2 + cost.read * size)
+        _index2 = yield BarrierWait(barrier)
+        if state.done:
+            return
+        frontier = state.frontier
+        adj = state.light if state.phase_kind == "light" else state.heavy
+        total = len(frontier)
+        # Static slice for this worker.
+        start = (k * total) // parties
+        end = ((k + 1) * total) // parties
+        edges_scanned = 0
+        for idx in range(start, end):
+            u = frontier[idx]
+            du = int(state.dist[u])
+            for v, w in adj[u]:
+                edges_scanned += 1
+                state.relax(v, du + w)
+        state.relaxations += edges_scanned
+        if end > start:
+            # Edge scans + relax writes, paid as one batch per slice.
+            yield Delay(cost.local_work * (end - start) + cost.read * 2 * edges_scanned)

@@ -1,0 +1,85 @@
+"""Array-based binary min-heap with stable tie-breaking."""
+
+from __future__ import annotations
+
+from typing import Any, List, Tuple
+
+from repro.pqueues.protocol import Entry, PriorityQueue, QueueEmptyError
+
+
+class BinaryHeap(PriorityQueue):
+    """Classic implicit binary heap over a Python list.
+
+    Stability is obtained by storing ``(priority, seq, item)`` triples,
+    where ``seq`` is a monotonically increasing insertion counter; heap
+    order compares ``(priority, seq)`` so equal priorities pop FIFO.
+    """
+
+    __slots__ = ("_data", "_seq")
+
+    def __init__(self) -> None:
+        self._data: List[Tuple[Any, int, Any]] = []
+        self._seq = 0
+
+    def push(self, priority: Any, item: Any = None) -> None:
+        if item is None:
+            item = priority
+        self._data.append((priority, self._seq, item))
+        self._seq += 1
+        self._sift_up(len(self._data) - 1)
+
+    def pop(self) -> Entry:
+        data = self._data
+        if not data:
+            raise QueueEmptyError("pop from empty BinaryHeap")
+        top = data[0]
+        last = data.pop()
+        if data:
+            data[0] = last
+            self._sift_down(0)
+        return Entry(top[0], top[2])
+
+    def peek(self) -> Entry:
+        if not self._data:
+            raise QueueEmptyError("peek on empty BinaryHeap")
+        top = self._data[0]
+        return Entry(top[0], top[2])
+
+    def __len__(self) -> int:
+        return len(self._data)
+
+    # -- internals -------------------------------------------------------
+
+    def _sift_up(self, pos: int) -> None:
+        data = self._data
+        entry = data[pos]
+        key = (entry[0], entry[1])
+        while pos > 0:
+            parent = (pos - 1) >> 1
+            pentry = data[parent]
+            if (pentry[0], pentry[1]) <= key:
+                break
+            data[pos] = pentry
+            pos = parent
+        data[pos] = entry
+
+    def _sift_down(self, pos: int) -> None:
+        data = self._data
+        size = len(data)
+        entry = data[pos]
+        key = (entry[0], entry[1])
+        while True:
+            child = 2 * pos + 1
+            if child >= size:
+                break
+            right = child + 1
+            if right < size:
+                c, r = data[child], data[right]
+                if (r[0], r[1]) < (c[0], c[1]):
+                    child = right
+            centry = data[child]
+            if key <= (centry[0], centry[1]):
+                break
+            data[pos] = centry
+            pos = child
+        data[pos] = entry

@@ -1,0 +1,86 @@
+"""Monotone bucket queue for integer priorities.
+
+The workhorse for Dijkstra on integer-weighted graphs: O(1) push, and
+pops that sweep forward through a circular array of buckets.  Requires
+the *monotone* property — priorities pushed are never smaller than the
+last priority popped minus zero — which Dijkstra guarantees.  A plain
+(non-monotone) mode is available via ``monotone=False`` at the cost of
+rescanning from bucket zero.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Any, Deque, Dict
+
+import numpy as np
+
+from repro.pqueues.protocol import Entry, PriorityQueue, QueueEmptyError
+
+
+class BucketQueue(PriorityQueue):
+    """Dictionary-of-deques bucket queue over integer priorities.
+
+    Parameters
+    ----------
+    monotone:
+        When ``True`` (default) the scan cursor never rewinds; pushing a
+        priority below the cursor raises ``ValueError``.  When ``False``
+        the cursor rewinds as needed (still correct, possibly slower).
+    """
+
+    __slots__ = ("_buckets", "_cursor", "_floor", "_size", "_monotone")
+
+    def __init__(self, monotone: bool = True) -> None:
+        self._buckets: Dict[int, Deque[Any]] = {}
+        #: Scan position: no non-empty bucket exists below it.
+        self._cursor = 0
+        #: Largest priority popped so far; monotone mode forbids pushes
+        #: below this (Dijkstra never does them).
+        self._floor = 0
+        self._size = 0
+        self._monotone = monotone
+
+    def push(self, priority: Any, item: Any = None) -> None:
+        if not isinstance(priority, (int, np.integer)) or isinstance(priority, bool):
+            raise TypeError(f"BucketQueue requires int priorities, got {type(priority).__name__}")
+        priority = int(priority)
+        if priority < 0:
+            raise ValueError(f"BucketQueue requires non-negative priorities, got {priority}")
+        if item is None:
+            item = priority
+        if priority < self._floor:
+            if self._monotone:
+                raise ValueError(
+                    f"monotone violation: push priority {priority} below "
+                    f"last popped priority {self._floor}"
+                )
+            self._floor = priority
+        if priority < self._cursor or self._size == 0:
+            self._cursor = priority
+        self._buckets.setdefault(priority, deque()).append(item)
+        self._size += 1
+
+    def pop(self) -> Entry:
+        self._advance()
+        bucket = self._buckets[self._cursor]
+        item = bucket.popleft()
+        priority = self._cursor
+        if not bucket:
+            del self._buckets[priority]
+        self._size -= 1
+        self._floor = priority
+        return Entry(priority, item)
+
+    def peek(self) -> Entry:
+        self._advance()
+        return Entry(self._cursor, self._buckets[self._cursor][0])
+
+    def __len__(self) -> int:
+        return self._size
+
+    def _advance(self) -> None:
+        if self._size == 0:
+            raise QueueEmptyError("pop/peek on empty BucketQueue")
+        while self._cursor not in self._buckets:
+            self._cursor += 1

@@ -1,0 +1,113 @@
+"""Pairing heap: O(1) push and meld, O(log n) amortized pop.
+
+Pairing heaps are a standard choice for Dijkstra-style workloads where
+pushes vastly outnumber pops, and they support :meth:`meld` which the
+k-LSM-style baselines exploit to merge thread-local components cheaply.
+"""
+
+from __future__ import annotations
+
+from typing import Any, List, Optional
+
+from repro.pqueues.protocol import Entry, PriorityQueue, QueueEmptyError
+
+
+class _Node:
+    __slots__ = ("priority", "seq", "item", "children")
+
+    def __init__(self, priority: Any, seq: int, item: Any) -> None:
+        self.priority = priority
+        self.seq = seq
+        self.item = item
+        self.children: List["_Node"] = []
+
+    def key(self):
+        return (self.priority, self.seq)
+
+
+class PairingHeap(PriorityQueue):
+    """Multi-way pairing heap with stable FIFO tie-breaking and meld."""
+
+    __slots__ = ("_root", "_size", "_seq")
+
+    def __init__(self) -> None:
+        self._root: Optional[_Node] = None
+        self._size = 0
+        self._seq = 0
+
+    def push(self, priority: Any, item: Any = None) -> None:
+        if item is None:
+            item = priority
+        node = _Node(priority, self._seq, item)
+        self._seq += 1
+        self._root = node if self._root is None else _link(self._root, node)
+        self._size += 1
+
+    def pop(self) -> Entry:
+        root = self._root
+        if root is None:
+            raise QueueEmptyError("pop from empty PairingHeap")
+        self._root = _merge_pairs(root.children)
+        self._size -= 1
+        return Entry(root.priority, root.item)
+
+    def peek(self) -> Entry:
+        if self._root is None:
+            raise QueueEmptyError("peek on empty PairingHeap")
+        return Entry(self._root.priority, self._root.item)
+
+    def meld(self, other: "PairingHeap") -> None:
+        """Destructively merge ``other`` into this heap in O(1).
+
+        ``other`` is emptied.  Tie-breaking seq counters are offset so
+        entries from ``other`` sort after same-priority entries already
+        here (a deterministic, if arbitrary, stable order).
+        """
+        if other is self:
+            raise ValueError("cannot meld a heap with itself")
+        if other._root is None:
+            return
+        _reseq(other._root, self._seq)
+        self._seq += other._seq
+        self._root = other._root if self._root is None else _link(self._root, other._root)
+        self._size += other._size
+        other._root = None
+        other._size = 0
+        other._seq = 0
+
+    def __len__(self) -> int:
+        return self._size
+
+
+def _link(a: _Node, b: _Node) -> _Node:
+    """Make the larger-keyed node a child of the smaller-keyed node."""
+    if b.key() < a.key():
+        a, b = b, a
+    a.children.append(b)
+    return a
+
+
+def _merge_pairs(children: List[_Node]) -> Optional[_Node]:
+    """The two-pass pairing combine used after removing the root."""
+    if not children:
+        return None
+    # First pass: link adjacent pairs left-to-right.
+    paired: List[_Node] = []
+    it = iter(children)
+    for first in it:
+        second = next(it, None)
+        paired.append(first if second is None else _link(first, second))
+    # Second pass: fold right-to-left.
+    result = paired[-1]
+    for node in reversed(paired[:-1]):
+        result = _link(node, result)
+    return result
+
+
+def _reseq(node: _Node, offset: int) -> None:
+    """Shift the tie-break counters of a whole subtree (iteratively)."""
+    stack = [node]
+    while stack:
+        cur = stack.pop()
+        cur.seq += offset
+        stack.extend(cur.children)

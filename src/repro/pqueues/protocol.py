@@ -1,0 +1,90 @@
+"""The sequential priority-queue protocol shared by all implementations."""
+
+from __future__ import annotations
+
+import abc
+from typing import Any, Iterator, NamedTuple, Optional
+
+
+class QueueEmptyError(LookupError):
+    """Raised when ``pop``/``peek`` is called on an empty priority queue."""
+
+
+class Entry(NamedTuple):
+    """A queue entry: a comparable priority plus an arbitrary payload."""
+
+    priority: Any
+    item: Any
+
+
+class PriorityQueue(abc.ABC):
+    """Abstract stable min-priority queue.
+
+    Entries with equal priority are returned in insertion (FIFO) order,
+    which makes behaviour identical across implementations and therefore
+    testable by cross-comparison.
+
+    Subclasses must implement :meth:`push`, :meth:`pop`, :meth:`peek`,
+    and ``__len__``.
+    """
+
+    @abc.abstractmethod
+    def push(self, priority: Any, item: Any = None) -> None:
+        """Insert ``item`` with the given ``priority``.
+
+        If ``item`` is ``None`` the priority doubles as the payload,
+        which is the common case in the labelled process (labels are
+        their own payloads).
+        """
+
+    @abc.abstractmethod
+    def pop(self) -> Entry:
+        """Remove and return the minimum entry.
+
+        Raises
+        ------
+        QueueEmptyError
+            If the queue is empty.
+        """
+
+    @abc.abstractmethod
+    def peek(self) -> Entry:
+        """Return the minimum entry without removing it.
+
+        Raises
+        ------
+        QueueEmptyError
+            If the queue is empty.
+        """
+
+    @abc.abstractmethod
+    def __len__(self) -> int:
+        """Number of entries currently stored."""
+
+    # -- Conveniences shared by all implementations ---------------------
+
+    def peek_priority(self) -> Any:
+        """Return the minimum priority (``peek().priority``)."""
+        return self.peek().priority
+
+    def top_or_none(self) -> Optional[Entry]:
+        """Return the minimum entry, or ``None`` if empty (no raise)."""
+        return self.peek() if len(self) else None
+
+    def is_empty(self) -> bool:
+        """``True`` when no entries are stored."""
+        return len(self) == 0
+
+    def __bool__(self) -> bool:
+        return len(self) > 0
+
+    def drain(self) -> Iterator[Entry]:
+        """Yield all entries in priority order, emptying the queue."""
+        while len(self):
+            yield self.pop()
+
+    def __repr__(self) -> str:
+        if len(self) == 0:
+            return f"{type(self).__name__}(empty)"
+        top = self.peek()
+        return f"{type(self).__name__}(len={len(self)}, top={top.priority!r})"

@@ -1,0 +1,112 @@
+"""Monotone radix heap for integer priorities.
+
+The radix heap (Ahuja–Mehlhorn–Orlin–Tarjan) is the classic
+O(m + n log C) Dijkstra structure: items are bucketed by the index of
+the highest bit in which their priority differs from the last popped
+priority, so each item is redistributed at most ``log C`` times over its
+lifetime.  Like :class:`~repro.pqueues.BucketQueue` it requires the
+monotone property (no push below the last pop), which Dijkstra
+guarantees.
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Any, List, Tuple
+
+import numpy as np
+
+from repro.pqueues.protocol import Entry, PriorityQueue, QueueEmptyError
+
+#: Enough buckets for 63-bit priorities plus the equal bucket.
+_N_BUCKETS = 65
+
+
+class RadixHeap(PriorityQueue):
+    """Stable monotone radix heap over non-negative integer priorities.
+
+    Bucket ``0`` holds items equal to the last popped priority (kept as
+    a seq-ordered heap so FIFO tie-breaking survives redistribution);
+    bucket ``i`` holds items whose priority first differs from it at bit
+    ``i-1``.
+    """
+
+    __slots__ = ("_buckets", "_bucket0", "_last", "_size", "_seq")
+
+    def __init__(self) -> None:
+        # _buckets[i] for i >= 1: unordered (priority, seq, item) lists.
+        self._buckets: List[List[Tuple[int, int, Any]]] = [[] for _ in range(_N_BUCKETS)]
+        # Bucket 0: items with priority == _last, heap-ordered by seq.
+        self._bucket0: List[Tuple[int, Any]] = []
+        self._last = 0
+        self._size = 0
+        self._seq = 0
+
+    @property
+    def last_popped(self) -> int:
+        """The monotone floor: the most recently popped priority."""
+        return self._last
+
+    def push(self, priority: Any, item: Any = None) -> None:
+        if not isinstance(priority, (int, np.integer)) or isinstance(priority, bool):
+            raise TypeError(
+                f"RadixHeap requires int priorities, got {type(priority).__name__}"
+            )
+        priority = int(priority)
+        if priority < 0:
+            raise ValueError(f"RadixHeap requires non-negative priorities, got {priority}")
+        if priority < self._last:
+            raise ValueError(
+                f"monotone violation: push priority {priority} below "
+                f"last popped priority {self._last}"
+            )
+        if item is None:
+            item = priority
+        idx = (priority ^ self._last).bit_length()
+        if idx == 0:
+            heapq.heappush(self._bucket0, (self._seq, item))
+        else:
+            self._buckets[idx].append((priority, self._seq, item))
+        self._seq += 1
+        self._size += 1
+
+    def pop(self) -> Entry:
+        if self._size == 0:
+            raise QueueEmptyError("pop from empty RadixHeap")
+        if not self._bucket0:
+            self._redistribute()
+        _seq, item = heapq.heappop(self._bucket0)
+        self._size -= 1
+        return Entry(self._last, item)
+
+    def peek(self) -> Entry:
+        if self._size == 0:
+            raise QueueEmptyError("peek on empty RadixHeap")
+        if not self._bucket0:
+            self._redistribute()
+        return Entry(self._last, self._bucket0[0][1])
+
+    def __len__(self) -> int:
+        return self._size
+
+    # -- internals ---------------------------------------------------------
+
+    def _redistribute(self) -> None:
+        """Advance ``_last`` to the global minimum and re-bucket the
+        minimum's bucket; every moved item lands in a strictly smaller
+        bucket (the amortization argument)."""
+        for idx in range(1, _N_BUCKETS):
+            bucket = self._buckets[idx]
+            if not bucket:
+                continue
+            new_last = min(bucket)[0]
+            self._last = new_last
+            self._buckets[idx] = []
+            for priority, seq, item in bucket:
+                new_idx = (priority ^ new_last).bit_length()
+                if new_idx == 0:
+                    heapq.heappush(self._bucket0, (seq, item))
+                else:
+                    self._buckets[new_idx].append((priority, seq, item))
+            return
+        raise AssertionError("size positive but all buckets empty")  # pragma: no cover

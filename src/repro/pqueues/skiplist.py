@@ -1,0 +1,108 @@
+"""Skiplist-backed priority queue.
+
+This is the sequential core of the Linden–Jonsson baseline: a sorted
+probabilistic linked structure whose minimum sits at the head, so
+``peek``/``pop`` are O(1) expected and ``push`` is O(log n) expected.
+Unlike the heaps it supports ordered iteration, which the rank
+post-processor uses in tests as a ground-truth ordering.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Iterator, List, Optional
+
+from repro.pqueues.protocol import Entry, PriorityQueue, QueueEmptyError
+from repro.utils.rngtools import as_generator
+
+_MAX_LEVEL = 32
+_P = 0.5
+
+
+class _SLNode:
+    __slots__ = ("priority", "seq", "item", "forward")
+
+    def __init__(self, priority: Any, seq: int, item: Any, level: int) -> None:
+        self.priority = priority
+        self.seq = seq
+        self.item = item
+        self.forward: List[Optional["_SLNode"]] = [None] * level
+
+    def key(self):
+        return (self.priority, self.seq)
+
+
+class SkipListPQ(PriorityQueue):
+    """Stable min-priority queue over a skiplist.
+
+    Parameters
+    ----------
+    rng:
+        Seed or generator for tower-height coin flips.  Fixing it makes
+        the structure fully deterministic (useful in tests).
+    """
+
+    __slots__ = ("_head", "_level", "_size", "_seq", "_rng")
+
+    def __init__(self, rng=None) -> None:
+        self._head = _SLNode(None, -1, None, _MAX_LEVEL)
+        self._level = 1
+        self._size = 0
+        self._seq = 0
+        self._rng = as_generator(rng)
+
+    def push(self, priority: Any, item: Any = None) -> None:
+        if item is None:
+            item = priority
+        key = (priority, self._seq)
+        update: List[_SLNode] = [self._head] * _MAX_LEVEL
+        node = self._head
+        for lvl in range(self._level - 1, -1, -1):
+            nxt = node.forward[lvl]
+            while nxt is not None and nxt.key() < key:
+                node = nxt
+                nxt = node.forward[lvl]
+            update[lvl] = node
+        height = self._random_level()
+        if height > self._level:
+            for lvl in range(self._level, height):
+                update[lvl] = self._head
+            self._level = height
+        new = _SLNode(priority, self._seq, item, height)
+        self._seq += 1
+        for lvl in range(height):
+            new.forward[lvl] = update[lvl].forward[lvl]
+            update[lvl].forward[lvl] = new
+        self._size += 1
+
+    def pop(self) -> Entry:
+        first = self._head.forward[0]
+        if first is None:
+            raise QueueEmptyError("pop from empty SkipListPQ")
+        for lvl in range(len(first.forward)):
+            self._head.forward[lvl] = first.forward[lvl]
+        while self._level > 1 and self._head.forward[self._level - 1] is None:
+            self._level -= 1
+        self._size -= 1
+        return Entry(first.priority, first.item)
+
+    def peek(self) -> Entry:
+        first = self._head.forward[0]
+        if first is None:
+            raise QueueEmptyError("peek on empty SkipListPQ")
+        return Entry(first.priority, first.item)
+
+    def __len__(self) -> int:
+        return self._size
+
+    def __iter__(self) -> Iterator[Entry]:
+        """Iterate entries in priority order without removing them."""
+        node = self._head.forward[0]
+        while node is not None:
+            yield Entry(node.priority, node.item)
+            node = node.forward[0]
+
+    def _random_level(self) -> int:
+        level = 1
+        while level < _MAX_LEVEL and self._rng.random() < _P:
+            level += 1
+        return level

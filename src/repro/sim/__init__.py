@@ -1,0 +1,63 @@
+"""Discrete-event concurrency simulator.
+
+The paper's evaluation ran C++ implementations on an 18-core Haswell
+Xeon.  A Python reproduction cannot measure real multicore scalability
+(the GIL serializes threads), so this package provides the substitute
+documented in DESIGN.md: simulated threads are Python generators that
+yield *syscalls* (delays, lock operations, atomic reads/writes/CAS) to
+an event-driven engine with a cycle-accurate-ish cost model.
+
+What the model captures — and what the paper's throughput figures
+actually hinge on — is the *contention structure* of each algorithm:
+
+* a MultiQueue spreads operations over ``c * P`` locks, so lock
+  conflicts are rare and throughput scales with threads;
+* a skiplist-based queue funnels every ``deleteMin`` through one hot
+  cache line, so added threads mostly add CAS retries;
+* cache-line transfer costs are charged whenever a thread touches a
+  lock/cell last touched by another thread.
+
+Determinism: given the same seeds, event processing order is a pure
+function of the inputs, so simulated runs are exactly reproducible.
+"""
+
+from repro.sim.cost_model import CostModel
+from repro.sim.syscalls import (
+    CAS,
+    Acquire,
+    BarrierWait,
+    Delay,
+    Read,
+    Release,
+    TryAcquire,
+    Write,
+    Yield,
+)
+from repro.sim.primitives import SimBarrier, SimCell, SimLock
+from repro.sim.engine import Engine, ThreadStats
+from repro.sim.workload import (
+    AlternatingWorkload,
+    ProducerConsumerWorkload,
+    run_throughput_experiment,
+)
+
+__all__ = [
+    "CostModel",
+    "Delay",
+    "Yield",
+    "Read",
+    "Write",
+    "CAS",
+    "TryAcquire",
+    "Acquire",
+    "Release",
+    "BarrierWait",
+    "SimCell",
+    "SimLock",
+    "SimBarrier",
+    "Engine",
+    "ThreadStats",
+    "AlternatingWorkload",
+    "ProducerConsumerWorkload",
+    "run_throughput_experiment",
+]

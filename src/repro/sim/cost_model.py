@@ -1,0 +1,77 @@
+"""Cycle-cost model for simulated operations.
+
+Costs are in abstract "cycles".  Defaults are order-of-magnitude figures
+for a Haswell-class x86 (the paper's testbed): an uncontended atomic is
+a few tens of cycles, a cross-core cache-line transfer is on the order
+of a hundred, and a heap operation costs a handful of cache misses'
+worth of work scaled by ``log(size)``.  Absolute values matter less than
+their *ratios* — contended vs. uncontended is what shapes the throughput
+curves benches compare against the paper.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+
+@dataclass
+class CostModel:
+    """Costs (in cycles) charged by the engine for each syscall.
+
+    Attributes
+    ----------
+    cas:
+        Base cost of a compare-and-swap (success or failure).
+    read / write:
+        Base cost of an atomic read / write on a shared cell.
+    cache_transfer:
+        Extra cost when the touched cell/lock was last accessed by a
+        different thread (models MESI ownership transfer) — the single
+        most important parameter for contention behaviour.
+    lock_acquire / lock_release:
+        Base cost of an uncontended acquire / release.
+    try_fail:
+        Cost of a failed ``try_lock`` (read + failed CAS, typically).
+    handoff:
+        Extra latency for waking a blocked waiter on release.
+    local_work:
+        Cost of a unit of thread-local computation (bookkeeping between
+        data-structure calls).
+    rng_draw:
+        Cost of drawing a random number (queue choices are on the
+        MultiQueue fast path, so this is modelled explicitly).
+    pq_base / pq_per_level:
+        Sequential priority-queue op cost: ``pq_base + pq_per_level *
+        log2(size + 2)`` — the binary-heap cost shape.
+    """
+
+    cas: float = 30.0
+    read: float = 4.0
+    write: float = 8.0
+    cache_transfer: float = 120.0
+    lock_acquire: float = 40.0
+    lock_release: float = 15.0
+    try_fail: float = 50.0
+    handoff: float = 60.0
+    local_work: float = 20.0
+    rng_draw: float = 15.0
+    pq_base: float = 40.0
+    pq_per_level: float = 25.0
+
+    def pq_op_cost(self, size: int) -> float:
+        """Cost of one push/pop on a sequential heap of ``size`` entries."""
+        return self.pq_base + self.pq_per_level * math.log2(size + 2)
+
+    def scaled(self, factor: float) -> "CostModel":
+        """A copy with every cost multiplied by ``factor`` (sensitivity
+        analysis in the ablation benches)."""
+        return CostModel(
+            **{name: getattr(self, name) * factor for name in self.__dataclass_fields__}
+        )
+
+    def with_contention(self, cache_transfer: float) -> "CostModel":
+        """A copy with a different cache-transfer cost (ablations)."""
+        fields = {name: getattr(self, name) for name in self.__dataclass_fields__}
+        fields["cache_transfer"] = cache_transfer
+        return CostModel(**fields)

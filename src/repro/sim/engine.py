@@ -1,0 +1,262 @@
+"""The event-driven simulation engine.
+
+Threads are generators yielding :mod:`~repro.sim.syscalls`; the engine
+keeps a time-ordered event heap, resumes threads with syscall results,
+charges costs from the :class:`~repro.sim.cost_model.CostModel`, and
+maintains lock wait queues.  Everything is deterministic given the
+spawned generators (ties broken by a monotonically increasing event
+sequence number).
+"""
+
+from __future__ import annotations
+
+import heapq
+from dataclasses import dataclass, field
+from typing import Any, Dict, Generator, List, Optional, Tuple
+
+from repro.sim.cost_model import CostModel
+from repro.sim.primitives import SimBarrier, SimCell, SimLock
+from repro.sim.syscalls import (
+    CAS,
+    Acquire,
+    BarrierWait,
+    Delay,
+    Read,
+    Release,
+    TryAcquire,
+    Write,
+    Yield,
+)
+
+
+@dataclass
+class ThreadStats:
+    """Lifecycle record for one simulated thread."""
+
+    tid: int
+    name: str
+    spawned_at: float
+    finished_at: Optional[float] = None
+    result: Any = None
+    resumes: int = 0
+
+    @property
+    def finished(self) -> bool:
+        """Whether the thread's generator has returned."""
+        return self.finished_at is not None
+
+
+class DeadlockError(RuntimeError):
+    """Raised when no events remain but threads are parked on locks."""
+
+
+class Engine:
+    """Deterministic discrete-event executor for simulated threads.
+
+    Example
+    -------
+    >>> from repro.sim import Engine, Delay
+    >>> def body():
+    ...     yield Delay(100)
+    ...     return "done"
+    >>> eng = Engine()
+    >>> tid = eng.spawn(body())
+    >>> eng.run()
+    >>> eng.stats[tid].result
+    'done'
+    >>> eng.now
+    100.0
+    """
+
+    def __init__(self, cost_model: Optional[CostModel] = None) -> None:
+        self.cost = cost_model or CostModel()
+        #: Current simulated time (cycles).
+        self.now = 0.0
+        self._heap: List[Tuple[float, int, int, Any]] = []
+        self._seq = 0
+        self._threads: Dict[int, Generator] = {}
+        #: Per-thread lifecycle stats, indexed by tid.
+        self.stats: Dict[int, ThreadStats] = {}
+        self._next_tid = 0
+        #: Threads parked on a lock's wait queue (tid -> lock).
+        self._parked: Dict[int, SimLock] = {}
+        self.events_processed = 0
+
+    # -- thread management ------------------------------------------------
+
+    def spawn(self, gen: Generator, name: str = "", start_time: Optional[float] = None) -> int:
+        """Register a thread generator; it first runs at ``start_time``
+        (default: current time).  Returns the thread id."""
+        tid = self._next_tid
+        self._next_tid += 1
+        self._threads[tid] = gen
+        self.stats[tid] = ThreadStats(
+            tid=tid, name=name or f"thread-{tid}", spawned_at=self.now
+        )
+        self._schedule(self.now if start_time is None else start_time, tid, None)
+        return tid
+
+    @property
+    def live_threads(self) -> int:
+        """Number of threads that have not finished."""
+        return sum(1 for s in self.stats.values() if not s.finished)
+
+    # -- main loop -----------------------------------------------------------
+
+    def run(self, until: Optional[float] = None, max_events: Optional[int] = None) -> None:
+        """Process events until the heap drains (or limits are hit).
+
+        ``until`` stops once simulated time would exceed it (the pending
+        event stays queued, so ``run`` can be called again).
+        ``max_events`` bounds the number of thread resumes.
+
+        Raises
+        ------
+        DeadlockError
+            If no runnable events remain while threads are parked on
+            locks (a genuine deadlock in the modelled algorithm).
+        """
+        processed = 0
+        while self._heap:
+            if max_events is not None and processed >= max_events:
+                return
+            time, _seq, tid, value = self._heap[0]
+            if until is not None and time > until:
+                return
+            heapq.heappop(self._heap)
+            self.now = time
+            self._resume(tid, value)
+            processed += 1
+            self.events_processed += 1
+        if self._parked:
+            parked = ", ".join(self.stats[t].name for t in sorted(self._parked))
+            raise DeadlockError(f"all events drained but threads parked: {parked}")
+
+    # -- internals -------------------------------------------------------------
+
+    def _schedule(self, time: float, tid: int, value: Any) -> None:
+        heapq.heappush(self._heap, (time, self._seq, tid, value))
+        self._seq += 1
+
+    def _resume(self, tid: int, value: Any) -> None:
+        gen = self._threads[tid]
+        stats = self.stats[tid]
+        stats.resumes += 1
+        try:
+            syscall = gen.send(value)
+        except StopIteration as stop:
+            stats.finished_at = self.now
+            stats.result = stop.value
+            del self._threads[tid]
+            return
+        self._handle(tid, syscall)
+
+    def _line_access(self, obj, tid: int, base_cost: float) -> float:
+        """Account one access to ``obj``'s cache line; returns finish time.
+
+        Cross-thread accesses pay the transfer penalty *and* queue behind
+        any in-flight transfer (``busy_until``): a contended line admits
+        roughly one ownership change per ``cache_transfer`` cycles, which
+        is the serialization that caps hot-spot scalability.  Same-owner
+        accesses are cheap and do not occupy the line.
+        """
+        cost = base_cost
+        start = self.now
+        foreign = obj.last_owner is not None and obj.last_owner != tid
+        if foreign:
+            start = max(start, obj.busy_until)
+            cost += self.cost.cache_transfer
+            obj.busy_until = start + self.cost.cache_transfer
+        obj.last_owner = tid
+        if isinstance(obj, SimCell):
+            obj.accesses += 1
+            if foreign:
+                obj.transfers += 1
+        return start + cost
+
+    def _handle(self, tid: int, syscall: Any) -> None:
+        cost = self.cost
+        now = self.now
+        if isinstance(syscall, Delay):
+            if syscall.cycles < 0:
+                raise ValueError(f"negative delay {syscall.cycles}")
+            self._schedule(now + syscall.cycles, tid, None)
+        elif isinstance(syscall, Yield):
+            self._schedule(now, tid, None)
+        elif isinstance(syscall, Read):
+            cell = syscall.cell
+            finish = self._line_access(cell, tid, cost.read)
+            self._schedule(finish, tid, cell.value)
+        elif isinstance(syscall, Write):
+            cell = syscall.cell
+            finish = self._line_access(cell, tid, cost.write)
+            cell.value = syscall.value
+            self._schedule(finish, tid, None)
+        elif isinstance(syscall, CAS):
+            cell = syscall.cell
+            finish = self._line_access(cell, tid, cost.cas)
+            success = cell.value == syscall.expected
+            if success:
+                cell.value = syscall.new
+            self._schedule(finish, tid, success)
+        elif isinstance(syscall, TryAcquire):
+            lock = syscall.lock
+            if lock.held_by is None:
+                finish = self._line_access(lock, tid, cost.lock_acquire)
+                lock.held_by = tid
+                lock.acquisitions += 1
+                self._schedule(finish, tid, True)
+            else:
+                # A failed try reads the (foreign, busy) lock word.
+                lock.failed_tries += 1
+                start = max(now, lock.busy_until)
+                self._schedule(start + cost.try_fail, tid, False)
+        elif isinstance(syscall, Acquire):
+            lock = syscall.lock
+            if lock.held_by is None:
+                finish = self._line_access(lock, tid, cost.lock_acquire)
+                lock.held_by = tid
+                lock.acquisitions += 1
+                self._schedule(finish, tid, None)
+            else:
+                lock.waiters.append(tid)
+                self._parked[tid] = lock
+        elif isinstance(syscall, BarrierWait):
+            barrier = syscall.barrier
+            if not isinstance(barrier, SimBarrier):
+                raise TypeError(f"BarrierWait target is not a SimBarrier: {barrier!r}")
+            barrier.waiting.append(tid)
+            self._parked[tid] = barrier
+            if len(barrier.waiting) == barrier.parties:
+                # Last arriver releases the generation; everyone pays the
+                # releasing store's transfer, the releaser a bit less.
+                release_time = now + cost.handoff + cost.cache_transfer
+                for index, waiter in enumerate(barrier.waiting):
+                    del self._parked[waiter]
+                    self._schedule(release_time, waiter, index)
+                barrier.waiting.clear()
+                barrier.generation += 1
+        elif isinstance(syscall, Release):
+            lock = syscall.lock
+            if lock.held_by != tid:
+                raise RuntimeError(
+                    f"thread {tid} released lock {lock.name!r} held by {lock.held_by}"
+                )
+            if lock.waiters:
+                waiter = lock.waiters.popleft()
+                del self._parked[waiter]
+                lock.held_by = waiter
+                lock.acquisitions += 1
+                finish = self._line_access(lock, waiter, cost.handoff)
+                self._schedule(finish, waiter, None)
+            else:
+                lock.held_by = None
+            self._schedule(now + cost.lock_release, tid, None)
+        else:
+            raise TypeError(f"unknown syscall {syscall!r} from thread {tid}")
+
+    def __repr__(self) -> str:
+        return (
+            f"Engine(now={self.now:.0f}, pending={len(self._heap)}, "
+            f"threads={self.live_threads})"
+        )

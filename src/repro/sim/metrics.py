@@ -1,0 +1,87 @@
+"""Contention metrics extracted from simulated runs.
+
+The engine's primitives already count accesses, transfers, acquisitions
+and failed tries; this module aggregates them into report rows so
+benches and debugging sessions can see *where* an algorithm's time went
+— e.g. the Lindén–Jonsson head cell's transfer ratio vs the MultiQueue's
+spread-out locks.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List
+
+from repro.sim.primitives import SimCell, SimLock
+
+
+def cell_report(cells: Iterable[SimCell]) -> List[Dict]:
+    """One row per cell: accesses, transfers, contention ratio."""
+    rows = []
+    for cell in cells:
+        rows.append(
+            {
+                "cell": cell.name or "<anon>",
+                "accesses": cell.accesses,
+                "transfers": cell.transfers,
+                "contention": cell.contention_ratio(),
+            }
+        )
+    return rows
+
+
+def lock_report(locks: Iterable[SimLock]) -> List[Dict]:
+    """One row per lock: acquisitions, failed tries, failure ratio."""
+    rows = []
+    for lock in locks:
+        rows.append(
+            {
+                "lock": lock.name or "<anon>",
+                "acquisitions": lock.acquisitions,
+                "failed_tries": lock.failed_tries,
+                "failure": lock.failure_ratio(),
+            }
+        )
+    return rows
+
+
+def hottest_cells(cells: Iterable[SimCell], top: int = 5) -> List[Dict]:
+    """The ``top`` cells by transfer count — the scalability suspects."""
+    if top <= 0:
+        raise ValueError(f"top must be positive, got {top}")
+    rows = cell_report(cells)
+    rows.sort(key=lambda r: r["transfers"], reverse=True)
+    return rows[:top]
+
+
+def contention_summary(model) -> Dict[str, float]:
+    """Aggregate contention stats for a concurrent model.
+
+    Walks the model's public-by-convention ``_locks``/``_tops``/simple
+    cell attributes and totals them.  Works for every model in
+    :mod:`repro.concurrent`; unknown models yield zeros.
+    """
+    locks: List[SimLock] = list(getattr(model, "_locks", []) or [])
+    shared_lock = getattr(model, "_shared_lock", None)
+    if isinstance(shared_lock, SimLock):
+        locks.append(shared_lock)
+    cells: List[SimCell] = list(getattr(model, "_tops", []) or [])
+    for attr in ("_head", "_shared_top"):
+        cell = getattr(model, attr, None)
+        if isinstance(cell, SimCell):
+            cells.append(cell)
+    cells.extend(getattr(model, "_regions", []) or [])
+
+    acq = sum(l.acquisitions for l in locks)
+    fail = sum(l.failed_tries for l in locks)
+    accesses = sum(c.accesses for c in cells)
+    transfers = sum(c.transfers for c in cells)
+    return {
+        "locks": len(locks),
+        "acquisitions": acq,
+        "failed_tries": fail,
+        "lock_failure_ratio": fail / (acq + fail) if (acq + fail) else 0.0,
+        "cells": len(cells),
+        "cell_accesses": accesses,
+        "cell_transfers": transfers,
+        "cell_contention_ratio": transfers / accesses if accesses else 0.0,
+    }

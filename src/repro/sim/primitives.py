@@ -1,0 +1,113 @@
+"""Shared-memory primitives tracked by the engine: cells and locks."""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Any, Deque, Optional
+
+
+class SimCell:
+    """An atomic shared memory word (register with CAS).
+
+    The engine charges a cache-transfer penalty whenever the accessing
+    thread differs from :attr:`last_owner` — the MESI-style ping-pong
+    that makes centralized counters and list heads scale badly.
+    """
+
+    __slots__ = ("value", "last_owner", "name", "accesses", "transfers", "busy_until")
+
+    def __init__(self, value: Any = None, name: str = "") -> None:
+        self.value = value
+        self.name = name
+        #: Thread id of the last accessor (None = untouched).
+        self.last_owner: Optional[int] = None
+        #: Total accesses (reads + writes + CAS attempts), for metrics.
+        self.accesses = 0
+        #: Accesses that paid a cache transfer, for metrics.
+        self.transfers = 0
+        #: Simulated time until which the cache line is mid-transfer.
+        #: Cross-thread accesses queue behind this — the serialization
+        #: that makes hot lines a scalability ceiling.
+        self.busy_until = 0.0
+
+    def contention_ratio(self) -> float:
+        """Fraction of accesses that crossed threads (0 = thread-private)."""
+        return self.transfers / self.accesses if self.accesses else 0.0
+
+    def __repr__(self) -> str:
+        label = f" {self.name!r}" if self.name else ""
+        return f"SimCell({label} value={self.value!r}, accesses={self.accesses})"
+
+
+class SimBarrier:
+    """A cyclic barrier for ``parties`` simulated threads.
+
+    Threads issue :class:`~repro.sim.syscalls.BarrierWait`; the last
+    arriver releases the whole generation (paying one handoff plus a
+    transfer, like a real barrier's releasing store).
+    """
+
+    __slots__ = ("parties", "waiting", "generation", "name")
+
+    def __init__(self, parties: int, name: str = "") -> None:
+        if parties <= 0:
+            raise ValueError(f"parties must be positive, got {parties}")
+        self.parties = parties
+        self.waiting: Deque[int] = deque()
+        #: Completed generations (full release cycles).
+        self.generation = 0
+        self.name = name
+
+    def __repr__(self) -> str:
+        label = f" {self.name!r}" if self.name else ""
+        return (
+            f"SimBarrier({label} parties={self.parties}, "
+            f"waiting={len(self.waiting)}, generation={self.generation})"
+        )
+
+
+class SimLock:
+    """A mutex with try-lock, blocking acquire, and FIFO handoff.
+
+    Ownership transfer between different threads pays the cache-transfer
+    penalty, like cells.  ``held_by`` is a thread id or ``None``.
+    """
+
+    __slots__ = (
+        "held_by",
+        "waiters",
+        "last_owner",
+        "name",
+        "acquisitions",
+        "failed_tries",
+        "busy_until",
+    )
+
+    def __init__(self, name: str = "") -> None:
+        self.held_by: Optional[int] = None
+        self.waiters: Deque[int] = deque()
+        self.last_owner: Optional[int] = None
+        self.name = name
+        #: Successful acquisitions, for metrics.
+        self.acquisitions = 0
+        #: Failed try_lock attempts, for metrics.
+        self.failed_tries = 0
+        #: Simulated time until which the lock word's line is mid-transfer.
+        self.busy_until = 0.0
+
+    @property
+    def locked(self) -> bool:
+        """Whether the lock is currently held."""
+        return self.held_by is not None
+
+    def failure_ratio(self) -> float:
+        """Failed tries / total attempts — the MultiQueue retry rate."""
+        total = self.acquisitions + self.failed_tries
+        return self.failed_tries / total if total else 0.0
+
+    def __repr__(self) -> str:
+        label = f" {self.name!r}" if self.name else ""
+        return (
+            f"SimLock({label} held_by={self.held_by}, "
+            f"waiters={len(self.waiters)}, acq={self.acquisitions})"
+        )

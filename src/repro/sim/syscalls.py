@@ -1,0 +1,105 @@
+"""Syscalls: the requests simulated threads yield to the engine.
+
+A simulated thread is a Python generator.  It runs real Python code
+(which executes atomically at a simulation instant) and yields syscall
+objects whenever simulated time must pass or shared state must be
+touched with cost/contention accounting.  The engine resumes the
+generator with the syscall's result (e.g. the value read, or whether a
+CAS/try-lock succeeded).
+
+Example
+-------
+A lock-protected critical section inside a thread body::
+
+    ok = yield TryAcquire(lock)
+    if ok:
+        ...mutate shared structure (atomic at this instant)...
+        yield Delay(cost_model.pq_op_cost(size))
+        yield Release(lock)
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, TYPE_CHECKING
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.sim.primitives import SimCell, SimLock
+
+
+@dataclass(frozen=True)
+class Delay:
+    """Advance this thread's clock by ``cycles`` (local computation)."""
+
+    cycles: float
+
+
+@dataclass(frozen=True)
+class Yield:
+    """Reschedule with zero delay (lets same-time events interleave)."""
+
+
+@dataclass(frozen=True)
+class Read:
+    """Atomically read ``cell.value``; result is the value."""
+
+    cell: "SimCell"
+
+
+@dataclass(frozen=True)
+class Write:
+    """Atomically set ``cell.value``; result is ``None``."""
+
+    cell: "SimCell"
+    value: Any
+
+
+@dataclass(frozen=True)
+class CAS:
+    """Compare-and-swap: if ``cell.value == expected`` install ``new``.
+
+    Result is ``True`` on success, ``False`` otherwise.  Cost is paid
+    either way; a cache transfer is charged when the cell was last
+    touched by another thread.
+    """
+
+    cell: "SimCell"
+    expected: Any
+    new: Any
+
+
+@dataclass(frozen=True)
+class TryAcquire:
+    """Non-blocking lock attempt; result is ``True`` iff acquired.
+
+    This is the MultiQueue's locking primitive: on failure the caller
+    re-picks a random queue rather than waiting.
+    """
+
+    lock: "SimLock"
+
+
+@dataclass(frozen=True)
+class Acquire:
+    """Blocking acquire: the thread parks until the lock is handed over."""
+
+    lock: "SimLock"
+
+
+@dataclass(frozen=True)
+class Release:
+    """Release a held lock; wakes the head waiter, if any."""
+
+    lock: "SimLock"
+
+
+@dataclass(frozen=True)
+class BarrierWait:
+    """Park until all parties of the barrier have arrived.
+
+    The result is the arrival index within the generation (0-based);
+    index ``parties - 1`` identifies the last arriver, which phase-
+    structured algorithms use as the leader for serial phase work.
+    """
+
+    barrier: "object"

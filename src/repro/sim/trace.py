@@ -1,0 +1,149 @@
+"""Execution tracing for the simulation engine.
+
+A :class:`Tracer` attached to an :class:`~repro.sim.engine.Engine`
+records every syscall with its timestamp, thread, and target object,
+enabling post-mortem queries ("who held this lock between t1 and t2?")
+and ASCII timeline rendering.  Tracing is opt-in and adds no cost when
+absent.
+
+Example
+-------
+>>> from repro.sim import Engine
+>>> from repro.sim.trace import Tracer
+>>> eng = Engine()
+>>> tracer = Tracer.attach(eng)
+... # spawn threads, eng.run()
+... # tracer.records, tracer.lock_timeline(lock), tracer.render_timeline()
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Dict, List, Optional, Tuple
+
+from repro.sim.engine import Engine
+from repro.sim.primitives import SimLock
+from repro.sim.syscalls import CAS, Acquire, Delay, Read, Release, TryAcquire, Write, Yield
+
+
+@dataclass(frozen=True)
+class TraceRecord:
+    """One traced syscall issue."""
+
+    time: float
+    tid: int
+    kind: str
+    target: str
+
+
+def _describe(syscall: Any) -> Tuple[str, str]:
+    """Map a syscall to (kind, target-name)."""
+    if isinstance(syscall, Delay):
+        return "delay", f"{syscall.cycles:g}"
+    if isinstance(syscall, Yield):
+        return "yield", ""
+    if isinstance(syscall, Read):
+        return "read", syscall.cell.name or "cell"
+    if isinstance(syscall, Write):
+        return "write", syscall.cell.name or "cell"
+    if isinstance(syscall, CAS):
+        return "cas", syscall.cell.name or "cell"
+    if isinstance(syscall, TryAcquire):
+        return "trylock", syscall.lock.name or "lock"
+    if isinstance(syscall, Acquire):
+        return "lock", syscall.lock.name or "lock"
+    if isinstance(syscall, Release):
+        return "unlock", syscall.lock.name or "lock"
+    return "unknown", repr(syscall)
+
+
+class Tracer:
+    """Records syscall issues from an engine it is attached to."""
+
+    def __init__(self, max_records: int = 1_000_000) -> None:
+        if max_records <= 0:
+            raise ValueError(f"max_records must be positive, got {max_records}")
+        self.records: List[TraceRecord] = []
+        self.max_records = max_records
+        self.dropped = 0
+
+    @classmethod
+    def attach(cls, engine: Engine, max_records: int = 1_000_000) -> "Tracer":
+        """Create a tracer and wrap ``engine``'s syscall handler."""
+        tracer = cls(max_records=max_records)
+        original_handle = engine._handle
+
+        def traced_handle(tid: int, syscall: Any) -> None:
+            tracer._record(engine.now, tid, syscall)
+            original_handle(tid, syscall)
+
+        engine._handle = traced_handle  # type: ignore[method-assign]
+        return tracer
+
+    def _record(self, time: float, tid: int, syscall: Any) -> None:
+        if len(self.records) >= self.max_records:
+            self.dropped += 1
+            return
+        kind, target = _describe(syscall)
+        self.records.append(TraceRecord(time=time, tid=tid, kind=kind, target=target))
+
+    # -- queries ----------------------------------------------------------
+
+    def by_thread(self, tid: int) -> List[TraceRecord]:
+        """All records issued by one thread, in order."""
+        return [r for r in self.records if r.tid == tid]
+
+    def by_kind(self, kind: str) -> List[TraceRecord]:
+        """All records of one syscall kind."""
+        return [r for r in self.records if r.kind == kind]
+
+    def lock_timeline(self, lock: SimLock) -> List[Tuple[float, int, str]]:
+        """(time, tid, event) sequence for one named lock."""
+        name = lock.name or "lock"
+        return [
+            (r.time, r.tid, r.kind)
+            for r in self.records
+            if r.target == name and r.kind in ("lock", "trylock", "unlock")
+        ]
+
+    def counts(self) -> Dict[str, int]:
+        """Records per syscall kind."""
+        out: Dict[str, int] = {}
+        for r in self.records:
+            out[r.kind] = out.get(r.kind, 0) + 1
+        return out
+
+    def render_timeline(
+        self, width: int = 72, kinds: Optional[List[str]] = None
+    ) -> str:
+        """Per-thread ASCII timeline: one lane per thread, one marker per
+        traced syscall, positioned by time."""
+        if not self.records:
+            return "(empty trace)"
+        markers = {
+            "delay": ".",
+            "yield": ",",
+            "read": "r",
+            "write": "w",
+            "cas": "C",
+            "trylock": "t",
+            "lock": "L",
+            "unlock": "u",
+        }
+        t_max = max(r.time for r in self.records) or 1.0
+        tids = sorted({r.tid for r in self.records})
+        lanes = {tid: [" "] * width for tid in tids}
+        for r in self.records:
+            if kinds is not None and r.kind not in kinds:
+                continue
+            col = min(int(r.time / t_max * (width - 1)), width - 1)
+            lanes[r.tid][col] = markers.get(r.kind, "?")
+        lines = [f"t={0:<8g}{'':{width - 18}}t={t_max:g}"]
+        for tid in tids:
+            lines.append(f"T{tid:<3}|{''.join(lanes[tid])}|")
+        legend = "  ".join(f"{m}={k}" for k, m in markers.items())
+        lines.append(legend)
+        return "\n".join(lines)
+
+    def __repr__(self) -> str:
+        return f"Tracer(records={len(self.records)}, dropped={self.dropped})"

@@ -1,0 +1,115 @@
+"""Fenwick tree (binary indexed tree) over a fixed integer index space.
+
+The rank bookkeeping at the heart of the reproduction — "what is the rank
+of this label among labels still present in any queue?" — is a dynamic
+prefix-count problem.  A Fenwick tree answers it in ``O(log M)`` per
+update/query, where ``M`` is the size of the label universe.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+
+class FenwickTree:
+    """A Fenwick (binary indexed) tree supporting point update / prefix sum.
+
+    Indices are 0-based externally and may range over ``[0, size)``.
+
+    Example
+    -------
+    >>> ft = FenwickTree(8)
+    >>> ft.add(3, 1)
+    >>> ft.add(5, 1)
+    >>> ft.prefix_sum(4)   # counts indices 0..4
+    1
+    >>> ft.prefix_sum(5)
+    2
+    """
+
+    __slots__ = ("_size", "_tree", "_total")
+
+    def __init__(self, size: int) -> None:
+        if size < 0:
+            raise ValueError(f"size must be non-negative, got {size}")
+        self._size = size
+        self._tree: List[int] = [0] * (size + 1)
+        self._total = 0
+
+    @property
+    def size(self) -> int:
+        """The size of the index universe."""
+        return self._size
+
+    @property
+    def total(self) -> int:
+        """Sum of all stored values (``prefix_sum(size - 1)``, but O(1))."""
+        return self._total
+
+    def add(self, index: int, delta: int = 1) -> None:
+        """Add ``delta`` to position ``index``."""
+        if not 0 <= index < self._size:
+            raise IndexError(f"index {index} out of range [0, {self._size})")
+        self._total += delta
+        i = index + 1
+        tree = self._tree
+        while i <= self._size:
+            tree[i] += delta
+            i += i & (-i)
+
+    def prefix_sum(self, index: int) -> int:
+        """Return the sum of positions ``0..index`` inclusive.
+
+        ``index == -1`` is allowed and returns 0.
+        """
+        if index >= self._size:
+            raise IndexError(f"index {index} out of range [-1, {self._size})")
+        s = 0
+        i = index + 1
+        tree = self._tree
+        while i > 0:
+            s += tree[i]
+            i -= i & (-i)
+        return s
+
+    def range_sum(self, lo: int, hi: int) -> int:
+        """Return the sum of positions ``lo..hi`` inclusive."""
+        if lo > hi:
+            return 0
+        return self.prefix_sum(hi) - (self.prefix_sum(lo - 1) if lo > 0 else 0)
+
+    def get(self, index: int) -> int:
+        """Return the value stored at ``index``."""
+        return self.range_sum(index, index)
+
+    def find_kth(self, k: int) -> int:
+        """Return the smallest index such that ``prefix_sum(index) >= k``.
+
+        ``k`` is 1-based: ``find_kth(1)`` locates the first non-zero
+        position when all values are 0/1 counts.  Raises ``ValueError``
+        if the total mass is less than ``k``.
+        """
+        if k <= 0:
+            raise ValueError(f"k must be positive, got {k}")
+        if k > self._total:
+            raise ValueError(f"k={k} exceeds total mass {self._total}")
+        pos = 0
+        remaining = k
+        # Highest power of two <= size.
+        bit = 1
+        while bit * 2 <= self._size:
+            bit *= 2
+        tree = self._tree
+        while bit > 0:
+            nxt = pos + bit
+            if nxt <= self._size and tree[nxt] < remaining:
+                pos = nxt
+                remaining -= tree[nxt]
+            bit //= 2
+        return pos  # 0-based index of the k-th unit
+
+    def __len__(self) -> int:
+        return self._size
+
+    def __repr__(self) -> str:
+        return f"FenwickTree(size={self._size}, total={self._total})"

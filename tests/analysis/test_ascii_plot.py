@@ -1,0 +1,75 @@
+"""Tests for ASCII charts."""
+
+import pytest
+
+from repro.analysis.ascii_plot import bar_chart, line_chart, sparkline
+
+
+class TestSparkline:
+    def test_monotone_ramp(self):
+        s = sparkline([1, 2, 4, 8])
+        assert len(s) == 4
+        assert s[0] == "▁" and s[-1] == "█"
+
+    def test_constant_series(self):
+        assert sparkline([5, 5, 5]) == "▁▁▁"
+
+    def test_empty(self):
+        assert sparkline([]) == ""
+
+    def test_downsampling(self):
+        s = sparkline(list(range(100)), width=10)
+        assert len(s) == 10
+        assert s[-1] == "█"
+
+
+class TestLineChart:
+    def test_contains_markers_and_legend(self):
+        out = line_chart([1, 2, 3], {"a": [1, 2, 3], "b": [3, 2, 1]}, title="demo")
+        assert "demo" in out
+        assert "o a" in out and "x b" in out
+        assert "o" in out and "x" in out
+
+    def test_axis_labels(self):
+        out = line_chart([0, 10], {"s": [5, 50]})
+        assert "50" in out
+        assert "10" in out
+
+    def test_logy(self):
+        out = line_chart([1, 2, 3], {"s": [1, 10, 100]}, logy=True)
+        assert "[log y]" in out
+        with pytest.raises(ValueError):
+            line_chart([1, 2], {"s": [0, 1]}, logy=True)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            line_chart([], {"s": []})
+        with pytest.raises(ValueError):
+            line_chart([1, 2], {"s": [1]})
+        with pytest.raises(ValueError):
+            line_chart([1, 2], {"s": [1, 2]}, width=4)
+
+    def test_flat_series_ok(self):
+        out = line_chart([1, 2], {"s": [7, 7]})
+        assert "7" in out
+
+
+class TestBarChart:
+    def test_bars_scale(self):
+        out = bar_chart(["a", "bb"], [1, 10], width=20)
+        lines = out.splitlines()
+        assert lines[0].count("#") < lines[1].count("#")
+        assert lines[1].count("#") == 20
+
+    def test_title(self):
+        assert bar_chart(["a"], [1], title="T").splitlines()[0] == "T"
+
+    def test_zero_values(self):
+        out = bar_chart(["z"], [0])
+        assert "0" in out
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            bar_chart(["a"], [1, 2])
+        with pytest.raises(ValueError):
+            bar_chart([], [])

@@ -1,0 +1,70 @@
+"""Tests for burn-in estimation and stationarity classification."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.convergence import drift_rate, estimate_burn_in, is_stationary
+from repro.core.process import SequentialProcess
+from repro.core.single_choice import SingleChoiceProcess
+
+
+class TestEstimateBurnIn:
+    def test_flat_series_converges_at_zero(self):
+        report = estimate_burn_in([5.0] * 200)
+        assert report.burn_in == 0
+        assert report.converged
+        assert report.reference_mean == pytest.approx(5.0)
+
+    def test_ramp_then_plateau(self):
+        series = list(np.linspace(100, 10, 100)) + [10.0] * 300
+        report = estimate_burn_in(series, n_windows=20, tolerance=0.1)
+        assert report.converged
+        assert 50 <= report.burn_in <= 140
+
+    def test_never_converging(self):
+        series = list(np.linspace(1, 100, 400))
+        report = estimate_burn_in(series, tolerance=0.05)
+        # A linear ramp only "settles" at the very end, if at all.
+        assert report.burn_in is None or report.burn_in > 200
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            estimate_burn_in([1.0] * 5, n_windows=20)
+        with pytest.raises(ValueError):
+            estimate_burn_in([1.0] * 100, tolerance=0.0)
+
+
+class TestStationarity:
+    def test_flat_is_stationary(self):
+        assert is_stationary([3.0] * 200)
+
+    def test_strong_drift_is_not(self):
+        assert not is_stationary(list(np.linspace(1, 100, 400)), tolerance=0.05)
+
+    def test_two_choice_process_stationary(self):
+        proc = SequentialProcess(8, 40000, beta=1.0, rng=3)
+        trace = proc.run_steady_state(12000, 12000)
+        assert is_stationary(trace.windowed_means(300), tolerance=0.35)
+
+    def test_single_choice_process_drifts(self):
+        proc = SingleChoiceProcess(8, 60000, rng=3)
+        trace = proc.run_steady_state(25000, 25000)
+        assert drift_rate(trace.windowed_means(500)) > 0.3
+
+
+class TestDriftRate:
+    def test_flat_zero(self):
+        assert drift_rate([5.0] * 100) == pytest.approx(0.0)
+
+    def test_positive_for_growth(self):
+        assert drift_rate(list(range(1, 101))) > 0.5
+
+    def test_negative_for_decay(self):
+        assert drift_rate(list(range(100, 0, -1))) < -0.5
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            drift_rate([1.0] * 4)
+
+    def test_zero_mean_guard(self):
+        assert drift_rate([-1.0, 1.0] * 10) == 0.0

@@ -1,0 +1,44 @@
+"""Tests for inversion counting."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.analysis.inversions import count_inversions, inversion_rate
+
+
+class TestCount:
+    def test_sorted_has_zero(self):
+        assert count_inversions([1, 2, 3, 4]) == 0
+
+    def test_reversed_has_max(self):
+        assert count_inversions([4, 3, 2, 1]) == 6
+
+    def test_single_swap(self):
+        assert count_inversions([2, 1, 3]) == 1
+
+    def test_duplicates_not_inverted(self):
+        assert count_inversions([1, 1, 1]) == 0
+
+    def test_empty_and_singleton(self):
+        assert count_inversions([]) == 0
+        assert count_inversions([5]) == 0
+
+
+class TestRate:
+    def test_bounds(self):
+        assert inversion_rate([1, 2, 3]) == 0.0
+        assert inversion_rate([3, 2, 1]) == 1.0
+        assert inversion_rate([7]) == 0.0
+
+    def test_half_sorted(self):
+        assert 0 < inversion_rate([2, 1, 4, 3]) < 0.5
+
+
+@settings(max_examples=80, deadline=None)
+@given(seq=st.lists(st.integers(-50, 50), max_size=80))
+def test_matches_quadratic_reference(seq):
+    reference = sum(
+        1 for i in range(len(seq)) for j in range(i + 1, len(seq)) if seq[i] > seq[j]
+    )
+    assert count_inversions(seq) == reference

@@ -1,0 +1,47 @@
+"""Tests for rank-series aggregation and time-uniformity reports."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.rank_series import aggregate_summaries, time_uniformity
+from repro.core.records import RankTrace
+
+
+class TestAggregate:
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            aggregate_summaries([])
+
+    def test_single_trace(self):
+        s = aggregate_summaries([RankTrace([1, 2, 3])])
+        assert s["runs"] == 1
+        assert s["mean_rank"] == pytest.approx(2.0)
+        assert s["mean_rank_std"] == 0.0
+        assert s["max_rank_worst"] == 3
+
+    def test_multiple_traces(self):
+        s = aggregate_summaries([RankTrace([2, 2]), RankTrace([4, 4])])
+        assert s["mean_rank"] == pytest.approx(3.0)
+        assert s["mean_rank_std"] == pytest.approx(np.std([2, 4], ddof=1))
+        assert s["max_rank_mean"] == pytest.approx(3.0)
+
+
+class TestTimeUniformity:
+    def test_flat_trace_uniform(self):
+        trace = RankTrace([5] * 100)
+        report = time_uniformity(trace)
+        assert report.growth_ratio == pytest.approx(1.0)
+        assert report.is_uniform()
+        assert "ratio" in repr(report)
+
+    def test_growing_trace_flagged(self):
+        trace = RankTrace(list(range(1, 101)))
+        report = time_uniformity(trace)
+        assert report.growth_ratio > 5
+        assert not report.is_uniform()
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            time_uniformity(RankTrace([1] * 100), window_fraction=0.9)
+        with pytest.raises(ValueError):
+            time_uniformity(RankTrace([1, 2, 3]))

@@ -1,0 +1,95 @@
+"""Tests for the statistics toolkit."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.analysis.stats import StreamingMoments, bootstrap_ci, linear_fit, loglog_slope
+
+
+class TestStreamingMoments:
+    def test_basic(self):
+        sm = StreamingMoments()
+        sm.update_many([1.0, 2.0, 3.0])
+        assert sm.mean == pytest.approx(2.0)
+        assert sm.variance == pytest.approx(1.0)
+        assert sm.std == pytest.approx(1.0)
+        assert sm.min == 1.0 and sm.max == 3.0
+        assert sm.count == 3
+
+    def test_empty_and_single(self):
+        sm = StreamingMoments()
+        assert sm.variance == 0.0
+        assert sm.stderr == 0.0
+        sm.update(5.0)
+        assert sm.variance == 0.0
+
+    def test_repr(self):
+        sm = StreamingMoments()
+        sm.update(1.0)
+        assert "n=1" in repr(sm)
+
+    @settings(max_examples=50, deadline=None)
+    @given(xs=st.lists(st.floats(-1e6, 1e6), min_size=2, max_size=100))
+    def test_matches_numpy(self, xs):
+        sm = StreamingMoments()
+        sm.update_many(xs)
+        assert sm.mean == pytest.approx(np.mean(xs), rel=1e-9, abs=1e-6)
+        assert sm.variance == pytest.approx(np.var(xs, ddof=1), rel=1e-6, abs=1e-4)
+
+
+class TestBootstrap:
+    def test_interval_contains_point(self):
+        data = np.random.default_rng(0).normal(10, 1, size=100)
+        point, lo, hi = bootstrap_ci(data, rng=1)
+        assert lo <= point <= hi
+        assert 9.5 < point < 10.5
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            bootstrap_ci([])
+        with pytest.raises(ValueError):
+            bootstrap_ci([1.0], confidence=1.5)
+
+    def test_deterministic(self):
+        data = [1.0, 2.0, 3.0, 4.0]
+        assert bootstrap_ci(data, rng=7) == bootstrap_ci(data, rng=7)
+
+
+class TestLinearFit:
+    def test_exact_line(self):
+        x = np.arange(10.0)
+        slope, intercept, r2 = linear_fit(x, 3 * x + 2)
+        assert slope == pytest.approx(3.0)
+        assert intercept == pytest.approx(2.0)
+        assert r2 == pytest.approx(1.0)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            linear_fit([1.0], [2.0])
+        with pytest.raises(ValueError):
+            linear_fit([1.0, 1.0], [2.0, 3.0])  # zero variance
+
+    def test_constant_y_r2_one(self):
+        _s, _i, r2 = linear_fit([1, 2, 3], [5, 5, 5])
+        assert r2 == pytest.approx(1.0)
+
+
+class TestLogLogSlope:
+    def test_power_law_recovered(self):
+        x = np.array([10, 100, 1000, 10000], dtype=float)
+        y = 3 * x**0.5
+        slope, r2 = loglog_slope(x, y)
+        assert slope == pytest.approx(0.5)
+        assert r2 == pytest.approx(1.0)
+
+    def test_drop_first(self):
+        x = np.array([1, 10, 100, 1000], dtype=float)
+        y = np.array([999, 10, 100, 1000], dtype=float)  # first point garbage
+        slope, _ = loglog_slope(x, y, drop_first=1)
+        assert slope == pytest.approx(1.0)
+
+    def test_rejects_nonpositive(self):
+        with pytest.raises(ValueError):
+            loglog_slope([0, 1], [1, 2])

@@ -1,0 +1,64 @@
+"""Tests for the theory-bound helpers."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.analysis.theory import (
+    avg_rank_bound,
+    divergence_prediction,
+    envelope_constant,
+    fit_scaling_exponent,
+    max_rank_bound,
+)
+
+
+class TestBounds:
+    def test_avg_rank_bound_values(self):
+        assert avg_rank_bound(8, 1.0) == 8.0
+        assert avg_rank_bound(8, 0.5) == 32.0
+
+    def test_avg_rank_validation(self):
+        with pytest.raises(ValueError):
+            avg_rank_bound(0, 1.0)
+        with pytest.raises(ValueError):
+            avg_rank_bound(8, 0.0)
+
+    def test_max_rank_bound_grows_with_n_and_shrinking_beta(self):
+        assert max_rank_bound(64, 1.0) > max_rank_bound(8, 1.0)
+        assert max_rank_bound(8, 0.25) > max_rank_bound(8, 1.0)
+
+    def test_max_rank_validation(self):
+        with pytest.raises(ValueError):
+            max_rank_bound(1, 1.0)
+        with pytest.raises(ValueError):
+            max_rank_bound(8, 2.0)
+
+    def test_divergence_prediction(self):
+        assert divergence_prediction(100, 8) == pytest.approx(
+            math.sqrt(100 * 8 * math.log(8))
+        )
+        with pytest.raises(ValueError):
+            divergence_prediction(-1, 8)
+        with pytest.raises(ValueError):
+            divergence_prediction(10, 1)
+
+
+class TestFits:
+    def test_linear_scaling(self):
+        ns = np.array([8, 16, 32, 64], dtype=float)
+        slope, r2 = fit_scaling_exponent(ns, 0.9 * ns)
+        assert slope == pytest.approx(1.0)
+        assert r2 > 0.999
+
+    def test_envelope_constant(self):
+        measurements = np.array([4.0, 10.0])
+        bounds = np.array([2.0, 4.0])
+        assert envelope_constant(measurements, bounds) == pytest.approx(2.5)
+
+    def test_envelope_validation(self):
+        with pytest.raises(ValueError):
+            envelope_constant([1.0], [1.0, 2.0])
+        with pytest.raises(ValueError):
+            envelope_constant([1.0], [0.0])

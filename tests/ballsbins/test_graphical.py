@@ -1,0 +1,65 @@
+"""Tests for graphical balanced allocation."""
+
+import numpy as np
+import pytest
+
+from repro.ballsbins.graphical import GraphicalAllocation
+from repro.graphs.generators import complete_graph, cycle_graph, random_regular_graph
+
+
+def _edges(graph):
+    return list(graph.edges())
+
+
+class TestConstruction:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            GraphicalAllocation(0, [(0, 1)])
+        with pytest.raises(ValueError):
+            GraphicalAllocation(4, [])
+        with pytest.raises(ValueError):
+            GraphicalAllocation(2, [(0, 5)])
+        with pytest.raises(ValueError):
+            GraphicalAllocation(2, [(0,)])  # malformed pair
+
+
+class TestAllocation:
+    def test_mass_conserved(self):
+        alloc = GraphicalAllocation(8, _edges(cycle_graph(8)), rng=1)
+        alloc.insert_many(400)
+        assert alloc.loads.sum() == 400
+        assert alloc.balls == 400
+
+    def test_gap_history(self):
+        alloc = GraphicalAllocation(8, _edges(cycle_graph(8)), rng=2)
+        steps, gaps = alloc.gap_history(2000, sample_every=500)
+        assert len(steps) == 4
+
+    def test_complete_graph_matches_two_choice_quality(self):
+        """Complete-graph allocation is classic two-choice: small gap."""
+        n, m = 16, 16000
+        alloc = GraphicalAllocation(n, _edges(complete_graph(n)), rng=3)
+        alloc.insert_many(m)
+        assert alloc.gap() < 8.0
+
+    def test_expansion_orders_gaps(self):
+        """Cycle (poor expander) accumulates a larger gap than a random
+        4-regular graph (good expander), which is worse than complete."""
+        n, m, reps = 24, 24000, 3
+        means = {}
+        for name, g in [
+            ("cycle", cycle_graph(n)),
+            ("regular", random_regular_graph(n, 4, rng=9)),
+            ("complete", complete_graph(n)),
+        ]:
+            gaps = []
+            for s in range(reps):
+                alloc = GraphicalAllocation(n, _edges(g), rng=50 + s)
+                alloc.insert_many(m)
+                gaps.append(alloc.gap())
+            means[name] = np.mean(gaps)
+        assert means["cycle"] > means["regular"] >= means["complete"] * 0.8
+
+    def test_repr(self):
+        alloc = GraphicalAllocation(4, [(0, 1)])
+        assert "n=4" in repr(alloc)

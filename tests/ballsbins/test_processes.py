@@ -1,0 +1,129 @@
+"""Tests for classical balls-into-bins processes."""
+
+import numpy as np
+import pytest
+
+from repro.ballsbins.processes import (
+    BallsIntoBins,
+    d_choice_loads,
+    gap,
+    gap_history,
+    one_choice_loads,
+    one_plus_beta_loads,
+    two_choice_loads,
+)
+
+
+class TestOneChoice:
+    def test_total_conserved(self):
+        loads = one_choice_loads(16, 1000, rng=1)
+        assert loads.sum() == 1000
+        assert len(loads) == 16
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            one_choice_loads(0, 10)
+        with pytest.raises(ValueError):
+            one_choice_loads(4, -1)
+
+    def test_zero_balls(self):
+        assert one_choice_loads(4, 0, rng=1).sum() == 0
+
+
+class TestDChoice:
+    def test_total_conserved(self):
+        loads = d_choice_loads(16, 1000, d=2, rng=2)
+        assert loads.sum() == 1000
+
+    def test_tie_break_modes(self):
+        for mode in ("random", "index"):
+            loads = d_choice_loads(8, 200, d=2, rng=3, tie_break=mode)
+            assert loads.sum() == 200
+        with pytest.raises(ValueError):
+            d_choice_loads(8, 10, tie_break="bogus")
+
+    def test_d_one_equals_one_choice_distributionally(self):
+        """d=1 is just uniform throwing; the gap grows like sqrt(m/n)."""
+        loads = d_choice_loads(16, 4000, d=1, rng=4)
+        assert loads.sum() == 4000
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            d_choice_loads(0, 10)
+        with pytest.raises(ValueError):
+            d_choice_loads(4, 10, d=0)
+
+    def test_two_choice_gap_much_smaller_than_one_choice(self):
+        """The power of two choices, heavily loaded: gap(2-choice) stays
+        tiny while gap(1-choice) ~ sqrt(m log n / n)."""
+        n, m = 32, 64000
+        g1 = gap(one_choice_loads(n, m, rng=5))
+        g2 = gap(two_choice_loads(n, m, rng=5))
+        assert g2 < g1 / 4
+        assert g2 < 8.0
+
+
+class TestOnePlusBeta:
+    def test_total_conserved(self):
+        loads = one_plus_beta_loads(16, 2000, beta=0.5, rng=6)
+        assert loads.sum() == 2000
+
+    def test_beta_interpolates_gap(self):
+        """gap(beta=0) > gap(beta=0.5) > gap(beta=1), on average."""
+        n, m, reps = 16, 16000, 5
+        gaps = {b: [] for b in (0.0, 0.5, 1.0)}
+        for b in gaps:
+            for s in range(reps):
+                gaps[b].append(gap(one_plus_beta_loads(n, m, beta=b, rng=100 + s)))
+        assert np.mean(gaps[0.0]) > np.mean(gaps[0.5]) > np.mean(gaps[1.0])
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            one_plus_beta_loads(8, 10, beta=1.5)
+
+
+class TestGapHistory:
+    def test_shapes(self):
+        steps, gaps = gap_history(8, 5000, rng=7, sample_every=1000)
+        assert len(steps) == len(gaps) == 5
+        assert steps[-1] == 5000
+
+    def test_one_choice_gap_grows_two_choice_flat(self):
+        steps1, gaps1 = gap_history(16, 40000, d=1, rng=8, sample_every=4000)
+        steps2, gaps2 = gap_history(16, 40000, d=2, rng=8, sample_every=4000)
+        assert gaps1[-1] > 3 * gaps2[-1]
+        assert gaps2[-1] < 8.0
+
+
+class TestLongLived:
+    def test_step_conserves_total(self):
+        proc = BallsIntoBins(8, rng=9)
+        proc.run(steps=500, prefill=400)
+        assert proc.loads.sum() == 400
+        assert proc.steps == 500
+
+    def test_delete_on_empty_returns_none(self):
+        proc = BallsIntoBins(4, rng=10)
+        assert proc.delete_uniform() is None
+
+    def test_insert_returns_bin(self):
+        proc = BallsIntoBins(4, rng=11)
+        b = proc.insert()
+        assert 0 <= b < 4
+        assert proc.loads.sum() == 1
+
+    def test_heavily_loaded_gap_stays_bounded(self):
+        proc = BallsIntoBins(16, d=2, beta=1.0, rng=12)
+        proc.run(steps=20000, prefill=1600)
+        assert proc.gap() < 10.0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            BallsIntoBins(0)
+        with pytest.raises(ValueError):
+            BallsIntoBins(4, d=0)
+        with pytest.raises(ValueError):
+            BallsIntoBins(4, beta=2.0)
+
+    def test_repr(self):
+        assert "n=4" in repr(BallsIntoBins(4))

@@ -1,0 +1,65 @@
+"""Tests for weighted balls-into-bins."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.ballsbins.weighted import (
+    WeightedBallsIntoBins,
+    exponential_weight_gap,
+    exponential_weights,
+    uniform_weights,
+    unit_weights,
+)
+
+
+class TestSamplers:
+    def test_exponential_mean_about_one(self, rng):
+        w = exponential_weights(rng, 20000)
+        assert abs(w.mean() - 1.0) < 0.05
+
+    def test_uniform_bounds(self, rng):
+        w = uniform_weights(rng, 1000)
+        assert w.min() >= 0 and w.max() <= 2
+
+    def test_unit_constant(self, rng):
+        assert np.all(unit_weights(rng, 10) == 1.0)
+
+
+class TestProcess:
+    def test_mass_conserved(self):
+        proc = WeightedBallsIntoBins(8, weight_sampler=unit_weights, rng=1)
+        proc.insert_many(500)
+        assert proc.loads.sum() == pytest.approx(500)
+        assert proc.balls == 500
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            WeightedBallsIntoBins(0)
+        with pytest.raises(ValueError):
+            WeightedBallsIntoBins(4, beta=-0.5)
+
+    def test_gap_history_shapes(self):
+        proc = WeightedBallsIntoBins(8, rng=2)
+        steps, gaps = proc.gap_history(3000, sample_every=1000)
+        assert list(steps) == [1000, 2000, 3000]
+        assert len(gaps) == 3
+
+    def test_exponential_two_choice_gap_order_log_n(self):
+        """[30, Example 2]: expected gap Theta(log n) with Exp(1) weights
+        under two-choice — the tightness engine for Theta(n log n)."""
+        n = 32
+        gaps = [exponential_weight_gap(n, 32 * n * 20, beta=1.0, rng=s) for s in range(5)]
+        mean_gap = float(np.mean(gaps))
+        # Theta(log n) with modest constants: log(32) ~ 3.5.
+        assert 0.5 * math.log(n) < mean_gap < 6 * math.log(n)
+
+    def test_one_choice_weighted_gap_larger(self):
+        n, m = 16, 16 * 400
+        g_one = np.mean([exponential_weight_gap(n, m, beta=0.0, rng=s) for s in range(4)])
+        g_two = np.mean([exponential_weight_gap(n, m, beta=1.0, rng=s) for s in range(4)])
+        assert g_one > g_two
+
+    def test_repr(self):
+        assert "n=8" in repr(WeightedBallsIntoBins(8))

@@ -1,0 +1,53 @@
+"""Tests for the experiment harness."""
+
+import numpy as np
+import pytest
+
+from repro.bench.harness import ExperimentResult, run_seeds, sweep
+
+
+class TestExperimentResult:
+    def test_column_extraction(self):
+        res = ExperimentResult("demo", rows=[{"x": 1}, {"x": 2}])
+        assert list(res.column("x")) == [1, 2]
+        assert "demo" in repr(res)
+
+
+class TestRunSeeds:
+    def test_runs_each_seed(self):
+        outputs = run_seeds(lambda s: s * 2, [1, 2, 3])
+        assert outputs == [2, 4, 6]
+
+    def test_empty_seeds_rejected(self):
+        with pytest.raises(ValueError):
+            run_seeds(lambda s: s, [])
+
+
+class TestSweep:
+    def test_averages_numeric_outputs(self):
+        def fn(n, seed):
+            return {"value": n * 10 + seed, "tag": f"n{n}"}
+
+        rows = sweep(fn, "n", [1, 2], seeds=[0, 2])
+        assert rows[0]["n"] == 1
+        assert rows[0]["value"] == pytest.approx(11.0)  # mean of 10, 12
+        assert rows[0]["tag"] == "n1"  # non-numeric from first seed
+        assert rows[1]["value"] == pytest.approx(21.0)
+
+    def test_median_reduce(self):
+        def fn(n, seed):
+            return {"value": seed}
+
+        rows = sweep(fn, "n", [1], seeds=[0, 1, 100], reduce="median")
+        assert rows[0]["value"] == 1.0
+
+    def test_unknown_reduce(self):
+        with pytest.raises(ValueError):
+            sweep(lambda n, seed: {}, "n", [1], seeds=[0], reduce="max")
+
+    def test_fixed_kwargs_passed(self):
+        def fn(n, seed, offset):
+            return {"value": n + offset}
+
+        rows = sweep(fn, "n", [1], seeds=[0], offset=100)
+        assert rows[0]["value"] == 101.0

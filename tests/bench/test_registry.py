@@ -1,0 +1,43 @@
+"""Tests for the experiment registry."""
+
+import pathlib
+
+import pytest
+
+from repro.bench.registry import all_experiments, coverage_report, get_experiment
+
+REPO_ROOT = pathlib.Path(__file__).resolve().parents[2]
+
+
+class TestRegistry:
+    def test_all_experiments_nonempty(self):
+        specs = all_experiments()
+        assert len(specs) >= 20
+        assert len({s.experiment_id for s in specs}) == len(specs)  # unique ids
+
+    def test_get_experiment(self):
+        spec = get_experiment("fig1")
+        assert spec.paper_ref == "Figure 1"
+        with pytest.raises(KeyError):
+            get_experiment("nope")
+
+    def test_every_bench_file_exists(self):
+        """The registry must not drift from the benchmarks directory."""
+        bench_dir = REPO_ROOT / "benchmarks"
+        for spec in all_experiments():
+            assert (bench_dir / spec.bench_file).exists(), spec.bench_file
+
+    def test_every_bench_file_registered(self):
+        """Conversely, every bench file must be in the registry."""
+        bench_dir = REPO_ROOT / "benchmarks"
+        registered = {s.bench_file for s in all_experiments()}
+        on_disk = {p.name for p in bench_dir.glob("test_*.py")}
+        assert on_disk == registered
+
+    def test_coverage_report_rows(self):
+        rows = coverage_report(REPO_ROOT)
+        assert len(rows) == len(all_experiments())
+        assert all(r["bench exists"] for r in rows)
+
+    def test_result_name_derivation(self):
+        assert get_experiment("fig1").result_name == "fig1_throughput"

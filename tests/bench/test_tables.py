@@ -1,0 +1,50 @@
+"""Tests for table formatting."""
+
+import pytest
+
+from repro.bench.tables import format_series, format_table
+
+
+class TestFormatTable:
+    def test_empty(self):
+        assert "(no rows)" in format_table([])
+        assert "title" in format_table([], title="title")
+
+    def test_alignment_and_title(self):
+        out = format_table(
+            [{"n": 8, "rank": 6.5}, {"n": 128, "rank": 100.25}], title="Theorem 1"
+        )
+        lines = out.splitlines()
+        assert lines[0] == "Theorem 1"
+        assert "n" in lines[1] and "rank" in lines[1]
+        assert len(lines) == 5
+
+    def test_column_selection_and_order(self):
+        rows = [{"a": 1, "b": 2, "c": 3}]
+        out = format_table(rows, columns=["c", "a"])
+        header = out.splitlines()[0]
+        assert "c" in header and "a" in header and "b" not in header
+        assert header.index("c") < header.index("a")
+
+    def test_missing_keys_blank(self):
+        out = format_table([{"a": 1}, {"b": 2}], columns=["a", "b"])
+        assert out  # no crash
+
+    def test_floatfmt(self):
+        out = format_table([{"x": 1.23456}], floatfmt=".4f")
+        assert "1.2346" in out
+
+    def test_bools_render_as_words(self):
+        out = format_table([{"ok": True}])
+        assert "True" in out
+
+
+class TestFormatSeries:
+    def test_basic(self):
+        out = format_series([1, 2], [10.0, 20.0], x_label="t", y_label="rank")
+        assert "t" in out and "rank" in out
+        assert "10.00" in out
+
+    def test_length_mismatch(self):
+        with pytest.raises(ValueError):
+            format_series([1], [1, 2])

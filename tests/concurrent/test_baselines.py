@@ -1,0 +1,150 @@
+"""Tests for the baseline models: Lindén–Jonsson, k-LSM, SprayList."""
+
+import numpy as np
+import pytest
+
+from repro.concurrent.klsm import KLSMPQ
+from repro.concurrent.linden_jonsson import LindenJonssonPQ
+from repro.concurrent.recorder import OpRecorder
+from repro.concurrent.spraylist import SprayListPQ
+from repro.sim.engine import Engine
+from repro.sim.workload import AlternatingWorkload, run_throughput_experiment
+
+
+def _drive(gen, engine):
+    tid = engine.spawn(gen)
+    engine.run()
+    return engine.stats[tid].result
+
+
+class TestLindenJonsson:
+    def test_round_trip(self):
+        eng = Engine()
+        rec = OpRecorder()
+        model = LindenJonssonPQ(eng, rng=1, recorder=rec)
+        _drive(model.insert_op(0, 5), eng)
+        assert model.total_size() == 1
+        result = _drive(model.delete_min_op(0), eng)
+        assert result[0] == 5
+        assert model.total_size() == 0
+
+    def test_strict_semantics_zero_rank_error(self):
+        """LJ is an exact queue: every removal has rank 1."""
+        eng = Engine()
+        rec = OpRecorder()
+        model = LindenJonssonPQ(eng, rng=2, recorder=rec)
+        model.prefill(np.random.default_rng(0).integers(1000, size=500))
+        AlternatingWorkload(model, 4, 200, rng=3).spawn_on(eng)
+        eng.run()
+        trace = rec.rank_trace()
+        assert trace.max_rank() == 1
+        assert rec.inversion_count() == 0
+
+    def test_delete_on_empty_returns_none(self):
+        eng = Engine()
+        model = LindenJonssonPQ(eng, rng=4)
+        assert _drive(model.delete_min_op(0), eng) is None
+
+    def test_head_cell_contention_recorded(self):
+        eng = Engine()
+        model = LindenJonssonPQ(eng, rng=5)
+        model.prefill(range(500))
+        AlternatingWorkload(model, 8, 60, rng=6).spawn_on(eng)
+        eng.run()
+        assert model._head.transfers > 100  # the hot line really is hot
+
+    def test_does_not_scale(self):
+        """Throughput at 8 threads is below ~2x of 1 thread (the paper's
+        Figure 1 shape: LJ flattens/declines under contention)."""
+
+        def lj(engine, rng):
+            return LindenJonssonPQ(engine, rng=rng)
+
+        t1 = run_throughput_experiment(lj, 1, 200, prefill=2000, seed=7).throughput
+        t8 = run_throughput_experiment(lj, 8, 200, prefill=2000, seed=7).throughput
+        assert t8 < 2.0 * t1
+
+
+class TestKLSM:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            KLSMPQ(Engine(), relaxation=0)
+
+    def test_round_trip(self):
+        eng = Engine()
+        model = KLSMPQ(eng, relaxation=8, rng=1)
+        _drive(model.insert_op(0, 9), eng)
+        result = _drive(model.delete_min_op(0), eng)
+        assert result[0] == 9
+        assert model.total_size() == 0
+
+    def test_local_component_merges_when_full(self):
+        eng = Engine()
+        model = KLSMPQ(eng, relaxation=4, rng=2)
+        for v in range(10):
+            _drive(model.insert_op(0, v), eng)
+        # After exceeding relaxation=4, some elements moved to shared.
+        assert len(model._shared) > 0
+        assert model.total_size() == 10
+
+    def test_rank_error_bounded_by_relaxation(self):
+        """Rank slack comes from elements hidden in other threads'
+        locals: bounded by ~k * threads."""
+        eng = Engine()
+        rec = OpRecorder()
+        k, threads = 16, 4
+        model = KLSMPQ(eng, relaxation=k, rng=3, recorder=rec)
+        model.prefill(np.random.default_rng(1).integers(10**6, size=2000))
+        AlternatingWorkload(model, threads, 300, rng=4).spawn_on(eng)
+        eng.run()
+        trace = rec.rank_trace()
+        assert trace.max_rank() <= k * threads + threads + 1
+
+    def test_delete_on_empty_returns_none(self):
+        eng = Engine()
+        model = KLSMPQ(eng, rng=5)
+        assert _drive(model.delete_min_op(0), eng) is None
+
+    def test_no_lost_elements(self):
+        eng = Engine()
+        rec = OpRecorder()
+        model = KLSMPQ(eng, relaxation=32, rng=6, recorder=rec)
+        model.prefill(range(100))
+        AlternatingWorkload(model, 4, 100, rng=7).spawn_on(eng)
+        eng.run()
+        assert model.total_size() == 100
+
+
+class TestSprayList:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            SprayListPQ(Engine(), n_threads=0)
+
+    def test_round_trip(self):
+        eng = Engine()
+        model = SprayListPQ(eng, n_threads=1, rng=1)
+        _drive(model.insert_op(0, 3), eng)
+        result = _drive(model.delete_min_op(0), eng)
+        assert result[0] == 3
+
+    def test_spray_width_grows_with_threads(self):
+        eng = Engine()
+        w1 = SprayListPQ(eng, n_threads=1).spray_width
+        w16 = SprayListPQ(eng, n_threads=16).spray_width
+        assert w16 > w1
+
+    def test_rank_error_within_spray_window(self):
+        eng = Engine()
+        rec = OpRecorder()
+        threads = 4
+        model = SprayListPQ(eng, n_threads=threads, rng=2, recorder=rec)
+        model.prefill(np.random.default_rng(2).integers(10**6, size=2000))
+        AlternatingWorkload(model, threads, 300, rng=3).spawn_on(eng)
+        eng.run()
+        trace = rec.rank_trace()
+        assert trace.max_rank() <= model.spray_width + threads
+
+    def test_delete_on_empty_returns_none(self):
+        eng = Engine()
+        model = SprayListPQ(eng, n_threads=2, rng=4)
+        assert _drive(model.delete_min_op(0), eng) is None

@@ -1,0 +1,92 @@
+"""Tests for history validation, including stress runs of every model."""
+
+import numpy as np
+import pytest
+
+from repro.concurrent import (
+    ConcurrentMultiQueue,
+    KLSMPQ,
+    LindenJonssonPQ,
+    OpRecorder,
+    SprayListPQ,
+)
+from repro.concurrent.recorder import HistoryError
+from repro.sim.engine import Engine
+from repro.sim.workload import AlternatingWorkload
+
+
+class TestValidateUnit:
+    def test_valid_history_passes(self):
+        rec = OpRecorder()
+        e = rec.new_element(5)
+        rec.record_insert(0.0, e)
+        rec.record_remove(1.0, e)
+        rec.validate()
+
+    def test_unknown_eid(self):
+        rec = OpRecorder()
+        rec.record_insert(0.0, 3)
+        with pytest.raises(HistoryError, match="unknown element"):
+            rec.validate()
+
+    def test_remove_before_insert(self):
+        rec = OpRecorder()
+        e = rec.new_element(1)
+        rec.record_remove(0.0, e)
+        with pytest.raises(HistoryError, match="absent"):
+            rec.validate()
+
+    def test_double_remove(self):
+        rec = OpRecorder()
+        e = rec.new_element(1)
+        rec.record_insert(0.0, e)
+        rec.record_remove(1.0, e)
+        rec.record_remove(2.0, e)
+        with pytest.raises(HistoryError, match="already removed"):
+            rec.validate()
+
+    def test_double_insert(self):
+        rec = OpRecorder()
+        e = rec.new_element(1)
+        rec.record_insert(0.0, e)
+        rec.record_insert(1.0, e)
+        with pytest.raises(HistoryError, match="re-inserted"):
+            rec.validate()
+
+    def test_time_regression(self):
+        rec = OpRecorder()
+        a, b = rec.new_element(1), rec.new_element(2)
+        rec.record_insert(5.0, a)
+        rec.record_insert(1.0, b)
+        with pytest.raises(HistoryError, match="precedes"):
+            rec.validate()
+
+
+class TestModelsProduceValidHistories:
+    """Every concurrent model must produce a valid history under stress."""
+
+    @pytest.mark.parametrize("which", ["mq", "mq-sticky", "mq-both", "lj", "klsm", "spray"])
+    def test_stress_history_valid(self, which):
+        eng = Engine()
+        rec = OpRecorder()
+        threads = 6
+        if which == "mq":
+            model = ConcurrentMultiQueue(eng, 8, rng=1, recorder=rec)
+        elif which == "mq-sticky":
+            model = ConcurrentMultiQueue(eng, 8, rng=1, recorder=rec, stickiness=8)
+        elif which == "mq-both":
+            model = ConcurrentMultiQueue(
+                eng, 8, rng=1, recorder=rec, delete_locking="both"
+            )
+        elif which == "lj":
+            model = LindenJonssonPQ(eng, rng=1, recorder=rec)
+        elif which == "klsm":
+            model = KLSMPQ(eng, relaxation=16, rng=1, recorder=rec)
+        else:
+            model = SprayListPQ(eng, n_threads=threads, rng=1, recorder=rec)
+        model.prefill(np.random.default_rng(0).integers(2**30, size=500))
+        AlternatingWorkload(model, threads, 200, rng=2).spawn_on(eng)
+        eng.run()
+        rec.validate()
+        ins, rem = rec.counts()
+        assert ins - rem == model.total_size()

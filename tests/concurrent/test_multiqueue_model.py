@@ -1,0 +1,127 @@
+"""Tests for the concurrent MultiQueue model."""
+
+import numpy as np
+import pytest
+
+from repro.concurrent.multiqueue import ConcurrentMultiQueue
+from repro.concurrent.recorder import OpRecorder
+from repro.sim.engine import Engine
+from repro.sim.workload import AlternatingWorkload
+
+
+def _drive(gen, engine):
+    """Spawn a single op generator and run it to completion."""
+    tid = engine.spawn(gen)
+    engine.run()
+    return engine.stats[tid].result
+
+
+class TestConstruction:
+    def test_validation(self):
+        eng = Engine()
+        with pytest.raises(ValueError):
+            ConcurrentMultiQueue(eng, 0)
+        with pytest.raises(ValueError):
+            ConcurrentMultiQueue(eng, 4, beta=1.5)
+
+    def test_prefill_distributes(self):
+        eng = Engine()
+        model = ConcurrentMultiQueue(eng, 4, rng=1)
+        model.prefill(range(100))
+        assert model.total_size() == 100
+        assert sum(len(h) for h in model._heaps) == 100
+
+
+class TestSingleThreadOps:
+    def test_insert_then_delete_round_trip(self):
+        eng = Engine()
+        rec = OpRecorder()
+        model = ConcurrentMultiQueue(eng, 4, rng=2, recorder=rec)
+        eid = _drive(model.insert_op(0, 42), eng)
+        assert model.total_size() == 1
+        result = _drive(model.delete_min_op(0), eng)
+        assert result == (42, eid)
+        assert model.total_size() == 0
+        assert list(rec.rank_trace().ranks) == [1]
+
+    def test_delete_on_empty_returns_none(self):
+        eng = Engine()
+        model = ConcurrentMultiQueue(eng, 4, rng=3)
+        assert _drive(model.delete_min_op(0), eng) is None
+
+    def test_top_cells_track_heap_tops(self):
+        eng = Engine()
+        model = ConcurrentMultiQueue(eng, 2, rng=4)
+        for v in (7, 3, 9, 1):
+            _drive(model.insert_op(0, v), eng)
+        for q in range(2):
+            heap = model._heaps[q]
+            expected = heap.peek().priority if len(heap) else None
+            assert model._tops[q].value == expected
+
+    def test_single_choice_beta_zero(self):
+        eng = Engine()
+        model = ConcurrentMultiQueue(eng, 4, beta=0.0, rng=5)
+        model.prefill(range(40))
+        result = _drive(model.delete_min_op(0), eng)
+        assert result is not None
+
+    def test_hold_locks_blocks_queues(self):
+        """While the adversary holds locks 0..1, deletions still complete
+        via other queues."""
+        eng = Engine()
+        model = ConcurrentMultiQueue(eng, 4, rng=6)
+        model.prefill(range(100))
+
+        def victim():
+            out = []
+            for _ in range(10):
+                res = yield from model.delete_min_op(0)
+                out.append(res)
+            return out
+
+        eng.spawn(model.hold_locks_op([0, 1], duration=1e7))
+        vid = eng.spawn(victim())
+        eng.run()
+        results = eng.stats[vid].result
+        assert all(r is not None for r in results)
+        # Everything was popped from unlocked queues 2..3.
+        assert model._locks[0].acquisitions <= 1  # only the adversary
+        assert model._locks[1].acquisitions <= 1
+
+
+class TestConcurrentBehaviour:
+    def test_no_lost_elements_under_contention(self):
+        eng = Engine()
+        rec = OpRecorder()
+        model = ConcurrentMultiQueue(eng, 4, rng=7, recorder=rec)
+        model.prefill(np.arange(100))
+        AlternatingWorkload(model, 6, 80, rng=8).spawn_on(eng)
+        eng.run()
+        ins, rem = rec.counts()
+        assert ins == 100 + 6 * 80
+        assert rem == 6 * 80
+        assert model.total_size() == 100
+
+    def test_rank_quality_order_n(self):
+        eng = Engine()
+        rec = OpRecorder()
+        n_queues = 8
+        model = ConcurrentMultiQueue(eng, n_queues, beta=1.0, rng=9, recorder=rec)
+        model.prefill(np.random.default_rng(1).integers(2**40, size=10000))
+        AlternatingWorkload(model, 4, 1500, rng=10).spawn_on(eng)
+        eng.run()
+        trace = rec.rank_trace()
+        assert trace.mean_rank() < 3 * n_queues
+
+    def test_lock_failure_ratio_bounded(self):
+        eng = Engine()
+        model = ConcurrentMultiQueue(eng, 16, rng=11)
+        model.prefill(range(1000))
+        AlternatingWorkload(model, 8, 100, rng=12).spawn_on(eng)
+        eng.run()
+        assert 0 <= model.lock_failure_ratio() < 0.5
+
+    def test_repr(self):
+        eng = Engine()
+        assert "n_queues=4" in repr(ConcurrentMultiQueue(eng, 4, rng=1))

@@ -1,0 +1,82 @@
+"""Tests for the operation recorder and offline rank computation."""
+
+import pytest
+
+from repro.concurrent.recorder import OpRecorder
+
+
+class TestRecording:
+    def test_new_element_ids_sequential(self):
+        rec = OpRecorder()
+        assert rec.new_element(10) == 0
+        assert rec.new_element(5) == 1
+        assert rec.n_elements == 2
+
+    def test_counts(self):
+        rec = OpRecorder()
+        e = rec.new_element(1)
+        rec.record_insert(0.0, e)
+        rec.record_remove(1.0, e)
+        assert rec.counts() == (1, 1)
+
+    def test_events_property_is_copy(self):
+        rec = OpRecorder()
+        e = rec.new_element(1)
+        rec.record_insert(0.0, e)
+        events = rec.events
+        events.clear()
+        assert len(rec.events) == 1
+
+
+class TestRankTrace:
+    def test_in_order_removals_rank_one(self):
+        rec = OpRecorder()
+        ids = [rec.new_element(p) for p in (3, 1, 2)]
+        for e in ids:
+            rec.record_insert(0.0, e)
+        # Remove in priority order: 1, 2, 3.
+        for e in (ids[1], ids[2], ids[0]):
+            rec.record_remove(1.0, e)
+        assert list(rec.rank_trace().ranks) == [1, 1, 1]
+        assert rec.inversion_count() == 0
+
+    def test_out_of_order_removal_pays_rank(self):
+        rec = OpRecorder()
+        ids = [rec.new_element(p) for p in (1, 2, 3)]
+        for e in ids:
+            rec.record_insert(0.0, e)
+        rec.record_remove(1.0, ids[2])  # removes 3 while 1,2 present: rank 3
+        rec.record_remove(2.0, ids[0])  # removes 1: rank 1
+        rec.record_remove(3.0, ids[1])  # removes 2: rank 1
+        assert list(rec.rank_trace().ranks) == [3, 1, 1]
+        assert rec.inversion_count() == 2
+
+    def test_equal_priorities_tie_break_by_eid(self):
+        rec = OpRecorder()
+        a = rec.new_element(5)
+        b = rec.new_element(5)
+        rec.record_insert(0.0, a)
+        rec.record_insert(0.0, b)
+        rec.record_remove(1.0, b)  # b sorts after a: rank 2
+        rec.record_remove(2.0, a)
+        assert list(rec.rank_trace().ranks) == [2, 1]
+
+    def test_interleaved_insert_remove(self):
+        rec = OpRecorder()
+        a = rec.new_element(10)
+        rec.record_insert(0.0, a)
+        rec.record_remove(1.0, a)
+        b = rec.new_element(1)
+        rec.record_insert(2.0, b)
+        rec.record_remove(3.0, b)
+        assert list(rec.rank_trace().ranks) == [1, 1]
+
+    def test_empty_recorder(self):
+        rec = OpRecorder()
+        assert len(rec.rank_trace()) == 0
+        assert rec.inversion_count() == 0
+
+    def test_repr(self):
+        rec = OpRecorder()
+        rec.new_element(1)
+        assert "elements=1" in repr(rec)

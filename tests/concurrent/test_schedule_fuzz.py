@@ -1,0 +1,84 @@
+"""Schedule fuzzing: correctness invariants under randomized cost models.
+
+Varying the cost model perturbs the interleaving wholesale (every event
+time shifts), so hypothesis-drawn cost multipliers act as a schedule
+fuzzer.  Under *every* schedule each model must conserve elements,
+produce a structurally valid linearized history, and return each element
+at most once.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.concurrent import ConcurrentMultiQueue, KLSMPQ, OpRecorder, SprayListPQ
+from repro.sim.cost_model import CostModel
+from repro.sim.engine import Engine
+from repro.sim.workload import AlternatingWorkload
+
+cost_strategy = st.builds(
+    CostModel,
+    cas=st.floats(1, 100),
+    read=st.floats(1, 50),
+    write=st.floats(1, 50),
+    cache_transfer=st.floats(1, 500),
+    lock_acquire=st.floats(1, 100),
+    lock_release=st.floats(1, 50),
+    try_fail=st.floats(1, 100),
+    handoff=st.floats(1, 150),
+    local_work=st.floats(1, 50),
+    rng_draw=st.floats(1, 50),
+    pq_base=st.floats(1, 100),
+    pq_per_level=st.floats(1, 50),
+)
+
+
+def _stress(model_factory, cost, threads, seed):
+    eng = Engine(cost)
+    rec = OpRecorder()
+    model = model_factory(eng, rec)
+    prefill = 120
+    model.prefill(np.random.default_rng(seed).integers(2**30, size=prefill))
+    AlternatingWorkload(model, threads, 60, rng=seed).spawn_on(eng)
+    eng.run()
+    rec.validate()
+    ins, rem = rec.counts()
+    assert ins - rem == model.total_size()
+    # No element returned twice: validate() already enforces it, but the
+    # removed ids must also be unique as a direct check.
+    removed = [e.eid for e in rec.events if e.kind == "del"]
+    assert len(removed) == len(set(removed))
+
+
+@settings(max_examples=15, deadline=None)
+@given(cost=cost_strategy, threads=st.integers(1, 6), seed=st.integers(0, 1000))
+def test_multiqueue_invariants_under_any_schedule(cost, threads, seed):
+    _stress(
+        lambda eng, rec: ConcurrentMultiQueue(eng, 8, beta=0.7, rng=seed, recorder=rec),
+        cost,
+        threads,
+        seed,
+    )
+
+
+@settings(max_examples=10, deadline=None)
+@given(cost=cost_strategy, threads=st.integers(1, 5), seed=st.integers(0, 1000))
+def test_klsm_invariants_under_any_schedule(cost, threads, seed):
+    _stress(
+        lambda eng, rec: KLSMPQ(eng, relaxation=16, rng=seed, recorder=rec),
+        cost,
+        threads,
+        seed,
+    )
+
+
+@settings(max_examples=10, deadline=None)
+@given(cost=cost_strategy, threads=st.integers(1, 5), seed=st.integers(0, 1000))
+def test_spraylist_invariants_under_any_schedule(cost, threads, seed):
+    _stress(
+        lambda eng, rec: SprayListPQ(eng, n_threads=threads, rng=seed, recorder=rec),
+        cost,
+        threads,
+        seed,
+    )

@@ -1,0 +1,10 @@
+"""Shared test configuration."""
+
+import numpy as np
+import pytest
+
+
+@pytest.fixture
+def rng():
+    """A deterministic generator for tests that need randomness."""
+    return np.random.default_rng(12345)

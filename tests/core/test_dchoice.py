@@ -1,0 +1,65 @@
+"""Tests for the d-choice generalization."""
+
+import numpy as np
+import pytest
+
+from repro.core.dchoice import DChoiceProcess
+from repro.core.process import SequentialProcess
+from repro.core.single_choice import SingleChoiceProcess
+
+
+class TestBasics:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            DChoiceProcess(4, 100, d=0)
+
+    def test_removal_record_shape(self):
+        proc = DChoiceProcess(4, 100, d=3, rng=1)
+        proc.prefill(50)
+        rec = proc.remove()
+        assert 1 <= rec.rank <= 50
+        assert rec.two_choice  # d >= 2 counts as multi-choice
+
+    def test_d1_flagged_single_choice(self):
+        proc = DChoiceProcess(4, 100, d=1, rng=1)
+        proc.prefill(50)
+        assert not proc.remove().two_choice
+
+    def test_steady_state_runs(self):
+        proc = DChoiceProcess(8, 10000, d=4, rng=2)
+        trace = proc.run_steady_state(3000, 3000)
+        assert len(trace) == 3000
+        assert proc.present_count == 3000
+
+    def test_repr(self):
+        assert "d=3" in repr(DChoiceProcess(4, 10, d=3))
+
+
+class TestRankQuality:
+    def test_mean_rank_decreases_with_d(self):
+        """More choices -> better removals, with diminishing returns."""
+        means = {}
+        for d in (1, 2, 4, 8):
+            proc = DChoiceProcess(16, 30000, d=d, rng=5)
+            means[d] = proc.run_steady_state(10000, 8000).mean_rank()
+        assert means[1] > means[2] > means[4] > means[8]
+        # The big win is d=1 -> d=2 (power of two choices); d=2 -> d=8
+        # saves less than d=1 -> d=2 did.
+        assert means[1] - means[2] > means[2] - means[8]
+
+    def test_d2_close_to_beta1_process(self):
+        """d=2 must match the beta=1 (1+beta) process statistically."""
+        d2 = DChoiceProcess(8, 30000, d=2, rng=6).run_steady_state(10000, 8000)
+        b1 = SequentialProcess(8, 30000, beta=1.0, rng=7).run_steady_state(10000, 8000)
+        assert abs(d2.mean_rank() - b1.mean_rank()) / b1.mean_rank() < 0.15
+
+    def test_d1_close_to_single_choice_process(self):
+        d1 = DChoiceProcess(8, 30000, d=1, rng=8).run_steady_state(10000, 8000)
+        sc = SingleChoiceProcess(8, 30000, rng=9).run_steady_state(10000, 8000)
+        # Both diverge similarly; compare within a loose factor.
+        assert 0.5 < d1.mean_rank() / sc.mean_rank() < 2.0
+
+    def test_d2_stays_order_n(self):
+        proc = DChoiceProcess(32, 40000, d=2, rng=10)
+        trace = proc.run_steady_state(12000, 10000)
+        assert trace.mean_rank() < 2.0 * 32

@@ -1,0 +1,122 @@
+"""Tests: Monte-Carlo implementations vs the exactly enumerated process."""
+
+from collections import deque
+
+import numpy as np
+import pytest
+
+from repro.core.exact import (
+    empirical_rank_distribution,
+    exact_mean_rank,
+    exact_removal_rank_distribution,
+    total_variation,
+)
+from repro.core.policies import RemovalChooser
+
+
+class TestEnumeration:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            exact_removal_rank_distribution([], 1)
+        with pytest.raises(ValueError):
+            exact_removal_rank_distribution([[1], [1]], 1)  # duplicate label
+        with pytest.raises(ValueError):
+            exact_removal_rank_distribution([[1]], 2)  # too many removals
+        with pytest.raises(ValueError):
+            exact_removal_rank_distribution([[1]], 1, beta=2.0)
+
+    def test_single_queue_always_rank_one(self):
+        """One queue holding sorted labels: every removal is optimal."""
+        dists = exact_removal_rank_distribution([[1, 2, 3]], 3, beta=1.0)
+        for dist in dists:
+            assert dist == {1: pytest.approx(1.0)}
+
+    def test_distributions_normalized(self):
+        dists = exact_removal_rank_distribution([[1, 3], [2, 4]], 4, beta=0.6)
+        for dist in dists:
+            assert sum(dist.values()) == pytest.approx(1.0)
+
+    def test_two_queue_first_step_by_hand(self):
+        """Layout [1],[2], beta=1: pairs (with replacement) are
+        (0,0),(0,1),(1,0),(1,1), each 1/4.  (0,0)->label1, (0,1)->1,
+        (1,0)->1, (1,1)->2.  So rank1 w.p. 3/4, rank2 w.p. 1/4."""
+        (first,) = exact_removal_rank_distribution([[1], [2]], 1, beta=1.0)
+        assert first[1] == pytest.approx(0.75)
+        assert first[2] == pytest.approx(0.25)
+
+    def test_beta_zero_first_step_by_hand(self):
+        """Single choice: each queue w.p. 1/2 -> rank 1 or 2 evenly."""
+        (first,) = exact_removal_rank_distribution([[1], [2]], 1, beta=0.0)
+        assert first[1] == pytest.approx(0.5)
+        assert first[2] == pytest.approx(0.5)
+
+    def test_exact_mean_rank(self):
+        mean = exact_mean_rank([[1], [2]], 1, beta=1.0)
+        assert mean == pytest.approx(1.25)
+
+
+class TestHelpers:
+    def test_empirical_distribution(self):
+        dist = empirical_rank_distribution([1, 1, 2, 2])
+        assert dist == {1: 0.5, 2: 0.5}
+        with pytest.raises(ValueError):
+            empirical_rank_distribution([])
+
+    def test_total_variation(self):
+        assert total_variation({1: 1.0}, {1: 1.0}) == 0.0
+        assert total_variation({1: 1.0}, {2: 1.0}) == 1.0
+        assert total_variation({1: 0.5, 2: 0.5}, {1: 1.0}) == pytest.approx(0.5)
+
+
+def _simulate_layout_removals(layout, removals, beta, reps, seed):
+    """Drive the production removal logic over a fixed layout many times
+    and collect first-step (and per-step) ranks."""
+    per_step = [[] for _ in range(removals)]
+    for rep in range(reps):
+        chooser = RemovalChooser(len(layout), beta, rng=seed + rep)
+        queues = [deque(q) for q in layout]
+        for step in range(removals):
+            while True:
+                two, i, j = chooser.draw()
+                if two:
+                    qi, qj = queues[i], queues[j]
+                    if qi and qj:
+                        idx = i if qi[0] <= qj[0] else j
+                    elif qi:
+                        idx = i
+                    elif qj:
+                        idx = j
+                    else:
+                        continue
+                else:
+                    if queues[i]:
+                        idx = i
+                    else:
+                        continue
+                break
+            label = queues[idx].popleft()
+            present = sorted([label] + [lab for q in queues for lab in q])
+            per_step[step].append(present.index(label) + 1)
+    return per_step
+
+
+class TestMonteCarloMatchesExact:
+    @pytest.mark.parametrize("beta", [1.0, 0.5, 0.0])
+    def test_process_removal_logic_matches_enumeration(self, beta):
+        layout = [[1, 4, 5], [2, 6], [3]]
+        removals = 3
+        reps = 4000
+        exact = exact_removal_rank_distribution(layout, removals, beta=beta)
+        simulated = _simulate_layout_removals(layout, removals, beta, reps, seed=100)
+        for step in range(removals):
+            emp = empirical_rank_distribution(simulated[step])
+            tv = total_variation(exact[step], emp)
+            assert tv < 0.05, f"beta={beta} step={step}: TV={tv:.3f}"
+
+    def test_interleaved_queue_layout(self):
+        layout = [[2, 3], [1, 4]]
+        exact = exact_removal_rank_distribution(layout, 2, beta=1.0)
+        simulated = _simulate_layout_removals(layout, 2, 1.0, 4000, seed=7)
+        for step in range(2):
+            emp = empirical_rank_distribution(simulated[step])
+            assert total_variation(exact[step], emp) < 0.05

@@ -1,0 +1,231 @@
+"""Tests for the exponential process and the Theorem 2 coupling."""
+
+import numpy as np
+import pytest
+
+from repro.core.exponential import (
+    ExponentialProcess,
+    ExponentialTopProcess,
+    coupled_removal_costs,
+)
+from repro.core.policies import biased_insert_probs
+
+
+class TestGeneration:
+    def test_generates_requested_count(self):
+        proc = ExponentialProcess(4, 100, rng=1)
+        proc.generate(60)
+        assert proc.generated == 60
+        assert proc.present_count == 60
+
+    def test_capacity_enforced(self):
+        proc = ExponentialProcess(4, 50, rng=1)
+        proc.generate(50)
+        with pytest.raises(RuntimeError):
+            proc.generate(1)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            ExponentialProcess(0, 10)
+        with pytest.raises(ValueError):
+            ExponentialProcess(4, 0)
+        with pytest.raises(ValueError):
+            ExponentialProcess(4, 10, insert_probs=np.array([0.5, 0.5]))
+
+    def test_bin_values_increase_within_bins(self):
+        proc = ExponentialProcess(4, 200, rng=2)
+        proc.generate(200)
+        for bin_ in proc._bins:
+            values = [v for v, _r in bin_]
+            assert values == sorted(values)
+
+    def test_ranks_are_permutation(self):
+        proc = ExponentialProcess(4, 100, rng=3)
+        proc.generate(100)
+        assignment = proc.bin_assignment()
+        assert sorted(r for seq in proc.bin_rank_sequences() for r in seq) == list(range(100))
+        assert len(assignment) == 100
+
+    def test_ranks_follow_value_order(self):
+        """Global rank order must equal global value order."""
+        proc = ExponentialProcess(3, 150, rng=4)
+        proc.generate(150)
+        pairs = [(v, r) for bin_ in proc._bins for v, r in bin_]
+        pairs.sort()
+        assert [r for _v, r in pairs] == list(range(150))
+
+    def test_incremental_generation_keeps_increasing_values(self):
+        proc = ExponentialProcess(4, 100, rng=5)
+        proc.generate(40)
+        first_max = max(v for bin_ in proc._bins for v, _ in bin_)
+        proc.generate(60)
+        later = [v for bin_ in proc._bins for v, r in bin_ if r >= 40]
+        assert min(later) > first_max
+
+    def test_top_weights(self):
+        proc = ExponentialProcess(4, 40, rng=6)
+        proc.generate(40)
+        tops = proc.top_weights()
+        assert len(tops) == 4
+        assert all(t is None or t > 0 for t in tops)
+
+
+class TestTheorem2Statistics:
+    def test_bin_assignment_marginals_uniform(self):
+        """Each rank lands in each bin with probability ~1/n (uniform pi)."""
+        n, m, reps = 4, 50, 300
+        counts = np.zeros(n)
+        for s in range(reps):
+            proc = ExponentialProcess(n, m, rng=1000 + s)
+            proc.generate(m)
+            a = proc.bin_assignment()
+            counts += np.bincount(a, minlength=n)
+        freq = counts / counts.sum()
+        assert np.allclose(freq, 1 / n, atol=0.01)
+
+    def test_bin_assignment_respects_bias(self):
+        """With biased pi, rank placement frequencies track pi (Thm 2)."""
+        n, m, reps = 4, 50, 400
+        pi = biased_insert_probs(n, 0.5, pattern="two-point")
+        counts = np.zeros(n)
+        for s in range(reps):
+            proc = ExponentialProcess(n, m, insert_probs=pi, rng=2000 + s)
+            proc.generate(m)
+            counts += np.bincount(proc.bin_assignment(), minlength=n)
+        freq = counts / counts.sum()
+        assert np.allclose(freq, pi, atol=0.015)
+
+    def test_full_layout_distribution_matches_product_law(self):
+        """Theorem 2's strongest form: the entire layout (which bin holds
+        each rank) is distributed as independent pi-draws, so each of the
+        n^m layouts has probability prod_r pi_{bin(r)}.  Compare the
+        empirical layout distribution against the exact product law."""
+        n, m, reps = 2, 4, 6000
+        counts = {}
+        for s in range(reps):
+            proc = ExponentialProcess(n, m, rng=50_000 + s)
+            proc.generate(m)
+            key = tuple(proc.bin_assignment())
+            counts[key] = counts.get(key, 0) + 1
+        # Uniform pi: every one of the 16 layouts has probability 1/16.
+        tv = 0.5 * sum(
+            abs(counts.get(layout, 0) / reps - 1 / 16)
+            for layout in [
+                (a, b, c, d)
+                for a in range(2)
+                for b in range(2)
+                for c in range(2)
+                for d in range(2)
+            ]
+        )
+        assert tv < 0.04
+
+    def test_full_layout_distribution_biased(self):
+        """Same, under a biased pi: P(layout) = prod pi_{bin(r)}."""
+        n, m, reps = 2, 3, 6000
+        pi = np.array([0.35, 0.65])
+        counts = {}
+        for s in range(reps):
+            proc = ExponentialProcess(n, m, insert_probs=pi, rng=80_000 + s)
+            proc.generate(m)
+            key = tuple(proc.bin_assignment())
+            counts[key] = counts.get(key, 0) + 1
+        tv = 0.0
+        for a in range(2):
+            for b in range(2):
+                for c in range(2):
+                    exact = pi[a] * pi[b] * pi[c]
+                    tv += abs(counts.get((a, b, c), 0) / reps - exact)
+        assert 0.5 * tv < 0.04
+
+    def test_first_rank_distribution(self):
+        """Rank 1 specifically lands in bin j w.p. pi_j."""
+        n, reps = 5, 2000
+        hits = np.zeros(n)
+        for s in range(reps):
+            proc = ExponentialProcess(n, 5, rng=3000 + s)
+            proc.generate(5)
+            hits[proc.bin_assignment()[0]] += 1
+        assert np.allclose(hits / reps, 1 / n, atol=0.04)
+
+
+class TestRemoval:
+    def test_remove_pays_positive_rank(self):
+        proc = ExponentialProcess(4, 100, rng=7)
+        proc.generate(100)
+        rec = proc.remove()
+        assert 1 <= rec.rank <= 100
+        assert proc.present_count == 99
+
+    def test_remove_empty_raises(self):
+        proc = ExponentialProcess(4, 10, rng=7)
+        with pytest.raises(LookupError):
+            proc.remove()
+
+    def test_run_drain(self):
+        proc = ExponentialProcess(8, 400, rng=8)
+        proc.generate(400)
+        trace = proc.run_drain(200)
+        assert len(trace) == 200
+        assert proc.present_count == 200
+
+    def test_bin_assignment_after_removals_raises(self):
+        proc = ExponentialProcess(4, 20, rng=9)
+        proc.generate(20)
+        proc.remove()
+        with pytest.raises(RuntimeError):
+            proc.bin_assignment()
+
+
+class TestCoupling:
+    @pytest.mark.parametrize("beta", [1.0, 0.6, 0.2])
+    def test_coupled_costs_identical(self, beta):
+        """The Theorem 2 coupling: both sides pay the same cost, step by step."""
+        orig, expo = coupled_removal_costs(8, 2000, 1000, beta=beta, seed=42)
+        assert np.array_equal(orig.ranks, expo.ranks)
+
+    def test_coupled_costs_with_bias(self):
+        pi = biased_insert_probs(8, 0.3, pattern="two-point")
+        orig, expo = coupled_removal_costs(8, 2000, 800, beta=1.0, insert_probs=pi, seed=7)
+        assert np.array_equal(orig.ranks, expo.ranks)
+
+    def test_coupling_validation(self):
+        with pytest.raises(ValueError):
+            coupled_removal_costs(4, 100, 200)
+
+
+class TestTopProcess:
+    def test_step_advances_one_bin(self):
+        proc = ExponentialTopProcess(8, rng=1)
+        before = proc.top_weights
+        idx = proc.step()
+        after = proc.top_weights
+        changed = np.flatnonzero(before != after)
+        assert list(changed) == [idx]
+        assert after[idx] > before[idx]
+
+    def test_run_counts_steps(self):
+        proc = ExponentialTopProcess(4, rng=2)
+        proc.run(100)
+        assert proc.steps == 100
+
+    def test_two_choice_targets_smaller_top(self):
+        """With beta=1 the advanced bin is (one of) the two sampled; the
+        smaller of the pair — statistically, small tops advance more."""
+        proc = ExponentialTopProcess(8, beta=1.0, rng=3)
+        hits_of_min = 0
+        trials = 400
+        for _ in range(trials):
+            tops = proc.top_weights
+            argmin = int(np.argmin(tops))
+            if proc.step() == argmin:
+                hits_of_min += 1
+        # The global min is picked whenever sampled (prob 1-(7/8)^2~0.23)
+        # plus never loses a comparison; uniform would be 1/8 = 0.125.
+        assert hits_of_min / trials > 0.18
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            ExponentialTopProcess(0)
+        with pytest.raises(ValueError):
+            ExponentialTopProcess(4, insert_probs=np.array([1.0]))

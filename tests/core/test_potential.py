@@ -1,0 +1,151 @@
+"""Tests for the Theorem 3 potential functions and drift estimation."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.core.exponential import ExponentialTopProcess
+from repro.core.potential import (
+    PotentialTracker,
+    gamma_potential,
+    phi_potential,
+    psi_potential,
+    recommended_alpha,
+)
+
+
+class TestPotentialValues:
+    def test_balanced_weights_give_n(self):
+        """All-equal tops: y == 0, so Phi = Psi = n and Gamma = 2n."""
+        w = np.full(8, 5.0)
+        assert phi_potential(w, 0.5) == pytest.approx(8.0)
+        assert psi_potential(w, 0.5) == pytest.approx(8.0)
+        assert gamma_potential(w, 0.5) == pytest.approx(16.0)
+
+    def test_gamma_is_phi_plus_psi(self):
+        w = np.array([1.0, 5.0, 9.0, 2.0])
+        a = 0.3
+        assert gamma_potential(w, a) == pytest.approx(
+            phi_potential(w, a) + psi_potential(w, a)
+        )
+
+    def test_gamma_at_least_2n(self):
+        """AM-GM: exp(x) + exp(-x) >= 2, so Gamma >= 2n always."""
+        rng = np.random.default_rng(0)
+        for _ in range(20):
+            w = rng.exponential(10, size=16)
+            assert gamma_potential(w, 0.2) >= 2 * 16 - 1e-9
+
+    def test_imbalance_raises_phi(self):
+        n = 8
+        balanced = np.full(n, 10.0)
+        skewed = balanced.copy()
+        skewed[0] += 100.0
+        assert phi_potential(skewed, 0.5) > phi_potential(balanced, 0.5)
+
+    def test_empty_weights_rejected(self):
+        with pytest.raises(ValueError):
+            phi_potential(np.array([]), 0.5)
+
+    def test_invariance_under_shift(self):
+        """Adding a constant to all tops leaves the potentials unchanged
+        (they depend only on deviations from the mean)."""
+        w = np.array([3.0, 7.0, 1.0, 9.0])
+        assert gamma_potential(w, 0.4) == pytest.approx(gamma_potential(w + 100.0, 0.4))
+
+
+class TestRecommendedAlpha:
+    def test_positive_for_unbiased(self):
+        for beta in (0.1, 0.5, 1.0):
+            assert recommended_alpha(beta) > 0
+
+    def test_monotone_in_beta(self):
+        assert recommended_alpha(1.0) > recommended_alpha(0.5) > recommended_alpha(0.1)
+
+    def test_rejects_gamma_too_large(self):
+        """beta = Omega(gamma) is required; gross violations raise."""
+        with pytest.raises(ValueError):
+            recommended_alpha(0.1, gamma=0.4)
+
+    def test_accepts_small_gamma(self):
+        alpha = recommended_alpha(1.0, gamma=0.01)
+        assert 0 < alpha < recommended_alpha(1.0)
+
+    def test_satisfies_paper_inequality(self):
+        """Check delta <= epsilon = beta/16 with the returned alpha."""
+        for beta, gamma in [(1.0, 0.0), (0.5, 0.0), (1.0, 0.02)]:
+            c = 2.0
+            alpha = recommended_alpha(beta, gamma, c=c)
+            x = c * alpha * (1 + gamma) ** 2
+            delta = (1 + gamma + x) / (1 - gamma - x) - 1
+            assert delta <= beta / 16 + 1e-9
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            recommended_alpha(0.0)
+        with pytest.raises(ValueError):
+            recommended_alpha(1.0, gamma=1.0)
+
+
+class TestTracker:
+    def test_series_shapes(self):
+        proc = ExponentialTopProcess(8, rng=1)
+        tracker = PotentialTracker(proc, alpha=0.05)
+        series = tracker.run(1000, sample_every=100)
+        assert len(series.steps) == 10
+        assert len(series.phi) == 10
+        assert np.all(series.gamma == series.phi + series.psi)
+        assert series.summary()["samples"] == 10
+
+    def test_default_alpha_from_beta(self):
+        proc = ExponentialTopProcess(8, beta=0.5, rng=1)
+        tracker = PotentialTracker(proc)
+        assert tracker.alpha == pytest.approx(recommended_alpha(0.5))
+
+    def test_sample_every_validation(self):
+        proc = ExponentialTopProcess(4, rng=2)
+        with pytest.raises(ValueError):
+            PotentialTracker(proc, alpha=0.1).run(10, sample_every=0)
+
+    def test_gamma_stays_order_n(self):
+        """Theorem 3 empirically: mean Gamma(t)/n bounded by a small
+        constant over a long two-choice run."""
+        n = 16
+        proc = ExponentialTopProcess(n, beta=1.0, rng=3)
+        tracker = PotentialTracker(proc, alpha=recommended_alpha(1.0))
+        series = tracker.run(20000, sample_every=200)
+        assert series.gamma_over_n(n).mean() < 4.0
+        assert series.gamma_over_n(n).max() < 8.0
+
+    def test_binned_drift_curve_shape(self):
+        """Lemma 2's curve: drift decreases with Gamma and is negative in
+        the top bins (with alpha large enough to see excursions)."""
+        n = 8
+        proc = ExponentialTopProcess(n, beta=1.0, rng=7)
+        tracker = PotentialTracker(proc, alpha=0.3)
+        centers, means, counts = tracker.binned_drift(40_000, n_bins=6)
+        populated = ~np.isnan(means)
+        assert counts[populated].sum() == 40_000
+        # Top-bin drift below bottom-bin drift (restoring force grows).
+        lo = means[populated][0]
+        hi = means[populated][-1]
+        assert hi < lo
+        assert hi < 0.05  # essentially non-positive at large Gamma
+
+    def test_binned_drift_validation(self):
+        proc = ExponentialTopProcess(4, rng=8)
+        with pytest.raises(ValueError):
+            PotentialTracker(proc, alpha=0.1).binned_drift(100, n_bins=1)
+
+    def test_drift_negative_above_threshold_single_choice_contrast(self):
+        """Drift estimation runs and reports sane sample counts."""
+        n = 8
+        proc = ExponentialTopProcess(n, beta=1.0, rng=4)
+        tracker = PotentialTracker(proc, alpha=0.05)
+        est = tracker.drift_estimate(5000)
+        assert est.samples_above + est.samples_below == 5000
+        assert est.threshold == pytest.approx(4.0 * n)
+        # Below the threshold the potential has room to wander up; the
+        # strong claim (negative drift above) is checked at bench scale.
+        assert math.isfinite(est.mean_drift_below)

@@ -1,0 +1,166 @@
+"""Tests for the instrumented sequential (1+beta) process."""
+
+import numpy as np
+import pytest
+
+from repro.core.policies import biased_insert_probs
+from repro.core.process import SequentialProcess
+
+
+class TestConstruction:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            SequentialProcess(0, 100)
+        with pytest.raises(ValueError):
+            SequentialProcess(4, 0)
+        with pytest.raises(ValueError):
+            SequentialProcess(4, 100, insert_probs=np.array([0.5, 0.5]))
+
+
+class TestInsertRemove:
+    def test_prefill_counts(self):
+        proc = SequentialProcess(4, 100, rng=1)
+        proc.prefill(50)
+        assert proc.present_count == 50
+        assert proc.labels_inserted == 50
+        assert sum(proc.queue_sizes()) == 50
+
+    def test_capacity_exhaustion(self):
+        proc = SequentialProcess(2, 10, rng=1)
+        proc.prefill(10)
+        with pytest.raises(RuntimeError):
+            proc.insert()
+
+    def test_remove_from_empty_raises(self):
+        with pytest.raises(LookupError):
+            SequentialProcess(2, 10, rng=1).remove()
+
+    def test_removal_record_fields(self):
+        proc = SequentialProcess(4, 100, rng=2)
+        proc.prefill(20)
+        rec = proc.remove()
+        assert rec.step == 0
+        assert 1 <= rec.rank <= 20
+        assert 0 <= rec.queue < 4
+        assert 0 <= rec.label < 20
+        assert proc.present_count == 19
+        assert proc.removal_steps == 1
+
+    def test_beta_one_records_two_choice(self):
+        proc = SequentialProcess(4, 100, beta=1.0, rng=3)
+        proc.prefill(40)
+        assert all(proc.remove().two_choice for _ in range(20))
+
+    def test_beta_zero_records_single_choice(self):
+        proc = SequentialProcess(4, 100, beta=0.0, rng=3)
+        proc.prefill(40)
+        assert not any(proc.remove().two_choice for _ in range(20))
+
+    def test_removed_label_comes_from_reported_queue(self):
+        proc = SequentialProcess(4, 200, rng=4)
+        proc.prefill(100)
+        tops_before = proc.top_labels()
+        rec = proc.remove()
+        assert rec.label == tops_before[rec.queue]
+
+    def test_two_choice_removes_better_of_observed_tops(self):
+        """Over many steps, each removal equals the min of the tops of
+        the two queues it could have seen — verified via full drains."""
+        proc = SequentialProcess(2, 40, beta=1.0, rng=5)
+        proc.prefill(40)
+        prev = -1
+        # With n=2 and both queues nonempty, two-choice hits both queues
+        # with prob 1/2 and single queue with prob 1/2 each; removed
+        # labels are always one of the two tops.
+        for _ in range(30):
+            tops = [t for t in proc.top_labels() if t is not None]
+            rec = proc.remove()
+            assert rec.label in tops
+            prev = rec.label
+
+    def test_top_ranks_max_and_validation(self):
+        proc = SequentialProcess(4, 100, rng=6)
+        proc.prefill(40)
+        ranks = proc.top_ranks()
+        assert len(ranks) == sum(1 for q in proc.queue_sizes() if q > 0)
+        assert min(ranks) == 1  # some queue holds the global minimum
+        assert proc.max_top_rank() == max(ranks)
+
+    def test_max_top_rank_empty_raises(self):
+        with pytest.raises(LookupError):
+            SequentialProcess(2, 10, rng=0).max_top_rank()
+
+
+class TestRunModes:
+    def test_prefill_drain_length(self):
+        proc = SequentialProcess(4, 1000, rng=7)
+        trace = proc.run_prefill_drain(500, 200)
+        assert len(trace) == 200
+        assert proc.present_count == 300
+
+    def test_prefill_drain_default_half(self):
+        proc = SequentialProcess(4, 1000, rng=7)
+        trace = proc.run_prefill_drain(400)
+        assert len(trace) == 200
+
+    def test_prefill_drain_validation(self):
+        proc = SequentialProcess(4, 1000, rng=7)
+        with pytest.raises(ValueError):
+            proc.run_prefill_drain(100, 200)
+
+    def test_steady_state_conserves_population(self):
+        proc = SequentialProcess(4, 5000, rng=8)
+        trace = proc.run_steady_state(1000, 2000)
+        assert len(trace) == 2000
+        assert proc.present_count == 1000
+
+    def test_steady_state_sampled(self):
+        proc = SequentialProcess(4, 5000, rng=9)
+        run = proc.run_steady_state_sampled(1000, 2000, sample_every=500)
+        assert len(run.sample_steps) == 4
+        assert list(run.sample_steps) == [500, 1000, 1500, 2000]
+        assert np.all(run.max_top_ranks >= run.mean_top_ranks)
+        assert np.all(run.max_top_ranks >= 1)
+
+    def test_sample_every_validation(self):
+        proc = SequentialProcess(4, 5000, rng=9)
+        with pytest.raises(ValueError):
+            proc.run_steady_state_sampled(10, 10, sample_every=0)
+
+    def test_deterministic_given_seed(self):
+        t1 = SequentialProcess(8, 4000, beta=0.6, rng=10).run_steady_state(1000, 1000)
+        t2 = SequentialProcess(8, 4000, beta=0.6, rng=10).run_steady_state(1000, 1000)
+        assert np.array_equal(t1.ranks, t2.ranks)
+
+    def test_no_empty_redraws_with_big_buffer(self):
+        proc = SequentialProcess(8, 20000, rng=11)
+        proc.run_steady_state(8000, 4000)
+        assert proc.empty_redraws == 0
+
+
+class TestStatisticalBehaviour:
+    def test_two_choice_mean_rank_is_order_n(self):
+        """Theorem 1 sanity: mean rank ~ c*n with small c for beta=1."""
+        n = 16
+        proc = SequentialProcess(n, 40000, beta=1.0, rng=12)
+        trace = proc.run_steady_state(10000, 10000)
+        assert trace.mean_rank() < 2.0 * n
+
+    def test_biased_insertion_keeps_bounded_ranks(self):
+        n = 16
+        pi = biased_insert_probs(n, 0.3, pattern="two-point")
+        proc = SequentialProcess(n, 40000, beta=1.0, insert_probs=pi, rng=13)
+        trace = proc.run_steady_state(10000, 10000)
+        assert trace.mean_rank() < 3.0 * n
+
+    def test_smaller_beta_costs_more(self):
+        n = 8
+        mean_by_beta = {}
+        for beta in (1.0, 0.3):
+            proc = SequentialProcess(n, 30000, beta=beta, rng=14)
+            mean_by_beta[beta] = proc.run_steady_state(8000, 8000).mean_rank()
+        assert mean_by_beta[0.3] > mean_by_beta[1.0]
+
+    def test_repr(self):
+        proc = SequentialProcess(4, 100, rng=1)
+        assert "n=4" in repr(proc)

@@ -1,0 +1,119 @@
+"""Property tests: the instrumented process against a naive reference.
+
+Hypothesis drives the sequential process step by step while the test
+maintains its own plain sorted list of present labels; every removal's
+reported rank must equal the label's position in that list, and the
+queue bookkeeping must stay consistent.
+"""
+
+import bisect
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.dchoice import DChoiceProcess
+from repro.core.process import SequentialProcess
+from repro.graphs.choice_process import GraphChoiceProcess
+from repro.graphs.generators import cycle_graph
+
+
+@settings(max_examples=30, deadline=None)
+@given(
+    n_queues=st.integers(min_value=1, max_value=8),
+    beta=st.floats(min_value=0.0, max_value=1.0),
+    prefill=st.integers(min_value=5, max_value=60),
+    steps=st.integers(min_value=1, max_value=60),
+    seed=st.integers(min_value=0, max_value=10_000),
+)
+def test_ranks_match_naive_reference(n_queues, beta, prefill, steps, seed):
+    proc = SequentialProcess(n_queues, prefill + steps, beta=beta, rng=seed)
+    proc.prefill(prefill)
+    present = list(range(prefill))  # sorted by construction
+    next_label = prefill
+    for k in range(steps):
+        want_insert = k % 2 == 0 or not present
+        if want_insert and next_label < prefill + steps:
+            proc.insert()
+            bisect.insort(present, next_label)
+            next_label += 1
+        if not present:
+            break  # capacity exhausted and drained
+        rec = proc.remove()
+        idx = bisect.bisect_left(present, rec.label)
+        assert present[idx] == rec.label, "removed label must be present"
+        assert rec.rank == idx + 1, "reported rank must match sorted position"
+        del present[idx]
+        assert proc.present_count == len(present)
+    assert sum(proc.queue_sizes()) == len(present)
+
+
+@settings(max_examples=20, deadline=None)
+@given(
+    d=st.integers(min_value=1, max_value=5),
+    prefill=st.integers(min_value=5, max_value=40),
+    removals=st.integers(min_value=1, max_value=40),
+    seed=st.integers(min_value=0, max_value=10_000),
+)
+def test_dchoice_ranks_match_reference(d, prefill, removals, seed):
+    removals = min(removals, prefill)
+    proc = DChoiceProcess(4, prefill, d=d, rng=seed)
+    proc.prefill(prefill)
+    present = list(range(prefill))
+    for _ in range(removals):
+        rec = proc.remove()
+        idx = bisect.bisect_left(present, rec.label)
+        assert present[idx] == rec.label
+        assert rec.rank == idx + 1
+        del present[idx]
+
+
+@settings(max_examples=20, deadline=None)
+@given(
+    n=st.integers(min_value=3, max_value=10),
+    prefill=st.integers(min_value=5, max_value=40),
+    removals=st.integers(min_value=1, max_value=40),
+    seed=st.integers(min_value=0, max_value=10_000),
+)
+def test_graph_choice_ranks_match_reference(n, prefill, removals, seed):
+    removals = min(removals, prefill)
+    proc = GraphChoiceProcess(cycle_graph(n), prefill, rng=seed)
+    proc.prefill(prefill)
+    present = list(range(prefill))
+    for _ in range(removals):
+        rec = proc.remove()
+        idx = bisect.bisect_left(present, rec.label)
+        assert present[idx] == rec.label
+        assert rec.rank == idx + 1
+        del present[idx]
+
+
+@settings(max_examples=25, deadline=None)
+@given(
+    n_queues=st.integers(min_value=1, max_value=8),
+    prefill=st.integers(min_value=2, max_value=50),
+    seed=st.integers(min_value=0, max_value=10_000),
+)
+def test_full_drain_removes_every_label_once(n_queues, prefill, seed):
+    proc = SequentialProcess(n_queues, prefill, beta=1.0, rng=seed)
+    proc.prefill(prefill)
+    labels = [proc.remove().label for _ in range(prefill)]
+    assert sorted(labels) == list(range(prefill))
+    assert proc.present_count == 0
+
+
+@settings(max_examples=25, deadline=None)
+@given(
+    n_queues=st.integers(min_value=1, max_value=6),
+    prefill=st.integers(min_value=2, max_value=50),
+    seed=st.integers(min_value=0, max_value=10_000),
+)
+def test_labels_within_queue_removed_in_fifo_order(n_queues, prefill, seed):
+    """Within each queue, labels leave in increasing (insertion) order."""
+    proc = SequentialProcess(n_queues, prefill, beta=1.0, rng=seed)
+    proc.prefill(prefill)
+    last_from_queue = {}
+    for _ in range(prefill):
+        rec = proc.remove()
+        if rec.queue in last_from_queue:
+            assert rec.label > last_from_queue[rec.queue]
+        last_from_queue[rec.queue] = rec.label

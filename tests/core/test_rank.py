@@ -1,0 +1,109 @@
+"""Tests for the RankOracle."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.rank import RankOracle
+
+
+class TestBasics:
+    def test_capacity_validation(self):
+        with pytest.raises(ValueError):
+            RankOracle(0)
+
+    def test_insert_and_rank(self):
+        oracle = RankOracle(10)
+        for label in (2, 5, 7):
+            oracle.insert(label)
+        assert oracle.rank(2) == 1
+        assert oracle.rank(5) == 2
+        assert oracle.rank(7) == 3
+
+    def test_double_insert_rejected(self):
+        oracle = RankOracle(4)
+        oracle.insert(1)
+        with pytest.raises(ValueError):
+            oracle.insert(1)
+
+    def test_rank_of_absent_label_raises(self):
+        oracle = RankOracle(4)
+        with pytest.raises(KeyError):
+            oracle.rank(2)
+
+    def test_remove_returns_rank_and_frees(self):
+        oracle = RankOracle(10)
+        for label in (1, 4, 8):
+            oracle.insert(label)
+        assert oracle.remove(4) == 2
+        assert oracle.rank(8) == 2
+        oracle.insert(4)  # re-insertion allowed after removal
+        assert oracle.rank(4) == 2
+
+    def test_contains(self):
+        oracle = RankOracle(4)
+        oracle.insert(3)
+        assert 3 in oracle
+        assert 1 not in oracle
+
+    def test_rank_of_value_counts_at_most(self):
+        oracle = RankOracle(10)
+        for label in (2, 4, 6):
+            oracle.insert(label)
+        assert oracle.rank_of_value(5) == 2
+        assert oracle.rank_of_value(1) == 0
+
+    def test_kth_smallest_and_min(self):
+        oracle = RankOracle(16)
+        for label in (9, 3, 12):
+            oracle.insert(label)
+        assert oracle.min_label() == 3
+        assert oracle.kth_smallest(2) == 9
+        assert oracle.kth_smallest(3) == 12
+
+    def test_min_on_empty_raises(self):
+        with pytest.raises(LookupError):
+            RankOracle(4).min_label()
+
+    def test_present_count(self):
+        oracle = RankOracle(8)
+        oracle.insert(0)
+        oracle.insert(7)
+        assert oracle.present_count == 2
+        oracle.remove(0)
+        assert oracle.present_count == 1
+
+    def test_repr(self):
+        assert "capacity=8" in repr(RankOracle(8))
+
+
+@settings(max_examples=80, deadline=None)
+@given(
+    labels=st.sets(st.integers(min_value=0, max_value=199), min_size=1, max_size=80),
+    probe=st.integers(min_value=0, max_value=79),
+)
+def test_rank_matches_sorted_position(labels, probe):
+    """Property: rank(x) is x's 1-based position in sorted(present)."""
+    oracle = RankOracle(200)
+    for lab in labels:
+        oracle.insert(lab)
+    ordered = sorted(labels)
+    target = ordered[probe % len(ordered)]
+    assert oracle.rank(target) == ordered.index(target) + 1
+
+
+@settings(max_examples=50, deadline=None)
+@given(
+    labels=st.lists(
+        st.integers(min_value=0, max_value=99), min_size=1, max_size=60, unique=True
+    )
+)
+def test_remove_in_insertion_order_tracks_shrinking_ranks(labels):
+    oracle = RankOracle(100)
+    for lab in labels:
+        oracle.insert(lab)
+    present = sorted(labels)
+    for lab in labels:
+        expected = present.index(lab) + 1
+        assert oracle.remove(lab) == expected
+        present.remove(lab)

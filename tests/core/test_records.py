@@ -1,0 +1,105 @@
+"""Tests for RemovalRecord / RankTrace / SampledRun."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.records import RankTrace, RemovalRecord
+
+
+class TestRemovalRecord:
+    def test_fields(self):
+        r = RemovalRecord(step=3, label=17, rank=2, queue=1, two_choice=True)
+        assert (r.step, r.label, r.rank, r.queue, r.two_choice) == (3, 17, 2, 1, True)
+
+    def test_frozen(self):
+        r = RemovalRecord(0, 0, 1, 0, False)
+        with pytest.raises(AttributeError):
+            r.rank = 5
+
+
+class TestRankTrace:
+    def test_empty_raises_on_stats(self):
+        t = RankTrace()
+        with pytest.raises(ValueError):
+            t.mean_rank()
+        with pytest.raises(ValueError):
+            t.max_rank()
+        with pytest.raises(ValueError):
+            t.quantile(0.5)
+
+    def test_append_and_stats(self):
+        t = RankTrace()
+        for r in (1, 2, 3, 10):
+            t.append(r)
+        assert t.mean_rank() == 4.0
+        assert t.max_rank() == 10
+        assert len(t) == 4
+        assert t[0] == 1
+
+    def test_extend_and_init(self):
+        t = RankTrace([5, 5])
+        t.extend([1, 1])
+        assert len(t) == 4
+        assert t.mean_rank() == 3.0
+
+    def test_ranks_array_caches_and_refreshes(self):
+        t = RankTrace([1])
+        a = t.ranks
+        assert a is t.ranks  # cached
+        t.append(2)
+        assert len(t.ranks) == 2  # refreshed after append
+
+    def test_windowed_means_shape(self):
+        t = RankTrace(range(10))
+        w = t.windowed_means(3)
+        assert len(w) == 3  # 9 usable elements
+        assert w[0] == pytest.approx(1.0)
+
+    def test_windowed_means_empty_when_window_too_large(self):
+        t = RankTrace([1, 2])
+        assert len(t.windowed_means(5)) == 0
+
+    def test_windowed_maxes(self):
+        t = RankTrace([1, 9, 2, 3, 8, 1])
+        assert list(t.windowed_maxes(3)) == [9, 8]
+
+    def test_window_validation(self):
+        t = RankTrace([1])
+        with pytest.raises(ValueError):
+            t.windowed_means(0)
+        with pytest.raises(ValueError):
+            t.windowed_maxes(-1)
+
+    def test_summary_keys(self):
+        t = RankTrace([1, 2, 3])
+        s = t.summary()
+        assert set(s) == {"removals", "mean_rank", "p50_rank", "p99_rank", "max_rank"}
+        assert s["removals"] == 3
+
+    def test_merge(self):
+        merged = RankTrace.merge([RankTrace([1, 2]), RankTrace([3])])
+        assert list(merged.ranks) == [1, 2, 3]
+
+    def test_repr(self):
+        assert "empty" in repr(RankTrace())
+        assert "n=2" in repr(RankTrace([1, 3]))
+
+    def test_save_and_load_round_trip(self, tmp_path):
+        trace = RankTrace([5, 1, 9, 2])
+        path = tmp_path / "trace.npz"
+        trace.save(path)
+        loaded = RankTrace.load(path)
+        assert np.array_equal(loaded.ranks, trace.ranks)
+        assert loaded.mean_rank() == trace.mean_rank()
+
+
+@settings(max_examples=50, deadline=None)
+@given(ranks=st.lists(st.integers(min_value=1, max_value=10**6), min_size=1, max_size=200))
+def test_stats_match_numpy(ranks):
+    t = RankTrace(ranks)
+    arr = np.asarray(ranks)
+    assert t.mean_rank() == pytest.approx(arr.mean())
+    assert t.max_rank() == arr.max()
+    assert t.quantile(0.5) == pytest.approx(np.quantile(arr, 0.5))

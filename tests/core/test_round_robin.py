@@ -1,0 +1,58 @@
+"""Tests for round-robin insertion and the Appendix A reduction."""
+
+import numpy as np
+import pytest
+
+from repro.core.round_robin import (
+    RoundRobinProcess,
+    coupled_virtual_loads,
+    virtual_load_history,
+)
+
+
+class TestRoundRobinProcess:
+    def test_insertion_is_round_robin(self):
+        proc = RoundRobinProcess(4, 100, rng=1)
+        proc.prefill(40)
+        assert proc.queue_sizes() == [10, 10, 10, 10]
+        # Labels in queue q are q, q+4, q+8, ...
+        assert proc.top_labels() == [0, 1, 2, 3]
+
+    def test_removal_counts_track_removals(self):
+        proc = RoundRobinProcess(4, 100, rng=2)
+        proc.prefill(80)
+        for _ in range(20):
+            proc.remove()
+        counts = proc.removal_counts()
+        assert counts.sum() == 20
+        assert np.all(counts >= 0)
+
+    def test_virtual_gap_matches_counts(self):
+        proc = RoundRobinProcess(4, 200, rng=3)
+        proc.prefill(200)
+        for _ in range(100):
+            proc.remove()
+        counts = proc.removal_counts()
+        assert proc.virtual_gap() == pytest.approx(counts.max() - counts.mean())
+
+
+class TestReduction:
+    @pytest.mark.parametrize("seed", [0, 1, 2, 7])
+    def test_exact_coupling_with_two_choice(self, seed):
+        """Appendix A: removal counts == two-choice balls-into-bins loads,
+        entry for entry, under a shared choice stream."""
+        rr, tc = coupled_virtual_loads(8, 4000, 2000, seed=seed)
+        assert np.array_equal(rr, tc)
+        assert rr.sum() == 2000
+
+    def test_coupling_validation(self):
+        with pytest.raises(ValueError):
+            coupled_virtual_loads(4, 100, 200)
+
+    def test_gap_stays_small(self):
+        """Two-choice gap on virtual bins stays O(log log n)-ish even for
+        long runs (heavily-loaded two-choice)."""
+        steps, gaps, snaps = virtual_load_history(16, 30000, 15000, seed=5, sample_every=3000)
+        assert len(steps) == 5
+        assert gaps[-1] < 6.0  # log log 16 ~ 2; generous envelope
+        assert snaps[-1].sum() == 15000

@@ -1,0 +1,56 @@
+"""Tests for the divergent single-choice process (Theorem 6)."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.stats import loglog_slope
+from repro.core.process import SequentialProcess
+from repro.core.single_choice import SingleChoiceProcess
+
+
+class TestBasics:
+    def test_is_beta_zero_process(self):
+        proc = SingleChoiceProcess(8, 1000, rng=1)
+        assert proc.beta == 0.0
+
+    def test_divergence_curve_shapes(self):
+        proc = SingleChoiceProcess(8, 20000, rng=2)
+        run = proc.divergence_curve(4000, 6000, sample_every=1000)
+        assert len(run.sample_steps) == 6
+        assert len(run.trace) == 6000
+
+    def test_removals_never_use_two_choices(self):
+        proc = SingleChoiceProcess(4, 200, rng=3)
+        proc.prefill(100)
+        assert not any(proc.remove().two_choice for _ in range(50))
+
+
+class TestDivergence:
+    def test_costs_grow_over_time(self):
+        """Late-window mean rank clearly exceeds early-window mean."""
+        proc = SingleChoiceProcess(8, 60000, rng=4)
+        trace = proc.run_steady_state(20000, 20000)
+        w = trace.windowed_means(2000)
+        assert w[-1] > 2.0 * w[0]
+
+    def test_two_choice_does_not_grow(self):
+        """Control: the same experiment with beta=1 stays flat."""
+        proc = SequentialProcess(8, 60000, beta=1.0, rng=4)
+        trace = proc.run_steady_state(20000, 20000)
+        w = trace.windowed_means(2000)
+        assert w[-1] < 2.0 * w[0] + 8
+
+    def test_growth_exponent_near_half(self):
+        """Theorem 6: max top rank grows ~ sqrt(t); fit the exponent."""
+        proc = SingleChoiceProcess(8, 120000, rng=5)
+        run = proc.divergence_curve(40000, 40000, sample_every=2000)
+        slope, _r2 = loglog_slope(run.sample_steps, run.max_top_ranks, drop_first=3)
+        assert 0.2 < slope < 0.9  # clearly growing, roughly sqrt-like
+
+    def test_single_choice_worse_than_two_choice(self):
+        kwargs = dict(rng=6)
+        single = SingleChoiceProcess(8, 30000, **kwargs).run_steady_state(10000, 10000)
+        double = SequentialProcess(8, 30000, beta=1.0, **kwargs).run_steady_state(
+            10000, 10000
+        )
+        assert single.mean_rank() > 3.0 * double.mean_rank()

@@ -1,0 +1,59 @@
+"""Tests for the Lemma 5 tail-striping quantities."""
+
+import numpy as np
+import pytest
+
+from repro.core.exponential import ExponentialTopProcess
+from repro.core.potential import tail_bin_counts, tail_decay_estimate
+
+
+class TestTailBinCounts:
+    def test_balanced_weights_have_empty_tails(self):
+        above, below = tail_bin_counts(np.full(8, 5.0), s=0.1)
+        assert (above, below) == (0, 0)
+
+    def test_skewed_weights_counted(self):
+        n = 4
+        w = np.array([0.0, 0.0, 0.0, 40.0])
+        # x = w/n -> [0,0,0,10], mu = 2.5; y = [-2.5,-2.5,-2.5,7.5]
+        above, below = tail_bin_counts(w, s=5.0)
+        assert above == 1
+        assert below == 0
+        above2, below2 = tail_bin_counts(w, s=2.0)
+        assert above2 == 1
+        assert below2 == 3
+
+    def test_s_zero_splits_around_mean(self):
+        w = np.array([1.0, 2.0, 3.0, 4.0])
+        above, below = tail_bin_counts(w, s=0.0)
+        assert above == 2 and below == 2
+
+
+class TestTailDecay:
+    def test_counts_decay_in_s(self):
+        """Lemma 5 shape: average tail mass shrinks geometrically in s."""
+        proc = ExponentialTopProcess(16, beta=1.0, rng=1)
+        s_values = [0.5, 1.0, 2.0, 4.0]
+        means = tail_decay_estimate(proc, steps=8000, s_values=s_values)
+        # Monotone decreasing and eventually (near) zero.
+        assert all(a >= b for a, b in zip(means, means[1:]))
+        assert means[-1] < means[0]
+        assert means[-1] < 1.0
+
+    def test_single_choice_tails_heavier(self):
+        """beta=0 has no balancing force: tails dominate two-choice's."""
+        s_values = [1.0, 2.0]
+        two = tail_decay_estimate(
+            ExponentialTopProcess(16, beta=1.0, rng=2), 8000, s_values
+        )
+        one = tail_decay_estimate(
+            ExponentialTopProcess(16, beta=0.0, rng=2), 8000, s_values
+        )
+        assert one[0] > two[0]
+
+    def test_validation(self):
+        proc = ExponentialTopProcess(4, rng=3)
+        with pytest.raises(ValueError):
+            tail_decay_estimate(proc, 10, [1.0], sample_every=0)
+        with pytest.raises(ValueError):
+            tail_decay_estimate(proc, 5, [1.0], sample_every=100)

@@ -1,0 +1,90 @@
+"""Tests for delta-stepping SSSP."""
+
+import numpy as np
+import pytest
+
+from repro.graphs.delta_stepping import delta_stepping, suggest_delta
+from repro.graphs.dijkstra import dijkstra
+from repro.graphs.generators import Graph, cycle_graph, grid_graph, road_network
+
+
+class TestCorrectness:
+    def test_line_graph(self):
+        g = Graph(4)
+        g.add_edge(0, 1, 2)
+        g.add_edge(1, 2, 3)
+        g.add_edge(2, 3, 4)
+        res = delta_stepping(g, 0, delta=3)
+        assert list(res.dist) == [0, 2, 5, 9]
+        assert res.reachable() == 4
+
+    @pytest.mark.parametrize("delta", [1, 3, 10, 100])
+    def test_matches_dijkstra_on_grid(self, delta):
+        g = grid_graph(8, 8, max_weight=9, rng=1)
+        ref = dijkstra(g, 0)
+        res = delta_stepping(g, 0, delta=delta)
+        assert np.array_equal(res.dist, ref.dist)
+
+    def test_matches_dijkstra_on_road_network(self):
+        g = road_network(900, rng=2)
+        ref = dijkstra(g, 0)
+        res = delta_stepping(g, 0, delta=suggest_delta(g))
+        assert np.array_equal(res.dist, ref.dist)
+
+    def test_unreachable(self):
+        g = Graph(3)
+        g.add_edge(0, 1, 5)
+        res = delta_stepping(g, 0, delta=2)
+        assert res.reachable() == 2
+
+    def test_validation(self):
+        g = cycle_graph(4)
+        with pytest.raises(IndexError):
+            delta_stepping(g, 9, delta=1)
+        with pytest.raises(ValueError):
+            delta_stepping(g, 0, delta=0)
+
+
+class TestPhaseAccounting:
+    def test_phase_sizes_sum_to_relaxations(self):
+        g = grid_graph(10, 10, max_weight=9, rng=3)
+        res = delta_stepping(g, 0, delta=5)
+        assert sum(res.phase_sizes) == res.relaxations
+        assert len(res.phase_sizes) == res.phases
+
+    def test_larger_delta_fewer_phases(self):
+        """Bigger buckets mean fewer barriers (more parallel slack)."""
+        g = road_network(400, max_weight=100, rng=4)
+        small = delta_stepping(g, 0, delta=2)
+        large = delta_stepping(g, 0, delta=200)
+        assert large.phases < small.phases
+
+    def test_larger_delta_more_rework(self):
+        """Bigger buckets relax more speculatively (never less work)."""
+        g = road_network(400, max_weight=100, rng=5)
+        small = delta_stepping(g, 0, delta=2)
+        large = delta_stepping(g, 0, delta=10**6)
+        assert large.relaxations >= small.relaxations
+
+    def test_parallel_time_estimate_improves_with_p(self):
+        g = road_network(400, rng=6)
+        res = delta_stepping(g, 0, delta=suggest_delta(g))
+        t1 = res.parallel_time_estimate(1)
+        t8 = res.parallel_time_estimate(8)
+        assert t8 < t1
+        # Span lower bound: barriers are irreducible.
+        assert t8 >= res.phases
+
+    def test_parallel_time_validation(self):
+        g = cycle_graph(4)
+        res = delta_stepping(g, 0, delta=1)
+        with pytest.raises(ValueError):
+            res.parallel_time_estimate(0)
+
+    def test_suggest_delta_positive(self):
+        assert suggest_delta(road_network(100, rng=7)) >= 1
+        assert suggest_delta(Graph(3)) == 1
+
+    def test_repr(self):
+        g = cycle_graph(4)
+        assert "delta=1" in repr(delta_stepping(g, 0, delta=1))

@@ -1,0 +1,95 @@
+"""Tests for expansion metrics."""
+
+import numpy as np
+import pytest
+
+from repro.graphs.expansion import (
+    adjacency_matrix,
+    cheeger_bounds,
+    edge_expansion_sample,
+    normalized_laplacian,
+    spectral_gap,
+)
+from repro.graphs.generators import (
+    Graph,
+    complete_graph,
+    cycle_graph,
+    random_regular_graph,
+)
+
+
+class TestMatrices:
+    def test_adjacency_symmetric(self):
+        g = cycle_graph(6)
+        a = adjacency_matrix(g)
+        assert np.array_equal(a, a.T)
+        assert a.sum() == 2 * g.n_edges
+
+    def test_laplacian_psd_and_zero_eigenvalue(self):
+        g = random_regular_graph(12, 4, rng=1)
+        lap = normalized_laplacian(g)
+        eig = np.linalg.eigvalsh(lap)
+        assert eig.min() > -1e-9  # PSD
+        assert abs(eig.min()) < 1e-9  # lambda_1 = 0 (connected)
+
+    def test_isolated_vertex_handled(self):
+        g = Graph(3)
+        g.add_edge(0, 1)
+        lap = normalized_laplacian(g)
+        assert lap[2, 2] == 0.0
+
+
+class TestSpectralGap:
+    def test_complete_graph_value(self):
+        n = 8
+        # Normalized Laplacian of K_n has lambda_2 = n/(n-1).
+        assert spectral_gap(complete_graph(n)) == pytest.approx(n / (n - 1), rel=1e-6)
+
+    def test_cycle_gap_small(self):
+        # lambda_2 of a cycle = 1 - cos(2 pi / n) -> small for big n.
+        gap = spectral_gap(cycle_graph(32))
+        assert gap == pytest.approx(1 - np.cos(2 * np.pi / 32), rel=1e-6)
+
+    def test_disconnected_gap_zero(self):
+        g = Graph(4)
+        g.add_edge(0, 1)
+        g.add_edge(2, 3)
+        assert spectral_gap(g) == pytest.approx(0.0, abs=1e-9)
+
+    def test_expansion_ordering(self):
+        """cycle < random 4-regular < complete, as expansion theory says."""
+        n = 24
+        gaps = {
+            "cycle": spectral_gap(cycle_graph(n)),
+            "regular": spectral_gap(random_regular_graph(n, 4, rng=2)),
+            "complete": spectral_gap(complete_graph(n)),
+        }
+        assert gaps["cycle"] < gaps["regular"] < gaps["complete"]
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            spectral_gap(Graph(1))
+
+
+class TestCheegerAndSampling:
+    def test_cheeger_bounds_order(self):
+        g = random_regular_graph(16, 4, rng=3)
+        lo, hi = cheeger_bounds(g)
+        assert 0 <= lo <= hi
+
+    def test_sampled_expansion_within_cheeger_range(self):
+        """The sampled h(G) upper-estimate must respect Cheeger's lower
+        bound (lambda_2/2 <= h)."""
+        g = random_regular_graph(20, 4, rng=4)
+        lo, _hi = cheeger_bounds(g)
+        h_est = edge_expansion_sample(g, cuts=300, rng=5)
+        assert h_est >= lo - 1e-9
+
+    def test_cycle_has_tiny_expansion(self):
+        h_cycle = edge_expansion_sample(cycle_graph(32), rng=6)
+        h_complete = edge_expansion_sample(complete_graph(16), rng=6)
+        assert h_cycle < h_complete
+
+    def test_sample_validation(self):
+        with pytest.raises(ValueError):
+            edge_expansion_sample(Graph(1))

@@ -1,0 +1,106 @@
+"""Tests for graph generators."""
+
+import pytest
+
+from repro.graphs.generators import (
+    Graph,
+    complete_graph,
+    cycle_graph,
+    grid_graph,
+    random_regular_graph,
+    road_network,
+    torus_graph,
+)
+
+
+class TestGraph:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            Graph(0)
+        g = Graph(3)
+        with pytest.raises(IndexError):
+            g.add_edge(0, 5)
+        with pytest.raises(ValueError):
+            g.add_edge(1, 1)
+        with pytest.raises(ValueError):
+            g.add_edge(0, 1, weight=0)
+
+    def test_add_edge_symmetric(self):
+        g = Graph(3)
+        g.add_edge(0, 2, 7)
+        assert (2, 7) in g.adj[0]
+        assert (0, 7) in g.adj[2]
+        assert g.n_edges == 1
+        assert g.degree(0) == 1
+
+    def test_edges_iterator_unique(self):
+        g = Graph(4)
+        g.add_edge(0, 1)
+        g.add_edge(2, 3)
+        assert sorted(g.edges()) == [(0, 1), (2, 3)]
+
+    def test_connectivity(self):
+        g = Graph(4)
+        g.add_edge(0, 1)
+        assert not g.is_connected()
+        g.add_edge(1, 2)
+        g.add_edge(2, 3)
+        assert g.is_connected()
+
+    def test_average_degree(self):
+        g = cycle_graph(10)
+        assert g.average_degree() == pytest.approx(2.0)
+
+
+class TestGenerators:
+    def test_cycle(self):
+        g = cycle_graph(8)
+        assert g.n_edges == 8
+        assert all(g.degree(v) == 2 for v in range(8))
+        assert g.is_connected()
+        with pytest.raises(ValueError):
+            cycle_graph(2)
+
+    def test_complete(self):
+        g = complete_graph(6)
+        assert g.n_edges == 15
+        assert g.is_connected()
+
+    def test_grid(self):
+        g = grid_graph(4, 5, rng=1)
+        assert g.n_vertices == 20
+        assert g.n_edges == 4 * 4 + 3 * 5
+        assert g.is_connected()
+
+    def test_torus(self):
+        g = torus_graph(4, 4, rng=2)
+        assert all(g.degree(v) == 4 for v in range(16))
+        assert g.is_connected()
+        with pytest.raises(ValueError):
+            torus_graph(2, 4)
+
+    def test_random_regular(self):
+        g = random_regular_graph(20, 4, rng=3)
+        assert all(g.degree(v) == 4 for v in range(20))
+        assert g.is_connected()
+        with pytest.raises(ValueError):
+            random_regular_graph(5, 3)  # odd n*d
+        with pytest.raises(ValueError):
+            random_regular_graph(4, 5)  # d >= n
+
+    def test_road_network_properties(self):
+        g = road_network(1000, rng=4)
+        assert g.is_connected()
+        assert 2.0 < g.average_degree() < 4.5
+        assert all(w > 0 for nbrs in g.adj for _v, w in nbrs)
+
+    def test_road_network_deterministic(self):
+        a = road_network(500, rng=5)
+        b = road_network(500, rng=5)
+        assert sorted(a.edges()) == sorted(b.edges())
+
+    def test_road_network_validation(self):
+        with pytest.raises(ValueError):
+            road_network(4)
+        with pytest.raises(ValueError):
+            road_network(100, removal_fraction=1.0)

@@ -1,0 +1,65 @@
+"""Tests for simulated parallel delta-stepping."""
+
+import numpy as np
+import pytest
+
+from repro.graphs.delta_stepping import suggest_delta
+from repro.graphs.dijkstra import dijkstra
+from repro.graphs.generators import Graph, grid_graph, road_network
+from repro.graphs.parallel_delta_stepping import parallel_delta_stepping
+
+
+class TestCorrectness:
+    def test_line_graph(self):
+        g = Graph(4)
+        g.add_edge(0, 1, 2)
+        g.add_edge(1, 2, 3)
+        g.add_edge(2, 3, 4)
+        res = parallel_delta_stepping(g, 0, delta=3, n_threads=2)
+        assert list(res.dist) == [0, 2, 5, 9]
+
+    @pytest.mark.parametrize("threads", [1, 2, 4, 8])
+    def test_matches_dijkstra_on_grid(self, threads):
+        g = grid_graph(8, 8, max_weight=9, rng=1)
+        ref = dijkstra(g, 0)
+        res = parallel_delta_stepping(g, 0, delta=5, n_threads=threads)
+        assert np.array_equal(res.dist, ref.dist)
+
+    @pytest.mark.parametrize("delta_mult", [0.5, 1.0, 4.0])
+    def test_matches_dijkstra_on_road_network(self, delta_mult):
+        g = road_network(600, rng=2)
+        ref = dijkstra(g, 0)
+        delta = max(1, int(suggest_delta(g) * delta_mult))
+        res = parallel_delta_stepping(g, 0, delta=delta, n_threads=4)
+        assert np.array_equal(res.dist, ref.dist)
+
+    def test_validation(self):
+        g = grid_graph(3, 3, rng=1)
+        with pytest.raises(IndexError):
+            parallel_delta_stepping(g, 99, delta=1, n_threads=2)
+        with pytest.raises(ValueError):
+            parallel_delta_stepping(g, 0, delta=0, n_threads=2)
+        with pytest.raises(ValueError):
+            parallel_delta_stepping(g, 0, delta=1, n_threads=0)
+
+
+class TestPerformanceShape:
+    def test_threads_reduce_completion_time(self):
+        g = road_network(1200, rng=3)
+        delta = suggest_delta(g)
+        t1 = parallel_delta_stepping(g, 0, delta=delta, n_threads=1).sim_time
+        t8 = parallel_delta_stepping(g, 0, delta=delta, n_threads=8).sim_time
+        assert t8 < 0.8 * t1
+
+    def test_counters_and_repr(self):
+        g = grid_graph(6, 6, rng=4)
+        res = parallel_delta_stepping(g, 0, delta=5, n_threads=2)
+        assert res.phases > 0
+        assert res.relaxations > 0
+        assert "threads=2" in repr(res)
+
+    def test_deterministic(self):
+        g = grid_graph(6, 6, rng=5)
+        a = parallel_delta_stepping(g, 0, delta=5, n_threads=3)
+        b = parallel_delta_stepping(g, 0, delta=5, n_threads=3)
+        assert a.sim_time == b.sim_time

@@ -1,0 +1,72 @@
+"""Tests for the simulated parallel relaxed Dijkstra."""
+
+import numpy as np
+import pytest
+
+from repro.concurrent.klsm import KLSMPQ
+from repro.concurrent.multiqueue import ConcurrentMultiQueue
+from repro.graphs.dijkstra import dijkstra
+from repro.graphs.generators import grid_graph, road_network
+from repro.graphs.parallel_dijkstra import parallel_dijkstra
+
+
+def _mq(n_queues, beta=1.0):
+    def make(engine, rng):
+        return ConcurrentMultiQueue(engine, n_queues, beta=beta, rng=rng)
+
+    return make
+
+
+class TestCorrectness:
+    def test_matches_sequential_on_grid(self):
+        g = grid_graph(10, 10, max_weight=9, rng=1)
+        ref = dijkstra(g, 0)
+        res = parallel_dijkstra(g, 0, _mq(8), n_threads=4, seed=2)
+        assert np.array_equal(res.dist, ref.dist)
+
+    @pytest.mark.parametrize("threads", [1, 2, 8])
+    def test_matches_sequential_on_road_network(self, threads):
+        g = road_network(900, rng=3)
+        ref = dijkstra(g, 0)
+        res = parallel_dijkstra(g, 0, _mq(2 * threads), n_threads=threads, seed=4)
+        assert np.array_equal(res.dist, ref.dist)
+
+    def test_klsm_model_also_exact(self):
+        g = road_network(400, rng=5)
+        ref = dijkstra(g, 0)
+
+        def make(engine, rng):
+            return KLSMPQ(engine, relaxation=64, rng=rng)
+
+        res = parallel_dijkstra(g, 0, make, n_threads=4, seed=6)
+        assert np.array_equal(res.dist, ref.dist)
+
+    def test_validation(self):
+        g = grid_graph(3, 3, rng=1)
+        with pytest.raises(IndexError):
+            parallel_dijkstra(g, 99, _mq(4), 2)
+        with pytest.raises(ValueError):
+            parallel_dijkstra(g, 0, _mq(4), 0)
+
+
+class TestPerformanceShape:
+    def test_threads_reduce_completion_time(self):
+        """More simulated threads finish sooner (the point of relaxation)."""
+        g = road_network(1600, rng=7)
+        t1 = parallel_dijkstra(g, 0, _mq(2), n_threads=1, seed=8).sim_time
+        t8 = parallel_dijkstra(g, 0, _mq(16), n_threads=8, seed=8).sim_time
+        assert t8 < 0.6 * t1
+
+    def test_result_counters(self):
+        g = grid_graph(8, 8, rng=9)
+        res = parallel_dijkstra(g, 0, _mq(4), n_threads=2, seed=10)
+        assert res.pops == res.pushes
+        assert 0 <= res.wasted_fraction < 1
+        assert "threads=2" in repr(res)
+
+    def test_deterministic_given_seed(self):
+        g = grid_graph(8, 8, rng=11)
+        a = parallel_dijkstra(g, 0, _mq(4), n_threads=3, seed=12)
+        b = parallel_dijkstra(g, 0, _mq(4), n_threads=3, seed=12)
+        assert a.sim_time == b.sim_time
+        assert a.pops == b.pops

@@ -1,0 +1,35 @@
+"""Smoke tests: every example script runs to completion and prints its
+headline output.  Run as subprocesses so import side effects and
+``__main__`` guards behave exactly as for a user.
+"""
+
+import pathlib
+import subprocess
+import sys
+
+import pytest
+
+EXAMPLES_DIR = pathlib.Path(__file__).resolve().parents[2] / "examples"
+
+CASES = {
+    "quickstart.py": "mean rank of removed elements",
+    "dijkstra_sssp.py": "simulated parallel relaxed Dijkstra",
+    "branch_and_bound.py": "relaxed (MultiQueue) frontier",
+    "rank_profile.py": "time-uniformity",
+    "graph_choice.py": "complete (= two-choice)",
+    "deadline_scheduler.py": "deadline misses",
+}
+
+
+@pytest.mark.parametrize("script", sorted(CASES))
+def test_example_runs(script):
+    path = EXAMPLES_DIR / script
+    assert path.exists(), f"missing example {script}"
+    result = subprocess.run(
+        [sys.executable, str(path)],
+        capture_output=True,
+        text=True,
+        timeout=300,
+    )
+    assert result.returncode == 0, result.stderr[-2000:]
+    assert CASES[script] in result.stdout

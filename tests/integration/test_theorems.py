@@ -1,0 +1,119 @@
+"""Integration tests: the paper's main claims at moderate scale.
+
+Each test exercises multiple subsystems together and checks the
+*statistical shape* of a theorem (scaling in n, time-uniformity,
+divergence) rather than individual units.  Benchmark-scale versions with
+full sweeps live in ``benchmarks/``.
+"""
+
+import numpy as np
+import pytest
+
+from repro.analysis.rank_series import time_uniformity
+from repro.analysis.stats import loglog_slope
+from repro.analysis.theory import avg_rank_bound, envelope_constant, max_rank_bound
+from repro.core.exponential import ExponentialTopProcess
+from repro.core.policies import biased_insert_probs
+from repro.core.potential import PotentialTracker, recommended_alpha
+from repro.core.process import SequentialProcess
+from repro.core.single_choice import SingleChoiceProcess
+
+
+class TestTheorem1AverageRank:
+    def test_mean_rank_linear_in_n(self):
+        """Theorem 1: E[rank] = O(n) for beta=1; the fitted scaling
+        exponent across n in {8..64} is ~1."""
+        ns = [8, 16, 32, 64]
+        means = []
+        for n in ns:
+            proc = SequentialProcess(n, 40000, beta=1.0, rng=100 + n)
+            trace = proc.run_steady_state(12000, 8000)
+            means.append(trace.mean_rank())
+        slope, r2 = loglog_slope(ns, means)
+        assert 0.8 < slope < 1.2
+        assert r2 > 0.95
+
+    def test_envelope_constant_small(self):
+        """Measured mean rank stays below c * n/beta^2 with small c."""
+        rows = []
+        for n, beta in [(8, 1.0), (16, 0.5), (32, 1.0), (16, 0.25)]:
+            proc = SequentialProcess(n, 40000, beta=beta, rng=7)
+            trace = proc.run_steady_state(12000, 8000)
+            rows.append((trace.mean_rank(), avg_rank_bound(n, beta)))
+        c = envelope_constant([m for m, _ in rows], [b for _, b in rows])
+        assert c < 2.0
+
+    def test_time_uniformity(self):
+        """Rank cost at late times matches early times (two-choice)."""
+        proc = SequentialProcess(16, 80000, beta=1.0, rng=8)
+        trace = proc.run_steady_state(20000, 40000)
+        report = time_uniformity(trace)
+        assert report.is_uniform(tolerance=0.3)
+
+
+class TestCorollary1MaxRank:
+    def test_max_top_rank_within_envelope(self):
+        """E[max top rank] <= c * (n/beta) log(n/beta), c modest."""
+        measured, bounds = [], []
+        for n, beta in [(8, 1.0), (16, 1.0), (32, 1.0), (16, 0.5)]:
+            proc = SequentialProcess(n, 40000, beta=beta, rng=200 + n)
+            run = proc.run_steady_state_sampled(12000, 8000, sample_every=1000)
+            measured.append(float(run.max_top_ranks.mean()))
+            bounds.append(max_rank_bound(n, beta))
+        c = envelope_constant(measured, bounds)
+        assert c < 2.0
+
+
+class TestBiasRobustness:
+    def test_biased_insertions_keep_guarantees(self):
+        """With gamma-bounded bias and beta=1, mean rank stays O(n)."""
+        n = 16
+        for gamma in (0.1, 0.3, 0.5):
+            pi = biased_insert_probs(n, gamma, pattern="two-point")
+            proc = SequentialProcess(n, 40000, beta=1.0, insert_probs=pi, rng=9)
+            trace = proc.run_steady_state(12000, 8000)
+            assert trace.mean_rank() < 3.0 * n, f"gamma={gamma}"
+
+
+class TestTheorem6Divergence:
+    def test_single_choice_not_time_uniform(self):
+        proc = SingleChoiceProcess(8, 70000, rng=10)
+        trace = proc.run_steady_state(30000, 30000)
+        report = time_uniformity(trace)
+        assert not report.is_uniform(tolerance=0.5)
+
+    def test_growth_is_power_law(self):
+        """Seed-averaged max top rank follows a clear power law in t
+        (instantaneous maxima are too noisy for a single-run fit); the
+        exponent sits in a sqrt-compatible band, far from the flat
+        (exponent ~0) two-choice behaviour."""
+        curves = []
+        for s in range(4):
+            proc = SingleChoiceProcess(16, 120000, rng=100 + s)
+            run = proc.divergence_curve(50000, 50000, sample_every=5000)
+            curves.append(run.max_top_ranks)
+        avg = np.mean(curves, axis=0)
+        slope, r2 = loglog_slope(run.sample_steps, avg, drop_first=2)
+        assert 0.3 < slope < 0.95
+        assert r2 > 0.8
+
+
+class TestTheorem3Potential:
+    def test_gamma_bounded_across_betas(self):
+        """E[Gamma(t)]/n stays O(1) for the exponential top process."""
+        n = 16
+        for beta in (1.0, 0.5):
+            proc = ExponentialTopProcess(n, beta=beta, rng=12)
+            tracker = PotentialTracker(proc, alpha=recommended_alpha(beta))
+            series = tracker.run(15000, sample_every=250)
+            assert series.gamma_over_n(n).mean() < 4.0, f"beta={beta}"
+
+    def test_supermartingale_drift_above_threshold(self):
+        """Lemma 2's shape: conditional drift above ~4n is not positive
+        (sampled; uses a larger alpha to make excursions visible)."""
+        n = 8
+        proc = ExponentialTopProcess(n, beta=1.0, rng=13)
+        tracker = PotentialTracker(proc, alpha=0.3)
+        est = tracker.drift_estimate(40000, threshold=4.0 * n)
+        if est.samples_above > 200:
+            assert est.mean_drift_above < 0.05

@@ -1,0 +1,209 @@
+"""Per-implementation unit tests, parameterized across every queue."""
+
+import pytest
+
+from repro.pqueues import (
+    QUEUE_FACTORIES,
+    BinaryHeap,
+    BucketQueue,
+    DaryHeap,
+    Entry,
+    PairingHeap,
+    QueueEmptyError,
+    SkipListPQ,
+    SortedListPQ,
+)
+
+ALL_FACTORIES = list(QUEUE_FACTORIES.values())
+
+
+@pytest.fixture(params=ALL_FACTORIES, ids=list(QUEUE_FACTORIES.keys()))
+def queue(request):
+    return request.param()
+
+
+class TestCommonBehaviour:
+    def test_empty_pop_raises(self, queue):
+        with pytest.raises(QueueEmptyError):
+            queue.pop()
+
+    def test_empty_peek_raises(self, queue):
+        with pytest.raises(QueueEmptyError):
+            queue.peek()
+
+    def test_len_and_bool(self, queue):
+        assert len(queue) == 0
+        assert not queue
+        queue.push(1)
+        assert len(queue) == 1
+        assert queue
+
+    def test_push_pop_single(self, queue):
+        queue.push(5, "payload")
+        entry = queue.pop()
+        assert entry == Entry(5, "payload")
+        assert len(queue) == 0
+
+    def test_item_defaults_to_priority(self, queue):
+        queue.push(7)
+        assert queue.pop() == Entry(7, 7)
+
+    def test_peek_does_not_remove(self, queue):
+        queue.push(3)
+        assert queue.peek().priority == 3
+        assert len(queue) == 1
+
+    def test_sorted_output(self, queue):
+        values = [5, 3, 8, 1, 9, 2, 7, 4, 6, 0]
+        for v in values:
+            queue.push(v)
+        assert [e.priority for e in queue.drain()] == sorted(values)
+
+    def test_fifo_among_equal_priorities(self, queue):
+        for tag in ("first", "second", "third"):
+            queue.push(1, tag)
+        assert [e.item for e in queue.drain()] == ["first", "second", "third"]
+
+    def test_interleaved_push_pop(self, queue):
+        queue.push(5)
+        queue.push(2)
+        assert queue.pop().priority == 2
+        queue.push(7)
+        queue.push(6)
+        assert queue.pop().priority == 5
+        assert queue.pop().priority == 6
+        assert queue.pop().priority == 7
+
+    def test_top_or_none(self, queue):
+        assert queue.top_or_none() is None
+        queue.push(4)
+        assert queue.top_or_none().priority == 4
+
+    def test_peek_priority(self, queue):
+        queue.push(9)
+        assert queue.peek_priority() == 9
+
+    def test_is_empty(self, queue):
+        assert queue.is_empty()
+        queue.push(1)
+        assert not queue.is_empty()
+
+    def test_repr_nonempty(self, queue):
+        queue.push(2)
+        assert "len=1" in repr(queue)
+
+    def test_large_sequence(self, queue):
+        import random
+
+        rnd = random.Random(99)
+        values = [rnd.randrange(1000) for _ in range(500)]
+        for v in values:
+            queue.push(v)
+        assert [e.priority for e in queue.drain()] == sorted(values)
+
+
+class TestDaryHeap:
+    def test_arity_validation(self):
+        with pytest.raises(ValueError):
+            DaryHeap(1)
+
+    @pytest.mark.parametrize("d", [2, 3, 4, 8])
+    def test_various_arities_sort(self, d):
+        heap = DaryHeap(d)
+        values = list(range(50, 0, -1))
+        for v in values:
+            heap.push(v)
+        assert [e.priority for e in heap.drain()] == sorted(values)
+        assert DaryHeap(d).arity == d
+
+
+class TestPairingHeapMeld:
+    def test_meld_combines_contents(self):
+        a, b = PairingHeap(), PairingHeap()
+        for v in (5, 1, 3):
+            a.push(v)
+        for v in (4, 2, 6):
+            b.push(v)
+        a.meld(b)
+        assert len(a) == 6
+        assert len(b) == 0
+        assert [e.priority for e in a.drain()] == [1, 2, 3, 4, 5, 6]
+
+    def test_meld_with_empty(self):
+        a, b = PairingHeap(), PairingHeap()
+        a.push(1)
+        a.meld(b)
+        assert len(a) == 1
+
+    def test_meld_into_empty(self):
+        a, b = PairingHeap(), PairingHeap()
+        b.push(2)
+        a.meld(b)
+        assert a.pop().priority == 2
+
+    def test_meld_self_rejected(self):
+        a = PairingHeap()
+        with pytest.raises(ValueError):
+            a.meld(a)
+
+    def test_emptied_heap_reusable_after_meld(self):
+        a, b = PairingHeap(), PairingHeap()
+        b.push(3)
+        a.meld(b)
+        b.push(1)
+        assert b.pop().priority == 1
+
+
+class TestBucketQueue:
+    def test_requires_int_priorities(self):
+        bq = BucketQueue()
+        with pytest.raises(TypeError):
+            bq.push(1.5)
+        with pytest.raises(TypeError):
+            bq.push(True)
+
+    def test_rejects_negative(self):
+        with pytest.raises(ValueError):
+            BucketQueue().push(-1)
+
+    def test_monotone_violation_raises(self):
+        bq = BucketQueue(monotone=True)
+        bq.push(5)
+        bq.pop()
+        bq.push(7)
+        bq.pop()  # cursor now at 7
+        bq.push(9)
+        with pytest.raises(ValueError):
+            bq.push(3)
+
+    def test_non_monotone_mode_rewinds(self):
+        bq = BucketQueue(monotone=False)
+        bq.push(5)
+        assert bq.pop().priority == 5
+        bq.push(9)
+        bq.push(3)
+        assert bq.pop().priority == 3
+        assert bq.pop().priority == 9
+
+    def test_refill_after_empty(self):
+        bq = BucketQueue()
+        bq.push(4)
+        bq.pop()
+        bq.push(10)
+        assert bq.pop().priority == 10
+
+
+class TestSkipListSpecifics:
+    def test_ordered_iteration(self):
+        sl = SkipListPQ(rng=5)
+        for v in (4, 1, 3, 2):
+            sl.push(v)
+        assert [e.priority for e in sl] == [1, 2, 3, 4]
+        assert len(sl) == 4  # iteration does not consume
+
+    def test_deterministic_with_seed(self):
+        a, b = SkipListPQ(rng=8), SkipListPQ(rng=8)
+        for v in range(100):
+            a.push((v * 37) % 100)
+            b.push((v * 37) % 100)
+        assert [e.priority for e in a.drain()] == [e.priority for e in b.drain()]

@@ -1,0 +1,110 @@
+"""Tests for the monotone radix heap."""
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.pqueues import BucketQueue, RadixHeap
+
+
+class TestBasics:
+    def test_type_validation(self):
+        rh = RadixHeap()
+        with pytest.raises(TypeError):
+            rh.push(1.5)
+        with pytest.raises(TypeError):
+            rh.push(True)
+        with pytest.raises(ValueError):
+            rh.push(-1)
+
+    def test_monotone_violation(self):
+        rh = RadixHeap()
+        rh.push(10)
+        assert rh.pop().priority == 10
+        with pytest.raises(ValueError):
+            rh.push(5)
+
+    def test_last_popped(self):
+        rh = RadixHeap()
+        rh.push(7)
+        rh.pop()
+        assert rh.last_popped == 7
+
+    def test_equal_priority_fifo(self):
+        rh = RadixHeap()
+        for tag in ("a", "b", "c"):
+            rh.push(5, tag)
+        assert [e.item for e in rh.drain()] == ["a", "b", "c"]
+
+    def test_fifo_across_bucket_generations(self):
+        """Equal priorities pushed before and after `last` advances must
+        still pop in push order (the stability-under-redistribution
+        invariant)."""
+        rh = RadixHeap()
+        rh.push(4, "pre")
+        rh.push(5, "first")
+        assert rh.pop().item == "pre"  # last -> 4, redistributes bucket
+        rh.push(5, "second")  # same priority, new bucket geometry
+        assert rh.pop().item == "first"
+        assert rh.pop().item == "second"
+
+    def test_large_priorities(self):
+        rh = RadixHeap()
+        values = [2**40, 2**40 + 1, 2**20, 0]
+        for v in values:
+            rh.push(v)
+        assert [e.priority for e in rh.drain()] == sorted(values)
+
+    def test_peek_stable(self):
+        rh = RadixHeap()
+        rh.push(3, "x")
+        assert rh.peek().item == "x"
+        assert len(rh) == 1
+
+
+class TestAgainstBucketQueue:
+    def test_random_monotone_workload(self):
+        """Radix heap and bucket queue must agree on any monotone trace."""
+        rnd = random.Random(77)
+        rh, bq = RadixHeap(), BucketQueue()
+        floor = 0
+        for _ in range(2000):
+            if rnd.random() < 0.6 or len(bq) == 0:
+                p = floor + rnd.randrange(100)
+                tag = rnd.randrange(5)
+                rh.push(p, (p, tag))
+                bq.push(p, (p, tag))
+            else:
+                a, b = rh.pop(), bq.pop()
+                assert a == b
+                floor = a.priority
+        while len(bq):
+            assert rh.pop() == bq.pop()
+
+
+@settings(max_examples=60, deadline=None)
+@given(
+    deltas=st.lists(
+        st.tuples(st.booleans(), st.integers(min_value=0, max_value=200)),
+        max_size=120,
+    )
+)
+def test_matches_bucket_queue_property(deltas):
+    """Property: arbitrary monotone push/pop traces match BucketQueue."""
+    rh, bq = RadixHeap(), BucketQueue()
+    floor = 0
+    seq = 0
+    for is_push, delta in deltas:
+        if is_push or len(bq) == 0:
+            p = floor + delta
+            rh.push(p, seq)
+            bq.push(p, seq)
+            seq += 1
+        else:
+            a, b = rh.pop(), bq.pop()
+            assert a == b
+            floor = a.priority
+    while len(bq):
+        assert rh.pop() == bq.pop()

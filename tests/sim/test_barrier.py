@@ -1,0 +1,97 @@
+"""Tests for the simulated barrier."""
+
+import pytest
+
+from repro.sim.engine import DeadlockError, Engine
+from repro.sim.primitives import SimBarrier
+from repro.sim.syscalls import BarrierWait, Delay
+
+
+class TestBarrier:
+    def test_parties_validation(self):
+        with pytest.raises(ValueError):
+            SimBarrier(0)
+
+    def test_wrong_target_type(self):
+        def body():
+            yield BarrierWait("not-a-barrier")
+
+        eng = Engine()
+        eng.spawn(body())
+        with pytest.raises(TypeError):
+            eng.run()
+
+    def test_all_wait_for_last(self):
+        barrier = SimBarrier(3)
+        release_times = []
+
+        def body(delay, engine):
+            yield Delay(delay)
+            yield BarrierWait(barrier)
+            release_times.append(engine.now)
+
+        eng = Engine()
+        for delay in (10, 50, 200):
+            eng.spawn(body(delay, eng))
+        eng.run()
+        assert len(release_times) == 3
+        # Everyone released together, after the slowest arriver.
+        assert len(set(release_times)) == 1
+        assert release_times[0] > 200
+
+    def test_arrival_index_identifies_leader(self):
+        barrier = SimBarrier(2)
+        indices = []
+
+        def body(delay):
+            yield Delay(delay)
+            idx = yield BarrierWait(barrier)
+            indices.append(idx)
+
+        eng = Engine()
+        eng.spawn(body(5))
+        eng.spawn(body(99))
+        eng.run()
+        assert sorted(indices) == [0, 1]
+
+    def test_cyclic_reuse(self):
+        barrier = SimBarrier(2)
+        rounds = []
+
+        def body(engine):
+            for _ in range(3):
+                yield BarrierWait(barrier)
+                rounds.append(engine.now)
+
+        eng = Engine()
+        eng.spawn(body(eng))
+        eng.spawn(body(eng))
+        eng.run()
+        assert barrier.generation == 3
+        assert len(rounds) == 6
+
+    def test_single_party_never_blocks(self):
+        barrier = SimBarrier(1)
+
+        def body():
+            idx = yield BarrierWait(barrier)
+            return idx
+
+        eng = Engine()
+        tid = eng.spawn(body())
+        eng.run()
+        assert eng.stats[tid].result == 0
+
+    def test_missing_party_deadlocks(self):
+        barrier = SimBarrier(2)
+
+        def body():
+            yield BarrierWait(barrier)
+
+        eng = Engine()
+        eng.spawn(body())
+        with pytest.raises(DeadlockError):
+            eng.run()
+
+    def test_repr(self):
+        assert "parties=2" in repr(SimBarrier(2, name="b"))

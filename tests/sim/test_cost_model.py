@@ -1,0 +1,30 @@
+"""Tests for the cost model."""
+
+import math
+
+import pytest
+
+from repro.sim.cost_model import CostModel
+
+
+class TestCostModel:
+    def test_pq_cost_grows_with_size(self):
+        cm = CostModel()
+        assert cm.pq_op_cost(10) < cm.pq_op_cost(10_000)
+
+    def test_pq_cost_log_shape(self):
+        cm = CostModel(pq_base=0.0, pq_per_level=1.0)
+        assert cm.pq_op_cost(62) == pytest.approx(math.log2(64))
+
+    def test_scaled(self):
+        cm = CostModel()
+        doubled = cm.scaled(2.0)
+        assert doubled.cas == 2 * cm.cas
+        assert doubled.cache_transfer == 2 * cm.cache_transfer
+        # Original unchanged.
+        assert cm.cas == CostModel().cas
+
+    def test_with_contention(self):
+        cm = CostModel().with_contention(500.0)
+        assert cm.cache_transfer == 500.0
+        assert cm.cas == CostModel().cas

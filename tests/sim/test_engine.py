@@ -1,0 +1,316 @@
+"""Tests for the discrete-event engine: time, syscalls, locks, cells."""
+
+import pytest
+
+from repro.sim.cost_model import CostModel
+from repro.sim.engine import DeadlockError, Engine
+from repro.sim.primitives import SimCell, SimLock
+from repro.sim.syscalls import CAS, Acquire, Delay, Read, Release, TryAcquire, Write, Yield
+
+
+def run_thread(body, cost_model=None):
+    eng = Engine(cost_model)
+    tid = eng.spawn(body)
+    eng.run()
+    return eng, eng.stats[tid]
+
+
+class TestBasics:
+    def test_delay_advances_time(self):
+        def body():
+            yield Delay(100)
+            yield Delay(50)
+            return "ok"
+
+        eng, stats = run_thread(body())
+        assert eng.now == 150.0
+        assert stats.result == "ok"
+        assert stats.finished
+
+    def test_negative_delay_rejected(self):
+        def body():
+            yield Delay(-1)
+
+        eng = Engine()
+        eng.spawn(body())
+        with pytest.raises(ValueError):
+            eng.run()
+
+    def test_unknown_syscall_rejected(self):
+        def body():
+            yield "not-a-syscall"
+
+        eng = Engine()
+        eng.spawn(body())
+        with pytest.raises(TypeError):
+            eng.run()
+
+    def test_yield_keeps_time(self):
+        def body():
+            yield Yield()
+            return None
+
+        eng, _ = run_thread(body())
+        assert eng.now == 0.0
+
+    def test_run_until_pauses(self):
+        def body():
+            yield Delay(100)
+            yield Delay(100)
+
+        eng = Engine()
+        eng.spawn(body())
+        eng.run(until=100)
+        assert eng.now == 100.0
+        eng.run()
+        assert eng.now == 200.0
+
+    def test_max_events_limits(self):
+        def body():
+            for _ in range(10):
+                yield Delay(1)
+
+        eng = Engine()
+        eng.spawn(body())
+        eng.run(max_events=3)
+        assert eng.events_processed == 3
+
+    def test_spawn_start_time(self):
+        def body():
+            yield Delay(10)
+
+        eng = Engine()
+        tid = eng.spawn(body(), start_time=50.0)
+        eng.run()
+        assert eng.stats[tid].spawned_at == 0.0
+        assert eng.now == 60.0
+
+    def test_threads_run_concurrently(self):
+        """Two threads each delaying 100 finish at 100, not 200."""
+
+        def body():
+            yield Delay(100)
+
+        eng = Engine()
+        eng.spawn(body())
+        eng.spawn(body())
+        eng.run()
+        assert eng.now == 100.0
+
+    def test_live_threads_and_repr(self):
+        def body():
+            yield Delay(1)
+
+        eng = Engine()
+        eng.spawn(body(), name="t0")
+        assert eng.live_threads == 1
+        assert "threads=1" in repr(eng)
+        eng.run()
+        assert eng.live_threads == 0
+
+
+class TestCells:
+    def test_read_write(self):
+        cell = SimCell(5)
+
+        def body():
+            v = yield Read(cell)
+            yield Write(cell, v + 1)
+            v2 = yield Read(cell)
+            return v2
+
+        _eng, stats = run_thread(body())
+        assert stats.result == 6
+        assert cell.value == 6
+
+    def test_cas_success_and_failure(self):
+        cell = SimCell(0)
+
+        def body():
+            ok1 = yield CAS(cell, 0, 1)
+            ok2 = yield CAS(cell, 0, 2)
+            return (ok1, ok2)
+
+        _eng, stats = run_thread(body())
+        assert stats.result == (True, False)
+        assert cell.value == 1
+
+    def test_same_thread_access_no_transfer(self):
+        cell = SimCell(0)
+
+        def body():
+            yield Read(cell)
+            yield Read(cell)
+
+        eng, _ = run_thread(body())
+        assert cell.transfers == 0
+        assert eng.now == pytest.approx(2 * eng.cost.read)
+
+    def test_cross_thread_access_pays_transfer(self):
+        cell = SimCell(0)
+
+        def toucher():
+            yield Read(cell)
+
+        eng = Engine()
+        eng.spawn(toucher())
+        eng.spawn(toucher())
+        eng.run()
+        assert cell.transfers == 1
+        assert cell.accesses == 2
+        assert cell.contention_ratio() == 0.5
+
+    def test_hot_cell_serializes(self):
+        """K cross-thread accesses to one cell take >= K * transfer time."""
+        cell = SimCell(0)
+        cost = CostModel()
+
+        def toucher():
+            yield Read(cell)
+
+        eng = Engine(cost)
+        for _ in range(8):
+            eng.spawn(toucher())
+        eng.run()
+        # 7 ownership changes, each occupying the line for cache_transfer.
+        assert eng.now >= 7 * cost.cache_transfer
+
+    def test_distinct_cells_parallel(self):
+        """Accesses to distinct cells do not serialize each other."""
+        cost = CostModel()
+        cells = [SimCell(0) for _ in range(8)]
+
+        def toucher(c):
+            yield Read(c)
+
+        eng = Engine(cost)
+        for c in cells:
+            eng.spawn(toucher(c))
+        eng.run()
+        assert eng.now <= cost.read + cost.cache_transfer
+
+
+class TestLocks:
+    def test_try_acquire_success_then_failure(self):
+        lock = SimLock()
+        results = []
+
+        def holder():
+            ok = yield TryAcquire(lock)
+            results.append(("holder", ok))
+            yield Delay(100)
+            yield Release(lock)
+
+        def prober():
+            yield Delay(10)
+            ok = yield TryAcquire(lock)
+            results.append(("prober", ok))
+
+        eng = Engine()
+        eng.spawn(holder())
+        eng.spawn(prober())
+        eng.run()
+        assert ("holder", True) in results
+        assert ("prober", False) in results
+        assert lock.failed_tries == 1
+        assert lock.failure_ratio() == 0.5
+
+    def test_blocking_acquire_waits_for_release(self):
+        lock = SimLock()
+        order = []
+
+        def holder():
+            yield Acquire(lock)
+            order.append("holder-in")
+            yield Delay(100)
+            yield Release(lock)
+            order.append("holder-out")
+
+        def waiter():
+            yield Delay(1)
+            yield Acquire(lock)
+            order.append("waiter-in")
+            yield Release(lock)
+
+        eng = Engine()
+        eng.spawn(holder())
+        eng.spawn(waiter())
+        eng.run()
+        assert order.index("holder-in") < order.index("waiter-in")
+        assert not lock.locked
+
+    def test_fifo_handoff(self):
+        lock = SimLock()
+        order = []
+
+        def holder():
+            yield Acquire(lock)
+            yield Delay(100)
+            yield Release(lock)
+
+        def waiter(tag, delay):
+            yield Delay(delay)
+            yield Acquire(lock)
+            order.append(tag)
+            yield Release(lock)
+
+        eng = Engine()
+        eng.spawn(holder())
+        eng.spawn(waiter("first", 1))
+        eng.spawn(waiter("second", 2))
+        eng.run()
+        assert order == ["first", "second"]
+
+    def test_release_by_non_holder_raises(self):
+        lock = SimLock()
+
+        def bad():
+            yield Release(lock)
+
+        eng = Engine()
+        eng.spawn(bad())
+        with pytest.raises(RuntimeError):
+            eng.run()
+
+    def test_deadlock_detection(self):
+        a, b = SimLock("a"), SimLock("b")
+
+        def t1():
+            yield Acquire(a)
+            yield Delay(10)
+            yield Acquire(b)
+
+        def t2():
+            yield Acquire(b)
+            yield Delay(10)
+            yield Acquire(a)
+
+        eng = Engine()
+        eng.spawn(t1())
+        eng.spawn(t2())
+        with pytest.raises(DeadlockError):
+            eng.run()
+
+    def test_lock_repr(self):
+        lock = SimLock("mylock")
+        assert "mylock" in repr(lock)
+
+
+class TestDeterminism:
+    def test_identical_runs_identical_times(self):
+        def build():
+            cell = SimCell(0)
+
+            def worker(k):
+                for _ in range(20):
+                    v = yield Read(cell)
+                    yield CAS(cell, v, v + 1)
+                    yield Delay(5)
+
+            eng = Engine()
+            for k in range(4):
+                eng.spawn(worker(k))
+            eng.run()
+            return eng.now, cell.value
+
+        assert build() == build()

@@ -1,0 +1,182 @@
+"""Property tests of the simulation engine's concurrency semantics.
+
+Hypothesis generates random thread programs; the engine must uphold the
+invariants any real machine would: mutual exclusion under locks,
+atomicity of CAS increments, determinism, and monotone time.
+"""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.sim.cost_model import CostModel
+from repro.sim.engine import Engine
+from repro.sim.primitives import SimCell, SimLock
+from repro.sim.syscalls import CAS, Acquire, Delay, Read, Release, TryAcquire, Write
+
+
+@settings(max_examples=40, deadline=None)
+@given(
+    n_threads=st.integers(min_value=1, max_value=6),
+    sections=st.integers(min_value=1, max_value=8),
+    delays=st.lists(st.floats(min_value=0, max_value=50), min_size=1, max_size=8),
+)
+def test_mutual_exclusion_blocking(n_threads, sections, delays):
+    """No two threads are ever inside the same lock simultaneously."""
+    lock = SimLock()
+    inside = {"count": 0, "violated": False}
+
+    def worker(k):
+        for s in range(sections):
+            yield Acquire(lock)
+            inside["count"] += 1
+            if inside["count"] > 1:
+                inside["violated"] = True
+            yield Delay(delays[(k + s) % len(delays)])
+            inside["count"] -= 1
+            yield Release(lock)
+
+    eng = Engine()
+    for k in range(n_threads):
+        eng.spawn(worker(k))
+    eng.run()
+    assert not inside["violated"]
+    assert not lock.locked
+
+
+@settings(max_examples=40, deadline=None)
+@given(
+    n_threads=st.integers(min_value=1, max_value=6),
+    increments=st.integers(min_value=1, max_value=20),
+)
+def test_cas_increment_atomicity(n_threads, increments):
+    """CAS-retry counters never lose updates, whatever the interleaving."""
+    counter = SimCell(0)
+
+    def worker():
+        done = 0
+        while done < increments:
+            v = yield Read(counter)
+            ok = yield CAS(counter, v, v + 1)
+            if ok:
+                done += 1
+
+    eng = Engine()
+    for _ in range(n_threads):
+        eng.spawn(worker())
+    eng.run()
+    assert counter.value == n_threads * increments
+
+
+@settings(max_examples=30, deadline=None)
+@given(
+    n_threads=st.integers(min_value=2, max_value=5),
+    tries=st.integers(min_value=1, max_value=12),
+)
+def test_try_lock_critical_sections_exclusive(n_threads, tries):
+    """TryAcquire-based critical sections are also exclusive."""
+    lock = SimLock()
+    inside = {"count": 0, "violated": False, "acquired": 0}
+
+    def worker():
+        for _ in range(tries):
+            ok = yield TryAcquire(lock)
+            if not ok:
+                yield Delay(7)
+                continue
+            inside["acquired"] += 1
+            inside["count"] += 1
+            if inside["count"] > 1:
+                inside["violated"] = True
+            yield Delay(13)
+            inside["count"] -= 1
+            yield Release(lock)
+
+    eng = Engine()
+    for _ in range(n_threads):
+        eng.spawn(worker())
+    eng.run()
+    assert not inside["violated"]
+    assert inside["acquired"] == lock.acquisitions
+
+
+@settings(max_examples=25, deadline=None)
+@given(
+    program=st.lists(
+        st.tuples(st.integers(0, 2), st.floats(min_value=0, max_value=30)),
+        min_size=1,
+        max_size=20,
+    ),
+    n_threads=st.integers(min_value=1, max_value=4),
+)
+def test_determinism_under_random_programs(program, n_threads):
+    """Identical programs produce identical final times and cell states."""
+
+    def run_once():
+        cell = SimCell(0)
+        lock = SimLock()
+
+        def worker(k):
+            for op, amount in program:
+                if op == 0:
+                    yield Delay(amount + k)
+                elif op == 1:
+                    v = yield Read(cell)
+                    yield Write(cell, v + 1)
+                else:
+                    yield Acquire(lock)
+                    yield Delay(amount)
+                    yield Release(lock)
+
+        eng = Engine()
+        for k in range(n_threads):
+            eng.spawn(worker(k))
+        eng.run()
+        return eng.now, cell.value, eng.events_processed
+
+    assert run_once() == run_once()
+
+
+@settings(max_examples=25, deadline=None)
+@given(delays=st.lists(st.floats(min_value=0, max_value=100), min_size=1, max_size=20))
+def test_observed_time_monotone(delays):
+    """A thread never observes time going backwards."""
+    observed = []
+
+    def worker(engine):
+        for d in delays:
+            yield Delay(d)
+            observed.append(engine.now)
+
+    eng = Engine()
+    eng.spawn(worker(eng))
+    eng.run()
+    assert observed == sorted(observed)
+    assert eng.now == pytest.approx(sum(delays))
+
+
+@settings(max_examples=20, deadline=None)
+@given(
+    n_threads=st.integers(min_value=2, max_value=5),
+    ops=st.integers(min_value=1, max_value=15),
+)
+def test_hot_cell_time_lower_bound(n_threads, ops):
+    """A contended cell enforces at least one transfer per ownership
+    change — simulated time respects the serialization floor."""
+    cost = CostModel()
+    cell = SimCell(0)
+    changes = {"count": 0, "last": None}
+
+    def worker(k):
+        for _ in range(ops):
+            yield Read(cell)
+            if changes["last"] != k:
+                changes["count"] += 1
+                changes["last"] = k
+
+    eng = Engine(cost)
+    for k in range(n_threads):
+        eng.spawn(worker(k))
+    eng.run()
+    ownership_changes = max(changes["count"] - 1, 0)
+    assert eng.now >= ownership_changes * cost.cache_transfer - 1e-6

@@ -1,0 +1,75 @@
+"""Tests for contention metrics."""
+
+import pytest
+
+from repro.concurrent import ConcurrentMultiQueue, KLSMPQ, LindenJonssonPQ
+from repro.sim.engine import Engine
+from repro.sim.metrics import cell_report, contention_summary, hottest_cells, lock_report
+from repro.sim.primitives import SimCell, SimLock
+from repro.sim.workload import AlternatingWorkload
+
+
+class TestReports:
+    def test_cell_report_fields(self):
+        cell = SimCell(0, name="hot")
+        cell.accesses, cell.transfers = 10, 4
+        (row,) = cell_report([cell])
+        assert row["cell"] == "hot"
+        assert row["contention"] == pytest.approx(0.4)
+
+    def test_lock_report_fields(self):
+        lock = SimLock(name="guard")
+        lock.acquisitions, lock.failed_tries = 6, 2
+        (row,) = lock_report([lock])
+        assert row["failure"] == pytest.approx(0.25)
+
+    def test_hottest_cells_sorted(self):
+        cells = []
+        for k in range(4):
+            c = SimCell(0, name=f"c{k}")
+            c.transfers = k
+            c.accesses = 10
+            cells.append(c)
+        top = hottest_cells(cells, top=2)
+        assert [r["cell"] for r in top] == ["c3", "c2"]
+        with pytest.raises(ValueError):
+            hottest_cells(cells, top=0)
+
+
+class TestContentionSummary:
+    def _run(self, make_model, threads=4):
+        eng = Engine()
+        model = make_model(eng)
+        model.prefill(range(500))
+        AlternatingWorkload(model, threads, 100, rng=1).spawn_on(eng)
+        eng.run()
+        return contention_summary(model)
+
+    def test_multiqueue_summary(self):
+        s = self._run(lambda eng: ConcurrentMultiQueue(eng, 8, rng=2))
+        assert s["locks"] == 8
+        assert s["acquisitions"] > 0
+        assert 0 <= s["lock_failure_ratio"] < 1
+        assert s["cell_accesses"] > 0
+
+    def test_lj_head_is_hot(self):
+        eng = Engine()
+        model = LindenJonssonPQ(eng, rng=3)
+        model.prefill(range(500))
+        AlternatingWorkload(model, 8, 100, rng=4).spawn_on(eng)
+        eng.run()
+        s = contention_summary(model)
+        assert s["cell_contention_ratio"] > 0.5  # the head ping-pongs
+
+    def test_klsm_summary_includes_shared_lock(self):
+        s = self._run(lambda eng: KLSMPQ(eng, relaxation=16, rng=5))
+        assert s["locks"] == 1
+        assert s["acquisitions"] > 0
+
+    def test_unknown_model_zeros(self):
+        class Dummy:
+            pass
+
+        s = contention_summary(Dummy())
+        assert s["acquisitions"] == 0
+        assert s["cell_contention_ratio"] == 0.0

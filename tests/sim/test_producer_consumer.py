@@ -1,0 +1,62 @@
+"""Tests for the producer/consumer split workload."""
+
+import numpy as np
+import pytest
+
+from repro.concurrent import ConcurrentMultiQueue, LindenJonssonPQ, OpRecorder
+from repro.sim.engine import Engine
+from repro.sim.workload import ProducerConsumerWorkload
+
+
+class TestValidation:
+    def test_counts_positive(self):
+        eng = Engine()
+        model = ConcurrentMultiQueue(eng, 4, rng=1)
+        with pytest.raises(ValueError):
+            ProducerConsumerWorkload(model, 0, 1, 10)
+        with pytest.raises(ValueError):
+            ProducerConsumerWorkload(model, 1, 0, 10)
+        with pytest.raises(ValueError):
+            ProducerConsumerWorkload(model, 1, 1, 0)
+
+    def test_production_must_cover_consumption(self):
+        eng = Engine()
+        model = ConcurrentMultiQueue(eng, 4, rng=1)
+        with pytest.raises(ValueError):
+            ProducerConsumerWorkload(model, 1, 2, 10)
+
+
+class TestBehaviour:
+    def test_all_ops_complete_and_conserve(self):
+        eng = Engine()
+        rec = OpRecorder()
+        model = ConcurrentMultiQueue(eng, 8, rng=2, recorder=rec)
+        model.prefill(range(50))
+        workload = ProducerConsumerWorkload(model, 3, 2, 200, rng=3)
+        tids = workload.spawn_on(eng)
+        eng.run()
+        for tid in tids:
+            assert eng.stats[tid].result == 200
+        # 50 prefill + 600 produced - 400 consumed = 250 left.
+        assert model.total_size() == 250
+        rec.validate()
+
+    def test_consumers_survive_empty_phases(self):
+        """Consumers outnumber production rate early; they back off and
+        still finish once producers catch up."""
+        eng = Engine()
+        model = ConcurrentMultiQueue(eng, 4, rng=4)
+        workload = ProducerConsumerWorkload(model, 2, 2, 100, rng=5)
+        workload.spawn_on(eng)
+        eng.run()
+        assert model.total_size() == 0  # 200 produced, 200 consumed
+
+    def test_works_for_strict_queue(self):
+        eng = Engine()
+        rec = OpRecorder()
+        model = LindenJonssonPQ(eng, rng=6, recorder=rec)
+        model.prefill(np.arange(20))
+        ProducerConsumerWorkload(model, 2, 1, 150, rng=7).spawn_on(eng)
+        eng.run()
+        rec.validate()
+        assert model.total_size() == 20 + 300 - 150

@@ -1,0 +1,115 @@
+"""Tests for the execution tracer."""
+
+import pytest
+
+from repro.sim.engine import Engine
+from repro.sim.primitives import SimCell, SimLock
+from repro.sim.syscalls import CAS, Acquire, Delay, Read, Release, Write
+from repro.sim.trace import Tracer
+
+
+def _run_traced(bodies):
+    eng = Engine()
+    tracer = Tracer.attach(eng)
+    for body in bodies:
+        eng.spawn(body)
+    eng.run()
+    return tracer
+
+
+class TestRecording:
+    def test_records_all_kinds(self):
+        cell = SimCell(0, name="c")
+        lock = SimLock(name="l")
+
+        def body():
+            yield Delay(10)
+            yield Read(cell)
+            yield Write(cell, 1)
+            yield CAS(cell, 1, 2)
+            yield Acquire(lock)
+            yield Release(lock)
+
+        tracer = _run_traced([body()])
+        kinds = [r.kind for r in tracer.records]
+        assert kinds == ["delay", "read", "write", "cas", "lock", "unlock"]
+        assert tracer.counts()["read"] == 1
+
+    def test_by_thread_and_kind(self):
+        def body():
+            yield Delay(5)
+            yield Delay(5)
+
+        tracer = _run_traced([body(), body()])
+        assert len(tracer.by_thread(0)) == 2
+        assert len(tracer.by_kind("delay")) == 4
+
+    def test_timestamps_non_decreasing(self):
+        def body():
+            for _ in range(5):
+                yield Delay(7)
+
+        tracer = _run_traced([body()])
+        times = [r.time for r in tracer.records]
+        assert times == sorted(times)
+
+    def test_lock_timeline(self):
+        lock = SimLock(name="guard")
+
+        def body():
+            yield Acquire(lock)
+            yield Delay(10)
+            yield Release(lock)
+
+        tracer = _run_traced([body()])
+        timeline = tracer.lock_timeline(lock)
+        assert [event for _t, _tid, event in timeline] == ["lock", "unlock"]
+
+    def test_max_records_drops(self):
+        def body():
+            for _ in range(10):
+                yield Delay(1)
+
+        eng = Engine()
+        tracer = Tracer.attach(eng, max_records=3)
+        eng.spawn(body())
+        eng.run()
+        assert len(tracer.records) == 3
+        assert tracer.dropped == 7
+
+    def test_max_records_validation(self):
+        with pytest.raises(ValueError):
+            Tracer(max_records=0)
+
+
+class TestRendering:
+    def test_empty_trace(self):
+        assert "(empty trace)" in Tracer().render_timeline()
+
+    def test_timeline_lanes(self):
+        def body():
+            yield Delay(50)
+            yield Delay(50)
+
+        tracer = _run_traced([body(), body()])
+        out = tracer.render_timeline(width=40)
+        assert "T0  |" in out
+        assert "T1  |" in out
+        assert "delay" in out  # legend
+
+    def test_kind_filter(self):
+        cell = SimCell(0, name="c")
+
+        def body():
+            yield Delay(10)
+            yield Read(cell)
+
+        tracer = _run_traced([body()])
+        out = tracer.render_timeline(width=20, kinds=["read"])
+        # Delay markers filtered out of the lane.
+        lane = [l for l in out.splitlines() if l.startswith("T0")][0]
+        assert "." not in lane
+        assert "r" in lane
+
+    def test_repr(self):
+        assert "records=0" in repr(Tracer())

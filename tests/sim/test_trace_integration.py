@@ -1,0 +1,55 @@
+"""Integration: the tracer attached to a full MultiQueue workload run."""
+
+from repro.concurrent.multiqueue import ConcurrentMultiQueue
+from repro.sim.engine import Engine
+from repro.sim.trace import Tracer
+from repro.sim.workload import AlternatingWorkload
+
+
+class TestTracedWorkload:
+    def test_full_run_traced(self):
+        eng = Engine()
+        tracer = Tracer.attach(eng)
+        model = ConcurrentMultiQueue(eng, 4, rng=1)
+        model.prefill(range(100))
+        AlternatingWorkload(model, 3, 40, rng=2).spawn_on(eng)
+        eng.run()
+        counts = tracer.counts()
+        # Every op acquires and releases a queue lock.
+        assert counts["trylock"] >= counts["unlock"] > 0
+        # Top-cell reads happen on the delete fast path.
+        assert counts["read"] > 0
+        # Timeline renders for all three workers.
+        out = tracer.render_timeline(width=60)
+        assert "T0" in out and "T2" in out
+
+    def test_lock_timeline_alternates(self):
+        """A specific queue lock's history alternates grant/release."""
+        eng = Engine()
+        tracer = Tracer.attach(eng)
+        model = ConcurrentMultiQueue(eng, 2, rng=3)
+        model.prefill(range(50))
+        AlternatingWorkload(model, 2, 30, rng=4).spawn_on(eng)
+        eng.run()
+        timeline = tracer.lock_timeline(model._locks[0])
+        events = [e for _t, _tid, e in timeline]
+        # Between consecutive unlocks there is at least one (try)lock.
+        unlock_positions = [i for i, e in enumerate(events) if e == "unlock"]
+        for a, b in zip(unlock_positions, unlock_positions[1:]):
+            assert any(events[i] in ("lock", "trylock") for i in range(a + 1, b))
+
+    def test_tracing_does_not_change_results(self):
+        """Attaching a tracer must not perturb the simulation (no probe
+        effect — unlike the paper's timestamp methodology)."""
+
+        def run(traced):
+            eng = Engine()
+            if traced:
+                Tracer.attach(eng)
+            model = ConcurrentMultiQueue(eng, 4, rng=5)
+            model.prefill(range(100))
+            AlternatingWorkload(model, 3, 40, rng=6).spawn_on(eng)
+            eng.run()
+            return eng.now, model.total_size()
+
+        assert run(False) == run(True)

@@ -1,0 +1,71 @@
+"""Tests for workload drivers and the throughput runner."""
+
+import pytest
+
+from repro.concurrent.multiqueue import ConcurrentMultiQueue
+from repro.concurrent.recorder import OpRecorder
+from repro.sim.engine import Engine
+from repro.sim.workload import AlternatingWorkload, run_throughput_experiment
+
+
+def _mq_factory(n_queues=8, beta=1.0, recorder=None):
+    def make(engine, rng):
+        return ConcurrentMultiQueue(engine, n_queues, beta=beta, rng=rng, recorder=recorder)
+
+    return make
+
+
+class TestAlternatingWorkload:
+    def test_validation(self):
+        eng = Engine()
+        model = ConcurrentMultiQueue(eng, 4, rng=1)
+        with pytest.raises(ValueError):
+            AlternatingWorkload(model, 0, 10)
+        with pytest.raises(ValueError):
+            AlternatingWorkload(model, 2, 0)
+
+    def test_all_ops_complete(self):
+        eng = Engine()
+        model = ConcurrentMultiQueue(eng, 4, rng=1)
+        model.prefill(range(100))
+        workload = AlternatingWorkload(model, 3, 50, rng=2)
+        tids = workload.spawn_on(eng)
+        eng.run()
+        for tid in tids:
+            assert eng.stats[tid].result == 100  # 50 inserts + 50 deletes
+
+    def test_population_conserved(self):
+        """Alternating insert/delete keeps total size at prefill level."""
+        eng = Engine()
+        model = ConcurrentMultiQueue(eng, 4, rng=1)
+        model.prefill(range(200))
+        AlternatingWorkload(model, 2, 100, rng=3).spawn_on(eng)
+        eng.run()
+        assert model.total_size() == 200
+
+
+class TestThroughputRunner:
+    def test_result_fields(self):
+        res = run_throughput_experiment(_mq_factory(), 4, 50, prefill=500, seed=1)
+        assert res.n_threads == 4
+        assert res.total_ops == 2 * 4 * 50
+        assert res.sim_time > 0
+        assert res.throughput == pytest.approx(res.total_ops / (res.sim_time / 1e6))
+        assert 0 <= res.lock_failure_ratio < 1
+        assert "threads=4" in repr(res)
+
+    def test_deterministic_given_seed(self):
+        a = run_throughput_experiment(_mq_factory(), 2, 40, prefill=200, seed=5)
+        b = run_throughput_experiment(_mq_factory(), 2, 40, prefill=200, seed=5)
+        assert a.sim_time == b.sim_time
+
+    def test_seed_changes_schedule(self):
+        a = run_throughput_experiment(_mq_factory(), 2, 40, prefill=200, seed=5)
+        b = run_throughput_experiment(_mq_factory(), 2, 40, prefill=200, seed=6)
+        assert a.sim_time != b.sim_time
+
+    def test_more_threads_more_throughput_for_multiqueue(self):
+        """MultiQueue is the scalable design: 8 threads beat 1 thread."""
+        r1 = run_throughput_experiment(_mq_factory(2), 1, 150, prefill=1000, seed=7)
+        r8 = run_throughput_experiment(_mq_factory(16), 8, 150, prefill=1000, seed=7)
+        assert r8.throughput > 2.0 * r1.throughput

@@ -1,0 +1,124 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_unknown_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["bogus"])
+
+    def test_defaults(self):
+        args = build_parser().parse_args(["process"])
+        assert args.n == 16
+        assert args.beta == 1.0
+        assert args.seed == 1
+
+
+class TestCommands:
+    def test_process(self, capsys):
+        assert main(["process", "--n", "8", "--prefill", "2000", "--steps", "2000"]) == 0
+        out = capsys.readouterr().out
+        assert "mean_rank" in out
+        assert "rank cost over time" in out
+
+    def test_process_with_bias(self, capsys):
+        main(
+            [
+                "process",
+                "--n",
+                "8",
+                "--gamma",
+                "0.3",
+                "--prefill",
+                "2000",
+                "--steps",
+                "2000",
+            ]
+        )
+        assert "gamma" in capsys.readouterr().out
+
+    def test_divergence(self, capsys):
+        main(["divergence", "--n", "8", "--prefill", "4000", "--steps", "4000"])
+        out = capsys.readouterr().out
+        assert "single-choice max rank" in out
+        assert "max top rank over time" in out
+
+    def test_potential(self, capsys):
+        main(["potential", "--n", "8", "--steps", "4000"])
+        out = capsys.readouterr().out
+        assert "Gamma" in out
+
+    def test_throughput(self, capsys):
+        main(
+            [
+                "throughput",
+                "--threads",
+                "1",
+                "2",
+                "--ops",
+                "40",
+                "--prefill",
+                "400",
+                "--contenders",
+                "mq1.0",
+                "lj",
+            ]
+        )
+        out = capsys.readouterr().out
+        assert "ops/Mcycle" in out
+        assert "mq1.0" in out
+
+    def test_throughput_unknown_contender(self):
+        with pytest.raises(SystemExit):
+            main(["throughput", "--threads", "1", "--ops", "5", "--contenders", "zzz"])
+
+    def test_rank(self, capsys):
+        main(
+            [
+                "rank",
+                "--betas",
+                "1.0",
+                "0.5",
+                "--prefill",
+                "2000",
+                "--ops",
+                "100",
+                "--threads",
+                "2",
+            ]
+        )
+        out = capsys.readouterr().out
+        assert "mean rank" in out
+        assert "[log y]" in out
+
+    def test_sssp(self, capsys):
+        main(["sssp", "--threads", "1", "2", "--graph-size", "300"])
+        out = capsys.readouterr().out
+        assert "parallel SSSP" in out
+
+    def test_graph_choice(self, capsys):
+        main(["graph-choice", "--n", "12", "--prefill", "1000", "--steps", "1000"])
+        out = capsys.readouterr().out
+        assert "cycle" in out and "complete" in out
+
+    def test_experiments(self, capsys):
+        main(["experiments"])
+        out = capsys.readouterr().out
+        assert "fig1" in out and "t6-diverge" in out
+
+    def test_report_selected(self, capsys):
+        main(["report", "--ids", "fig1"])
+        out = capsys.readouterr().out
+        assert "===== fig1" in out
+
+    def test_report_all(self, capsys):
+        main(["report"])
+        out = capsys.readouterr().out
+        assert "===== fig2" in out

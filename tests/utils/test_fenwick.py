@@ -1,0 +1,133 @@
+"""Unit and property tests for the Fenwick tree."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.utils.fenwick import FenwickTree
+
+
+class TestBasics:
+    def test_empty_tree_has_zero_total(self):
+        ft = FenwickTree(16)
+        assert ft.total == 0
+        assert ft.prefix_sum(15) == 0
+
+    def test_negative_size_rejected(self):
+        with pytest.raises(ValueError):
+            FenwickTree(-1)
+
+    def test_zero_size_allowed(self):
+        ft = FenwickTree(0)
+        assert ft.total == 0
+
+    def test_single_add_and_query(self):
+        ft = FenwickTree(8)
+        ft.add(3, 1)
+        assert ft.prefix_sum(2) == 0
+        assert ft.prefix_sum(3) == 1
+        assert ft.prefix_sum(7) == 1
+
+    def test_prefix_sum_minus_one_is_zero(self):
+        ft = FenwickTree(4)
+        ft.add(0, 5)
+        assert ft.prefix_sum(-1) == 0
+
+    def test_add_out_of_range_raises(self):
+        ft = FenwickTree(4)
+        with pytest.raises(IndexError):
+            ft.add(4, 1)
+        with pytest.raises(IndexError):
+            ft.add(-1, 1)
+
+    def test_prefix_sum_out_of_range_raises(self):
+        ft = FenwickTree(4)
+        with pytest.raises(IndexError):
+            ft.prefix_sum(4)
+
+    def test_negative_delta_removes(self):
+        ft = FenwickTree(8)
+        ft.add(5, 1)
+        ft.add(5, -1)
+        assert ft.total == 0
+        assert ft.prefix_sum(7) == 0
+
+    def test_range_sum(self):
+        ft = FenwickTree(10)
+        for i in range(10):
+            ft.add(i, i)
+        assert ft.range_sum(3, 5) == 3 + 4 + 5
+        assert ft.range_sum(0, 9) == sum(range(10))
+        assert ft.range_sum(5, 3) == 0
+
+    def test_get_single_position(self):
+        ft = FenwickTree(6)
+        ft.add(2, 7)
+        assert ft.get(2) == 7
+        assert ft.get(1) == 0
+
+    def test_total_tracks_all_mass(self):
+        ft = FenwickTree(8)
+        ft.add(1, 3)
+        ft.add(7, 4)
+        assert ft.total == 7
+
+    def test_repr_mentions_size(self):
+        assert "size=8" in repr(FenwickTree(8))
+        assert len(FenwickTree(8)) == 8
+
+
+class TestFindKth:
+    def test_find_kth_on_unit_counts(self):
+        ft = FenwickTree(16)
+        present = [2, 5, 11, 13]
+        for p in present:
+            ft.add(p, 1)
+        for k, expected in enumerate(present, start=1):
+            assert ft.find_kth(k) == expected
+
+    def test_find_kth_out_of_mass_raises(self):
+        ft = FenwickTree(4)
+        ft.add(0, 1)
+        with pytest.raises(ValueError):
+            ft.find_kth(2)
+        with pytest.raises(ValueError):
+            ft.find_kth(0)
+
+    def test_find_kth_with_multiplicity(self):
+        ft = FenwickTree(4)
+        ft.add(1, 3)
+        assert ft.find_kth(1) == 1
+        assert ft.find_kth(3) == 1
+
+
+@settings(max_examples=200, deadline=None)
+@given(
+    ops=st.lists(
+        st.tuples(st.integers(min_value=0, max_value=63), st.integers(-3, 3)),
+        max_size=200,
+    )
+)
+def test_matches_naive_array(ops):
+    """Property: every prefix sum matches a plain array reference."""
+    ft = FenwickTree(64)
+    ref = np.zeros(64, dtype=np.int64)
+    for idx, delta in ops:
+        ft.add(idx, delta)
+        ref[idx] += delta
+    for q in range(-1, 64):
+        assert ft.prefix_sum(q) == ref[: q + 1].sum()
+    assert ft.total == ref.sum()
+
+
+@settings(max_examples=100, deadline=None)
+@given(present=st.sets(st.integers(min_value=0, max_value=127), min_size=1, max_size=60))
+def test_find_kth_matches_sorted_order(present):
+    """Property: find_kth enumerates present indices in sorted order."""
+    ft = FenwickTree(128)
+    for p in present:
+        ft.add(p, 1)
+    expected = sorted(present)
+    got = [ft.find_kth(k) for k in range(1, len(present) + 1)]
+    assert got == expected

@@ -1,0 +1,73 @@
+"""Tests for RNG stream management."""
+
+import numpy as np
+import pytest
+
+from repro.utils.rngtools import RngStreams, as_generator, spawn_seeds
+
+
+class TestAsGenerator:
+    def test_none_gives_generator(self):
+        assert isinstance(as_generator(None), np.random.Generator)
+
+    def test_int_seed_is_deterministic(self):
+        a = as_generator(7).random(5)
+        b = as_generator(7).random(5)
+        assert np.array_equal(a, b)
+
+    def test_generator_passthrough(self):
+        gen = np.random.default_rng(1)
+        assert as_generator(gen) is gen
+
+    def test_seed_sequence_accepted(self):
+        seq = np.random.SeedSequence(99)
+        a = as_generator(seq)
+        assert isinstance(a, np.random.Generator)
+
+
+class TestSpawnSeeds:
+    def test_count(self):
+        assert len(spawn_seeds(1, 5)) == 5
+
+    def test_negative_count_rejected(self):
+        with pytest.raises(ValueError):
+            spawn_seeds(1, -1)
+
+    def test_children_are_deterministic(self):
+        a = [g.random() for g in spawn_seeds(42, 3)]
+        b = [g.random() for g in spawn_seeds(42, 3)]
+        assert a == b
+
+    def test_children_are_distinct(self):
+        values = [g.random() for g in spawn_seeds(42, 8)]
+        assert len(set(values)) == 8
+
+    def test_spawn_from_generator(self):
+        gen = np.random.default_rng(3)
+        children = spawn_seeds(gen, 2)
+        assert len(children) == 2
+        assert children[0].random() != children[1].random()
+
+
+class TestRngStreams:
+    def test_same_name_same_stream(self):
+        streams = RngStreams(10)
+        assert streams.get("a") is streams.get("a")
+
+    def test_different_names_independent(self):
+        streams = RngStreams(10)
+        assert streams.get("a").random() != streams.get("b").random()
+
+    def test_name_isolation_across_registries(self):
+        """Requesting extra streams elsewhere must not shift a stream."""
+        s1 = RngStreams(5)
+        v1 = s1.get("target").random()
+        s2 = RngStreams(5)
+        s2.get("other")  # extra request before 'target'
+        v2 = s2.get("target").random()
+        assert v1 == v2
+
+    def test_repr_lists_streams(self):
+        streams = RngStreams(0)
+        streams.get("x")
+        assert "x" in repr(streams)
