@@ -120,6 +120,11 @@ _SPECS: List[ExperimentSpec] = [
         "ext-preempt", "App. C generalized", "rank error under OS-style preemption",
         "test_preemption_robustness.py",
     ),
+    ExperimentSpec(
+        "ext-chaos", "App. C extended",
+        "graceful degradation under injected faults; invariants hold",
+        "test_chaos_robustness.py",
+    ),
 ]
 
 

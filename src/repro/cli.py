@@ -93,6 +93,42 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--steps", type=int, default=10000)
     _add_seed(p)
 
+    p = sub.add_parser(
+        "chaos",
+        help="chaos engine: run the MultiQueue under injected faults and audit invariants",
+    )
+    p.add_argument("--queues", type=int, default=8)
+    p.add_argument("--threads", type=int, default=4)
+    p.add_argument(
+        "--steps", type=int, default=4000, help="total operations across all threads"
+    )
+    p.add_argument("--prefill", type=int, default=4000)
+    p.add_argument("--beta", type=float, default=1.0)
+    p.add_argument("--delete-locking", choices=["better", "both"], default="better")
+    p.add_argument("--crash", type=int, default=1, help="workers to crash-stop")
+    p.add_argument(
+        "--crash-release-locks",
+        action="store_true",
+        help="crashed workers release their locks (graceful crash)",
+    )
+    p.add_argument("--stalls", type=int, default=1, help="targeted lock-holder stalls")
+    p.add_argument("--stall-cycles", type=float, default=200_000.0)
+    p.add_argument("--preempt-prob", type=float, default=0.002)
+    p.add_argument("--preempt-cycles", type=float, default=50_000.0)
+    p.add_argument("--spike-prob", type=float, default=0.001)
+    p.add_argument("--spike-cycles", type=float, default=5_000.0)
+    p.add_argument(
+        "--lease", type=float, default=0.0, help="lock lease in cycles (0 = off)"
+    )
+    p.add_argument(
+        "--watchdog",
+        type=float,
+        default=5e6,
+        help="livelock watchdog budget in cycles (0 = off)",
+    )
+    p.add_argument("--fault-seed", type=int, default=0)
+    _add_seed(p)
+
     sub.add_parser("experiments", help="list all reproduced experiments")
 
     p = sub.add_parser(
@@ -322,6 +358,106 @@ def cmd_graph_choice(args) -> None:
     print(format_table(rows, title=f"Section 6 graph choice process, n={args.n}"))
 
 
+def cmd_chaos(args) -> None:
+    from repro.concurrent import ConcurrentMultiQueue, InvariantAuditor, OpRecorder
+    from repro.sim.engine import DeadlockError, Engine, LivelockError
+    from repro.sim.faults import (
+        CrashStop,
+        DelaySpike,
+        FaultInjector,
+        FaultPlan,
+        LockHolderPreempt,
+        LockHolderStall,
+    )
+    from repro.sim.workload import AlternatingWorkload
+
+    ops_per_thread = max(args.steps // (2 * args.threads), 1)
+    # Rough per-op cycle figure (Figure 1's single-thread throughput) to
+    # place time-triggered faults inside the run without a pilot run.
+    horizon = 600.0 * args.steps / args.threads
+    faults = []
+    for k in range(args.crash):
+        faults.append(
+            CrashStop(
+                at=(k + 1) / (args.crash + 1) * 0.5 * horizon,
+                thread=f"worker-{k}",
+                release_locks=args.crash_release_locks,
+            )
+        )
+    min_locks = 2 if args.delete_locking == "both" else 1
+    for k in range(args.stalls):
+        faults.append(
+            LockHolderStall(
+                at=(k + 1) / (args.stalls + 1) * 0.6 * horizon,
+                duration=args.stall_cycles,
+                min_locks=min_locks,
+            )
+        )
+    if args.preempt_prob > 0:
+        faults.append(LockHolderPreempt(prob=args.preempt_prob, cycles=args.preempt_cycles))
+    if args.spike_prob > 0:
+        faults.append(DelaySpike(prob=args.spike_prob, cycles=args.spike_cycles))
+
+    recorder = OpRecorder()
+    engine = Engine(progress_budget=args.watchdog or None)
+    model = ConcurrentMultiQueue(
+        engine,
+        args.queues,
+        beta=args.beta,
+        rng=args.seed,
+        recorder=recorder,
+        delete_locking=args.delete_locking,
+        lock_lease=args.lease or None,
+    )
+    model.prefill(np.random.default_rng(args.seed).integers(2**40, size=args.prefill))
+    AlternatingWorkload(model, args.threads, ops_per_thread, rng=args.seed + 1).spawn_on(
+        engine
+    )
+    injector = FaultInjector(FaultPlan(faults, rng=args.fault_seed)).attach(engine)
+
+    print(
+        f"chaos: {args.threads} threads x {2 * ops_per_thread} ops, "
+        f"{args.queues} queues, locking={args.delete_locking}, "
+        f"lease={args.lease or 'off'}, watchdog={args.watchdog or 'off'}"
+    )
+    print(
+        f"plan:  {args.crash} crash(es), {args.stalls} stall(s) of "
+        f"{args.stall_cycles:.0f} cycles, preempt p={args.preempt_prob}, "
+        f"spike p={args.spike_prob} (fault seed {args.fault_seed})"
+    )
+    try:
+        engine.run()
+    except (DeadlockError, LivelockError) as err:
+        print(f"\nABORT ({type(err).__name__}): {err}")
+        raise SystemExit(1)
+
+    report = InvariantAuditor(model, recorder=recorder, engine=engine).audit()
+    completed = sum(
+        s.result for s in engine.stats.values() if isinstance(s.result, int)
+    )
+    trace = recorder.rank_trace()
+    row = {
+        "completed ops": completed,
+        "Mcycles": engine.now / 1e6,
+        "mean rank": trace.mean_rank() if len(trace) else float("nan"),
+        "max rank": trace.max_rank() if len(trace) else float("nan"),
+        "lock fail ratio": model.lock_failure_ratio(),
+        "injected stalls": sum(injector.injected_stalls.values())
+        + len(injector.fired_stalls),
+        "crashes": len(injector.crashed_tids),
+    }
+    row.update(report.summary())
+    print()
+    print(format_table([row], title="chaos run under fault injection"))
+    for note in report.notes:
+        print(f"note: {note}")
+    if not report.ok:
+        for violation in report.violations:
+            print(f"VIOLATION: {violation}")
+        raise SystemExit(1)
+    print("\ninvariants: all checks passed")
+
+
 def cmd_experiments(args) -> None:
     from repro.bench.registry import coverage_report
 
@@ -360,6 +496,7 @@ _COMMANDS = {
     "divergence": cmd_divergence,
     "potential": cmd_potential,
     "graph-choice": cmd_graph_choice,
+    "chaos": cmd_chaos,
     "experiments": cmd_experiments,
     "report": cmd_report,
 }

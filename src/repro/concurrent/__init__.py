@@ -23,6 +23,7 @@ minus the probe effect of wall-clock timestamps.
 """
 
 from repro.concurrent.recorder import OpRecorder
+from repro.concurrent.audit import AuditError, AuditReport, InvariantAuditor
 from repro.concurrent.multiqueue import ConcurrentMultiQueue
 from repro.concurrent.linden_jonsson import LindenJonssonPQ
 from repro.concurrent.klsm import KLSMPQ
@@ -36,6 +37,9 @@ from repro.concurrent.linearizability import (
 
 __all__ = [
     "OpRecorder",
+    "AuditError",
+    "AuditReport",
+    "InvariantAuditor",
     "ConcurrentMultiQueue",
     "LindenJonssonPQ",
     "KLSMPQ",

@@ -1,0 +1,234 @@
+"""Post-run invariant auditing for concurrent priority-queue models.
+
+After a (possibly chaos-injected) simulation run, the
+:class:`InvariantAuditor` cross-checks three sources of truth — the
+recorded linearization history, the live data structure, and the
+engine's lock/thread bookkeeping — against each other:
+
+1. **History well-formedness** — every insert/remove references an
+   allocated element, nothing is inserted or removed twice, and
+   linearization timestamps are monotone
+   (:meth:`~repro.concurrent.recorder.OpRecorder.validate`).
+2. **Element conservation** — every inserted element is either still in
+   a heap or was removed exactly once: no losses, no duplicates, no
+   phantoms.  This is the invariant that must survive crash-stops and
+   lock-lease revocations.
+3. **Top-cell/heap consistency** — each queue's published top cell
+   agrees with its heap at quiescence (queues whose lock is still held,
+   e.g. by a crashed thread frozen mid-operation, are reported as notes
+   rather than violations).
+4. **Lock hygiene** — no lock is held by a thread that finished
+   normally (a leak), and crashed holders are accounted for.
+
+Use it directly after ``engine.run()``::
+
+    report = InvariantAuditor(model, recorder=rec, engine=eng).audit()
+    report.raise_if_failed()
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from repro.concurrent.recorder import HistoryError, OpRecorder
+
+__all__ = ["AuditReport", "AuditError", "InvariantAuditor"]
+
+
+class AuditError(AssertionError):
+    """Raised by :meth:`AuditReport.raise_if_failed` on violations."""
+
+
+@dataclass
+class AuditReport:
+    """Outcome of one invariant audit."""
+
+    #: Hard invariant violations (empty iff the audit passed).
+    violations: List[str] = field(default_factory=list)
+    #: Soft observations (stale tops under crashed holders, etc.).
+    notes: List[str] = field(default_factory=list)
+    #: Elements recorded as inserted / removed, and counted in heaps.
+    inserted: int = 0
+    removed: int = 0
+    in_structure: int = 0
+    #: Elements lost (live per history but absent from the structure).
+    lost: int = 0
+    #: Elements duplicated (present more than once, or removed yet present).
+    duplicated: int = 0
+    #: Lease revocations observed across the model's locks.
+    revocations: int = 0
+    #: Threads that crash-stopped during the run.
+    crashed_threads: int = 0
+
+    @property
+    def ok(self) -> bool:
+        """Whether every hard invariant held."""
+        return not self.violations
+
+    def raise_if_failed(self) -> None:
+        """Raise :class:`AuditError` listing all violations, if any."""
+        if self.violations:
+            raise AuditError(
+                f"{len(self.violations)} invariant violation(s):\n  "
+                + "\n  ".join(self.violations)
+            )
+
+    def summary(self) -> Dict[str, object]:
+        """Flat dict for tables/CLI output."""
+        return {
+            "audit": "PASS" if self.ok else "FAIL",
+            "inserted": self.inserted,
+            "removed": self.removed,
+            "in structure": self.in_structure,
+            "lost": self.lost,
+            "duplicated": self.duplicated,
+            "revocations": self.revocations,
+            "crashed threads": self.crashed_threads,
+        }
+
+    def __repr__(self) -> str:
+        status = "ok" if self.ok else f"{len(self.violations)} violations"
+        return (
+            f"AuditReport({status}, inserted={self.inserted}, "
+            f"removed={self.removed}, in_structure={self.in_structure})"
+        )
+
+
+class InvariantAuditor:
+    """Cross-checks model state, recorded history, and engine bookkeeping.
+
+    Parameters
+    ----------
+    model:
+        A :class:`~repro.concurrent.multiqueue.ConcurrentMultiQueue`
+        (or anything exposing ``_heaps``/``_locks``/``_tops`` the same
+        way).  Optional — history-only audits pass ``None``.
+    recorder:
+        The run's :class:`OpRecorder`.  Optional, but element
+        conservation can only be checked with one.
+    engine:
+        The run's engine; enables lock-hygiene and crash accounting.
+    """
+
+    def __init__(self, model=None, recorder: Optional[OpRecorder] = None, engine=None) -> None:
+        if model is None and recorder is None:
+            raise ValueError("need at least a model or a recorder to audit")
+        self.model = model
+        self.recorder = recorder
+        self.engine = engine
+
+    def audit(self) -> AuditReport:
+        """Run all applicable checks and return the report."""
+        report = AuditReport()
+        if self.recorder is not None:
+            self._check_history(report)
+        if self.model is not None:
+            report.revocations = sum(
+                lock.revocations for lock in getattr(self.model, "_locks", [])
+            )
+            report.in_structure = sum(len(h) for h in self.model._heaps)
+            if self.recorder is not None:
+                self._check_conservation(report)
+            self._check_tops(report)
+        if self.engine is not None:
+            self._check_engine(report)
+        return report
+
+    # -- individual checks -------------------------------------------------
+
+    def _check_history(self, report: AuditReport) -> None:
+        ins, rem = self.recorder.counts()
+        report.inserted, report.removed = ins, rem
+        try:
+            self.recorder.validate()
+        except HistoryError as err:
+            report.violations.append(f"history: {err}")
+
+    def _heap_eids(self) -> List[int]:
+        eids = []
+        for heap in self.model._heaps:
+            entries = heap.entries() if hasattr(heap, "entries") else []
+            eids.extend(entry.item for entry in entries)
+        return eids
+
+    def _check_conservation(self, report: AuditReport) -> None:
+        """Every inserted eid is popped at most once and none are lost."""
+        live: set = set()
+        removed: set = set()
+        for event in self.recorder.events:
+            if event.kind == "ins":
+                live.add(event.eid)
+            elif event.eid in live:
+                live.discard(event.eid)
+                removed.add(event.eid)
+        present = self._heap_eids()
+        if any(eid == -1 for eid in present):
+            report.notes.append(
+                "conservation: structure holds unrecorded elements (eid=-1); "
+                "eid-level checks skipped for them"
+            )
+            present = [eid for eid in present if eid != -1]
+        seen: set = set()
+        for eid in present:
+            if eid in seen:
+                report.duplicated += 1
+                report.violations.append(f"conservation: element {eid} present twice")
+            seen.add(eid)
+            if eid in removed:
+                report.duplicated += 1
+                report.violations.append(
+                    f"conservation: element {eid} both removed and still present"
+                )
+            elif eid not in live:
+                report.violations.append(
+                    f"conservation: element {eid} present but never inserted"
+                )
+        for eid in sorted(live - seen):
+            report.lost += 1
+            report.violations.append(
+                f"conservation: element {eid} inserted but lost "
+                "(not removed, not in structure)"
+            )
+
+    def _check_tops(self, report: AuditReport) -> None:
+        """Published top cells agree with heaps at quiescence."""
+        heaps = self.model._heaps
+        locks = getattr(self.model, "_locks", [None] * len(heaps))
+        tops = getattr(self.model, "_tops", None)
+        if tops is None:
+            return
+        for q, (heap, cell) in enumerate(zip(heaps, tops)):
+            expected = heap.peek().priority if len(heap) else None
+            if cell.value == expected:
+                continue
+            lock = locks[q]
+            if lock is not None and lock.locked:
+                report.notes.append(
+                    f"tops: queue {q} top cell {cell.value!r} != heap top "
+                    f"{expected!r}, but its lock is still held "
+                    f"(operation frozen in flight) — tolerated"
+                )
+            else:
+                report.violations.append(
+                    f"tops: queue {q} publishes {cell.value!r} but heap top is "
+                    f"{expected!r} with no holder in flight"
+                )
+
+    def _check_engine(self, report: AuditReport) -> None:
+        engine = self.engine
+        report.crashed_threads = sum(1 for s in engine.stats.values() if s.crashed)
+        for tid, stats in engine.stats.items():
+            held = engine.locks_held_by(tid)
+            if not held:
+                continue
+            names = ", ".join(lock.name or "<unnamed>" for lock in held)
+            if stats.finished and not stats.crashed:
+                report.violations.append(
+                    f"locks: thread {stats.name} finished normally while "
+                    f"still holding [{names}]"
+                )
+            elif stats.crashed:
+                report.notes.append(
+                    f"locks: crashed thread {stats.name} dead-holds [{names}]"
+                )

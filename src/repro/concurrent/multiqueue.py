@@ -14,6 +14,24 @@ beta relaxation:
 
 Real per-queue heaps hold real ``(priority, eid)`` elements, so rank
 errors come out of the actual interleaving, not a synthetic error model.
+
+Graceful degradation (chaos-engine hooks):
+
+* failed try-locks back off exponentially (``cost.backoff_base``
+  doubling per consecutive failure, capped), and deletions give up and
+  report "empty" after ``max_delete_retries`` attempts instead of
+  spinning forever against dead-held locks;
+* with ``lock_lease`` set, queue locks run in lease mode: a stalled or
+  crashed holder loses the lock after the lease expires, and critical
+  sections re-validate holdership (``GuardedWrite``/``Release`` results)
+  before publishing tops — element conservation holds even when locks
+  are revoked mid-operation, because heap mutations are atomic at their
+  instants and each element is popped exactly once.
+
+Fault injection lives in :mod:`repro.sim.faults` (engine-level, with a
+dedicated fault RNG); the ``preempt_prob``/``preempt_cycles`` knobs kept
+here are the legacy in-model version of
+:class:`~repro.sim.faults.LockHolderPreempt` and are deprecated.
 """
 
 from __future__ import annotations
@@ -26,11 +44,15 @@ from repro.concurrent.recorder import OpRecorder
 from repro.pqueues import BinaryHeap
 from repro.sim.engine import Engine
 from repro.sim.primitives import SimCell, SimLock
-from repro.sim.syscalls import Acquire, Delay, Read, Release, TryAcquire, Write
+from repro.sim.syscalls import Acquire, Delay, GuardedWrite, Read, Release, TryAcquire
 from repro.utils.rngtools import SeedLike, as_generator
 
 #: Sentinel stored in a top cell when its queue is empty.
 EMPTY = None
+
+#: Default seed of the dedicated fault RNG (kept fixed so runs remain
+#: reproducible when the caller does not provide one).
+_DEFAULT_FAULT_SEED = 0xFA017
 
 
 class ConcurrentMultiQueue:
@@ -50,6 +72,28 @@ class ConcurrentMultiQueue:
     recorder:
         Optional :class:`OpRecorder`; when provided, every operation is
         recorded at its linearization point.
+    stickiness:
+        Operations a thread keeps reusing its random queue choices for.
+    delete_locking:
+        ``'better'`` or ``'both'`` (Appendix C's simple strategy).
+    preempt_prob / preempt_cycles:
+        .. deprecated::
+            Legacy in-model preemption; superseded by
+            :class:`~repro.sim.faults.LockHolderPreempt`, which injects
+            at engine level.  Still honoured, but drawing from the
+            dedicated fault RNG (``fault_rng``), so enabling it no
+            longer perturbs the queue-choice sequence.
+    fault_rng:
+        Seed/generator for fault randomness only (default: a fixed
+        constant, so fault coin flips are reproducible and independent
+        of the model RNG).
+    max_delete_retries:
+        Attempts before ``deleteMin`` reports the structure empty
+        (default ``8 * n_queues``, the historical spin cap — now paired
+        with exponential backoff rather than a bare spin).
+    lock_lease:
+        Optional lease (cycles) on every queue lock; see
+        :class:`~repro.sim.primitives.SimLock`.
     """
 
     def __init__(
@@ -63,6 +107,9 @@ class ConcurrentMultiQueue:
         delete_locking: str = "better",
         preempt_prob: float = 0.0,
         preempt_cycles: float = 0.0,
+        fault_rng: SeedLike = None,
+        max_delete_retries: Optional[int] = None,
+        lock_lease: Optional[float] = None,
     ) -> None:
         if n_queues <= 0:
             raise ValueError(f"n_queues must be positive, got {n_queues}")
@@ -76,6 +123,10 @@ class ConcurrentMultiQueue:
             raise ValueError(f"preempt_prob must be in [0, 1], got {preempt_prob}")
         if preempt_cycles < 0:
             raise ValueError(f"preempt_cycles must be non-negative, got {preempt_cycles}")
+        if max_delete_retries is not None and max_delete_retries < 1:
+            raise ValueError(f"max_delete_retries must be >= 1, got {max_delete_retries}")
+        if lock_lease is not None and lock_lease <= 0:
+            raise ValueError(f"lock_lease must be positive, got {lock_lease}")
         self.engine = engine
         self.n_queues = n_queues
         self.beta = beta
@@ -90,9 +141,21 @@ class ConcurrentMultiQueue:
         #: locking strategy".
         self.delete_locking = delete_locking
         self._rng = as_generator(rng)
+        #: Dedicated fault randomness (legacy preemption coin flips) —
+        #: kept separate from the model RNG so fault settings never
+        #: perturb queue choices and A/B runs stay paired.
+        self._fault_rng = as_generator(
+            fault_rng if fault_rng is not None else _DEFAULT_FAULT_SEED
+        )
         self._recorder = recorder
+        self.max_delete_retries = (
+            max_delete_retries if max_delete_retries is not None else 8 * n_queues
+        )
+        self.lock_lease = lock_lease
         self._heaps: List[BinaryHeap] = [BinaryHeap() for _ in range(n_queues)]
-        self._locks: List[SimLock] = [SimLock(name=f"mq-lock-{i}") for i in range(n_queues)]
+        self._locks: List[SimLock] = [
+            SimLock(name=f"mq-lock-{i}", lease=lock_lease) for i in range(n_queues)
+        ]
         #: Published top priority of each queue (lock-free peek target).
         self._tops: List[SimCell] = [SimCell(EMPTY, name=f"mq-top-{i}") for i in range(n_queues)]
         #: Per-thread sticky state: tid -> [queue, ops_remaining].
@@ -101,8 +164,7 @@ class ConcurrentMultiQueue:
         self._sticky_delete: dict = {}
         #: Appendix C generalized: with probability ``preempt_prob`` a
         #: thread is descheduled for ``preempt_cycles`` *while holding
-        #: its queue lock(s)* — the OS-jitter scenario that makes naive
-        #: lock-based strategies lose distributional linearizability.
+        #: its queue lock(s)*.  Deprecated — see class docstring.
         self.preempt_prob = preempt_prob
         self.preempt_cycles = preempt_cycles
 
@@ -139,6 +201,10 @@ class ConcurrentMultiQueue:
         total = acq + fail
         return fail / total if total else 0.0
 
+    def lock_revocations(self) -> int:
+        """Total lease revocations across all queue locks."""
+        return sum(l.revocations for l in self._locks)
+
     def total_size(self) -> int:
         """Elements currently stored (direct inspection)."""
         return sum(len(h) for h in self._heaps)
@@ -146,16 +212,23 @@ class ConcurrentMultiQueue:
     # -- operations -------------------------------------------------------------
 
     def _maybe_preempt(self) -> Generator:
-        """Possibly stall here (while holding locks) per the preemption
-        injection parameters."""
-        if self.preempt_prob > 0.0 and self._rng.random() < self.preempt_prob:
+        """Possibly stall here (while holding locks) per the legacy
+        preemption injection parameters (fault RNG, not model RNG)."""
+        if self.preempt_prob > 0.0 and self._fault_rng.random() < self.preempt_prob:
             yield Delay(self.preempt_cycles)
+
+    def _backoff_cycles(self, failures: int) -> float:
+        """Exponential backoff after ``failures`` consecutive failed
+        tries: ``backoff_base * 2^(failures-1)``, capped at 64x."""
+        base = self.engine.cost.backoff_base
+        return base * (2 ** min(failures - 1, 6))
 
     def insert_op(self, tid: int, priority: int) -> Generator:
         """One concurrent insert (generator to run on the engine)."""
         cost = self.engine.cost
         eid = self._new_eid(priority)
         sticky = self._sticky_insert.get(tid)
+        failures = 0
         while True:
             if sticky is not None and sticky[1] > 0:
                 q = sticky[0]
@@ -169,19 +242,23 @@ class ConcurrentMultiQueue:
                 self._sticky_insert[tid] = sticky
                 break
             sticky = None  # lock failure: re-randomize immediately
+            failures += 1
+            yield Delay(self._backoff_cycles(failures))
         heap = self._heaps[q]
         heap.push(priority, eid)
         if self._recorder is not None:
             self._recorder.record_insert(self.engine.now, eid)
         yield Delay(cost.pq_op_cost(len(heap)))
         yield from self._maybe_preempt()
-        yield Write(self._tops[q], heap.peek().priority)
+        yield GuardedWrite(self._tops[q], heap.peek().priority, self._locks[q])
         yield Release(self._locks[q])
         return eid
 
     def delete_min_op(self, tid: int) -> Generator:
         """One concurrent (1+beta) deleteMin; returns ``(priority, eid)``
-        or ``None`` if the structure appears empty."""
+        or ``None`` if the structure appears empty (or stays unreachable
+        for ``max_delete_retries`` attempts — graceful degradation under
+        dead-held locks)."""
         if self.delete_locking == "both":
             result = yield from self._delete_lock_both(tid)
             return result
@@ -189,11 +266,13 @@ class ConcurrentMultiQueue:
         rng = self._rng
         sticky = self._sticky_delete.get(tid)
         attempts = 0
+        failures = 0
         while True:
             attempts += 1
-            if attempts > 8 * self.n_queues:
+            if attempts > self.max_delete_retries:
                 # Too many failures: the structure is likely (nearly)
-                # empty.  Report empty rather than spin forever.
+                # empty or its queues are unreachable.  Report empty
+                # rather than spin forever.
                 return None
             two = self.beta >= 1.0 or (self.beta > 0.0 and rng.random() < self.beta)
             if sticky is not None and sticky[2] > 0:
@@ -224,9 +303,15 @@ class ConcurrentMultiQueue:
             ok = yield TryAcquire(self._locks[chosen])
             if not ok:
                 sticky = None  # restart with fresh queues, per the algorithm
+                failures += 1
+                yield Delay(self._backoff_cycles(failures))
                 continue
+            failures = 0
             heap = self._heaps[chosen]
             if not len(heap):
+                # Stale top: republish emptiness so later peeks don't
+                # keep chasing a value that is no longer there.
+                yield GuardedWrite(self._tops[chosen], EMPTY, self._locks[chosen])
                 yield Release(self._locks[chosen])
                 sticky = None
                 continue
@@ -235,8 +320,10 @@ class ConcurrentMultiQueue:
                 self._recorder.record_remove(self.engine.now, entry.item)
             yield Delay(cost.pq_op_cost(len(heap)))
             yield from self._maybe_preempt()
-            yield Write(
-                self._tops[chosen], heap.peek().priority if len(heap) else EMPTY
+            yield GuardedWrite(
+                self._tops[chosen],
+                heap.peek().priority if len(heap) else EMPTY,
+                self._locks[chosen],
             )
             yield Release(self._locks[chosen])
             sticky[2] -= 1
@@ -250,9 +337,10 @@ class ConcurrentMultiQueue:
         cost = self.engine.cost
         rng = self._rng
         attempts = 0
+        failures = 0
         while True:
             attempts += 1
-            if attempts > 8 * self.n_queues:
+            if attempts > self.max_delete_retries:
                 return None
             yield Delay(cost.rng_draw)
             two = self.beta >= 1.0 or (self.beta > 0.0 and rng.random() < self.beta)
@@ -261,19 +349,28 @@ class ConcurrentMultiQueue:
             first, second = min(i, j), max(i, j)
             ok = yield TryAcquire(self._locks[first])
             if not ok:
+                failures += 1
+                yield Delay(self._backoff_cycles(failures))
                 continue
             if second != first:
                 ok = yield TryAcquire(self._locks[second])
                 if not ok:
                     yield Release(self._locks[first])
+                    failures += 1
+                    yield Delay(self._backoff_cycles(failures))
                     continue
+            failures = 0
             heap_i, heap_j = self._heaps[i], self._heaps[j]
             if len(heap_i) and (not len(heap_j) or heap_i.peek() <= heap_j.peek()):
                 chosen = i
             elif len(heap_j):
                 chosen = j
             else:
+                # Both sampled queues empty: republish emptiness so the
+                # lock-free peeks stop seeing stale tops.
+                yield GuardedWrite(self._tops[i], EMPTY, self._locks[i])
                 if second != first:
+                    yield GuardedWrite(self._tops[j], EMPTY, self._locks[j])
                     yield Release(self._locks[second])
                 yield Release(self._locks[first])
                 continue
@@ -283,7 +380,11 @@ class ConcurrentMultiQueue:
                 self._recorder.record_remove(self.engine.now, entry.item)
             yield Delay(cost.pq_op_cost(len(heap)))
             yield from self._maybe_preempt()
-            yield Write(self._tops[chosen], heap.peek().priority if len(heap) else EMPTY)
+            yield GuardedWrite(
+                self._tops[chosen],
+                heap.peek().priority if len(heap) else EMPTY,
+                self._locks[chosen],
+            )
             if second != first:
                 yield Release(self._locks[second])
             yield Release(self._locks[first])
@@ -298,6 +399,21 @@ class ConcurrentMultiQueue:
         This reproduces Appendix C's counterexample: while two queues are
         locked, no removal can touch them, so their top elements age and
         the rank error of the rest of the system grows without bound.
+
+        **Ordering contract.**  Blocking acquisition is deadlock-free
+        only because *every* blocking acquirer takes queue locks in
+        ascending index order (this op sorts and deduplicates its
+        targets).  The MultiQueue's own operations use ``TryAcquire``
+        with full restart, so they can never participate in a wait
+        cycle; but a second blocking acquirer that disobeys the order —
+        or a worker whose lock is dead-held by a crashed thread — parks
+        forever, and the engine's :class:`~repro.sim.engine.DeadlockError`
+        then reports the holders, the waiters, and the cycle by name
+        (see ``tests/concurrent/test_chaos.py``).
+
+        Under lock leases the hold is best-effort: the engine may revoke
+        a lease-expired lock mid-stall, in which case the final release
+        observes the revocation (result ``False``) and is a no-op.
         """
         indices = sorted(set(int(q) for q in queue_indices))
         for q in indices:

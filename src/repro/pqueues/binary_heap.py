@@ -48,6 +48,11 @@ class BinaryHeap(PriorityQueue):
     def __len__(self) -> int:
         return len(self._data)
 
+    def entries(self) -> List[Entry]:
+        """All stored entries in arbitrary (heap-array) order — for
+        non-destructive inspection by invariant auditors."""
+        return [Entry(priority, item) for priority, _seq, item in self._data]
+
     # -- internals -------------------------------------------------------
 
     def _sift_up(self, pos: int) -> None:

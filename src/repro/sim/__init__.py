@@ -27,6 +27,8 @@ from repro.sim.syscalls import (
     Acquire,
     BarrierWait,
     Delay,
+    GuardedWrite,
+    Holding,
     Read,
     Release,
     TryAcquire,
@@ -34,7 +36,15 @@ from repro.sim.syscalls import (
     Yield,
 )
 from repro.sim.primitives import SimBarrier, SimCell, SimLock
-from repro.sim.engine import Engine, ThreadStats
+from repro.sim.engine import DeadlockError, Engine, LivelockError, ThreadStats
+from repro.sim.faults import (
+    CrashStop,
+    DelaySpike,
+    FaultInjector,
+    FaultPlan,
+    LockHolderPreempt,
+    LockHolderStall,
+)
 from repro.sim.workload import (
     AlternatingWorkload,
     ProducerConsumerWorkload,
@@ -47,16 +57,26 @@ __all__ = [
     "Yield",
     "Read",
     "Write",
+    "GuardedWrite",
     "CAS",
     "TryAcquire",
     "Acquire",
     "Release",
+    "Holding",
     "BarrierWait",
     "SimCell",
     "SimLock",
     "SimBarrier",
     "Engine",
     "ThreadStats",
+    "DeadlockError",
+    "LivelockError",
+    "CrashStop",
+    "DelaySpike",
+    "LockHolderPreempt",
+    "LockHolderStall",
+    "FaultPlan",
+    "FaultInjector",
     "AlternatingWorkload",
     "ProducerConsumerWorkload",
     "run_throughput_experiment",

@@ -41,6 +41,10 @@ class CostModel:
     rng_draw:
         Cost of drawing a random number (queue choices are on the
         MultiQueue fast path, so this is modelled explicitly).
+    backoff_base:
+        First-step pause of the exponential lock-retry backoff (the
+        MultiQueue doubles it per consecutive failed try, capped at
+        ``64x``); keeps failed-try storms from melting into livelock.
     pq_base / pq_per_level:
         Sequential priority-queue op cost: ``pq_base + pq_per_level *
         log2(size + 2)`` — the binary-heap cost shape.
@@ -56,6 +60,7 @@ class CostModel:
     handoff: float = 60.0
     local_work: float = 20.0
     rng_draw: float = 15.0
+    backoff_base: float = 25.0
     pq_base: float = 40.0
     pq_per_level: float = 25.0
 

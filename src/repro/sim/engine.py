@@ -6,13 +6,29 @@ charges costs from the :class:`~repro.sim.cost_model.CostModel`, and
 maintains lock wait queues.  Everything is deterministic given the
 spawned generators (ties broken by a monotonically increasing event
 sequence number).
+
+Robustness hooks (used by :mod:`~repro.sim.faults` and chaos tests):
+
+* **crash-stop** — :meth:`Engine.kill` removes a thread mid-flight,
+  optionally abandoning its held locks (the fault the paper's Appendix C
+  counterexample abstracts);
+* **progress watchdog** — a ``progress_budget`` aborts with
+  :class:`LivelockError` diagnostics when no thread completes an
+  operation (lock grant, CAS success, barrier release, thread finish)
+  within the budget;
+* **deadlock diagnostics** — :class:`DeadlockError` reports which
+  threads hold and wait on which locks, including the wait cycle;
+* **lock leases** — a :class:`~repro.sim.primitives.SimLock` with a
+  ``lease`` lets the engine revoke a stalled holder when another thread
+  requests the lock; revoked holders observe the loss via ``Release``
+  (result ``False``), ``Holding``, or ``GuardedWrite``.
 """
 
 from __future__ import annotations
 
 import heapq
 from dataclasses import dataclass, field
-from typing import Any, Dict, Generator, List, Optional, Tuple
+from typing import Any, Callable, Dict, Generator, List, Optional, Set, Tuple
 
 from repro.sim.cost_model import CostModel
 from repro.sim.primitives import SimBarrier, SimCell, SimLock
@@ -21,12 +37,17 @@ from repro.sim.syscalls import (
     Acquire,
     BarrierWait,
     Delay,
+    GuardedWrite,
+    Holding,
     Read,
     Release,
     TryAcquire,
     Write,
     Yield,
 )
+
+#: Pseudo thread id for engine-internal control events (fault triggers).
+CONTROL_TID = -1
 
 
 @dataclass
@@ -39,19 +60,56 @@ class ThreadStats:
     finished_at: Optional[float] = None
     result: Any = None
     resumes: int = 0
+    #: True when the thread was removed by :meth:`Engine.kill` rather
+    #: than returning normally.
+    crashed: bool = False
 
     @property
     def finished(self) -> bool:
-        """Whether the thread's generator has returned."""
+        """Whether the thread's generator has returned (or crashed)."""
         return self.finished_at is not None
 
 
 class DeadlockError(RuntimeError):
-    """Raised when no events remain but threads are parked on locks."""
+    """Raised when no events remain but threads are parked on locks.
+
+    Carries structured diagnostics: ``waits`` maps each parked thread's
+    name to the resource it waits on, ``holds`` maps thread names to the
+    lock names they hold, and ``cycle`` lists the thread names forming a
+    wait cycle (empty if the stall is not cyclic, e.g. waiting on a
+    crashed holder).
+    """
+
+    def __init__(
+        self,
+        message: str,
+        waits: Optional[Dict[str, str]] = None,
+        holds: Optional[Dict[str, List[str]]] = None,
+        cycle: Optional[List[str]] = None,
+    ) -> None:
+        super().__init__(message)
+        self.waits = waits or {}
+        self.holds = holds or {}
+        self.cycle = cycle or []
+
+
+class LivelockError(RuntimeError):
+    """Raised by the progress watchdog: simulated time advanced past the
+    configured budget without any thread completing an operation."""
 
 
 class Engine:
     """Deterministic discrete-event executor for simulated threads.
+
+    Parameters
+    ----------
+    cost_model:
+        Cycle costs charged per syscall (default :class:`CostModel`).
+    progress_budget:
+        Optional livelock watchdog: if no progress marker (thread
+        finish, lock grant, CAS success, barrier release) occurs within
+        this many cycles, :meth:`run` raises :class:`LivelockError`
+        with diagnostics instead of spinning forever.
 
     Example
     -------
@@ -68,7 +126,13 @@ class Engine:
     100.0
     """
 
-    def __init__(self, cost_model: Optional[CostModel] = None) -> None:
+    def __init__(
+        self,
+        cost_model: Optional[CostModel] = None,
+        progress_budget: Optional[float] = None,
+    ) -> None:
+        if progress_budget is not None and progress_budget <= 0:
+            raise ValueError(f"progress_budget must be positive, got {progress_budget}")
         self.cost = cost_model or CostModel()
         #: Current simulated time (cycles).
         self.now = 0.0
@@ -80,7 +144,17 @@ class Engine:
         self._next_tid = 0
         #: Threads parked on a lock's wait queue (tid -> lock).
         self._parked: Dict[int, SimLock] = {}
+        #: Locks currently held, per thread (tid -> [locks]).
+        self._holding: Dict[int, List[SimLock]] = {}
+        #: Threads removed by :meth:`kill`; their queued events are dropped.
+        self._dead: Set[int] = set()
+        #: Deferred resumes from injected stalls (tid -> earliest resume).
+        self._stalled_until: Dict[int, float] = {}
         self.events_processed = 0
+        self.progress_budget = progress_budget
+        self._last_progress = 0.0
+        #: Optional fault injector (see :mod:`repro.sim.faults`).
+        self.faults = None
 
     # -- thread management ------------------------------------------------
 
@@ -101,6 +175,54 @@ class Engine:
         """Number of threads that have not finished."""
         return sum(1 for s in self.stats.values() if not s.finished)
 
+    def thread_by_name(self, name: str) -> Optional[int]:
+        """Look up a live thread id by its spawn name (``None`` if absent)."""
+        for tid, stats in self.stats.items():
+            if stats.name == name and not stats.finished:
+                return tid
+        return None
+
+    def locks_held_by(self, tid: int) -> List[SimLock]:
+        """The locks ``tid`` currently holds (empty for unknown threads)."""
+        return list(self._holding.get(tid, ()))
+
+    def kill(self, tid: int, release_locks: bool = False) -> None:
+        """Crash-stop thread ``tid`` at the current instant.
+
+        The generator is closed, pending events are discarded, and the
+        thread is marked ``crashed`` in :attr:`stats`.  Held locks are
+        handed off (as if released) when ``release_locks`` is true;
+        otherwise they stay dead-held — the Appendix C failure mode,
+        recoverable only through lock leases or reported by
+        :class:`DeadlockError` diagnostics.
+        """
+        if tid not in self._threads:
+            return
+        gen = self._threads.pop(tid)
+        gen.close()
+        stats = self.stats[tid]
+        stats.finished_at = self.now
+        stats.crashed = True
+        self._dead.add(tid)
+        resource = self._parked.pop(tid, None)
+        if resource is not None:
+            queue = resource.waiters if isinstance(resource, SimLock) else resource.waiting
+            try:
+                queue.remove(tid)
+            except ValueError:
+                pass
+        if release_locks:
+            for lock in self._holding.pop(tid, []):
+                lock.revoked.discard(tid)
+                if lock.held_by == tid:
+                    self._pass_on_release(lock)
+        else:
+            # Dead-held locks stay attributed to the crashed thread so
+            # deadlock reports and auditors can name the culprit; lease
+            # revocation (if enabled) reclaims them on demand.
+            for lock in self._holding.get(tid, []):
+                lock.revoked.discard(tid)
+
     # -- main loop -----------------------------------------------------------
 
     def run(self, until: Optional[float] = None, max_events: Optional[int] = None) -> None:
@@ -114,7 +236,10 @@ class Engine:
         ------
         DeadlockError
             If no runnable events remain while threads are parked on
-            locks (a genuine deadlock in the modelled algorithm).
+            locks (a genuine deadlock in the modelled algorithm).  The
+            error reports who holds and waits on what, and the cycle.
+        LivelockError
+            If a ``progress_budget`` is configured and exceeded.
         """
         processed = 0
         while self._heap:
@@ -124,19 +249,134 @@ class Engine:
             if until is not None and time > until:
                 return
             heapq.heappop(self._heap)
+            if tid in self._dead:
+                continue
+            if tid == CONTROL_TID:
+                self.now = max(self.now, time)
+                if self._threads:
+                    value(self)
+                continue
+            stall = self._stalled_until.get(tid)
+            if stall is not None and time < stall:
+                # An injected stall postponed this thread; its event
+                # re-fires once the stall window closes.
+                self._schedule(stall, tid, value)
+                continue
             self.now = time
+            if (
+                self.progress_budget is not None
+                and self.now - self._last_progress > self.progress_budget
+            ):
+                raise LivelockError(self._livelock_report())
+            if self.faults is not None:
+                delay = self.faults.before_resume(self, tid)
+                if tid in self._dead:
+                    continue
+                if delay:
+                    self._schedule(time + delay, tid, value)
+                    continue
             self._resume(tid, value)
             processed += 1
             self.events_processed += 1
         if self._parked:
-            parked = ", ".join(self.stats[t].name for t in sorted(self._parked))
-            raise DeadlockError(f"all events drained but threads parked: {parked}")
+            waits, holds, cycle, message = self._deadlock_report()
+            raise DeadlockError(message, waits=waits, holds=holds, cycle=cycle)
+
+    # -- diagnostics ------------------------------------------------------------
+
+    def _thread_label(self, tid: int) -> str:
+        stats = self.stats.get(tid)
+        if stats is None:
+            return f"thread-{tid}"
+        return f"{stats.name} [crashed]" if stats.crashed else stats.name
+
+    def _deadlock_report(self) -> Tuple[Dict[str, str], Dict[str, List[str]], List[str], str]:
+        """Build the structured who-holds/who-waits deadlock diagnosis."""
+        waits: Dict[str, str] = {}
+        holds: Dict[str, List[str]] = {}
+        for tid, locks in self._holding.items():
+            if locks:
+                holds[self._thread_label(tid)] = [l.name or "<unnamed>" for l in locks]
+        lines = []
+        for tid in sorted(self._parked):
+            name = self._thread_label(tid)
+            resource = self._parked[tid]
+            if isinstance(resource, SimLock):
+                target = resource.name or "<unnamed>"
+                holder = (
+                    self._thread_label(resource.held_by)
+                    if resource.held_by is not None
+                    else "nobody"
+                )
+                waits[name] = target
+                held = holds.get(self._thread_label(tid), [])
+                suffix = f" while holding [{', '.join(held)}]" if held else ""
+                lines.append(f"  {name} waits on {target!r} held by {holder}{suffix}")
+            else:  # barrier
+                target = f"barrier {resource.name or '<unnamed>'}"
+                waits[name] = target
+                lines.append(
+                    f"  {name} waits on {target} "
+                    f"({len(resource.waiting)}/{resource.parties} arrived)"
+                )
+        cycle = self._find_wait_cycle()
+        message = "all events drained but threads parked:\n" + "\n".join(lines)
+        if cycle:
+            message += "\n  cycle: " + " -> ".join(cycle)
+        return waits, holds, cycle, message
+
+    def _find_wait_cycle(self) -> List[str]:
+        """Follow parked-thread -> lock-holder edges to find a wait cycle."""
+        for start in sorted(self._parked):
+            chain, seen, tid = [], set(), start
+            while tid is not None and tid not in seen:
+                seen.add(tid)
+                chain.append(tid)
+                resource = self._parked.get(tid)
+                tid = resource.held_by if isinstance(resource, SimLock) else None
+            if tid is not None and tid in seen:
+                cycle = chain[chain.index(tid):] + [tid]
+                return [self._thread_label(t) for t in cycle]
+        return []
+
+    def _livelock_report(self) -> str:
+        held = [
+            f"{lock.name or '<unnamed>'} held by {self._thread_label(tid)}"
+            for tid, locks in sorted(self._holding.items())
+            for lock in locks
+        ]
+        return (
+            f"no operation completed in {self.progress_budget:.0f} cycles "
+            f"(last progress at {self._last_progress:.0f}, now {self.now:.0f}); "
+            f"{self.live_threads} live threads, {len(self._parked)} parked"
+            + (f"; locks: {', '.join(held)}" if held else "")
+        )
 
     # -- internals -------------------------------------------------------------
 
     def _schedule(self, time: float, tid: int, value: Any) -> None:
         heapq.heappush(self._heap, (time, self._seq, tid, value))
         self._seq += 1
+
+    def schedule_control(self, time: float, action: Callable[["Engine"], None]) -> None:
+        """Run ``action(engine)`` at simulated ``time`` (fault triggers).
+
+        Control events are dropped once no live threads remain, so a
+        pending trigger never keeps a finished simulation running.
+        """
+        self._schedule(time, CONTROL_TID, action)
+
+    def stall(self, tid: int, duration: float) -> None:
+        """Defer thread ``tid``'s next resume by ``duration`` cycles
+        (models an OS preemption of the thread, locks kept)."""
+        if duration <= 0 or tid not in self._threads:
+            return
+        target = self.now + duration
+        if target > self._stalled_until.get(tid, 0.0):
+            self._stalled_until[tid] = target
+
+    def _note_progress(self) -> None:
+        self._last_progress = self.now
 
     def _resume(self, tid: int, value: Any) -> None:
         gen = self._threads[tid]
@@ -148,6 +388,7 @@ class Engine:
             stats.finished_at = self.now
             stats.result = stop.value
             del self._threads[tid]
+            self._note_progress()
             return
         self._handle(tid, syscall)
 
@@ -174,6 +415,62 @@ class Engine:
                 obj.transfers += 1
         return start + cost
 
+    # -- lock bookkeeping --------------------------------------------------
+
+    def _grant(self, lock: SimLock, tid: int) -> None:
+        """Record that ``tid`` now holds ``lock``."""
+        lock.held_by = tid
+        lock.held_since = self.now
+        lock.acquisitions += 1
+        self._holding.setdefault(tid, []).append(lock)
+        self._note_progress()
+
+    def _ungrant(self, lock: SimLock, tid: int) -> None:
+        held = self._holding.get(tid)
+        if held is not None:
+            try:
+                held.remove(lock)
+            except ValueError:
+                pass
+
+    def _lease_expired(self, lock: SimLock) -> bool:
+        return (
+            lock.lease is not None
+            and lock.held_by is not None
+            and self.now - lock.held_since >= lock.lease
+        )
+
+    def _revoke(self, lock: SimLock) -> None:
+        """Take the lock away from a lease-expired holder.
+
+        The stale holder is remembered in ``lock.revoked`` so its
+        eventual ``Release`` is treated as a benign no-op, and any
+        ``Holding``/``GuardedWrite`` re-validation fails.  If waiters
+        are queued, the head waiter is woken exactly as on release.
+        """
+        stale = lock.held_by
+        lock.revoked.add(stale)
+        lock.revocations += 1
+        self._ungrant(lock, stale)
+        lock.held_by = None
+        if lock.waiters:
+            waiter = lock.waiters.popleft()
+            del self._parked[waiter]
+            self._grant(lock, waiter)
+            finish = self._line_access(lock, waiter, self.cost.handoff)
+            self._schedule(finish, waiter, None)
+
+    def _pass_on_release(self, lock: SimLock) -> None:
+        """Hand the lock to the head waiter, or mark it free."""
+        if lock.waiters:
+            waiter = lock.waiters.popleft()
+            del self._parked[waiter]
+            self._grant(lock, waiter)
+            finish = self._line_access(lock, waiter, self.cost.handoff)
+            self._schedule(finish, waiter, None)
+        else:
+            lock.held_by = None
+
     def _handle(self, tid: int, syscall: Any) -> None:
         cost = self.cost
         now = self.now
@@ -192,19 +489,28 @@ class Engine:
             finish = self._line_access(cell, tid, cost.write)
             cell.value = syscall.value
             self._schedule(finish, tid, None)
+        elif isinstance(syscall, GuardedWrite):
+            cell = syscall.cell
+            finish = self._line_access(cell, tid, cost.write)
+            held = syscall.lock.held_by == tid
+            if held:
+                cell.value = syscall.value
+            self._schedule(finish, tid, held)
         elif isinstance(syscall, CAS):
             cell = syscall.cell
             finish = self._line_access(cell, tid, cost.cas)
             success = cell.value == syscall.expected
             if success:
                 cell.value = syscall.new
+                self._note_progress()
             self._schedule(finish, tid, success)
         elif isinstance(syscall, TryAcquire):
             lock = syscall.lock
+            if self._lease_expired(lock):
+                self._revoke(lock)
             if lock.held_by is None:
                 finish = self._line_access(lock, tid, cost.lock_acquire)
-                lock.held_by = tid
-                lock.acquisitions += 1
+                self._grant(lock, tid)
                 self._schedule(finish, tid, True)
             else:
                 # A failed try reads the (foreign, busy) lock word.
@@ -213,14 +519,19 @@ class Engine:
                 self._schedule(start + cost.try_fail, tid, False)
         elif isinstance(syscall, Acquire):
             lock = syscall.lock
+            if self._lease_expired(lock):
+                self._revoke(lock)
             if lock.held_by is None:
                 finish = self._line_access(lock, tid, cost.lock_acquire)
-                lock.held_by = tid
-                lock.acquisitions += 1
+                self._grant(lock, tid)
                 self._schedule(finish, tid, None)
             else:
                 lock.waiters.append(tid)
                 self._parked[tid] = lock
+        elif isinstance(syscall, Holding):
+            lock = syscall.lock
+            finish = self._line_access(lock, tid, cost.read)
+            self._schedule(finish, tid, lock.held_by == tid)
         elif isinstance(syscall, BarrierWait):
             barrier = syscall.barrier
             if not isinstance(barrier, SimBarrier):
@@ -236,22 +547,22 @@ class Engine:
                     self._schedule(release_time, waiter, index)
                 barrier.waiting.clear()
                 barrier.generation += 1
+                self._note_progress()
         elif isinstance(syscall, Release):
             lock = syscall.lock
-            if lock.held_by != tid:
+            if tid in lock.revoked:
+                # The lease already took this lock away; releasing is a
+                # benign no-op and reports the loss to the caller.
+                lock.revoked.discard(tid)
+                self._schedule(now + cost.lock_release, tid, False)
+            elif lock.held_by != tid:
                 raise RuntimeError(
                     f"thread {tid} released lock {lock.name!r} held by {lock.held_by}"
                 )
-            if lock.waiters:
-                waiter = lock.waiters.popleft()
-                del self._parked[waiter]
-                lock.held_by = waiter
-                lock.acquisitions += 1
-                finish = self._line_access(lock, waiter, cost.handoff)
-                self._schedule(finish, waiter, None)
             else:
-                lock.held_by = None
-            self._schedule(now + cost.lock_release, tid, None)
+                self._ungrant(lock, tid)
+                self._pass_on_release(lock)
+                self._schedule(now + cost.lock_release, tid, True)
         else:
             raise TypeError(f"unknown syscall {syscall!r} from thread {tid}")
 

@@ -1,0 +1,275 @@
+"""Deterministic fault injection for the concurrency simulator.
+
+The paper's Appendix C shows that lock-based MultiQueue strategies lose
+distributional linearizability exactly when the scheduler misbehaves (a
+preempted lock holder lets queue tops age without bound).  This module
+turns that one counterexample into a systematic chaos layer: a
+:class:`FaultPlan` declares *what* goes wrong and *when*, and a
+:class:`FaultInjector` attached to an :class:`~repro.sim.engine.Engine`
+makes it happen at thread resume boundaries — the simulated analogue of
+the OS preempting a thread between two instructions.
+
+Fault vocabulary
+----------------
+* :class:`CrashStop` — a thread dies at a given simulated time,
+  optionally abandoning its held locks (fail-stop with lost locks);
+* :class:`DelaySpike` — OS jitter: every resume of every thread is
+  stalled with some probability (interrupts, SMIs, page faults);
+* :class:`LockHolderPreempt` — the Appendix C generalization: resumes
+  are stalled *only while the thread holds at least one lock*,
+  subsuming the legacy ``preempt_prob``/``preempt_cycles`` knobs of
+  :class:`~repro.concurrent.multiqueue.ConcurrentMultiQueue`;
+* :class:`LockHolderStall` — the targeted adversary: at a given time,
+  the thread holding the most locks (at least ``min_locks``) is
+  descheduled for a long stretch — Appendix C's counterexample without
+  cooperation from the model.
+
+Determinism: all randomness comes from the plan's *dedicated fault
+RNG*, never from model RNGs, so enabling or re-parameterizing faults
+does not perturb queue choices — runs are comparable across fault
+settings (A/B pairing).  Given the same seeds and plan, the faulted
+execution is exactly reproducible.
+
+Example
+-------
+>>> from repro.sim import Engine, FaultInjector, FaultPlan, LockHolderPreempt
+>>> eng = Engine()
+>>> plan = FaultPlan([LockHolderPreempt(prob=0.01, cycles=50_000)], rng=7)
+>>> FaultInjector(plan).attach(eng)  # doctest: +ELLIPSIS
+<repro.sim.faults.FaultInjector object at ...>
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Iterable, List, Optional, Union
+
+from repro.utils.rngtools import SeedLike, as_generator
+
+__all__ = [
+    "CrashStop",
+    "DelaySpike",
+    "LockHolderPreempt",
+    "LockHolderStall",
+    "FaultPlan",
+    "FaultInjector",
+]
+
+
+@dataclass(frozen=True)
+class CrashStop:
+    """Kill one thread at simulated time ``at`` (fail-stop).
+
+    ``thread`` selects the victim by engine tid (int) or spawn name
+    (str).  With ``release_locks`` the victim's locks are handed off as
+    if released (graceful crash); without it they stay dead-held — the
+    scenario lock leases and deadlock diagnostics exist for.
+    """
+
+    at: float
+    thread: Union[int, str]
+    release_locks: bool = False
+
+    def __post_init__(self) -> None:
+        if self.at < 0:
+            raise ValueError(f"crash time must be non-negative, got {self.at}")
+
+
+@dataclass(frozen=True)
+class DelaySpike:
+    """OS jitter: stall any resume with probability ``prob`` for
+    ``cycles`` cycles, within the ``[start, stop)`` window."""
+
+    prob: float
+    cycles: float
+    start: float = 0.0
+    stop: float = math.inf
+
+    def __post_init__(self) -> None:
+        if not 0.0 <= self.prob <= 1.0:
+            raise ValueError(f"prob must be in [0, 1], got {self.prob}")
+        if self.cycles <= 0:
+            raise ValueError(f"cycles must be positive, got {self.cycles}")
+        if self.stop <= self.start:
+            raise ValueError(f"empty fault window [{self.start}, {self.stop})")
+
+
+@dataclass(frozen=True)
+class LockHolderPreempt:
+    """Appendix C generalized: stall a resume with probability ``prob``
+    for ``cycles`` cycles — but only while the thread holds at least one
+    lock, so every hit ages some queue's top."""
+
+    prob: float
+    cycles: float
+    start: float = 0.0
+    stop: float = math.inf
+
+    def __post_init__(self) -> None:
+        if not 0.0 <= self.prob <= 1.0:
+            raise ValueError(f"prob must be in [0, 1], got {self.prob}")
+        if self.cycles <= 0:
+            raise ValueError(f"cycles must be positive, got {self.cycles}")
+        if self.stop <= self.start:
+            raise ValueError(f"empty fault window [{self.start}, {self.stop})")
+
+
+@dataclass(frozen=True)
+class LockHolderStall:
+    """Targeted adversary: at time ``at``, deschedule the thread holding
+    the most locks (at least ``min_locks``) for ``duration`` cycles.
+
+    If no thread qualifies at ``at``, the trigger re-arms every
+    ``retry_every`` cycles until one does (or the run ends).  With
+    ``min_locks=2`` this pins a ``delete_locking="both"`` MultiQueue
+    deleter mid-operation — the exact Appendix C counterexample, now
+    produced by the scheduler instead of a cooperating adversary op.
+    """
+
+    at: float
+    duration: float
+    min_locks: int = 1
+    retry_every: float = 500.0
+
+    def __post_init__(self) -> None:
+        if self.at < 0:
+            raise ValueError(f"stall time must be non-negative, got {self.at}")
+        if self.duration <= 0:
+            raise ValueError(f"duration must be positive, got {self.duration}")
+        if self.min_locks < 1:
+            raise ValueError(f"min_locks must be >= 1, got {self.min_locks}")
+        if self.retry_every <= 0:
+            raise ValueError(f"retry_every must be positive, got {self.retry_every}")
+
+
+FaultSpec = Union[CrashStop, DelaySpike, LockHolderPreempt, LockHolderStall]
+
+_SPEC_TYPES = (CrashStop, DelaySpike, LockHolderPreempt, LockHolderStall)
+
+
+class FaultPlan:
+    """A declarative schedule of fault events plus a dedicated fault RNG.
+
+    The plan is immutable input; one plan can drive many runs (each
+    :class:`FaultInjector` re-derives a fresh generator from ``rng`` so
+    repeated runs with the same plan are identical).
+    """
+
+    def __init__(self, faults: Iterable[FaultSpec] = (), rng: SeedLike = 0) -> None:
+        self.faults: List[FaultSpec] = list(faults)
+        for fault in self.faults:
+            if not isinstance(fault, _SPEC_TYPES):
+                raise TypeError(f"unknown fault spec {fault!r}")
+        self.rng = rng
+
+    @property
+    def stochastic(self) -> List[FaultSpec]:
+        """The per-resume probabilistic faults (spikes and preemptions)."""
+        return [f for f in self.faults if isinstance(f, (DelaySpike, LockHolderPreempt))]
+
+    @property
+    def triggers(self) -> List[FaultSpec]:
+        """The time-triggered one-shot faults (crashes and stalls)."""
+        return [f for f in self.faults if isinstance(f, (CrashStop, LockHolderStall))]
+
+    def __repr__(self) -> str:
+        return f"FaultPlan({len(self.faults)} faults, rng={self.rng!r})"
+
+
+class FaultInjector:
+    """Executes a :class:`FaultPlan` against an engine.
+
+    Attach before (or after) spawning threads, then run the engine as
+    usual::
+
+        injector = FaultInjector(plan).attach(engine)
+        engine.run()
+        injector.injected_stalls, injector.crashed_tids  # post-mortem
+
+    Hook protocol (called by the engine):
+
+    * one-shot triggers are registered as engine *control events* at
+      their scheduled times, so they fire even if the victim never
+      resumes on its own (e.g. it is parked);
+    * ``before_resume(engine, tid)`` is consulted at every thread resume
+      and returns extra stall cycles (0 for none); stalls compound like
+      real preemptions — a thread can be hit again when it next runs.
+    """
+
+    def __init__(self, plan: FaultPlan) -> None:
+        self.plan = plan
+        self._rng = as_generator(plan.rng if plan.rng is not None else 0)
+        self.engine = None
+        #: Count of stochastic stalls injected, per fault-class name.
+        self.injected_stalls: dict = {}
+        #: Engine tids removed by CrashStop faults.
+        self.crashed_tids: List[int] = []
+        #: (time, tid, duration) for every fired LockHolderStall.
+        self.fired_stalls: List[tuple] = []
+
+    def attach(self, engine) -> "FaultInjector":
+        """Install on ``engine`` and register one-shot triggers."""
+        if self.engine is not None:
+            raise RuntimeError("FaultInjector is already attached")
+        self.engine = engine
+        engine.faults = self
+        for fault in self.plan.triggers:
+            if isinstance(fault, CrashStop):
+                engine.schedule_control(
+                    fault.at, lambda eng, f=fault: self._fire_crash(eng, f)
+                )
+            else:
+                engine.schedule_control(
+                    fault.at, lambda eng, f=fault: self._fire_stall(eng, f)
+                )
+        return self
+
+    # -- trigger execution -------------------------------------------------
+
+    def _fire_crash(self, engine, fault: CrashStop) -> None:
+        tid = (
+            fault.thread
+            if isinstance(fault.thread, int)
+            else engine.thread_by_name(fault.thread)
+        )
+        if tid is None or tid not in engine._threads:
+            return  # victim already finished — nothing to kill
+        engine.kill(tid, release_locks=fault.release_locks)
+        self.crashed_tids.append(tid)
+
+    def _fire_stall(self, engine, fault: LockHolderStall) -> None:
+        best_tid, best_count = None, 0
+        for tid in sorted(engine._threads):
+            count = len(engine.locks_held_by(tid))
+            if count >= fault.min_locks and count > best_count:
+                best_tid, best_count = tid, count
+        if best_tid is None:
+            # Nobody holds enough locks right now; try again shortly —
+            # unless every live thread is parked (a deadlock the engine
+            # must be allowed to diagnose, not an injector spin).
+            if len(engine._parked) < len(engine._threads):
+                engine.schedule_control(
+                    engine.now + fault.retry_every,
+                    lambda eng, f=fault: self._fire_stall(eng, f),
+                )
+            return
+        engine.stall(best_tid, fault.duration)
+        self.fired_stalls.append((engine.now, best_tid, fault.duration))
+
+    # -- per-resume hook -----------------------------------------------------
+
+    def before_resume(self, engine, tid: int) -> float:
+        """Extra stall cycles for this resume (0 = run normally)."""
+        now = engine.now
+        total = 0.0
+        for fault in self.plan.stochastic:
+            if not fault.start <= now < fault.stop:
+                continue
+            if isinstance(fault, LockHolderPreempt) and not engine.locks_held_by(tid):
+                continue
+            if self._rng.random() < fault.prob:
+                total += fault.cycles
+                key = type(fault).__name__
+                self.injected_stalls[key] = self.injected_stalls.get(key, 0) + 1
+        return total

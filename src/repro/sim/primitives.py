@@ -71,6 +71,14 @@ class SimLock:
 
     Ownership transfer between different threads pays the cache-transfer
     penalty, like cells.  ``held_by`` is a thread id or ``None``.
+
+    When ``lease`` is set, the lock runs in *lease mode*: a holder that
+    keeps the lock longer than ``lease`` cycles can have it revoked by
+    the engine the next time another thread requests it (graceful
+    degradation under stalled/crashed holders).  Revoked holders learn
+    of the loss from their next :class:`~repro.sim.syscalls.Release`
+    (result ``False``) or :class:`~repro.sim.syscalls.Holding` probe,
+    and must re-validate before publishing state.
     """
 
     __slots__ = (
@@ -81,9 +89,15 @@ class SimLock:
         "acquisitions",
         "failed_tries",
         "busy_until",
+        "lease",
+        "held_since",
+        "revocations",
+        "revoked",
     )
 
-    def __init__(self, name: str = "") -> None:
+    def __init__(self, name: str = "", lease: Optional[float] = None) -> None:
+        if lease is not None and lease <= 0:
+            raise ValueError(f"lease must be positive, got {lease}")
         self.held_by: Optional[int] = None
         self.waiters: Deque[int] = deque()
         self.last_owner: Optional[int] = None
@@ -94,6 +108,16 @@ class SimLock:
         self.failed_tries = 0
         #: Simulated time until which the lock word's line is mid-transfer.
         self.busy_until = 0.0
+        #: Cycles a holder may keep the lock before it becomes revocable
+        #: (``None`` disables leases — classic mutex semantics).
+        self.lease = lease
+        #: Simulated time of the current holder's acquisition.
+        self.held_since = 0.0
+        #: Times a stale holder lost the lock to lease revocation.
+        self.revocations = 0
+        #: Thread ids whose hold was revoked and who have not yet
+        #: observed the loss (via Release/Holding).
+        self.revoked: set = set()
 
     @property
     def locked(self) -> bool:

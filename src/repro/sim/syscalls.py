@@ -88,8 +88,44 @@ class Acquire:
 
 @dataclass(frozen=True)
 class Release:
-    """Release a held lock; wakes the head waiter, if any."""
+    """Release a held lock; wakes the head waiter, if any.
 
+    Result is ``True`` for a normal release and ``False`` when the
+    caller's hold had already been revoked by a lock lease (see
+    :attr:`~repro.sim.primitives.SimLock.lease`) — in that case the
+    release is a benign no-op that does not perturb the lock.
+    """
+
+    lock: "SimLock"
+
+
+@dataclass(frozen=True)
+class Holding:
+    """Re-validation probe: result is whether *this thread* currently
+    holds ``lock``.
+
+    Only meaningful under lock leases, where a stalled holder can lose
+    the lock mid-critical-section and must re-validate before touching
+    state it believes it protects.  Charged like an atomic read of the
+    lock word.
+    """
+
+    lock: "SimLock"
+
+
+@dataclass(frozen=True)
+class GuardedWrite:
+    """Write ``cell.value`` only if this thread still holds ``lock``.
+
+    The holdership check and the store happen atomically at the handling
+    instant, closing the check-then-write race a separate
+    :class:`Holding` + :class:`Write` pair would leave open.  Result is
+    ``True`` iff the write happened.  Costs the same as :class:`Write`,
+    so lease-oblivious code can use it unconditionally.
+    """
+
+    cell: "SimCell"
+    value: Any
     lock: "SimLock"
 
 

@@ -1,0 +1,159 @@
+"""Tests for the post-run invariant auditor."""
+
+import numpy as np
+import pytest
+
+from repro.concurrent import (
+    AuditError,
+    ConcurrentMultiQueue,
+    InvariantAuditor,
+    OpRecorder,
+)
+from repro.sim.engine import Engine
+from repro.sim.primitives import SimLock
+from repro.sim.syscalls import Acquire, Delay
+from repro.sim.workload import AlternatingWorkload
+
+SEED = 13
+
+
+def _run_model(n_queues=4, threads=2, ops=50, prefill=200):
+    rec = OpRecorder()
+    eng = Engine()
+    model = ConcurrentMultiQueue(eng, n_queues, rng=SEED, recorder=rec)
+    model.prefill(np.random.default_rng(SEED).integers(2**30, size=prefill))
+    AlternatingWorkload(model, threads, ops, rng=SEED + 1).spawn_on(eng)
+    eng.run()
+    return model, rec, eng
+
+
+class TestCleanRun:
+    def test_clean_run_passes(self):
+        model, rec, eng = _run_model()
+        report = InvariantAuditor(model, recorder=rec, engine=eng).audit()
+        assert report.ok
+        assert report.lost == 0 and report.duplicated == 0
+        assert report.inserted - report.removed == report.in_structure
+        assert report.crashed_threads == 0
+        report.raise_if_failed()  # no-op on success
+
+    def test_summary_shape(self):
+        model, rec, eng = _run_model()
+        summary = InvariantAuditor(model, recorder=rec, engine=eng).audit().summary()
+        assert summary["audit"] == "PASS"
+        assert summary["lost"] == 0
+
+    def test_requires_model_or_recorder(self):
+        with pytest.raises(ValueError):
+            InvariantAuditor()
+
+    def test_recorder_only_audit(self):
+        _, rec, _ = _run_model()
+        report = InvariantAuditor(recorder=rec).audit()
+        assert report.ok
+        assert report.in_structure == 0  # no model to count
+
+
+class TestCorruptionDetection:
+    def test_lost_element_detected(self):
+        model, rec, _ = _run_model()
+        # Vanish one element behind the recorder's back.
+        victim = next(h for h in model._heaps if len(h))
+        victim.pop()
+        report = InvariantAuditor(model, recorder=rec).audit()
+        assert not report.ok
+        assert report.lost == 1
+        assert any("lost" in v for v in report.violations)
+        with pytest.raises(AuditError):
+            report.raise_if_failed()
+
+    def test_duplicated_element_detected(self):
+        model, rec, _ = _run_model()
+        heap = next(h for h in model._heaps if len(h))
+        entry = heap.peek()
+        heap.push(entry.priority, entry.item)  # rogue duplicate
+        model._publish_top(model._heaps.index(heap))
+        report = InvariantAuditor(model, recorder=rec).audit()
+        assert not report.ok
+        assert report.duplicated >= 1
+
+    def test_phantom_element_detected(self):
+        model, rec, _ = _run_model()
+        q = 0
+        model._heaps[q].push(1, 999_999)  # never allocated by the recorder
+        model._publish_top(q)
+        report = InvariantAuditor(model, recorder=rec).audit()
+        assert not report.ok
+        assert any("never inserted" in v for v in report.violations)
+
+    def test_removed_yet_present_detected(self):
+        model, rec, _ = _run_model()
+        removed = [e.eid for e in rec.events if e.kind != "ins"]
+        assert removed
+        q = 0
+        model._heaps[q].push(0, removed[0])
+        model._publish_top(q)
+        report = InvariantAuditor(model, recorder=rec).audit()
+        assert not report.ok
+        assert any("both removed and still present" in v for v in report.violations)
+
+
+class TestTopConsistency:
+    def test_stale_top_without_holder_is_violation(self):
+        model, rec, _ = _run_model()
+        model._tops[0].value = -123  # nobody holds the lock
+        report = InvariantAuditor(model, recorder=rec).audit()
+        assert any(v.startswith("tops:") for v in report.violations)
+
+    def test_stale_top_under_held_lock_is_note(self):
+        model, rec, _ = _run_model()
+        model._tops[0].value = -123
+        model._locks[0].held_by = 7  # frozen mid-operation
+        report = InvariantAuditor(model, recorder=rec).audit()
+        assert not any(v.startswith("tops:") for v in report.violations)
+        assert any(n.startswith("tops:") for n in report.notes)
+
+
+class TestLockHygiene:
+    def test_normal_finish_holding_lock_is_violation(self):
+        lock = SimLock(name="leaked")
+
+        def leaker():
+            yield Acquire(lock)
+            yield Delay(10)
+            # returns without Release
+
+        eng = Engine()
+        eng.spawn(leaker(), name="leaker")
+        eng.run()
+        rec = OpRecorder()
+        report = InvariantAuditor(recorder=rec, engine=eng).audit()
+        assert any("finished normally while still holding" in v for v in report.violations)
+
+    def test_crashed_holder_is_note_not_violation(self):
+        lock = SimLock(name="l")
+
+        def victim():
+            yield Acquire(lock)
+            yield Delay(1_000)
+
+        eng = Engine()
+        tid = eng.spawn(victim(), name="victim")
+        eng.schedule_control(100.0, lambda e: e.kill(tid))
+        eng.run()
+        rec = OpRecorder()
+        report = InvariantAuditor(recorder=rec, engine=eng).audit()
+        assert report.crashed_threads == 1
+        assert not any("finished normally" in v for v in report.violations)
+        assert any("dead-holds" in n for n in report.notes)
+
+
+class TestUnrecordedElements:
+    def test_recorderless_model_elements_noted(self):
+        eng = Engine()
+        rec = OpRecorder()  # empty: the model below records nothing
+        model = ConcurrentMultiQueue(eng, 2, rng=SEED)  # no recorder -> eid -1
+        model.prefill([5, 3, 8])
+        report = InvariantAuditor(model, recorder=rec).audit()
+        assert report.ok
+        assert any("eid=-1" in n for n in report.notes)

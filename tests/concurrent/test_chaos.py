@@ -1,0 +1,272 @@
+"""Chaos-engine integration tests: MultiQueue under injected faults.
+
+These cover the end-to-end robustness story: fault RNG decoupling,
+graceful degradation of deletions against dead-held locks, lock-lease
+recovery, the ``hold_locks_op`` ordering contract, and the acceptance
+scenario (crash-stop + lock-holder stall with a clean audit).
+"""
+
+import numpy as np
+import pytest
+
+from repro.concurrent import ConcurrentMultiQueue, InvariantAuditor, OpRecorder
+from repro.sim.engine import DeadlockError, Engine
+from repro.sim.faults import (
+    CrashStop,
+    FaultInjector,
+    FaultPlan,
+    LockHolderPreempt,
+    LockHolderStall,
+)
+from repro.sim.syscalls import Acquire, Delay, Release
+from repro.sim.workload import AlternatingWorkload
+
+SEED = 31
+
+
+def _drive(gen, engine):
+    tid = engine.spawn(gen)
+    engine.run()
+    return engine.stats[tid].result
+
+
+class TestFaultRNGDecoupling:
+    def test_legacy_preemption_does_not_perturb_queue_choices(self):
+        """Satellite regression: enabling ``preempt_prob`` must leave the
+        model RNG's queue-choice sequence untouched, so faulted and clean
+        runs stay A/B-paired."""
+
+        def placements(prob):
+            eng = Engine()
+            model = ConcurrentMultiQueue(
+                eng, 16, rng=SEED, preempt_prob=prob, preempt_cycles=5_000
+            )
+            for v in range(64):
+                _drive(model.insert_op(0, v), eng)
+            return [len(h) for h in model._heaps]
+
+        assert placements(0.0) == placements(0.5)
+
+    def test_engine_faults_do_not_perturb_queue_choices(self):
+        def placements(faulted):
+            eng = Engine()
+            model = ConcurrentMultiQueue(eng, 16, rng=SEED)
+            if faulted:
+                FaultInjector(
+                    FaultPlan([LockHolderPreempt(prob=0.5, cycles=5_000)], rng=1)
+                ).attach(eng)
+            for v in range(64):
+                _drive(model.insert_op(0, v), eng)
+            return [len(h) for h in model._heaps]
+
+        assert placements(False) == placements(True)
+
+    def test_explicit_fault_rng_seed(self):
+        eng = Engine()
+        model = ConcurrentMultiQueue(eng, 4, rng=SEED, fault_rng=99)
+        assert model._fault_rng is not None
+
+
+class TestGracefulDegradation:
+    def test_delete_gives_up_against_dead_held_locks(self):
+        """A crash leaves every queue lock dead-held; deleteMin must give
+        up after ``max_delete_retries`` and report empty, not spin."""
+        for locking in ("better", "both"):
+            eng = Engine()
+            model = ConcurrentMultiQueue(
+                eng, 2, rng=SEED, delete_locking=locking, max_delete_retries=10
+            )
+            model.prefill([1, 2, 3, 4])
+
+            def squatter():
+                yield from model.hold_locks_op([0, 1], duration=1e12)
+
+            tid = eng.spawn(squatter(), name="squatter")
+            eng.schedule_control(200.0, lambda e, t=tid: e.kill(t))
+
+            def deleter():
+                yield Delay(500.0)  # start after the locks are dead-held
+                result = yield from model.delete_min_op(1)
+                return result
+
+            assert _drive(deleter(), eng) is None, locking
+            assert model.total_size() == 4
+
+    def test_lock_both_empty_structure_returns_none_with_retries(self):
+        eng = Engine()
+        model = ConcurrentMultiQueue(
+            eng, 4, rng=SEED, delete_locking="both", max_delete_retries=5
+        )
+        assert _drive(model.delete_min_op(0), eng) is None
+
+    def test_backoff_slows_retries_under_contention(self):
+        """Exponential backoff: a deleter hammering dead-held locks pays
+        geometrically growing pauses, so wall-clock between attempts grows."""
+        eng = Engine()
+        model = ConcurrentMultiQueue(eng, 2, rng=SEED, max_delete_retries=8)
+        model.prefill([1, 2, 3, 4])  # both queues non-empty (every attempt tries a lock)
+
+        def squatter():
+            yield from model.hold_locks_op([0, 1], duration=1e12)
+
+        tid = eng.spawn(squatter(), name="squatter")
+        eng.schedule_control(100.0, lambda e, t=tid: e.kill(t))
+        start_heap_time = 200.0
+
+        def deleter():
+            yield Delay(start_heap_time)
+            result = yield from model.delete_min_op(0)
+            return result
+
+        assert _drive(deleter(), eng) is None
+        base = eng.cost.backoff_base
+        # 8 failures back off base*(1+2+4+8+16+32+64+64) minimum.
+        assert eng.now - start_heap_time >= base * (2**7 - 1)
+
+    def test_lease_recovers_from_crashed_holder(self):
+        """With leases, elements behind a crashed holder's lock become
+        reachable again and the audit stays clean."""
+        rec = OpRecorder()
+        eng = Engine()
+        model = ConcurrentMultiQueue(
+            eng, 2, rng=SEED, recorder=rec, lock_lease=10_000.0
+        )
+        model.prefill([5, 6, 7, 8])
+
+        def squatter():
+            yield from model.hold_locks_op([0, 1], duration=1e12)
+
+        tid = eng.spawn(squatter(), name="squatter")
+        eng.schedule_control(100.0, lambda e, t=tid: e.kill(t))
+
+        def late_deleter():
+            yield Delay(50_000)  # past the lease
+            results = []
+            for _ in range(4):
+                r = yield from model.delete_min_op(1)
+                results.append(r)
+            return results
+
+        results = _drive(late_deleter(), eng)
+        # Every element is recovered exactly once (order is per-queue,
+        # not global — the MultiQueue is only distributionally ordered).
+        assert sorted(r[0] for r in results if r) == [5, 6, 7, 8]
+        assert model.lock_revocations() >= 1
+        InvariantAuditor(model, recorder=rec, engine=eng).audit().raise_if_failed()
+
+
+class TestHoldLocksContract:
+    def test_out_of_order_blocking_acquirer_deadlocks_with_named_cycle(self):
+        """The documented ordering contract: ``hold_locks_op`` takes locks
+        in ascending index order; a blocking acquirer that disobeys forms
+        a wait cycle which :class:`DeadlockError` names."""
+        eng = Engine()
+        model = ConcurrentMultiQueue(eng, 2, rng=SEED)
+
+        def disciplined():
+            yield Delay(10)
+            yield from model.hold_locks_op([0, 1], duration=1_000)
+
+        def rogue():  # violates the ascending-order contract
+            yield Acquire(model._locks[1])
+            yield Delay(500)
+            yield Acquire(model._locks[0])
+            yield Release(model._locks[0])
+            yield Release(model._locks[1])
+
+        eng.spawn(disciplined(), name="disciplined")
+        eng.spawn(rogue(), name="rogue")
+        with pytest.raises(DeadlockError) as err:
+            eng.run()
+        exc = err.value
+        assert set(exc.cycle) == {"disciplined", "rogue"}
+        assert exc.waits["disciplined"] == "mq-lock-1"
+        assert exc.waits["rogue"] == "mq-lock-0"
+        assert "cycle:" in str(exc)
+
+    def test_sorted_blocking_acquirers_do_not_deadlock(self):
+        eng = Engine()
+        model = ConcurrentMultiQueue(eng, 4, rng=SEED)
+
+        def adversary(indices, delay):
+            yield Delay(delay)
+            yield from model.hold_locks_op(indices, duration=500)
+
+        eng.spawn(adversary([2, 0, 1], 0), name="a")
+        eng.spawn(adversary([1, 3, 0], 5), name="b")
+        eng.run()  # both sort their targets: no cycle possible
+        assert all(lock.held_by is None for lock in model._locks)
+
+    def test_hold_under_lease_release_is_best_effort(self):
+        eng = Engine()
+        model = ConcurrentMultiQueue(eng, 2, rng=SEED, lock_lease=1_000.0)
+
+        def squatter():
+            yield from model.hold_locks_op([0, 1], duration=50_000)
+
+        def prober():
+            yield Delay(10_000)
+            result = yield from model.delete_min_op(1)
+            return result
+
+        model.prefill([3])
+        eng.spawn(squatter(), name="squatter")
+        eng.spawn(prober(), name="prober")
+        eng.run()  # squatter's final Release observes the revocation
+        assert model.lock_revocations() >= 1
+        assert model.total_size() == 0
+
+
+class TestAcceptanceScenario:
+    def test_crash_and_stall_complete_with_clean_audit(self):
+        """ISSUE acceptance: a chaos run combining a crash-stop and a
+        targeted lock-holder stall completes without deadlock or livelock
+        and the auditor reports zero lost/duplicated elements."""
+        rec = OpRecorder()
+        eng = Engine(progress_budget=5e6)
+        model = ConcurrentMultiQueue(eng, 8, rng=SEED, recorder=rec)
+        model.prefill(np.random.default_rng(SEED).integers(2**30, size=2_000))
+        AlternatingWorkload(model, 4, 150, rng=SEED + 1).spawn_on(eng)
+        injector = FaultInjector(
+            FaultPlan(
+                [
+                    CrashStop(at=30_000.0, thread="worker-0"),
+                    LockHolderStall(at=60_000.0, duration=150_000.0),
+                ],
+                rng=2,
+            )
+        ).attach(eng)
+        eng.run()  # must not raise Deadlock/LivelockError
+        assert injector.crashed_tids
+        report = InvariantAuditor(model, recorder=rec, engine=eng).audit()
+        report.raise_if_failed()
+        assert report.lost == 0 and report.duplicated == 0
+        assert report.crashed_threads == 1
+
+    def test_both_locking_chaos_with_lease_conserves_elements(self):
+        rec = OpRecorder()
+        eng = Engine(progress_budget=5e6)
+        model = ConcurrentMultiQueue(
+            eng,
+            8,
+            rng=SEED,
+            recorder=rec,
+            delete_locking="both",
+            lock_lease=50_000.0,
+        )
+        model.prefill(np.random.default_rng(SEED).integers(2**30, size=2_000))
+        AlternatingWorkload(model, 4, 150, rng=SEED + 1).spawn_on(eng)
+        FaultInjector(
+            FaultPlan(
+                [
+                    CrashStop(at=30_000.0, thread="worker-1"),
+                    LockHolderStall(at=60_000.0, duration=200_000.0, min_locks=2),
+                    LockHolderPreempt(prob=0.01, cycles=20_000.0),
+                ],
+                rng=3,
+            )
+        ).attach(eng)
+        eng.run()
+        report = InvariantAuditor(model, recorder=rec, engine=eng).audit()
+        report.raise_if_failed()
+        assert report.lost == 0 and report.duplicated == 0

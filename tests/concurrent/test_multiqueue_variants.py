@@ -3,6 +3,7 @@
 import numpy as np
 import pytest
 
+from repro.concurrent.audit import InvariantAuditor
 from repro.concurrent.multiqueue import ConcurrentMultiQueue
 from repro.concurrent.recorder import OpRecorder
 from repro.sim.engine import Engine
@@ -66,6 +67,7 @@ class TestStickiness:
         assert model.total_size() == 200
         ins, rem = rec.counts()
         assert ins - rem == 200
+        InvariantAuditor(model, recorder=rec, engine=eng).audit().raise_if_failed()
 
     def test_stickiness_costs_rank_quality(self):
         """Reusing queue choices correlates removals: rank error grows
@@ -107,7 +109,7 @@ class TestPreemption:
         AlternatingWorkload(model, 4, 100, rng=22).spawn_on(eng)
         eng.run()
         assert model.total_size() == 200
-        rec.validate()
+        InvariantAuditor(model, recorder=rec, engine=eng).audit().raise_if_failed()
 
     def test_preemption_inflates_rank_error(self):
         def mean_rank(prob):
@@ -173,6 +175,7 @@ class TestLockBoth:
         AlternatingWorkload(model, 6, 150, rng=12).spawn_on(eng)
         eng.run()
         assert model.total_size() == 300
+        InvariantAuditor(model, recorder=rec, engine=eng).audit().raise_if_failed()
 
     def test_lock_both_slower_than_better(self):
         """Locking two queues per deleteMin costs throughput — the reason

@@ -108,10 +108,36 @@ class TestCommands:
         out = capsys.readouterr().out
         assert "cycle" in out and "complete" in out
 
+    def test_chaos(self, capsys):
+        assert main(["chaos", "--steps", "400", "--prefill", "800"]) == 0
+        out = capsys.readouterr().out
+        assert "chaos run under fault injection" in out
+        assert "PASS" in out
+        assert "all checks passed" in out
+
+    def test_chaos_with_lease_and_both_locking(self, capsys):
+        main(
+            [
+                "chaos",
+                "--steps",
+                "400",
+                "--prefill",
+                "800",
+                "--delete-locking",
+                "both",
+                "--lease",
+                "100000",
+            ]
+        )
+        out = capsys.readouterr().out
+        assert "lease=100000" in out
+        assert "PASS" in out
+
     def test_experiments(self, capsys):
         main(["experiments"])
         out = capsys.readouterr().out
         assert "fig1" in out and "t6-diverge" in out
+        assert "ext-chaos" in out
 
     def test_report_selected(self, capsys):
         main(["report", "--ids", "fig1"])
