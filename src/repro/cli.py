@@ -129,6 +129,40 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--fault-seed", type=int, default=0)
     _add_seed(p)
 
+    p = sub.add_parser(
+        "sanitize",
+        help="run a workload/chaos scenario under happens-before race detection",
+    )
+    p.add_argument(
+        "--scenario",
+        choices=["workload", "chaos"],
+        default="workload",
+        help="plain workload, or faulted run with lock leases/revocation",
+    )
+    p.add_argument(
+        "--variant",
+        choices=["lock-better", "lock-both", "broken-nolock"],
+        default="lock-better",
+        help="locking discipline (broken-nolock is the known-racy mutant)",
+    )
+    p.add_argument("--seeds", type=int, default=1, help="run seeds 1..N (default 1)")
+    p.add_argument("--threads", type=int, default=4)
+    p.add_argument("--ops", type=int, default=100, help="insert+delete pairs per thread")
+    p.add_argument("--queues", type=int, default=4)
+    p.add_argument("--prefill", type=int, default=500)
+    p.add_argument(
+        "--lease", type=float, default=0.0, help="lock lease in cycles (0 = scenario default)"
+    )
+    _add_seed(p)
+
+    p = sub.add_parser(
+        "lint",
+        help="static syscall-discipline lint over src/repro/concurrent (SAN101-104)",
+    )
+    p.add_argument(
+        "paths", nargs="*", default=None, help="files/dirs to lint (default: the models)"
+    )
+
     sub.add_parser("experiments", help="list all reproduced experiments")
 
     p = sub.add_parser(
@@ -458,6 +492,55 @@ def cmd_chaos(args) -> None:
     print("\ninvariants: all checks passed")
 
 
+def cmd_sanitize(args) -> None:
+    from repro.sanitizer.scenarios import run_sanitized
+
+    seeds = range(args.seed, args.seed + max(args.seeds, 1))
+    failures = 0
+    rows = []
+    for seed in seeds:
+        report = run_sanitized(
+            scenario=args.scenario,
+            variant=args.variant,
+            seed=seed,
+            n_threads=args.threads,
+            ops_per_thread=args.ops,
+            n_queues=args.queues,
+            prefill=args.prefill,
+            lease=args.lease or None,
+        )
+        row = {"seed": seed, "verdict": "ok" if report.ok else "RACY"}
+        row.update(report.summary())
+        rows.append(row)
+        if not report.ok:
+            failures += 1
+            print(report.describe())
+            print()
+    print(
+        format_table(
+            rows,
+            title=(
+                f"sanitize: {args.scenario}/{args.variant}, "
+                f"{args.threads} threads x {2 * args.ops} ops"
+            ),
+            floatfmt=".0f",
+        )
+    )
+    if failures:
+        print(f"\n{failures}/{len(rows)} seed(s) racy")
+        raise SystemExit(1)
+    print(f"\nall {len(rows)} seed(s) race-free (given the annotations)")
+
+
+def cmd_lint(args) -> None:
+    from repro.sanitizer.lint import lint_paths
+
+    report = lint_paths(args.paths or None)
+    print(report.describe())
+    if not report.ok:
+        raise SystemExit(1)
+
+
 def cmd_experiments(args) -> None:
     from repro.bench.registry import coverage_report
 
@@ -497,6 +580,8 @@ _COMMANDS = {
     "potential": cmd_potential,
     "graph-choice": cmd_graph_choice,
     "chaos": cmd_chaos,
+    "sanitize": cmd_sanitize,
+    "lint": cmd_lint,
     "experiments": cmd_experiments,
     "report": cmd_report,
 }

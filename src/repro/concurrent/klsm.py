@@ -27,6 +27,7 @@ from typing import Dict, Generator, Optional
 
 from repro.concurrent.recorder import OpRecorder
 from repro.pqueues import BinaryHeap
+from repro.sanitizer.annotations import guarded_by, shared_state
 from repro.sim.engine import Engine
 from repro.sim.primitives import SimCell, SimLock
 from repro.sim.syscalls import Acquire, Delay, Read, Release, Write
@@ -36,6 +37,12 @@ from repro.utils.rngtools import SeedLike, as_generator
 EMPTY = None
 
 
+@shared_state(
+    # The shared component's published top: written only under the
+    # shared lock (plain Write — the lock never runs in lease mode);
+    # read lock-free by every deleteMin's local-vs-shared comparison.
+    cells={"_shared_top": guarded_by("_shared_lock", atomic_reads=True)},
+)
 class KLSMPQ:
     """Simulated k-LSM relaxed priority queue.
 
@@ -73,6 +80,7 @@ class KLSMPQ:
             self._shared.push(priority, eid)
             if self._recorder is not None:
                 self._recorder.record_insert(0.0, eid)
+        # sanitizer: allow(SAN104) prefill runs before the clock starts
         self._shared_top.value = (
             self._shared.peek().priority if len(self._shared) else EMPTY
         )

@@ -24,6 +24,7 @@ from typing import Generator, Optional
 
 from repro.concurrent.recorder import OpRecorder
 from repro.pqueues import BinaryHeap
+from repro.sanitizer.annotations import atomic_cell, shared_state
 from repro.sim.engine import Engine
 from repro.sim.primitives import SimCell
 from repro.sim.syscalls import CAS, Delay, Read
@@ -34,6 +35,12 @@ from repro.utils.rngtools import SeedLike, as_generator
 _INSERT_REGIONS = 64
 
 
+@shared_state(
+    # Both the hot head-version cell and the insertion regions are
+    # CAS-based synchronization objects: every deleteMin races on the
+    # head by design — that race *is* the modelled bottleneck.
+    cells={"_head": atomic_cell(), "_regions": atomic_cell()},
+)
 class LindenJonssonPQ:
     """Simulated Lindén–Jonsson priority queue (strict semantics)."""
 

@@ -42,6 +42,7 @@ import numpy as np
 
 from repro.concurrent.recorder import OpRecorder
 from repro.pqueues import BinaryHeap
+from repro.sanitizer.annotations import guarded_by, shared_state
 from repro.sim.engine import Engine
 from repro.sim.primitives import SimCell, SimLock
 from repro.sim.syscalls import Acquire, Delay, GuardedWrite, Read, Release, TryAcquire
@@ -55,6 +56,14 @@ EMPTY = None
 _DEFAULT_FAULT_SEED = 0xFA017
 
 
+@shared_state(
+    # The published top of queue i (``_tops[i]``) is owned by queue i's
+    # lock (``_locks[i]``): writes only under the lock (GuardedWrite, so
+    # lease revocation is revalidated), lock-free reads blessed — the
+    # algorithm's unsynchronized peeks re-validate under the lock.
+    cells={"_tops": guarded_by("_locks", atomic_reads=True, lease_guarded=True)},
+    lock_order="ascending-index",
+)
 class ConcurrentMultiQueue:
     """Simulated concurrent MultiQueue with (1+beta) deletion.
 
@@ -190,6 +199,7 @@ class ConcurrentMultiQueue:
         """Refresh queue ``q``'s top cell from its heap (direct, used at
         prefill time and under the queue's lock)."""
         heap = self._heaps[q]
+        # sanitizer: allow(SAN104) prefill runs before the clock starts
         self._tops[q].value = heap.peek().priority if len(heap) else EMPTY
 
     # -- metrics -------------------------------------------------------------

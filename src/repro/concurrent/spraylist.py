@@ -24,6 +24,7 @@ import math
 from typing import Generator, List, Optional, Tuple
 
 from repro.concurrent.recorder import OpRecorder
+from repro.sanitizer.annotations import atomic_cell, shared_state
 from repro.sim.engine import Engine
 from repro.sim.primitives import SimCell
 from repro.sim.syscalls import CAS, Delay, Read
@@ -35,6 +36,11 @@ from repro.utils.rngtools import SeedLike, as_generator
 _REGIONS = 16
 
 
+@shared_state(
+    # Claim/insertion region version counters: CAS-based synchronization
+    # objects, raced on by design (lost CAS = lost claim, retry).
+    cells={"_regions": atomic_cell()},
+)
 class SprayListPQ:
     """Simulated SprayList with a ``P``-dependent spray window.
 

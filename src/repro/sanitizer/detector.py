@@ -1,0 +1,298 @@
+"""The sanitizer front end: run detectors, classify with policies, report.
+
+:class:`Sanitizer` ties the pieces together: attach to an engine (it
+installs an :class:`~repro.sanitizer.events.EventLog` as the monitor),
+run the workload, then call :meth:`Sanitizer.report`.  The report runs
+the happens-before detector and the lockset analyzer over the trace,
+applies the models' :mod:`~repro.sanitizer.annotations` to separate
+by-design relaxations from genuine protocol violations, and adds two
+dynamic *discipline* checks the detectors alone cannot express:
+
+* **unguarded-write** — a write reached a guarded cell while the owning
+  lock was not held (even if no race materialized this run);
+* **unleased-write** — a plain ``Write`` reached a lease-guarded cell
+  while its lock runs in lease mode (must be ``GuardedWrite``: a plain
+  write by a revoked holder would corrupt the cell).
+
+Suppression policy (races *reported but not failing*):
+
+* ``atomic`` cells — CAS-based synchronization objects; every race on
+  them is the algorithm;
+* ``atomic_reads`` cells — read-involved races are blessed **iff** the
+  write side held the owning lock (the MultiQueue's lock-free top peeks
+  against guarded publishes).  Write-write races always fail.
+
+Everything else is an unsuppressed race and fails the run.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Sequence
+
+from repro.sanitizer.annotations import ResolvedCell, resolve_policies
+from repro.sanitizer.events import EventLog
+from repro.sanitizer.hb import HBDetector, HBRace
+from repro.sanitizer.lockset import LocksetAnalyzer, LocksetWarning
+
+
+@dataclass(frozen=True)
+class RaceFinding:
+    """One happens-before race, classified against the annotations."""
+
+    race: HBRace
+    label: str
+    suppressed: bool
+    reason: str
+
+    def describe(self) -> str:
+        a, b = self.race.prior, self.race.current
+        locks_a = ", ".join(l.name or "?" for l in a.locks) or "none"
+        locks_b = ", ".join(l.name or "?" for l in b.locks) or "none"
+        status = "suppressed" if self.suppressed else "RACE"
+        return (
+            f"{status} [{self.race.kind}] on {self.label}: "
+            f"tid {a.tid} at {a.site or '?'} (locks: {locks_a}, seq {a.seq}) "
+            f"vs tid {b.tid} at {b.site or '?'} (locks: {locks_b}, seq {b.seq}) "
+            f"— {self.reason}"
+        )
+
+
+@dataclass(frozen=True)
+class DisciplineViolation:
+    """A dynamic syscall-discipline breach (see module docstring)."""
+
+    kind: str  # "unguarded-write" | "unleased-write"
+    label: str
+    tid: int
+    site: Optional[str]
+    seq: int
+    time: float
+
+    def describe(self) -> str:
+        return (
+            f"{self.kind} on {self.label} by tid {self.tid} "
+            f"at {self.site or '?'} (seq {self.seq}, t={self.time:.0f})"
+        )
+
+
+@dataclass(frozen=True)
+class LocksetFinding:
+    """One lockset warning, classified against the annotations."""
+
+    warning: LocksetWarning
+    label: str
+    suppressed: bool
+    reason: str
+
+    def describe(self) -> str:
+        w = self.warning
+        status = "suppressed" if self.suppressed else "WARNING"
+        return (
+            f"{status} [lockset] on {self.label}: no common lock across "
+            f"tids {sorted(w.tids)}; last write at {w.write_site or '?'}, "
+            f"drained at {w.access_site or '?'} (seq {w.seq}) — {self.reason}"
+        )
+
+
+@dataclass
+class SanitizerReport:
+    """Outcome of one sanitized run."""
+
+    seed: Optional[int]
+    n_events: int
+    races: List[RaceFinding] = field(default_factory=list)
+    lockset: List[LocksetFinding] = field(default_factory=list)
+    discipline: List[DisciplineViolation] = field(default_factory=list)
+
+    @property
+    def unsuppressed_races(self) -> List[RaceFinding]:
+        return [f for f in self.races if not f.suppressed]
+
+    @property
+    def suppressed_races(self) -> List[RaceFinding]:
+        return [f for f in self.races if f.suppressed]
+
+    @property
+    def unsuppressed_lockset(self) -> List[LocksetFinding]:
+        return [f for f in self.lockset if not f.suppressed]
+
+    @property
+    def ok(self) -> bool:
+        """Race-free: no unsuppressed HB race, no discipline violation."""
+        return not self.unsuppressed_races and not self.discipline
+
+    def summary(self) -> Dict[str, Any]:
+        return {
+            "events": self.n_events,
+            "races": len(self.unsuppressed_races),
+            "suppressed races": len(self.suppressed_races),
+            "lockset warnings": len(self.unsuppressed_lockset),
+            "suppressed lockset": len(self.lockset) - len(self.unsuppressed_lockset),
+            "discipline": len(self.discipline),
+        }
+
+    def describe(self) -> str:
+        """Full report, with repeated findings (same cell, kind, and site
+        pair — e.g. the same unsynchronized peek racing the same publish
+        thousands of times) collapsed into one line with a count."""
+        lines = [
+            f"sanitizer: {self.n_events} events"
+            + (f" (seed {self.seed})" if self.seed is not None else "")
+        ]
+
+        def collapse(findings, key):
+            groups: Dict[Any, List[Any]] = {}
+            for finding in findings:
+                groups.setdefault(key(finding), []).append(finding)
+            for bucket in groups.values():
+                suffix = f"  (x{len(bucket)})" if len(bucket) > 1 else ""
+                lines.append("  " + bucket[0].describe() + suffix)
+
+        collapse(
+            self.races,
+            lambda f: (f.label, f.race.kind, f.race.prior.site,
+                       f.race.current.site, f.suppressed),
+        )
+        collapse(self.discipline, lambda v: (v.kind, v.label, v.site))
+        collapse(self.lockset, lambda f: (f.label, f.suppressed))
+        if self.ok:
+            lines.append("  verdict: race-free (given the annotations)")
+        else:
+            lines.append(
+                f"  verdict: {len(self.unsuppressed_races)} race(s), "
+                f"{len(self.discipline)} discipline violation(s)"
+            )
+        return "\n".join(lines)
+
+    def raise_if_failed(self) -> None:
+        """Raise ``AssertionError`` with the full report unless :attr:`ok`."""
+        if not self.ok:
+            raise AssertionError(self.describe())
+
+
+class Sanitizer:
+    """Attach race detection to an engine for one run.
+
+    Example
+    -------
+    >>> from repro.sim import Engine
+    >>> from repro.sanitizer import Sanitizer
+    >>> eng = Engine()
+    >>> san = Sanitizer.attach(eng)
+    >>> # model = ConcurrentMultiQueue(eng, ...); workload; eng.run()
+    >>> # report = san.report(model, seed=1); report.raise_if_failed()
+    """
+
+    def __init__(self, engine) -> None:
+        self.engine = engine
+        self.log = EventLog.attach(engine)
+
+    @classmethod
+    def attach(cls, engine) -> "Sanitizer":
+        return cls(engine)
+
+    def report(self, *models: Any, seed: Optional[int] = None) -> SanitizerReport:
+        """Analyze the collected trace against ``models``' annotations."""
+        policies = resolve_policies(*models)
+        report = SanitizerReport(seed=seed, n_events=len(self.log))
+
+        for race in HBDetector().process(self.log):
+            resolved = policies.get(id(race.cell))
+            report.races.append(self._classify_race(race, resolved))
+
+        for warning in LocksetAnalyzer().process(self.log):
+            resolved = policies.get(id(warning.cell))
+            report.lockset.append(self._classify_warning(warning, resolved))
+
+        report.discipline.extend(self._check_discipline(policies))
+        return report
+
+    # -- classification ----------------------------------------------------
+
+    @staticmethod
+    def _label(cell: Any, resolved: Optional[ResolvedCell]) -> str:
+        if resolved is not None:
+            return resolved.label
+        return getattr(cell, "name", "") or f"<cell {id(cell):#x}>"
+
+    def _classify_race(
+        self, race: HBRace, resolved: Optional[ResolvedCell]
+    ) -> RaceFinding:
+        label = self._label(race.cell, resolved)
+        if resolved is None:
+            return RaceFinding(race, label, False, "cell has no declared policy")
+        policy = resolved.policy
+        if policy.atomic:
+            return RaceFinding(race, label, True, "atomic cell: races by design")
+        if policy.atomic_reads and race.involves_read():
+            write = race.write_epoch
+            if resolved.guard is not None and resolved.guard in write.locks:
+                return RaceFinding(
+                    race, label, True, "lock-free read vs guarded write (by design)"
+                )
+            return RaceFinding(
+                race, label, False, "read race but the write side did not hold the guard"
+            )
+        return RaceFinding(race, label, False, f"unordered {race.kind} on guarded cell")
+
+    def _classify_warning(
+        self, warning: LocksetWarning, resolved: Optional[ResolvedCell]
+    ) -> LocksetFinding:
+        label = self._label(warning.cell, resolved)
+        if resolved is None:
+            return LocksetFinding(warning, label, False, "cell has no declared policy")
+        policy = resolved.policy
+        if policy.atomic:
+            return LocksetFinding(warning, label, True, "atomic cell: no lock expected")
+        if policy.atomic_reads:
+            return LocksetFinding(
+                warning,
+                label,
+                True,
+                "lock-free reads drain the candidate set by design "
+                "(writes are checked by the discipline pass)",
+            )
+        return LocksetFinding(warning, label, False, "guarded cell lost all candidates")
+
+    # -- dynamic discipline ------------------------------------------------
+
+    def _check_discipline(
+        self, policies: Dict[int, ResolvedCell]
+    ) -> List[DisciplineViolation]:
+        violations: List[DisciplineViolation] = []
+        held: Dict[int, List[Any]] = {}
+        for ev in self.log:
+            if ev.kind == "acquire":
+                held.setdefault(ev.tid, []).append(ev.obj)
+                continue
+            if ev.kind in ("release", "revoke"):
+                locks = held.get(ev.tid)
+                if locks is not None and ev.obj in locks:
+                    locks.remove(ev.obj)
+                continue
+            if not ev.is_write:
+                continue
+            resolved = policies.get(id(ev.obj))
+            if resolved is None or resolved.policy.guard is None:
+                continue
+            if resolved.guard is not None and resolved.guard not in held.get(
+                ev.tid, ()
+            ):
+                violations.append(
+                    DisciplineViolation(
+                        "unguarded-write", resolved.label, ev.tid, ev.site, ev.seq, ev.time
+                    )
+                )
+            elif (
+                ev.kind == "write"
+                and resolved.policy.lease_guarded
+                and resolved.guard is not None
+                and resolved.guard.lease is not None
+            ):
+                violations.append(
+                    DisciplineViolation(
+                        "unleased-write", resolved.label, ev.tid, ev.site, ev.seq, ev.time
+                    )
+                )
+        return violations

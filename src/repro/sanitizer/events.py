@@ -1,0 +1,113 @@
+"""The typed event stream the engine emits for race analysis.
+
+:class:`EventLog` is the concrete ``engine.monitor``: the engine calls
+:meth:`EventLog.record` for every shared-memory access, lock transition,
+fork, and finish (see :meth:`repro.sim.engine.Engine._notify` for the
+event vocabulary).  Events carry the emitting thread, the simulated
+time, the accessed object (``SimCell``/``SimLock``/``SimBarrier``), and
+the *access site* — the source line of the generator's suspension point
+— so race reports can name both offending lines.
+
+The log is an offline trace: detectors (:mod:`repro.sanitizer.hb`,
+:mod:`repro.sanitizer.lockset`) replay it after the run.  Because the
+engine is deterministic, the event sequence is a pure function of the
+spawned generators, so a race report's ``(seed, seq)`` pair is an exact
+reproduction recipe.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional
+
+#: Event kinds that touch a memory cell.
+ACCESS_KINDS = frozenset({"read", "write", "cas", "guarded_write"})
+
+#: Event kinds that end a lock grant (paired 1:1 with ``acquire``).
+GRANT_END_KINDS = frozenset({"release", "revoke"})
+
+
+@dataclass(frozen=True)
+class Event:
+    """One engine-level event, in linearization order."""
+
+    seq: int
+    kind: str
+    tid: int
+    time: float
+    obj: Any
+    #: ``file.py:line (func)`` of the emitting thread's suspension point,
+    #: or ``None`` when the thread is already gone (kill, revocation of a
+    #: crashed holder's lock).
+    site: Optional[str]
+    info: Dict[str, Any] = field(default_factory=dict)
+
+    @property
+    def is_access(self) -> bool:
+        """Whether this event touches a memory cell."""
+        return self.kind in ACCESS_KINDS
+
+    @property
+    def is_write(self) -> bool:
+        """Whether this event mutates the cell (failed ``guarded_write``
+        and failed ``cas`` do not — the value never changes)."""
+        if self.kind == "write":
+            return True
+        if self.kind in ("guarded_write", "cas"):
+            return bool(self.info.get("ok"))
+        return False
+
+    def describe(self, label: str = "") -> str:
+        """Human-oriented one-liner for reports."""
+        where = self.site or "<thread gone>"
+        name = label or getattr(self.obj, "name", "") or "<unnamed>"
+        return f"{self.kind} of {name} by tid {self.tid} at t={self.time:.0f} [{where}]"
+
+
+class EventLog:
+    """Append-only event collector; attach as ``engine.monitor``.
+
+    Example
+    -------
+    >>> from repro.sim import Engine
+    >>> from repro.sanitizer import EventLog
+    >>> eng = Engine()
+    >>> log = EventLog.attach(eng)
+    >>> # ... spawn threads, eng.run() ...
+    >>> len(log.events)  # doctest: +SKIP
+    """
+
+    def __init__(self) -> None:
+        self.events: List[Event] = []
+
+    @classmethod
+    def attach(cls, engine) -> "EventLog":
+        """Create a log and install it as ``engine.monitor``."""
+        log = cls()
+        engine.monitor = log
+        return log
+
+    def record(
+        self,
+        kind: str,
+        tid: int,
+        time: float,
+        obj: Any,
+        site: Optional[str],
+        info: Dict[str, Any],
+    ) -> None:
+        """Engine callback: append one event (linearization order)."""
+        self.events.append(Event(len(self.events), kind, tid, time, obj, site, info))
+
+    def __len__(self) -> int:
+        return len(self.events)
+
+    def __iter__(self):
+        return iter(self.events)
+
+    def kinds(self) -> Dict[str, int]:
+        """Event counts by kind (diagnostics)."""
+        counts: Dict[str, int] = {}
+        for ev in self.events:
+            counts[ev.kind] = counts.get(ev.kind, 0) + 1
+        return counts

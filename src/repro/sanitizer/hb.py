@@ -1,0 +1,239 @@
+"""FastTrack-style happens-before race detection over the event stream.
+
+Vector-clock semantics (Flanagan & Freund's FastTrack, adapted to the
+engine's event vocabulary):
+
+* each thread ``t`` carries a clock ``C_t``; ``C_t[t]`` advances after
+  every synchronization release-side operation;
+* ``fork``: the child joins the parent's clock (spawn happens-before the
+  child's first step), the parent then advances;
+* ``acquire``: the acquirer joins the lock's release clock ``L_l``;
+* ``release`` **and** ``revoke``: ``L_l := C_t`` — lease revocation is a
+  release edge *from the stale holder*: everything the holder did before
+  losing the lock happens-before the next acquirer.  (Its post-revocation
+  ``GuardedWrite`` attempts fail and mutate nothing, so no un-ordered
+  write ever reaches the cell.)
+* ``barrier_release``: all arrivers join the pairwise-merged clock (an
+  all-to-all edge), then each advances.
+
+Per cell the detector keeps the last write (an *epoch*: writer tid +
+clock component) and a read map ``tid -> epoch``; an access races with a
+prior access when the prior epoch is not covered by the current thread's
+clock.  Reads are cleared after an ordered write (the write dominates
+them for all later conflicts, as in FastTrack's read-share demotion).
+
+Each :class:`HBRace` carries both access sites, the locks held on both
+sides, and the event sequence numbers — with the run's seed this is an
+exact reproduction recipe.  Suppression policy (annotations) is applied
+one level up, in :mod:`repro.sanitizer.detector`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, FrozenSet, List, Optional, Tuple
+
+from repro.sanitizer.events import Event
+from repro.sim.primitives import SimLock
+
+
+class VectorClock:
+    """A sparse vector clock (missing components are 0)."""
+
+    __slots__ = ("_c",)
+
+    def __init__(self, init: Optional[Dict[int, int]] = None) -> None:
+        self._c: Dict[int, int] = dict(init) if init else {}
+
+    def get(self, tid: int) -> int:
+        return self._c.get(tid, 0)
+
+    def advance(self, tid: int) -> None:
+        self._c[tid] = self._c.get(tid, 0) + 1
+
+    def join(self, other: "VectorClock") -> None:
+        for tid, value in other._c.items():
+            if value > self._c.get(tid, 0):
+                self._c[tid] = value
+
+    def copy(self) -> "VectorClock":
+        return VectorClock(self._c)
+
+    def covers(self, tid: int, value: int) -> bool:
+        """Whether event ``(tid, value)`` happens-before this clock."""
+        return value <= self._c.get(tid, 0)
+
+    def __repr__(self) -> str:
+        return f"VC({self._c})"
+
+
+@dataclass(frozen=True)
+class AccessEpoch:
+    """One memory access, pinned to its thread clock component."""
+
+    tid: int
+    clock: int
+    seq: int
+    time: float
+    site: Optional[str]
+    locks: FrozenSet[SimLock]
+    kind: str
+
+
+@dataclass(frozen=True)
+class HBRace:
+    """Two accesses to one cell unordered by happens-before."""
+
+    cell: object
+    #: ``write-write``, ``write-read`` (write first), or ``read-write``.
+    kind: str
+    prior: AccessEpoch
+    current: AccessEpoch
+
+    def involves_read(self) -> bool:
+        return "read" in self.kind
+
+    @property
+    def write_epoch(self) -> AccessEpoch:
+        """The write side of the race (the current access for
+        ``read-write``, the prior one otherwise)."""
+        return self.current if self.kind == "read-write" else self.prior
+
+
+@dataclass
+class _CellState:
+    last_write: Optional[AccessEpoch] = None
+    reads: Dict[int, AccessEpoch] = field(default_factory=dict)
+
+
+class HBDetector:
+    """Replay an event log, reporting all happens-before races.
+
+    One race is reported per conflicting access pair; a cell with a
+    broken protocol typically yields several (first occurrence first).
+    """
+
+    def __init__(self) -> None:
+        self._clocks: Dict[int, VectorClock] = {}
+        self._lock_clocks: Dict[int, VectorClock] = {}
+        self._held: Dict[int, List[SimLock]] = {}
+        self._cells: Dict[int, _CellState] = {}
+        self.races: List[HBRace] = []
+
+    # -- clock plumbing ----------------------------------------------------
+
+    def _clock(self, tid: int) -> VectorClock:
+        clock = self._clocks.get(tid)
+        if clock is None:
+            clock = self._clocks[tid] = VectorClock()
+            clock.advance(tid)  # every thread starts with its own step
+        return clock
+
+    def _epoch(self, ev: Event) -> AccessEpoch:
+        clock = self._clock(ev.tid)
+        return AccessEpoch(
+            tid=ev.tid,
+            clock=clock.get(ev.tid),
+            seq=ev.seq,
+            time=ev.time,
+            site=ev.site,
+            locks=frozenset(self._held.get(ev.tid, ())),
+            kind=ev.kind,
+        )
+
+    # -- event dispatch ----------------------------------------------------
+
+    def process(self, events) -> List[HBRace]:
+        """Run the detector over an iterable of events; returns races."""
+        for ev in events:
+            handler = getattr(self, f"_on_{ev.kind}", None)
+            if handler is not None:
+                handler(ev)
+        return self.races
+
+    def _on_fork(self, ev: Event) -> None:
+        parent = ev.info.get("parent")
+        child = self._clock(ev.tid)
+        if parent is not None:
+            child.join(self._clock(parent))
+            self._clock(parent).advance(parent)
+
+    def _on_finish(self, ev: Event) -> None:
+        # A finished thread's clock stays around: its past accesses can
+        # still race with later ones (and a crashed holder's lock may be
+        # revoked after the kill).
+        self._clock(ev.tid).advance(ev.tid)
+
+    def _on_acquire(self, ev: Event) -> None:
+        lock_clock = self._lock_clocks.get(id(ev.obj))
+        if lock_clock is not None:
+            self._clock(ev.tid).join(lock_clock)
+        self._held.setdefault(ev.tid, []).append(ev.obj)
+
+    def _end_grant(self, ev: Event) -> None:
+        clock = self._clock(ev.tid)
+        self._lock_clocks[id(ev.obj)] = clock.copy()
+        clock.advance(ev.tid)
+        held = self._held.get(ev.tid)
+        if held is not None and ev.obj in held:
+            held.remove(ev.obj)
+
+    _on_release = _end_grant
+    #: Lease revocation is a release edge from the stale holder (see
+    #: module docstring) — identical clock treatment, distinct event
+    #: kind so reports can say which one ended the grant.
+    _on_revoke = _end_grant
+
+    def _on_barrier_release(self, ev: Event) -> None:
+        waiters = ev.info.get("waiters", ())
+        merged = VectorClock()
+        for tid in waiters:
+            merged.join(self._clock(tid))
+        for tid in waiters:
+            clock = self._clock(tid)
+            clock.join(merged)
+            clock.advance(tid)
+
+    # -- memory accesses ---------------------------------------------------
+
+    def _on_read(self, ev: Event) -> None:
+        state = self._cells.setdefault(id(ev.obj), _CellState())
+        clock = self._clock(ev.tid)
+        epoch = self._epoch(ev)
+        lw = state.last_write
+        if lw is not None and lw.tid != ev.tid and not clock.covers(lw.tid, lw.clock):
+            self.races.append(HBRace(ev.obj, "write-read", lw, epoch))
+        state.reads[ev.tid] = epoch
+
+    def _on_write(self, ev: Event) -> None:
+        self._record_write(ev)
+
+    def _on_cas(self, ev: Event) -> None:
+        # A CAS is an atomic read-modify-write: even a failed CAS
+        # observes the value, so treat it as a read; a successful one is
+        # also a write.
+        if ev.is_write:
+            self._record_write(ev)
+        else:
+            self._on_read(ev)
+
+    def _on_guarded_write(self, ev: Event) -> None:
+        # A failed GuardedWrite (revoked holder) mutates nothing and
+        # observes only the lock word, not the cell value: no access.
+        if ev.is_write:
+            self._record_write(ev)
+
+    def _record_write(self, ev: Event) -> None:
+        state = self._cells.setdefault(id(ev.obj), _CellState())
+        clock = self._clock(ev.tid)
+        epoch = self._epoch(ev)
+        lw = state.last_write
+        if lw is not None and lw.tid != ev.tid and not clock.covers(lw.tid, lw.clock):
+            self.races.append(HBRace(ev.obj, "write-write", lw, epoch))
+        for read in state.reads.values():
+            if read.tid != ev.tid and not clock.covers(read.tid, read.clock):
+                self.races.append(HBRace(ev.obj, "read-write", read, epoch))
+        state.last_write = epoch
+        # The write now dominates all ordered reads; racing reads were
+        # just reported.  Later accesses conflict with the write instead.
+        state.reads.clear()

@@ -1,0 +1,538 @@
+"""``repro lint``: AST-level syscall-discipline checks for the models.
+
+The lint walks ``src/repro/concurrent/*.py`` without importing anything
+and enforces the discipline the dynamic sanitizer checks at runtime,
+using each class's :func:`~repro.sanitizer.annotations.shared_state`
+declaration (read straight from the AST) as ground truth:
+
+========  =============================================================
+SAN101    a ``Write``/``GuardedWrite`` reaches a guarded cell on a path
+          where no lock of the owning guard is held (or the
+          ``GuardedWrite`` names the wrong guard)
+SAN102    a plain ``Write`` to a *lease-guarded* cell — must be
+          ``GuardedWrite`` so the publish revalidates holdership
+SAN103    a blocking ``Acquire`` whose acquisition order is not provably
+          the canonical ascending-index order (see the "Lock-order
+          contract" section of docs/simulator.md): an ``Acquire`` of
+          ``self._arr[i]`` inside a loop needs ``sorted(...)`` evidence
+          on the iterable; several blocking acquisitions of distinct
+          indices need ``min``/``max`` (or ``sorted``) ordering
+          evidence.  ``TryAcquire`` is exempt — try-with-restart never
+          deadlocks.
+SAN104    raw attribute mutation of declared shared state
+          (``cell.value = ...``) outside a syscall
+========  =============================================================
+
+Intentional exceptions carry a suppression comment on the same line or
+the line above::
+
+    # sanitizer: allow(SAN104) prefill runs before the clock starts
+    self._tops[q].value = ...
+
+Suppressions are counted and listed in the report, never silent.
+
+The path analysis is a conservative abstract interpretation of each
+function body: the held-lock set is tracked through straight-line code,
+``if`` branch forks (merged by intersection; terminated branches —
+``return``/``continue``/``break``/``raise`` — drop out), ``while``
+loops (the post-loop state is the meet of the ``break`` states), and
+the try-lock idiom (``ok = yield TryAcquire(L)`` followed by ``if
+ok:``/``if not ok:``).  Lock identity is syntactic: writes to a guarded
+cell accept *any* held lock of the owning guard array, because index
+aliasing (``_tops[chosen]`` under ``_locks[first]``/``_locks[second]``)
+is beyond static reach — the exact per-index pairing is the dynamic
+detector's job.
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Dict, List, Optional, Sequence, Set, Tuple
+
+RULES = {
+    "SAN101": "write to guarded cell without holding the owning lock",
+    "SAN102": "plain Write to a lease-guarded cell (use GuardedWrite)",
+    "SAN103": "blocking lock acquisition order not provably canonical",
+    "SAN104": "raw mutation of shared-cell state outside a syscall",
+}
+
+_SUPPRESS_RE = re.compile(r"#\s*sanitizer:\s*allow\((SAN\d{3})\)\s*(.*)")
+
+#: A held lock, syntactically: (attribute name, index expression source
+#: or None for scalar locks), e.g. ("_locks", "q") or ("_shared_lock", None).
+LockToken = Tuple[str, Optional[str]]
+
+
+@dataclass(frozen=True)
+class Violation:
+    file: str
+    line: int
+    rule: str
+    message: str
+
+    def describe(self) -> str:
+        return f"{self.file}:{self.line}: {self.rule} {self.message}"
+
+
+@dataclass(frozen=True)
+class Suppressed:
+    file: str
+    line: int
+    rule: str
+    reason: str
+
+    def describe(self) -> str:
+        reason = self.reason or "(no reason given)"
+        return f"{self.file}:{self.line}: {self.rule} suppressed — {reason}"
+
+
+@dataclass
+class LintReport:
+    violations: List[Violation] = field(default_factory=list)
+    suppressed: List[Suppressed] = field(default_factory=list)
+    files_checked: int = 0
+    classes_checked: int = 0
+
+    @property
+    def ok(self) -> bool:
+        return not self.violations
+
+    def describe(self) -> str:
+        lines = [
+            f"lint: {self.files_checked} file(s), "
+            f"{self.classes_checked} annotated class(es), "
+            f"{len(self.violations)} violation(s), "
+            f"{len(self.suppressed)} suppression(s)"
+        ]
+        lines += ["  " + v.describe() for v in self.violations]
+        lines += ["  " + s.describe() for s in self.suppressed]
+        return "\n".join(lines)
+
+
+@dataclass(frozen=True)
+class StaticPolicy:
+    guard: Optional[str]
+    atomic: bool
+    lease_guarded: bool
+
+
+# -- annotation extraction (AST only, no imports) ---------------------------
+
+
+def _extract_spec(cls: ast.ClassDef) -> Optional[Dict[str, StaticPolicy]]:
+    """Parse a ``@shared_state(cells={...})`` decorator, if present."""
+    for deco in cls.decorator_list:
+        if not (isinstance(deco, ast.Call) and _callee_name(deco) == "shared_state"):
+            continue
+        cells_node = None
+        for kw in deco.keywords:
+            if kw.arg == "cells":
+                cells_node = kw.value
+        if cells_node is None and deco.args:
+            cells_node = deco.args[0]
+        if not isinstance(cells_node, ast.Dict):
+            return {}
+        spec: Dict[str, StaticPolicy] = {}
+        for key, value in zip(cells_node.keys, cells_node.values):
+            if not (isinstance(key, ast.Constant) and isinstance(key.value, str)):
+                continue
+            policy = _parse_policy(value)
+            if policy is not None:
+                spec[key.value] = policy
+        return spec
+    return None
+
+
+def _parse_policy(node: ast.expr) -> Optional[StaticPolicy]:
+    if not isinstance(node, ast.Call):
+        return None
+    name = _callee_name(node)
+    if name == "atomic_cell":
+        return StaticPolicy(guard=None, atomic=True, lease_guarded=False)
+    if name == "guarded_by":
+        guard = None
+        if node.args and isinstance(node.args[0], ast.Constant):
+            guard = node.args[0].value
+        lease = False
+        for kw in node.keywords:
+            if kw.arg == "guard" and isinstance(kw.value, ast.Constant):
+                guard = kw.value.value
+            if kw.arg == "lease_guarded" and isinstance(kw.value, ast.Constant):
+                lease = bool(kw.value.value)
+        return StaticPolicy(guard=guard, atomic=False, lease_guarded=lease)
+    return None
+
+
+def _callee_name(call: ast.Call) -> Optional[str]:
+    func = call.func
+    if isinstance(func, ast.Name):
+        return func.id
+    if isinstance(func, ast.Attribute):
+        return func.attr
+    return None
+
+
+# -- syntactic helpers ------------------------------------------------------
+
+
+def _self_attr(node: ast.expr) -> Optional[Tuple[str, Optional[str]]]:
+    """Decompose ``self.attr`` / ``self.attr[idx]`` into (attr, idx-src)."""
+    if isinstance(node, ast.Subscript):
+        inner = _self_attr(node.value)
+        if inner is not None and inner[1] is None:
+            return (inner[0], ast.unparse(node.slice))
+        return None
+    if (
+        isinstance(node, ast.Attribute)
+        and isinstance(node.value, ast.Name)
+        and node.value.id == "self"
+    ):
+        return (node.attr, None)
+    return None
+
+
+def _syscall(node: ast.expr) -> Optional[Tuple[str, ast.Call]]:
+    """If ``node`` is ``SyscallName(...)``, return (name, call)."""
+    if isinstance(node, ast.Call):
+        name = _callee_name(node)
+        if name in ("Acquire", "TryAcquire", "Release", "Write", "GuardedWrite",
+                    "Read", "CAS", "Holding", "BarrierWait", "Delay", "Yield"):
+            return (name, node)
+    return None
+
+
+def _contains_call(node: ast.AST, names: Set[str]) -> bool:
+    for sub in ast.walk(node):
+        if isinstance(sub, ast.Call) and _callee_name(sub) in names:
+            return True
+    return False
+
+
+#: Sentinel: the scanned path terminated (return/raise/continue/break).
+_TERMINATED = None
+
+
+class _FunctionScan:
+    """Abstract interpretation of one function body (see module docstring)."""
+
+    def __init__(self, linter: "Linter", func: ast.FunctionDef) -> None:
+        self.linter = linter
+        self.func = func
+        #: Name -> pending TryAcquire lock token (the try-lock idiom).
+        self.try_vars: Dict[str, LockToken] = {}
+        #: Stack of break-state collectors for enclosing loops.
+        self.break_states: List[List[Set[LockToken]]] = []
+        #: Distinct index expressions blocking-acquired per lock array.
+        self.blocking_indices: Dict[str, Set[str]] = {}
+        self.has_order_evidence = any(
+            _contains_call(stmt, {"sorted"})
+            or (_contains_call(stmt, {"min"}) and _contains_call(stmt, {"max"}))
+            for stmt in func.body
+        )
+
+    def run(self) -> None:
+        self.scan_block(self.func.body, set())
+        for array, indices in self.blocking_indices.items():
+            if len(indices) > 1 and not self.has_order_evidence:
+                self.linter.report(
+                    "SAN103",
+                    self.func.lineno,
+                    f"{self.func.name} blocking-acquires self.{array} at "
+                    f"indices {sorted(indices)} with no sorted()/min-max "
+                    f"ordering evidence",
+                )
+
+    # -- block/statement dispatch ------------------------------------------
+
+    def scan_block(
+        self, stmts: Sequence[ast.stmt], held: Optional[Set[LockToken]]
+    ) -> Optional[Set[LockToken]]:
+        for stmt in stmts:
+            if held is _TERMINATED:
+                return _TERMINATED
+            held = self.scan_stmt(stmt, held)
+        return held
+
+    def scan_stmt(
+        self, stmt: ast.stmt, held: Set[LockToken]
+    ) -> Optional[Set[LockToken]]:
+        if isinstance(stmt, (ast.Return, ast.Raise)):
+            return _TERMINATED
+        if isinstance(stmt, ast.Continue):
+            return _TERMINATED
+        if isinstance(stmt, ast.Break):
+            if self.break_states:
+                self.break_states[-1].append(set(held))
+            return _TERMINATED
+        if isinstance(stmt, ast.If):
+            return self.scan_if(stmt, held)
+        if isinstance(stmt, ast.While):
+            return self.scan_while(stmt, held)
+        if isinstance(stmt, ast.For):
+            return self.scan_for(stmt, held)
+        if isinstance(stmt, ast.Try):
+            held = self.scan_block(stmt.body, held)
+            if held is not _TERMINATED:
+                held = self.scan_block(stmt.finalbody, held)
+            return held
+        if isinstance(stmt, (ast.Assign, ast.AugAssign)):
+            self.check_raw_mutation(stmt)
+        for node in ast.walk(stmt):
+            if isinstance(node, (ast.Yield, ast.YieldFrom)):
+                held = self.scan_yield(stmt, node, held)
+                if held is _TERMINATED:
+                    return _TERMINATED
+        return held
+
+    def scan_if(
+        self, stmt: ast.If, held: Set[LockToken]
+    ) -> Optional[Set[LockToken]]:
+        true_state, false_state = set(held), set(held)
+        test = stmt.test
+        if isinstance(test, ast.Name) and test.id in self.try_vars:
+            true_state.add(self.try_vars[test.id])
+        elif (
+            isinstance(test, ast.UnaryOp)
+            and isinstance(test.op, ast.Not)
+            and isinstance(test.operand, ast.Name)
+            and test.operand.id in self.try_vars
+        ):
+            false_state.add(self.try_vars[test.operand.id])
+        after_true = self.scan_block(stmt.body, true_state)
+        after_false = (
+            self.scan_block(stmt.orelse, false_state) if stmt.orelse else false_state
+        )
+        if after_true is _TERMINATED:
+            return after_false
+        if after_false is _TERMINATED:
+            return after_true
+        return after_true & after_false
+
+    def scan_while(
+        self, stmt: ast.While, held: Set[LockToken]
+    ) -> Optional[Set[LockToken]]:
+        self.break_states.append([])
+        self.scan_block(stmt.body, set(held))
+        breaks = self.break_states.pop()
+        exits: List[Set[LockToken]] = list(breaks)
+        infinite = isinstance(stmt.test, ast.Constant) and bool(stmt.test.value)
+        if not infinite:
+            exits.append(set(held))
+        if not exits:
+            return _TERMINATED  # while True with no break: nothing follows
+        result = exits[0]
+        for state in exits[1:]:
+            result &= state
+        return result
+
+    def scan_for(
+        self, stmt: ast.For, held: Set[LockToken]
+    ) -> Optional[Set[LockToken]]:
+        loop_var = stmt.target.id if isinstance(stmt.target, ast.Name) else None
+        self.break_states.append([])
+        outer = self._for_context
+        self._for_context = (loop_var, stmt.iter)
+        body_exit = self.scan_block(stmt.body, set(held))
+        self._for_context = outer
+        self.break_states.pop()
+        # Assume the loop body ran (locks acquired per-iteration are held
+        # after an acquire-all loop, the hold_locks_op idiom); a body
+        # that terminates every path contributes nothing new.
+        return body_exit if body_exit is not _TERMINATED else set(held)
+
+    _for_context: Optional[Tuple[Optional[str], ast.expr]] = None
+
+    # -- syscall effects ---------------------------------------------------
+
+    def scan_yield(
+        self, stmt: ast.stmt, yield_node: ast.AST, held: Set[LockToken]
+    ) -> Optional[Set[LockToken]]:
+        if isinstance(yield_node, ast.YieldFrom):
+            return held  # delegation: callee checked on its own
+        value = yield_node.value
+        if value is None:
+            return held
+        sc = _syscall(value)
+        if sc is None:
+            return held
+        name, call = sc
+        if name == "TryAcquire":
+            token = self.lock_token(call.args[0]) if call.args else None
+            if token is not None and isinstance(stmt, ast.Assign):
+                for target in stmt.targets:
+                    if isinstance(target, ast.Name):
+                        self.try_vars[target.id] = token
+            return held
+        if name == "Acquire":
+            return self.on_acquire(call, held)
+        if name == "Release":
+            token = self.lock_token(call.args[0]) if call.args else None
+            if token is not None:
+                held.discard(token)
+            return held
+        if name == "Write":
+            self.on_write(call, held, guarded=False)
+            return held
+        if name == "GuardedWrite":
+            self.on_write(call, held, guarded=True)
+            return held
+        return held
+
+    def on_acquire(self, call: ast.Call, held: Set[LockToken]) -> Set[LockToken]:
+        if not call.args:
+            return held
+        token = self.lock_token(call.args[0])
+        if token is None:
+            return held
+        array, index = token
+        if index is not None:
+            ctx = self._for_context
+            in_loop_over_index = (
+                ctx is not None and ctx[0] is not None and ctx[0] in index
+            )
+            if in_loop_over_index:
+                if not self.iterable_is_sorted(ctx[1]):
+                    self.linter.report(
+                        "SAN103",
+                        call.lineno,
+                        f"Acquire of self.{array}[{index}] iterates an "
+                        f"order the lint cannot prove ascending "
+                        f"(no sorted() evidence on the loop iterable)",
+                    )
+            else:
+                self.blocking_indices.setdefault(array, set()).add(index)
+        held.add(token)
+        return held
+
+    def iterable_is_sorted(self, iterable: ast.expr) -> bool:
+        """``sorted(...)`` inline, or a local assigned from ``sorted(...)``."""
+        if _contains_call(iterable, {"sorted"}):
+            return True
+        if isinstance(iterable, ast.Name):
+            for node in ast.walk(self.func):
+                if isinstance(node, ast.Assign):
+                    for target in node.targets:
+                        if (
+                            isinstance(target, ast.Name)
+                            and target.id == iterable.id
+                            and _contains_call(node.value, {"sorted"})
+                        ):
+                            return True
+        return False
+
+    def on_write(self, call: ast.Call, held: Set[LockToken], guarded: bool) -> None:
+        if not call.args:
+            return
+        cell = _self_attr(call.args[0])
+        if cell is None:
+            return
+        attr, _index = cell
+        policy = self.linter.policies.get(attr)
+        if policy is None or policy.atomic or policy.guard is None:
+            return
+        if not guarded and policy.lease_guarded:
+            self.linter.report(
+                "SAN102",
+                call.lineno,
+                f"plain Write to lease-guarded self.{attr} "
+                f"(use GuardedWrite(..., self.{policy.guard}[...]))",
+            )
+            return
+        if guarded and len(call.args) >= 3:
+            lock = self.lock_token(call.args[2])
+            if lock is not None and lock[0] != policy.guard:
+                self.linter.report(
+                    "SAN101",
+                    call.lineno,
+                    f"GuardedWrite to self.{attr} names self.{lock[0]} "
+                    f"but the declared guard is self.{policy.guard}",
+                )
+                return
+        if not any(token[0] == policy.guard for token in held):
+            self.linter.report(
+                "SAN101",
+                call.lineno,
+                f"write to self.{attr} on a path where no self.{policy.guard} "
+                f"lock is held",
+            )
+
+    def lock_token(self, node: ast.expr) -> Optional[LockToken]:
+        return _self_attr(node)
+
+    # -- raw mutation ------------------------------------------------------
+
+    def check_raw_mutation(self, stmt: ast.stmt) -> None:
+        targets = stmt.targets if isinstance(stmt, ast.Assign) else [stmt.target]
+        for target in targets:
+            if not (isinstance(target, ast.Attribute) and target.attr == "value"):
+                continue
+            base = _self_attr(target.value)
+            if base is None:
+                continue
+            if base[0] in self.linter.policies:
+                self.linter.report(
+                    "SAN104",
+                    stmt.lineno,
+                    f"raw mutation of self.{base[0]}.value outside a syscall",
+                )
+
+
+class Linter:
+    """Lint one file's annotated classes."""
+
+    def __init__(self, path: Path, report_into: LintReport) -> None:
+        self.path = path
+        self.rel = str(path)
+        self.out = report_into
+        self.policies: Dict[str, StaticPolicy] = {}
+        source = path.read_text()
+        self.tree = ast.parse(source, filename=str(path))
+        self.suppressions: Dict[int, Tuple[str, str]] = {}
+        for lineno, line in enumerate(source.splitlines(), start=1):
+            match = _SUPPRESS_RE.search(line)
+            if match:
+                self.suppressions[lineno] = (match.group(1), match.group(2).strip())
+
+    def run(self) -> None:
+        self.out.files_checked += 1
+        for node in self.tree.body:
+            if isinstance(node, ast.ClassDef):
+                spec = _extract_spec(node)
+                self.policies = spec or {}
+                if spec is not None:
+                    self.out.classes_checked += 1
+                for item in node.body:
+                    if isinstance(item, ast.FunctionDef):
+                        _FunctionScan(self, item).run()
+            elif isinstance(node, ast.FunctionDef):
+                self.policies = {}
+                _FunctionScan(self, node).run()
+
+    def report(self, rule: str, line: int, message: str) -> None:
+        for candidate in (line, line - 1):
+            entry = self.suppressions.get(candidate)
+            if entry is not None and entry[0] == rule:
+                self.out.suppressed.append(Suppressed(self.rel, line, rule, entry[1]))
+                return
+        self.out.violations.append(Violation(self.rel, line, rule, message))
+
+
+def default_paths() -> List[Path]:
+    """The lint's home turf: ``src/repro/concurrent/*.py``."""
+    root = Path(__file__).resolve().parents[1] / "concurrent"
+    return sorted(root.glob("*.py"))
+
+
+def lint_paths(paths: Optional[Sequence] = None) -> LintReport:
+    """Lint the given files (default: the concurrent package)."""
+    report = LintReport()
+    for path in [Path(p) for p in paths] if paths else default_paths():
+        if path.is_dir():
+            for sub in sorted(path.glob("*.py")):
+                Linter(sub, report).run()
+        else:
+            Linter(path, report).run()
+    return report

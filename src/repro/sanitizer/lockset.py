@@ -1,0 +1,129 @@
+"""Eraser-style lockset analysis over the event stream.
+
+The lockset discipline is stricter than happens-before: a cell is
+suspect as soon as *no single lock* is held consistently across all the
+accesses that touch it, even if this run's interleaving happened to
+order them (fork edges, barrier edges, lucky timing).  That makes the
+analyzer noisier than :mod:`repro.sanitizer.hb` but immune to
+interleaving luck — and its warnings a **superset** of the HB races
+(two accesses unordered by happens-before cannot both hold a common
+lock: the lock's release→acquire edge would order them; lease
+revocation also creates that edge, see the HB module).
+
+State machine per cell (Eraser, with one refinement):
+
+* ``virgin`` → first access → ``exclusive`` (single thread; written-ness
+  remembered);
+* ``exclusive`` → access by a second thread → ``shared-modified`` if a
+  write is involved **on either side** (classic Eraser forgets the
+  exclusive phase's writes and downgrades write-then-foreign-read to
+  read-shared, which would lose write→read races and break the superset
+  property) — otherwise ``shared``;
+* ``shared`` → any write → ``shared-modified``.
+
+The candidate lockset is intersected on *every* access from the very
+first (prefill happens outside the engine, so there is no init phase to
+forgive).  A warning fires when the state reaches ``shared-modified``
+with an empty candidate set.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, FrozenSet, List, Optional, Set
+
+from repro.sanitizer.events import Event
+from repro.sim.primitives import SimLock
+
+VIRGIN = "virgin"
+EXCLUSIVE = "exclusive"
+SHARED = "shared"
+SHARED_MODIFIED = "shared-modified"
+
+
+@dataclass(frozen=True)
+class LocksetWarning:
+    """A cell whose accesses share no common lock while written by
+    multiple threads (candidate set drained to empty)."""
+
+    cell: object
+    #: Site of the most recent write when the warning fired.
+    write_site: Optional[str]
+    #: Site of the access that drained the candidate set.
+    access_site: Optional[str]
+    tids: FrozenSet[int]
+    seq: int
+    time: float
+
+
+@dataclass
+class _CellState:
+    state: str = VIRGIN
+    owner: Optional[int] = None
+    written: bool = False
+    candidates: Optional[Set[SimLock]] = None  # None = not yet initialized
+    tids: Set[int] = field(default_factory=set)
+    last_write_site: Optional[str] = None
+    warned: bool = False
+
+
+class LocksetAnalyzer:
+    """Replay an event log through the Eraser state machine."""
+
+    def __init__(self) -> None:
+        self._held: Dict[int, List[SimLock]] = {}
+        self._cells: Dict[int, _CellState] = {}
+        self.warnings: List[LocksetWarning] = []
+
+    def process(self, events) -> List[LocksetWarning]:
+        """Run the analyzer over an iterable of events; returns warnings."""
+        for ev in events:
+            if ev.kind == "acquire":
+                self._held.setdefault(ev.tid, []).append(ev.obj)
+            elif ev.kind in ("release", "revoke"):
+                held = self._held.get(ev.tid)
+                if held is not None and ev.obj in held:
+                    held.remove(ev.obj)
+            elif ev.is_access:
+                if ev.kind == "guarded_write" and not ev.is_write:
+                    continue  # failed guarded write: touches nothing
+                self._access(ev, is_write=ev.is_write or ev.kind == "cas")
+        return self.warnings
+
+    def _access(self, ev: Event, is_write: bool) -> None:
+        state = self._cells.setdefault(id(ev.obj), _CellState())
+        held = set(self._held.get(ev.tid, ()))
+        state.tids.add(ev.tid)
+        if state.candidates is None:
+            state.candidates = held
+        else:
+            state.candidates &= held
+        if is_write:
+            state.last_write_site = ev.site
+
+        if state.state == VIRGIN:
+            state.state = EXCLUSIVE
+            state.owner = ev.tid
+            state.written = is_write
+        elif state.state == EXCLUSIVE:
+            if ev.tid == state.owner:
+                state.written = state.written or is_write
+            elif state.written or is_write:
+                state.state = SHARED_MODIFIED
+            else:
+                state.state = SHARED
+        elif state.state == SHARED and is_write:
+            state.state = SHARED_MODIFIED
+
+        if state.state == SHARED_MODIFIED and not state.candidates and not state.warned:
+            state.warned = True
+            self.warnings.append(
+                LocksetWarning(
+                    cell=ev.obj,
+                    write_site=state.last_write_site,
+                    access_site=ev.site,
+                    tids=frozenset(state.tids),
+                    seq=ev.seq,
+                    time=ev.time,
+                )
+            )

@@ -1,0 +1,126 @@
+"""Canned sanitized scenarios for ``repro sanitize``, CI, and tests.
+
+:func:`run_sanitized` builds an engine with a :class:`Sanitizer`
+attached, runs a MultiQueue workload (optionally under the chaos
+engine's fault plan, with lock leases and revocation in play), and
+returns the :class:`~repro.sanitizer.detector.SanitizerReport`.
+
+Variants:
+
+* ``lock-better`` / ``lock-both`` — the real MultiQueue locking
+  disciplines; both must come out race-free.
+* ``broken-nolock`` — :class:`NoLockMultiQueue`, a deliberately broken
+  mutant whose inserts publish the top cell with a plain ``Write`` and
+  **no lock**.  Two threads hitting the same queue is a true write-write
+  race the happens-before detector must flag (and the discipline pass
+  reports as ``unguarded-write`` even on interleavings where no race
+  materializes).  It exists to prove the sanitizer can see; it is not
+  exported outside this module's scenarios.
+"""
+
+from __future__ import annotations
+
+from typing import Generator, Optional
+
+import numpy as np
+
+from repro.concurrent import ConcurrentMultiQueue
+from repro.sanitizer.detector import Sanitizer, SanitizerReport
+from repro.sim.engine import Engine
+from repro.sim.faults import CrashStop, FaultInjector, FaultPlan, LockHolderStall
+from repro.sim.syscalls import Delay, Write
+from repro.sim.workload import AlternatingWorkload
+
+VARIANTS = ("lock-better", "lock-both", "broken-nolock")
+SCENARIOS = ("workload", "chaos")
+
+
+class NoLockMultiQueue(ConcurrentMultiQueue):
+    """Mutant MultiQueue that publishes tops without taking the lock.
+
+    Inherits the (correct) deletion path; only ``insert_op`` is broken,
+    which is enough: unlocked insert-publishes race both with each other
+    and with the locked deleters' ``GuardedWrite`` publishes.
+    """
+
+    def insert_op(self, tid: int, priority: int) -> Generator:
+        cost = self.engine.cost
+        eid = self._new_eid(priority)
+        yield Delay(cost.rng_draw)
+        q = int(self._rng.integers(self.n_queues))
+        heap = self._heaps[q]
+        heap.push(priority, eid)
+        if self._recorder is not None:
+            self._recorder.record_insert(self.engine.now, eid)
+        yield Delay(cost.pq_op_cost(len(heap)))
+        # BROKEN ON PURPOSE: no TryAcquire around the publish.
+        yield Write(self._tops[q], heap.peek().priority)
+        return eid
+
+
+def run_sanitized(
+    scenario: str = "workload",
+    variant: str = "lock-better",
+    seed: int = 1,
+    n_threads: int = 4,
+    ops_per_thread: int = 100,
+    n_queues: int = 4,
+    prefill: int = 500,
+    lease: Optional[float] = None,
+    progress_budget: Optional[float] = 5e6,
+) -> SanitizerReport:
+    """Run one scenario under race detection; returns the report.
+
+    ``scenario='chaos'`` adds a crash-stop and a targeted lock-holder
+    stall (fixed fault seed) and defaults lock leases on, so revocation
+    paths are exercised under detection.
+    """
+    if scenario not in SCENARIOS:
+        raise ValueError(f"scenario must be one of {SCENARIOS}, got {scenario!r}")
+    if variant not in VARIANTS:
+        raise ValueError(f"variant must be one of {VARIANTS}, got {variant!r}")
+
+    chaos = scenario == "chaos"
+    if chaos and lease is None:
+        lease = 50_000.0
+
+    engine = Engine(progress_budget=progress_budget)
+    sanitizer = Sanitizer.attach(engine)
+    model_cls = NoLockMultiQueue if variant == "broken-nolock" else ConcurrentMultiQueue
+    model = model_cls(
+        engine,
+        n_queues,
+        rng=seed,
+        delete_locking="both" if variant == "lock-both" else "better",
+        lock_lease=lease,
+    )
+    model.prefill(np.random.default_rng(seed).integers(2**40, size=prefill))
+    AlternatingWorkload(model, n_threads, ops_per_thread, rng=seed + 1).spawn_on(engine)
+
+    if chaos:
+        horizon = 600.0 * n_threads * ops_per_thread
+        plan = FaultPlan(
+            [
+                CrashStop(at=0.25 * horizon, thread="worker-0"),
+                LockHolderStall(at=0.5 * horizon, duration=2 * (lease or 50_000.0)),
+            ],
+            rng=seed,
+        )
+        FaultInjector(plan).attach(engine)
+
+    engine.run()
+    return sanitizer.report(model, seed=seed)
+
+
+def run_sweep(
+    scenario: str = "workload",
+    variant: str = "lock-better",
+    seeds: int = 10,
+    **kwargs,
+) -> list:
+    """Run ``seeds`` independent sanitized runs (seeds 1..N); returns the
+    reports in seed order."""
+    return [
+        run_sanitized(scenario=scenario, variant=variant, seed=s, **kwargs)
+        for s in range(1, seeds + 1)
+    ]

@@ -22,6 +22,15 @@ Robustness hooks (used by :mod:`~repro.sim.faults` and chaos tests):
   ``lease`` lets the engine revoke a stalled holder when another thread
   requests the lock; revoked holders observe the loss via ``Release``
   (result ``False``), ``Holding``, or ``GuardedWrite``.
+
+Observability hook (used by :mod:`repro.sanitizer`): an attached
+:attr:`Engine.monitor` receives a typed event for every shared-memory
+access, lock transition, fork, and finish, in linearization order —
+see :meth:`Engine._notify` for the event vocabulary.  Lock history is
+*complete*: every grant is eventually paired with exactly one
+``release`` (normal release, or :meth:`Engine.kill` with
+``release_locks=True``) or ``revoke`` (lease revocation) event, so
+detectors can replay who held what, when, without gaps.
 """
 
 from __future__ import annotations
@@ -155,6 +164,12 @@ class Engine:
         self._last_progress = 0.0
         #: Optional fault injector (see :mod:`repro.sim.faults`).
         self.faults = None
+        #: Optional event monitor (see :mod:`repro.sanitizer`): an object
+        #: with ``record(kind, tid, time, obj, site, info)``, called for
+        #: every memory access, lock transition, fork, and finish.
+        self.monitor = None
+        #: Thread currently being resumed (parent attribution for forks).
+        self._current_tid: Optional[int] = None
 
     # -- thread management ------------------------------------------------
 
@@ -168,6 +183,8 @@ class Engine:
             tid=tid, name=name or f"thread-{tid}", spawned_at=self.now
         )
         self._schedule(self.now if start_time is None else start_time, tid, None)
+        if self.monitor is not None:
+            self._notify("fork", tid, None, parent=self._current_tid)
         return tid
 
     @property
@@ -212,16 +229,20 @@ class Engine:
             except ValueError:
                 pass
         if release_locks:
-            for lock in self._holding.pop(tid, []):
+            for lock in list(self._holding.get(tid, ())):
                 lock.revoked.discard(tid)
+                self._ungrant(lock, tid)
                 if lock.held_by == tid:
                     self._pass_on_release(lock)
+            self._holding.pop(tid, None)
         else:
             # Dead-held locks stay attributed to the crashed thread so
             # deadlock reports and auditors can name the culprit; lease
             # revocation (if enabled) reclaims them on demand.
             for lock in self._holding.get(tid, []):
                 lock.revoked.discard(tid)
+        if self.monitor is not None:
+            self._notify("finish", tid, None, crashed=True)
 
     # -- main loop -----------------------------------------------------------
 
@@ -378,10 +399,44 @@ class Engine:
     def _note_progress(self) -> None:
         self._last_progress = self.now
 
+    # -- observability -----------------------------------------------------
+
+    def _notify(self, kind: str, tid: int, obj: Any, **info: Any) -> None:
+        """Report one event to the attached :attr:`monitor`.
+
+        Event kinds: ``fork`` (info: ``parent``), ``finish`` (info:
+        ``crashed``), ``read``, ``write``, ``cas`` (info: ``ok``),
+        ``guarded_write`` (info: ``ok``, ``lock``), ``acquire``,
+        ``release``, ``revoke`` (lease revocation — the holder-side end
+        of the grant, emitted with the *stale holder's* tid),
+        ``release_lost`` (a revoked holder's no-op ``Release``),
+        ``barrier_arrive`` and ``barrier_release`` (info: ``waiters``).
+        """
+        mon = self.monitor
+        if mon is not None:
+            mon.record(kind, tid, self.now, obj, self._site(tid), info)
+
+    def _site(self, tid: int) -> Optional[str]:
+        """Source location (``file.py:line (func)``) of ``tid``'s current
+        suspension point, following delegated ``yield from`` chains."""
+        gen = self._threads.get(tid)
+        while gen is not None:
+            sub = getattr(gen, "gi_yieldfrom", None)
+            if sub is None or not hasattr(sub, "gi_frame"):
+                break
+            gen = sub
+        frame = getattr(gen, "gi_frame", None) if gen is not None else None
+        if frame is None:
+            return None
+        code = frame.f_code
+        base = code.co_filename.replace("\\", "/").rsplit("/", 1)[-1]
+        return f"{base}:{frame.f_lineno} ({code.co_name})"
+
     def _resume(self, tid: int, value: Any) -> None:
         gen = self._threads[tid]
         stats = self.stats[tid]
         stats.resumes += 1
+        self._current_tid = tid
         try:
             syscall = gen.send(value)
         except StopIteration as stop:
@@ -389,7 +444,11 @@ class Engine:
             stats.result = stop.value
             del self._threads[tid]
             self._note_progress()
+            if self.monitor is not None:
+                self._notify("finish", tid, None, crashed=False)
             return
+        finally:
+            self._current_tid = None
         self._handle(tid, syscall)
 
     def _line_access(self, obj, tid: int, base_cost: float) -> float:
@@ -424,14 +483,21 @@ class Engine:
         lock.acquisitions += 1
         self._holding.setdefault(tid, []).append(lock)
         self._note_progress()
+        if self.monitor is not None:
+            self._notify("acquire", tid, lock)
 
-    def _ungrant(self, lock: SimLock, tid: int) -> None:
+    def _ungrant(self, lock: SimLock, tid: int, kind: str = "release") -> None:
+        """Drop ``lock`` from ``tid``'s held set, reporting how the grant
+        ended (``release`` for normal/kill releases, ``revoke`` for lease
+        revocation) so every grant is paired with exactly one end event."""
         held = self._holding.get(tid)
         if held is not None:
             try:
                 held.remove(lock)
             except ValueError:
                 pass
+        if self.monitor is not None:
+            self._notify(kind, tid, lock)
 
     def _lease_expired(self, lock: SimLock) -> bool:
         return (
@@ -451,7 +517,7 @@ class Engine:
         stale = lock.held_by
         lock.revoked.add(stale)
         lock.revocations += 1
-        self._ungrant(lock, stale)
+        self._ungrant(lock, stale, kind="revoke")
         lock.held_by = None
         if lock.waiters:
             waiter = lock.waiters.popleft()
@@ -482,10 +548,14 @@ class Engine:
             self._schedule(now, tid, None)
         elif isinstance(syscall, Read):
             cell = syscall.cell
+            if self.monitor is not None:
+                self._notify("read", tid, cell)
             finish = self._line_access(cell, tid, cost.read)
             self._schedule(finish, tid, cell.value)
         elif isinstance(syscall, Write):
             cell = syscall.cell
+            if self.monitor is not None:
+                self._notify("write", tid, cell)
             finish = self._line_access(cell, tid, cost.write)
             cell.value = syscall.value
             self._schedule(finish, tid, None)
@@ -493,6 +563,8 @@ class Engine:
             cell = syscall.cell
             finish = self._line_access(cell, tid, cost.write)
             held = syscall.lock.held_by == tid
+            if self.monitor is not None:
+                self._notify("guarded_write", tid, cell, ok=held, lock=syscall.lock)
             if held:
                 cell.value = syscall.value
             self._schedule(finish, tid, held)
@@ -500,6 +572,8 @@ class Engine:
             cell = syscall.cell
             finish = self._line_access(cell, tid, cost.cas)
             success = cell.value == syscall.expected
+            if self.monitor is not None:
+                self._notify("cas", tid, cell, ok=success)
             if success:
                 cell.value = syscall.new
                 self._note_progress()
@@ -538,10 +612,16 @@ class Engine:
                 raise TypeError(f"BarrierWait target is not a SimBarrier: {barrier!r}")
             barrier.waiting.append(tid)
             self._parked[tid] = barrier
+            if self.monitor is not None:
+                self._notify("barrier_arrive", tid, barrier)
             if len(barrier.waiting) == barrier.parties:
                 # Last arriver releases the generation; everyone pays the
                 # releasing store's transfer, the releaser a bit less.
                 release_time = now + cost.handoff + cost.cache_transfer
+                if self.monitor is not None:
+                    self._notify(
+                        "barrier_release", tid, barrier, waiters=list(barrier.waiting)
+                    )
                 for index, waiter in enumerate(barrier.waiting):
                     del self._parked[waiter]
                     self._schedule(release_time, waiter, index)
@@ -554,6 +634,8 @@ class Engine:
                 # The lease already took this lock away; releasing is a
                 # benign no-op and reports the loss to the caller.
                 lock.revoked.discard(tid)
+                if self.monitor is not None:
+                    self._notify("release_lost", tid, lock)
                 self._schedule(now + cost.lock_release, tid, False)
             elif lock.held_by != tid:
                 raise RuntimeError(

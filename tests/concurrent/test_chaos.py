@@ -123,14 +123,16 @@ class TestGracefulDegradation:
         # 8 failures back off base*(1+2+4+8+16+32+64+64) minimum.
         assert eng.now - start_heap_time >= base * (2**7 - 1)
 
-    def test_lease_recovers_from_crashed_holder(self):
+    def test_lease_recovers_from_crashed_holder(self, sanitized):
         """With leases, elements behind a crashed holder's lock become
-        reachable again and the audit stays clean."""
+        reachable again, the audit stays clean, and the run is race-free
+        under the sanitizer (revocation is a proper release edge)."""
         rec = OpRecorder()
         eng = Engine()
         model = ConcurrentMultiQueue(
             eng, 2, rng=SEED, recorder=rec, lock_lease=10_000.0
         )
+        sanitized(eng, model, seed=SEED)
         model.prefill([5, 6, 7, 8])
 
         def squatter():

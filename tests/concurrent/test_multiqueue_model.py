@@ -91,10 +91,11 @@ class TestSingleThreadOps:
 
 
 class TestConcurrentBehaviour:
-    def test_no_lost_elements_under_contention(self):
+    def test_no_lost_elements_under_contention(self, sanitized):
         eng = Engine()
         rec = OpRecorder()
         model = ConcurrentMultiQueue(eng, 4, rng=7, recorder=rec)
+        sanitized(eng, model, seed=7)  # race-detect the whole run
         model.prefill(np.arange(100))
         AlternatingWorkload(model, 6, 80, rng=8).spawn_on(eng)
         eng.run()
@@ -114,9 +115,10 @@ class TestConcurrentBehaviour:
         trace = rec.rank_trace()
         assert trace.mean_rank() < 3 * n_queues
 
-    def test_lock_failure_ratio_bounded(self):
+    def test_lock_failure_ratio_bounded(self, sanitized):
         eng = Engine()
         model = ConcurrentMultiQueue(eng, 16, rng=11)
+        sanitized(eng, model, seed=11)  # race-detect the whole run
         model.prefill(range(1000))
         AlternatingWorkload(model, 8, 100, rng=12).spawn_on(eng)
         eng.run()

@@ -8,3 +8,26 @@ import pytest
 def rng():
     """A deterministic generator for tests that need randomness."""
     return np.random.default_rng(12345)
+
+
+@pytest.fixture
+def sanitized():
+    """Race-detect engines under test: ``sanitized(engine, *models)``.
+
+    Call it right after building the engine and models; at teardown the
+    fixture replays every registered engine's event stream through the
+    happens-before detector and fails the test on any unsuppressed race
+    or discipline violation (see ``repro.sanitizer``).
+    """
+    from repro.sanitizer import Sanitizer
+
+    registered = []
+
+    def attach(engine, *models, seed=None):
+        sanitizer = Sanitizer.attach(engine)
+        registered.append((sanitizer, models, seed))
+        return sanitizer
+
+    yield attach
+    for sanitizer, models, seed in registered:
+        sanitizer.report(*models, seed=seed).raise_if_failed()

@@ -1,0 +1,194 @@
+"""Engine event-stream tests: completeness of the lock history.
+
+Satellite of the sanitizer PR: every lock grant must be paired with
+exactly one ``release`` or ``revoke`` event — including the paths that
+used to be silent (``Engine.kill(release_locks=True)``, lease
+revocation of a crashed holder) — so detectors can replay who held
+what, when, without gaps.
+"""
+
+import pytest
+
+from repro.sanitizer import EventLog
+from repro.sim.engine import Engine
+from repro.sim.primitives import SimCell, SimLock
+from repro.sim.syscalls import Acquire, Delay, Read, Release, TryAcquire, Write
+
+
+def _grant_balance(log):
+    """acquires minus (releases + revokes), per lock object."""
+    balance = {}
+    for ev in log:
+        if ev.kind == "acquire":
+            balance[id(ev.obj)] = balance.get(id(ev.obj), 0) + 1
+        elif ev.kind in ("release", "revoke"):
+            balance[id(ev.obj)] = balance.get(id(ev.obj), 0) - 1
+    return balance
+
+
+class TestAccessEvents:
+    def test_reads_writes_and_sites_are_recorded(self):
+        eng = Engine()
+        log = EventLog.attach(eng)
+        cell = SimCell(0, name="c")
+
+        def body():
+            yield Write(cell, 7)
+            value = yield Read(cell)
+            return value
+
+        eng.spawn(body())
+        eng.run()
+        kinds = [ev.kind for ev in log]
+        assert kinds == ["fork", "write", "read", "finish"]
+        write = log.events[1]
+        assert write.is_write and write.obj is cell
+        assert write.site is not None and "test_events.py" in write.site
+
+    def test_fork_carries_parent_and_finish_crash_flag(self):
+        eng = Engine()
+        log = EventLog.attach(eng)
+
+        def child():
+            yield Delay(10)
+
+        def parent():
+            eng.spawn(child(), name="child")
+            yield Delay(5)
+
+        eng.spawn(parent(), name="parent")
+        eng.run()
+        forks = [ev for ev in log if ev.kind == "fork"]
+        assert forks[0].info["parent"] is None  # spawned from outside
+        assert forks[1].info["parent"] == forks[0].tid
+        finishes = [ev for ev in log if ev.kind == "finish"]
+        assert all(ev.info["crashed"] is False for ev in finishes)
+
+
+class TestLockHistoryCompleteness:
+    def test_normal_acquire_release_balances(self):
+        eng = Engine()
+        log = EventLog.attach(eng)
+        lock = SimLock(name="l")
+
+        def body():
+            yield Acquire(lock)
+            yield Delay(10)
+            yield Release(lock)
+
+        eng.spawn(body())
+        eng.run()
+        assert _grant_balance(log) == {id(lock): 0}
+
+    def test_kill_with_release_locks_emits_release_events(self):
+        """The satellite fix: a graceful crash releases its locks
+        *visibly* — detector and auditor see a consistent history."""
+        eng = Engine()
+        log = EventLog.attach(eng)
+        lock = SimLock(name="l")
+
+        def holder():
+            yield Acquire(lock)
+            yield Delay(1_000_000)
+
+        tid = eng.spawn(holder())
+        eng.run(until=100)
+        eng.kill(tid, release_locks=True)
+        assert _grant_balance(log) == {id(lock): 0}
+        assert [ev.kind for ev in log if ev.kind in ("release", "revoke")] == ["release"]
+        # the engine's own bookkeeping agrees (InvariantAuditor's source)
+        assert eng.locks_held_by(tid) == []
+        assert lock.held_by is None
+        finish = [ev for ev in log if ev.kind == "finish"][-1]
+        assert finish.info["crashed"] is True
+
+    def test_kill_release_hands_lock_to_waiter(self):
+        eng = Engine()
+        log = EventLog.attach(eng)
+        lock = SimLock(name="l")
+        got = []
+
+        def holder():
+            yield Acquire(lock)
+            yield Delay(1_000_000)
+
+        def waiter():
+            yield Acquire(lock)
+            got.append(True)
+            yield Release(lock)
+
+        tid = eng.spawn(holder())
+        eng.spawn(waiter())
+        eng.run(until=100)
+        eng.kill(tid, release_locks=True)
+        eng.run()
+        assert got == [True]
+        assert _grant_balance(log) == {id(lock): 0}
+
+    def test_lease_revocation_emits_revoke_for_stale_holder(self):
+        eng = Engine()
+        log = EventLog.attach(eng)
+        lock = SimLock(name="l", lease=100.0)
+
+        def stale():
+            yield Acquire(lock)
+            yield Delay(10_000)  # outlive the lease
+            ok = yield Release(lock)
+            return ok
+
+        def thief():
+            yield Delay(500)
+            ok = yield TryAcquire(lock)
+            assert ok
+            yield Release(lock)
+
+        stale_tid = eng.spawn(stale())
+        eng.spawn(thief())
+        eng.run()
+        assert eng.stats[stale_tid].result is False  # observed the loss
+        revokes = [ev for ev in log if ev.kind == "revoke"]
+        assert len(revokes) == 1 and revokes[0].tid == stale_tid
+        assert any(ev.kind == "release_lost" for ev in log)
+        assert _grant_balance(log) == {id(lock): 0}
+
+    def test_dead_holder_revocation_still_pairs_the_grant(self):
+        """Crash without release -> dead-held; a lease later revokes it.
+        The grant history stays complete: acquire .. revoke."""
+        eng = Engine()
+        log = EventLog.attach(eng)
+        lock = SimLock(name="l", lease=100.0)
+
+        def holder():
+            yield Acquire(lock)
+            yield Delay(1_000_000)
+
+        def thief():
+            yield Delay(500)
+            ok = yield TryAcquire(lock)
+            assert ok
+            yield Release(lock)
+
+        tid = eng.spawn(holder())
+        eng.spawn(thief())
+        eng.run(until=50)
+        eng.kill(tid, release_locks=False)  # dead-held
+        eng.run()
+        assert _grant_balance(log) == {id(lock): 0}
+        revokes = [ev for ev in log if ev.kind == "revoke"]
+        assert len(revokes) == 1 and revokes[0].tid == tid
+        assert revokes[0].site is None  # the thread is already gone
+
+    def test_monitor_off_has_zero_bookkeeping(self):
+        """No monitor attached -> behavior identical, nothing recorded."""
+        eng = Engine()
+        lock = SimLock(name="l")
+        cell = SimCell(0)
+
+        def body():
+            yield Acquire(lock)
+            yield Write(cell, 1)
+            yield Release(lock)
+
+        eng.spawn(body())
+        eng.run()
+        assert eng.monitor is None and cell.value == 1

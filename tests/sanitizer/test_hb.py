@@ -1,0 +1,199 @@
+"""Unit tests for the happens-before detector (synthetic engine runs)."""
+
+from repro.sanitizer import EventLog, HBDetector
+from repro.sim.engine import Engine
+from repro.sim.primitives import SimBarrier, SimCell, SimLock
+from repro.sim.syscalls import (
+    Acquire,
+    BarrierWait,
+    Delay,
+    GuardedWrite,
+    Read,
+    Release,
+    TryAcquire,
+    Write,
+)
+
+
+def _races(builder):
+    """Run ``builder(engine, log)`` (spawns threads), return HB races."""
+    eng = Engine()
+    log = EventLog.attach(eng)
+    builder(eng)
+    eng.run()
+    return HBDetector().process(log)
+
+
+class TestRacyPatterns:
+    def test_unlocked_write_write_is_a_race(self):
+        cell = SimCell(0, name="c")
+
+        def writer(value):
+            yield Delay(1)
+            yield Write(cell, value)
+
+        def build(eng):
+            eng.spawn(writer(1))
+            eng.spawn(writer(2))
+
+        races = _races(build)
+        assert len(races) == 1
+        assert races[0].kind == "write-write"
+        assert races[0].cell is cell
+        assert races[0].prior.tid != races[0].current.tid
+
+    def test_unlocked_write_read_is_a_race(self):
+        cell = SimCell(0, name="c")
+
+        def writer():
+            yield Write(cell, 1)
+
+        def reader():
+            yield Delay(50)
+            yield Read(cell)
+
+        races = _races(lambda eng: (eng.spawn(writer()), eng.spawn(reader())))
+        assert [r.kind for r in races] == ["write-read"]
+
+    def test_read_then_unordered_write_is_a_race(self):
+        cell = SimCell(0, name="c")
+
+        def reader():
+            yield Read(cell)
+
+        def writer():
+            yield Delay(50)
+            yield Write(cell, 1)
+
+        races = _races(lambda eng: (eng.spawn(reader()), eng.spawn(writer())))
+        assert [r.kind for r in races] == ["read-write"]
+
+    def test_race_report_carries_both_sites_and_locks(self):
+        cell = SimCell(0, name="c")
+        lock = SimLock(name="l")
+
+        def locked_writer():
+            yield Acquire(lock)
+            yield Write(cell, 1)
+            yield Release(lock)
+
+        def bare_writer():
+            yield Delay(200)
+            yield Write(cell, 2)
+
+        races = _races(lambda eng: (eng.spawn(locked_writer()), eng.spawn(bare_writer())))
+        assert len(races) == 1
+        race = races[0]
+        assert lock in race.prior.locks  # the locked side held it
+        assert race.current.locks == frozenset()  # the bare side held nothing
+        assert "test_hb.py" in race.prior.site and "test_hb.py" in race.current.site
+
+
+class TestOrderingEdges:
+    def test_common_lock_orders_accesses(self):
+        cell = SimCell(0, name="c")
+        lock = SimLock(name="l")
+
+        def writer(value):
+            yield Acquire(lock)
+            yield Write(cell, value)
+            yield Release(lock)
+
+        races = _races(lambda eng: (eng.spawn(writer(1)), eng.spawn(writer(2))))
+        assert races == []
+
+    def test_try_lock_orders_accesses(self):
+        cell = SimCell(0, name="c")
+        lock = SimLock(name="l")
+
+        def writer(value):
+            while True:
+                ok = yield TryAcquire(lock)
+                if ok:
+                    break
+                yield Delay(10)
+            yield Write(cell, value)
+            yield Release(lock)
+
+        races = _races(lambda eng: (eng.spawn(writer(1)), eng.spawn(writer(2))))
+        assert races == []
+
+    def test_fork_edge_orders_parent_prefix(self):
+        cell = SimCell(0, name="c")
+
+        def build(eng):
+            def parent():
+                yield Write(cell, 1)
+
+                def child():
+                    yield Write(cell, 2)
+
+                eng.spawn(child())
+
+            eng.spawn(parent())
+
+        assert _races(build) == []
+
+    def test_barrier_orders_across_phases(self):
+        cell = SimCell(0, name="c")
+        barrier = SimBarrier(2)
+
+        def first():
+            yield Write(cell, 1)
+            yield BarrierWait(barrier)
+
+        def second():
+            yield BarrierWait(barrier)
+            yield Write(cell, 2)
+
+        races = _races(lambda eng: (eng.spawn(first()), eng.spawn(second())))
+        assert races == []
+
+    def test_revocation_is_a_release_edge(self):
+        """The stale holder's pre-revocation write happens-before the
+        thief's post-acquire accesses — revocation must not produce a
+        false race (nor hide one: the stale holder's *failed* guarded
+        write after revocation touches nothing)."""
+        cell = SimCell(0, name="c")
+        lock = SimLock(name="l", lease=100.0)
+
+        def stale():
+            yield Acquire(lock)
+            yield GuardedWrite(cell, 1, lock)  # held: lands
+            yield Delay(10_000)
+            yield GuardedWrite(cell, 99, lock)  # revoked: fails, no access
+            yield Release(lock)
+
+        def thief():
+            yield Delay(500)
+            ok = yield TryAcquire(lock)
+            assert ok
+            yield Read(cell)
+            yield GuardedWrite(cell, 2, lock)
+            yield Release(lock)
+
+        races = _races(lambda eng: (eng.spawn(stale()), eng.spawn(thief())))
+        assert races == []
+        assert cell.value == 2  # the failed guarded write never landed
+
+    def test_failed_guarded_write_is_not_an_access(self):
+        cell = SimCell(0, name="c")
+        lock = SimLock(name="l", lease=100.0)
+
+        def stale():
+            yield Acquire(lock)
+            yield Delay(10_000)
+            yield GuardedWrite(cell, 99, lock)  # revoked by then
+            yield Release(lock)
+
+        def thief():
+            yield Delay(500)
+            ok = yield TryAcquire(lock)
+            assert ok
+            yield Release(lock)
+            # unlocked write AFTER the stale holder's failed guarded
+            # write: must not race, because the failed write is no access
+            yield Write(cell, 3)
+
+        races = _races(lambda eng: (eng.spawn(stale()), eng.spawn(thief())))
+        assert races == []

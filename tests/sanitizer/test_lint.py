@@ -1,0 +1,215 @@
+"""Tests for the static syscall-discipline lint (``repro lint``)."""
+
+import textwrap
+
+import pytest
+
+from repro.sanitizer.lint import RULES, default_paths, lint_paths
+
+HEADER = """\
+from repro.sanitizer.annotations import atomic_cell, guarded_by, shared_state
+from repro.sim.syscalls import Acquire, GuardedWrite, Read, Release, TryAcquire, Write
+"""
+
+
+def _lint_source(tmp_path, body):
+    path = tmp_path / "probe.py"
+    path.write_text(HEADER + textwrap.dedent(body))
+    return lint_paths([path])
+
+
+def _rules(report):
+    return [v.rule for v in report.violations]
+
+
+class TestRepoIsClean:
+    def test_concurrent_package_lints_clean(self):
+        report = lint_paths()
+        assert report.ok, report.describe()
+        assert report.classes_checked >= 4  # all four annotated structures
+
+    def test_suppressions_are_counted_not_silent(self):
+        """Exactly the two prefill sites are suppressed, both SAN104,
+        both with a reason."""
+        report = lint_paths()
+        assert len(report.suppressed) == 2
+        assert all(s.rule == "SAN104" for s in report.suppressed)
+        assert all(s.reason for s in report.suppressed)
+        text = report.describe()
+        assert "2 suppression(s)" in text
+
+    def test_default_paths_cover_the_concurrent_package(self):
+        names = {p.name for p in default_paths()}
+        assert {"multiqueue.py", "spraylist.py", "klsm.py", "linden_jonsson.py"} <= names
+
+
+class TestRulesFire:
+    def test_san101_unguarded_write(self, tmp_path):
+        report = _lint_source(
+            tmp_path,
+            """
+            @shared_state(cells={"_cells": guarded_by("_locks")})
+            class P:
+                def f(self):
+                    yield Write(self._cells[0], 1)
+            """,
+        )
+        assert _rules(report) == ["SAN101"]
+
+    def test_san101_wrong_guard_named(self, tmp_path):
+        report = _lint_source(
+            tmp_path,
+            """
+            @shared_state(cells={"_cells": guarded_by("_locks")})
+            class P:
+                def f(self):
+                    yield Acquire(self._other[0])
+                    yield GuardedWrite(self._cells[0], 1, self._other[0])
+                    yield Release(self._other[0])
+            """,
+        )
+        assert _rules(report) == ["SAN101"]
+
+    def test_san102_plain_write_to_lease_guarded_cell(self, tmp_path):
+        report = _lint_source(
+            tmp_path,
+            """
+            @shared_state(cells={"_tops": guarded_by("_locks", lease_guarded=True)})
+            class P:
+                def f(self):
+                    yield Acquire(self._locks[0])
+                    yield Write(self._tops[0], 1)
+                    yield Release(self._locks[0])
+            """,
+        )
+        assert _rules(report) == ["SAN102"]
+
+    def test_san103_unordered_blocking_acquires(self, tmp_path):
+        report = _lint_source(
+            tmp_path,
+            """
+            class P:
+                def f(self, i, j):
+                    yield Acquire(self._locks[i])
+                    yield Acquire(self._locks[j])
+            """,
+        )
+        assert _rules(report) == ["SAN103"]
+
+    def test_san103_loop_without_sorted_evidence(self, tmp_path):
+        report = _lint_source(
+            tmp_path,
+            """
+            class P:
+                def f(self, queues):
+                    for q in queues:
+                        yield Acquire(self._locks[q])
+            """,
+        )
+        assert _rules(report) == ["SAN103"]
+
+    def test_san104_raw_mutation(self, tmp_path):
+        report = _lint_source(
+            tmp_path,
+            """
+            @shared_state(cells={"_tops": guarded_by("_locks")})
+            class P:
+                def f(self):
+                    self._tops[0].value = 1
+            """,
+        )
+        assert _rules(report) == ["SAN104"]
+        assert "SAN104" in RULES
+
+
+class TestDisciplineAccepted:
+    def test_try_lock_idiom_is_clean(self, tmp_path):
+        report = _lint_source(
+            tmp_path,
+            """
+            @shared_state(cells={"_tops": guarded_by("_locks", lease_guarded=True)})
+            class P:
+                def f(self, q):
+                    while True:
+                        ok = yield TryAcquire(self._locks[q])
+                        if ok:
+                            break
+                    yield GuardedWrite(self._tops[q], 1, self._locks[q])
+                    yield Release(self._locks[q])
+            """,
+        )
+        assert report.ok, report.describe()
+
+    def test_sorted_loop_acquire_is_clean(self, tmp_path):
+        report = _lint_source(
+            tmp_path,
+            """
+            class P:
+                def f(self, queues):
+                    indices = sorted(set(queues))
+                    for q in indices:
+                        yield Acquire(self._locks[q])
+                    for q in reversed(indices):
+                        yield Release(self._locks[q])
+            """,
+        )
+        assert report.ok, report.describe()
+
+    def test_min_max_ordering_evidence_is_accepted(self, tmp_path):
+        report = _lint_source(
+            tmp_path,
+            """
+            class P:
+                def f(self, i, j):
+                    first, second = min(i, j), max(i, j)
+                    yield Acquire(self._locks[first])
+                    yield Acquire(self._locks[second])
+                    yield Release(self._locks[second])
+                    yield Release(self._locks[first])
+            """,
+        )
+        assert report.ok, report.describe()
+
+    def test_atomic_cells_are_exempt(self, tmp_path):
+        report = _lint_source(
+            tmp_path,
+            """
+            @shared_state(cells={"_regions": atomic_cell()})
+            class P:
+                def f(self):
+                    yield Write(self._regions[0], 1)
+            """,
+        )
+        assert report.ok, report.describe()
+
+
+class TestSuppression:
+    def test_suppression_on_the_line_above(self, tmp_path):
+        report = _lint_source(
+            tmp_path,
+            """
+            @shared_state(cells={"_tops": guarded_by("_locks")})
+            class P:
+                def f(self):
+                    # sanitizer: allow(SAN104) probe fixture
+                    self._tops[0].value = 1
+            """,
+        )
+        assert report.ok
+        assert len(report.suppressed) == 1
+        assert report.suppressed[0].rule == "SAN104"
+        assert report.suppressed[0].reason == "probe fixture"
+
+    def test_suppression_for_the_wrong_rule_does_not_apply(self, tmp_path):
+        report = _lint_source(
+            tmp_path,
+            """
+            @shared_state(cells={"_tops": guarded_by("_locks")})
+            class P:
+                def f(self):
+                    # sanitizer: allow(SAN101) wrong rule
+                    self._tops[0].value = 1
+            """,
+        )
+        assert _rules(report) == ["SAN104"]
+        assert report.suppressed == []

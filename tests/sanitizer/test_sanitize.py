@@ -1,0 +1,125 @@
+"""End-to-end sanitizer tests over the real MultiQueue scenarios.
+
+Satellite 3 of the sanitizer PR: a seeded known-race fixture the
+happens-before detector must flag, a negative sweep that must stay
+race-free, and the superset property tying the two analyses together.
+"""
+
+import numpy as np
+import pytest
+
+from repro.concurrent.multiqueue import ConcurrentMultiQueue
+from repro.sanitizer import Sanitizer
+from repro.sanitizer.scenarios import NoLockMultiQueue, run_sanitized, run_sweep
+from repro.sim.engine import Engine
+from repro.sim.syscalls import Delay, Write
+
+SMALL = dict(n_threads=3, ops_per_thread=40, n_queues=4, prefill=200)
+
+
+def _prefill(model, n, seed=0):
+    model.prefill(np.random.default_rng(seed).integers(2**40, size=n))
+
+
+class TestKnownRaceFixture:
+    def test_two_unlocked_top_writers_are_flagged(self):
+        """The canonical seeded race: two threads write the same top
+        cell without taking its lock — happens-before must flag it."""
+        eng = Engine()
+        sanitizer = Sanitizer.attach(eng)
+        model = ConcurrentMultiQueue(eng, n_queues=2, rng=42)
+        _prefill(model, 50)
+        cell = model._tops[0]
+
+        def bare_writer(value):
+            yield Delay(value)
+            yield Write(cell, value)
+
+        eng.spawn(bare_writer(1), name="racer-a")
+        eng.spawn(bare_writer(2), name="racer-b")
+        eng.run()
+        report = sanitizer.report(model, seed=42)
+        assert not report.ok
+        races = report.unsuppressed_races
+        assert any(r.race.cell is cell and r.race.kind == "write-write" for r in races)
+        with pytest.raises(AssertionError):
+            report.raise_if_failed()
+
+    def test_broken_nolock_variant_is_flagged(self):
+        report = run_sanitized(variant="broken-nolock", seed=3, **SMALL)
+        assert not report.ok
+        assert report.unsuppressed_races
+        assert report.discipline  # unguarded writes to a guarded cell
+        # the exposing seed is carried in the report
+        assert report.seed == 3
+
+    def test_report_names_the_cell_and_both_sites(self):
+        report = run_sanitized(variant="broken-nolock", seed=3, **SMALL)
+        finding = report.unsuppressed_races[0]
+        text = finding.describe()
+        assert "NoLockMultiQueue._tops[" in text
+        assert "scenarios.py" in text or "multiqueue.py" in text
+
+
+class TestNegativeSweep:
+    @pytest.mark.parametrize("variant", ["lock-better", "lock-both"])
+    def test_workload_is_race_free_across_seeds(self, variant):
+        reports = run_sweep(scenario="workload", variant=variant, seeds=10, **SMALL)
+        assert len(reports) == 10
+        for report in reports:
+            assert report.ok, report.describe()
+
+    def test_chaos_with_revocation_is_race_free(self):
+        """Faults + lease revocation must not manufacture false races."""
+        for report in run_sweep(scenario="chaos", variant="lock-better", seeds=5, **SMALL):
+            assert report.ok, report.describe()
+            assert report.n_events > 0
+
+
+class TestSupersetProperty:
+    @pytest.mark.parametrize("variant", ["lock-better", "broken-nolock"])
+    def test_lockset_warnings_cover_hb_races(self, variant):
+        """Every cell with a confirmed HB race must also carry a lockset
+        warning: lockset is the conservative over-approximation."""
+        for seed in (1, 2, 3):
+            report = run_sanitized(variant=variant, seed=seed, **SMALL)
+            hb_cells = {id(f.race.cell) for f in report.races}
+            lockset_cells = {id(f.warning.cell) for f in report.lockset}
+            assert hb_cells <= lockset_cells, (
+                f"seed {seed}: HB race cells not covered by lockset warnings"
+            )
+
+
+class TestFixture:
+    def test_sanitized_fixture_passes_clean_runs(self, sanitized):
+        eng = Engine()
+        model = ConcurrentMultiQueue(eng, n_queues=4, rng=7)
+        _prefill(model, 100)
+        sanitized(eng, model, seed=7)
+
+        def worker(k):
+            for _ in range(20):
+                yield from model.delete_min_op(f"w{k}")
+
+        for k in range(3):
+            eng.spawn(worker(k), name=f"w{k}")
+        eng.run()
+        # teardown runs the report; race-free is asserted there
+
+    def test_sanitized_fixture_catches_the_broken_variant(self):
+        """Drive the fixture protocol by hand so the failure is
+        observable inside the test rather than at teardown."""
+        eng = Engine()
+        sanitizer = Sanitizer.attach(eng)
+        model = NoLockMultiQueue(eng, n_queues=4, rng=7)
+        _prefill(model, 100)
+
+        def worker(k):
+            for i in range(30):
+                yield from model.insert_op(f"w{k}", k * 100 + i)
+
+        for k in range(3):
+            eng.spawn(worker(k), name=f"w{k}")
+        eng.run()
+        with pytest.raises(AssertionError, match="sanitizer"):
+            sanitizer.report(model, seed=7).raise_if_failed()
