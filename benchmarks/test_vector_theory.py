@@ -1,0 +1,159 @@
+"""Vec-theory: the paper's theorems re-verified with replica-wide sweeps.
+
+The vector engine makes it cheap to run dozens of independent replicas
+per parameter point, so the theory claims get re-checked here with far
+wider seed coverage than the per-seed reference benches:
+
+* **Theorem 1 / Corollary 2** — mean removed rank stays inside the
+  ``n/beta^2`` envelope and scales linearly in ``n`` (32 replicas per
+  point, with across-replica standard deviations).
+* **Theorem 3** — time-averaged ``Gamma/n`` of the exponential-top
+  process is O(1), reported as mean +/- sd across replicas.
+* **Theorem 6** — the single-choice process diverges like
+  ``sqrt(t)`` while two-choice stays flat, measured on across-replica
+  mean divergence curves.
+"""
+
+from _helpers import emit, once
+
+from repro.analysis.stats import loglog_slope
+from repro.analysis.theory import avg_rank_bound
+from repro.bench.tables import format_table
+from repro.core.potential import recommended_alpha
+from repro.vector.exponential import VectorExponentialTopProcess
+from repro.vector.labelled import VectorSequentialProcess, VectorSingleChoiceProcess
+
+REPLICAS = 32
+
+# Thm 1 sweep.
+NS = [32, 64, 128]
+BETAS = [1.0, 0.5]
+PREFILL_FACTOR = 200
+STEPS_FACTOR = 150
+
+# Thm 3 run.
+POTENTIAL_N = 32
+POTENTIAL_STEPS = 6000
+
+# Thm 6 run.
+DIVERGE_N = 16
+DIVERGE_PREFILL = 40_000
+DIVERGE_STEPS = 40_000
+
+
+def _thm1_rows():
+    rows = []
+    for n in NS:
+        for beta in BETAS:
+            prefill = PREFILL_FACTOR * n
+            steps = STEPS_FACTOR * n
+            proc = VectorSequentialProcess(
+                n, prefill + steps, REPLICAS, beta=beta, rng=7 * n + int(10 * beta)
+            )
+            summary = proc.run_steady_state(prefill, steps).summary()
+            bound = avg_rank_bound(n, beta)
+            rows.append(
+                {
+                    "n": n,
+                    "beta": beta,
+                    "mean rank": summary["mean_rank"],
+                    "sd": summary["mean_rank_sd"],
+                    "bound n/beta^2": bound,
+                    "ratio": summary["mean_rank"] / bound,
+                }
+            )
+    return rows
+
+
+def _thm3_row():
+    proc = VectorExponentialTopProcess(POTENTIAL_N, REPLICAS, beta=1.0, rng=3)
+    alpha = recommended_alpha(1.0)
+    series = proc.run_potentials(
+        POTENTIAL_STEPS, alpha, sample_every=max(POTENTIAL_STEPS // 100, 1)
+    )
+    row = {"n": POTENTIAL_N, "beta": 1.0, "alpha": alpha}
+    row.update(series.summary(POTENTIAL_N))
+    return row
+
+
+def _thm6_curves():
+    sample = DIVERGE_STEPS // 10
+    single = VectorSingleChoiceProcess(
+        DIVERGE_N, DIVERGE_PREFILL + DIVERGE_STEPS, REPLICAS, rng=11
+    )
+    run_s = single.divergence_curve(DIVERGE_PREFILL, DIVERGE_STEPS, sample_every=sample)
+    double = VectorSequentialProcess(
+        DIVERGE_N, DIVERGE_PREFILL + DIVERGE_STEPS, REPLICAS, beta=1.0, rng=12
+    )
+    run_d = double.run_steady_state_sampled(
+        DIVERGE_PREFILL, DIVERGE_STEPS, sample_every=sample
+    )
+    return run_s, run_d
+
+
+def _run():
+    thm1 = _thm1_rows()
+    thm3 = _thm3_row()
+    run_s, run_d = _thm6_curves()
+    return thm1, thm3, run_s, run_d
+
+
+def test_vector_theory(benchmark):
+    thm1, thm3, run_s, run_d = once(benchmark, _run)
+
+    beta1 = [r for r in thm1 if r["beta"] == 1.0]
+    slope_n, r2_n = loglog_slope(
+        [r["n"] for r in beta1], [r["mean rank"] for r in beta1]
+    )
+
+    t = run_s.sample_steps
+    single_curve = run_s.max_top_ranks.mean(axis=1)
+    double_curve = run_d.max_top_ranks.mean(axis=1)
+    slope_single, _ = loglog_slope(t, single_curve)
+    slope_double, _ = loglog_slope(t, double_curve)
+
+    sections = [
+        format_table(
+            thm1,
+            title=(
+                f"Theorem 1 (replica-parallel, R={REPLICAS}) — "
+                f"mean rank vs n/beta^2; fitted exponent in n at beta=1: "
+                f"{slope_n:.3f} (R^2={r2_n:.3f})"
+            ),
+        ),
+        format_table(
+            [thm3],
+            title=f"Theorem 3 (replica-parallel) — time-averaged Gamma/n",
+            floatfmt=".4f",
+        ),
+        format_table(
+            [
+                {
+                    "t": int(ti),
+                    "single max top rank": float(s),
+                    "two-choice max top rank": float(d),
+                }
+                for ti, s, d in zip(t, single_curve, double_curve)
+            ],
+            title=(
+                "Theorem 6 (replica-parallel) — across-replica mean divergence; "
+                f"log-log slopes: single {slope_single:.3f} (sqrt law ~0.5), "
+                f"two-choice {slope_double:.3f} (flat)"
+            ),
+        ),
+    ]
+    emit("vector_theory", "\n\n".join(sections))
+
+    # Thm 1: linear in n, inside the envelope.
+    assert 0.85 < slope_n < 1.15
+    assert all(r["ratio"] < 1.5 for r in thm1)
+    # Smaller beta never cheaper at fixed n.
+    for n in NS:
+        sub = {r["beta"]: r["mean rank"] for r in thm1 if r["n"] == n}
+        assert sub[0.5] > sub[1.0]
+    # Thm 3: Gamma/n O(1) with small across-replica spread.
+    assert thm3["mean_gamma_over_n"] < 10.0
+    assert thm3["mean_gamma_over_n_sd"] < thm3["mean_gamma_over_n"]
+    # Thm 6: single-choice follows the sqrt law; two-choice stays flat.
+    assert 0.3 < slope_single < 0.7
+    assert slope_double < 0.15

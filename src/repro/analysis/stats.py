@@ -95,6 +95,33 @@ def bootstrap_ci(
     return point, float(lower), float(upper)
 
 
+def ks_2sample(a: Sequence[float], b: Sequence[float]) -> Tuple[float, float]:
+    """Two-sample Kolmogorov-Smirnov test (asymptotic, no scipy).
+
+    Returns ``(statistic, p_value)`` where the statistic is the max
+    absolute difference between the two empirical CDFs and the p-value
+    uses the Kolmogorov asymptotic series with Stephens' small-sample
+    correction.  On discrete data (rank costs) ties make the test
+    conservative, which is the safe direction for a parity check.
+    """
+    a = np.sort(np.asarray(a, dtype=float))
+    b = np.sort(np.asarray(b, dtype=float))
+    n, m = len(a), len(b)
+    if n == 0 or m == 0:
+        raise ValueError("both samples must be non-empty")
+    pooled = np.concatenate([a, b])
+    cdf_a = np.searchsorted(a, pooled, side="right") / n
+    cdf_b = np.searchsorted(b, pooled, side="right") / m
+    stat = float(np.abs(cdf_a - cdf_b).max())
+    en = math.sqrt(n * m / (n + m))
+    lam = (en + 0.12 + 0.11 / en) * stat
+    if lam <= 0:
+        return stat, 1.0
+    k = np.arange(1, 101)
+    p = 2.0 * float((((-1.0) ** (k - 1)) * np.exp(-2.0 * (lam * k) ** 2)).sum())
+    return stat, float(min(1.0, max(0.0, p)))
+
+
 def linear_fit(x: Sequence[float], y: Sequence[float]) -> Tuple[float, float, float]:
     """Ordinary least squares ``y = a*x + b``.
 

@@ -31,22 +31,49 @@ def run_seeds(fn: Callable[[int], Any], seeds: Sequence[int]) -> List[Any]:
     return [fn(int(seed)) for seed in seeds]
 
 
+def make_reducer(reduce: str) -> Callable[[Sequence[float]], float]:
+    """Resolve a reduction name to a function over per-seed samples.
+
+    Accepts ``"mean"``, ``"median"``, or a percentile spec ``"pNN"`` /
+    ``"pNN.N"`` (e.g. ``"p95"``, ``"p99.9"``).
+    """
+    if reduce == "mean":
+        return lambda s: float(np.mean(s))
+    if reduce == "median":
+        return lambda s: float(np.median(s))
+    if reduce.startswith("p"):
+        try:
+            q = float(reduce[1:])
+        except ValueError:
+            raise ValueError(f"unknown reduce {reduce!r}") from None
+        if not 0 <= q <= 100:
+            raise ValueError(f"percentile out of range in reduce {reduce!r}")
+        return lambda s: float(np.percentile(s, q))
+    raise ValueError(f"unknown reduce {reduce!r}")
+
+
 def sweep(
     fn: Callable[..., Dict],
     param_name: str,
     values: Iterable,
     seeds: Sequence[int],
     reduce: str = "mean",
+    with_sd: bool = False,
     **fixed,
 ) -> List[Dict]:
-    """Sweep one parameter, averaging numeric outputs across seeds.
+    """Sweep one parameter, reducing numeric outputs across seeds.
 
     ``fn(param_name=value, seed=seed, **fixed)`` must return a dict of
     numbers (non-numeric values are taken from the first seed's run).
     Returns one row per parameter value with the parameter included.
+
+    ``reduce`` may be ``"mean"``, ``"median"``, or a percentile such as
+    ``"p95"``.  With ``with_sd=True`` each numeric column ``key`` gains a
+    companion ``key_sd`` column holding the per-seed sample standard
+    deviation (ddof=1; 0.0 for a single seed), so sweep tables carry
+    their own error bars.
     """
-    if reduce not in ("mean", "median"):
-        raise ValueError(f"unknown reduce {reduce!r}")
+    reducer = make_reducer(reduce)
     rows: List[Dict] = []
     for value in values:
         outputs = [fn(**{param_name: value, "seed": int(s)}, **fixed) for s in seeds]
@@ -54,8 +81,10 @@ def sweep(
         for key in outputs[0]:
             samples = [out[key] for out in outputs]
             if all(isinstance(s, (int, float, np.integer, np.floating)) for s in samples):
-                agg = np.mean(samples) if reduce == "mean" else np.median(samples)
-                row[key] = float(agg)
+                row[key] = reducer(samples)
+                if with_sd:
+                    sd = float(np.std(samples, ddof=1)) if len(samples) > 1 else 0.0
+                    row[f"{key}_sd"] = sd
             else:
                 row[key] = samples[0]
         rows.append(row)

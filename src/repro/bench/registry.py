@@ -125,6 +125,16 @@ _SPECS: List[ExperimentSpec] = [
         "graceful degradation under injected faults; invariants hold",
         "test_chaos_robustness.py",
     ),
+    ExperimentSpec(
+        "vec-backend", "infrastructure",
+        "vector backend >= 10x reference throughput, identical rank law",
+        "test_vector_backend.py",
+    ),
+    ExperimentSpec(
+        "vec-theory", "Thm 1/3/6 (replica-parallel)",
+        "theory claims re-verified across wide replica sweeps",
+        "test_vector_theory.py",
+    ),
 ]
 
 

@@ -9,6 +9,7 @@ Usage (after ``pip install -e .``)::
     python -m repro divergence --n 16 --steps 40000
     python -m repro potential --n 16 --beta 1.0 --steps 20000
     python -m repro graph-choice --n 36
+    python -m repro sweep --backend both --replicas 64 --steps 20000
 
 Every subcommand prints a paper-style table and, where a curve is the
 point, an ASCII chart.  All experiments accept ``--seed`` for exact
@@ -91,6 +92,31 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--n", type=int, default=36)
     p.add_argument("--prefill", type=int, default=10000)
     p.add_argument("--steps", type=int, default=10000)
+    _add_seed(p)
+
+    p = sub.add_parser(
+        "sweep",
+        help="replica sweep of the (1+beta) process: reference vs vector backend",
+    )
+    p.add_argument(
+        "--backend",
+        choices=["reference", "vector", "both"],
+        default="vector",
+        help="'both' times the backends head to head and KS-tests parity",
+    )
+    p.add_argument("--n", type=int, default=256, help="number of queues")
+    p.add_argument("--betas", type=float, nargs="+", default=[1.0])
+    p.add_argument("--gamma", type=float, default=0.0, help="insertion bias bound")
+    p.add_argument("--replicas", type=int, default=64)
+    p.add_argument("--prefill", type=int, default=16384)
+    p.add_argument("--steps", type=int, default=20000)
+    p.add_argument(
+        "--ref-replicas",
+        type=int,
+        default=None,
+        help="reference-side replicas when timing 'both' (default min(replicas, 8))",
+    )
+    p.add_argument("--json", type=str, default=None, help="write rows as JSON here")
     _add_seed(p)
 
     p = sub.add_parser(
@@ -392,6 +418,79 @@ def cmd_graph_choice(args) -> None:
     print(format_table(rows, title=f"Section 6 graph choice process, n={args.n}"))
 
 
+def cmd_sweep(args) -> None:
+    import json
+
+    from repro.core.policies import biased_insert_probs
+    from repro.vector.sweep import (
+        compare_backends,
+        run_reference_backend,
+        run_vector_backend,
+    )
+
+    pi = biased_insert_probs(args.n, args.gamma) if args.gamma else None
+    rows = []
+    payload = []
+    for beta in args.betas:
+        if args.backend == "both":
+            result = compare_backends(
+                args.n,
+                beta,
+                args.prefill,
+                args.steps,
+                args.replicas,
+                seed=args.seed,
+                insert_probs=pi,
+                ref_replicas=args.ref_replicas,
+            )
+            payload.append(result)
+            for side in ("reference", "vector"):
+                rows.append(dict(result[side]))
+            rows[-1]["speedup"] = round(result["speedup"], 2)
+            rows[-1]["ks_p"] = round(result["ks_p_value"], 4)
+            if not result["parity_ok"]:
+                print(
+                    f"WARNING: rank-law KS test failed at beta={beta} "
+                    f"(p={result['ks_p_value']:.2e})",
+                    file=sys.stderr,
+                )
+        else:
+            runner = (
+                run_vector_backend
+                if args.backend == "vector"
+                else run_reference_backend
+            )
+            run = runner(
+                args.n,
+                beta,
+                args.prefill,
+                args.steps,
+                args.replicas,
+                seed=args.seed,
+                insert_probs=pi,
+            )
+            row = run.row()
+            payload.append(row)
+            rows.append(row)
+    title = (
+        f"replica sweep: n={args.n}, replicas={args.replicas}, "
+        f"prefill={args.prefill}, steps={args.steps}"
+    )
+    columns = list(rows[0].keys())
+    for extra in ("speedup", "ks_p"):
+        if any(extra in r for r in rows) and extra not in columns:
+            columns.append(extra)
+    print(format_table(rows, columns=columns, title=title))
+    if args.backend == "both":
+        failed = [r for r in payload if not r["parity_ok"]]
+        if failed:
+            raise SystemExit(1)
+    if args.json:
+        with open(args.json, "w") as fh:
+            json.dump(payload, fh, indent=2)
+        print(f"\nwrote {args.json}")
+
+
 def cmd_chaos(args) -> None:
     from repro.concurrent import ConcurrentMultiQueue, InvariantAuditor, OpRecorder
     from repro.sim.engine import DeadlockError, Engine, LivelockError
@@ -579,6 +678,7 @@ _COMMANDS = {
     "divergence": cmd_divergence,
     "potential": cmd_potential,
     "graph-choice": cmd_graph_choice,
+    "sweep": cmd_sweep,
     "chaos": cmd_chaos,
     "sanitize": cmd_sanitize,
     "lint": cmd_lint,

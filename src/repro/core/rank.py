@@ -54,7 +54,17 @@ class RankOracle:
         return bool(self._present[label])
 
     def insert(self, label: int) -> None:
-        """Mark ``label`` present."""
+        """Mark ``label`` present.
+
+        Raises :class:`ValueError` when ``label`` falls outside the
+        ``[0, capacity)`` universe — most commonly because a process
+        inserted more labels than it was sized for.
+        """
+        if not 0 <= label < self.capacity:
+            raise ValueError(
+                f"label {label} outside label universe [0, {self.capacity}); "
+                "size the oracle's capacity to the total number of inserts"
+            )
         if self._present[label]:
             raise ValueError(f"label {label} already present")
         self._present[label] = 1

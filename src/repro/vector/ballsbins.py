@@ -1,0 +1,72 @@
+"""Batched Appendix A reduction: round-robin removals as balls-into-bins.
+
+The reference module :mod:`repro.core.round_robin` proves the reduction
+one replica at a time; here the *same* explicit choice stream drives
+``R`` round-robin replicas (through the vector engine) and ``R``
+two-choice balls-into-bins allocations, and the virtual-load matrices
+must agree entry for entry.
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+import numpy as np
+
+from repro.utils.rngtools import SeedLike, as_generator
+from repro.vector.chooser import ArrayChoiceSource
+from repro.vector.labelled import VectorRoundRobinProcess
+
+
+def batched_two_choice_loads(
+    n_bins: int, i: np.ndarray, j: np.ndarray
+) -> np.ndarray:
+    """Two-choice balls-into-bins over ``R`` replicas with given choices.
+
+    ``i``/``j`` are ``(steps, R)`` bin indices; each step drops one ball
+    per replica into the less-loaded of the two, ties broken by
+    ``(load, index)`` as in
+    :func:`repro.core.round_robin.coupled_virtual_loads`.  Returns the
+    final ``(R, n_bins)`` loads.
+    """
+    steps, replicas = i.shape
+    rows = np.arange(replicas)
+    loads = np.zeros((replicas, n_bins), dtype=np.int64)
+    for t in range(steps):
+        it, jt = i[t], j[t]
+        li = loads[rows, it]
+        lj = loads[rows, jt]
+        pick = np.where((li < lj) | ((li == lj) & (it <= jt)), it, jt)
+        loads[rows, pick] += 1
+    return loads
+
+
+def coupled_virtual_loads_vector(
+    n_queues: int,
+    prefill: int,
+    removals: int,
+    replicas: int,
+    seed: SeedLike = None,
+) -> Tuple[np.ndarray, np.ndarray]:
+    """Drive the App. A reduction over ``R`` replicas at once.
+
+    Returns ``(round_robin_removal_counts, two_choice_loads)``, both
+    ``(R, n_queues)``; the reduction predicts equality entry for entry
+    (round-robin tops order exactly as ``(removals, index)`` pairs).
+    ``prefill`` must be generous enough that no queue empties — the
+    explicit choice stream cannot service redraws.
+    """
+    if removals > prefill:
+        raise ValueError(f"cannot remove {removals} of {prefill} labels")
+    rng = as_generator(seed)
+    i = rng.integers(n_queues, size=(removals, replicas))
+    j = rng.integers(n_queues, size=(removals, replicas))
+    two = np.ones((removals, replicas), dtype=bool)
+
+    source = ArrayChoiceSource(two=two, i=i, j=j)
+    proc = VectorRoundRobinProcess(
+        n_queues, prefill, replicas, beta=1.0, source=source
+    )
+    proc.prefill(prefill)
+    proc.run_drain(removals)
+    return proc.removal_counts(), batched_two_choice_loads(n_queues, i, j)

@@ -1,0 +1,325 @@
+"""The replica-batched process engine.
+
+``R`` independent copies of a paper process advance in *lockstep*: one
+step of the batch performs step ``t`` of every replica at once, with all
+per-replica state held in rectangular numpy arrays —
+
+* ``buf``  — ``(R, n, cap)`` ring buffers, one FIFO of labels per
+  (replica, queue).  Labels enter in increasing order (the labelled
+  process inserts consecutive integers; the exponential process inserts
+  global ranks), so each buffer is sorted by construction and its head
+  is the queue's top element.
+* ``head``/``size`` — ``(R, n)`` ring positions and occupancies.
+* a :class:`~repro.vector.index.BatchedRankIndex` holding the
+  present-label sets of all replicas for exact rank-cost accounting.
+
+The (1+beta) removal kernel is fully vectorized: gather the two
+candidate tops of every replica (empty queues read as ``+inf``), pick
+the smaller where the beta-coin came up heads, and redraw only the
+replicas whose chosen queues were all empty — mirroring the reference
+semantics of :meth:`repro.core.process.SequentialProcess.remove`
+decision-for-decision, so that a replica driven by the same RNG stream
+removes the same label at every step.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Optional, Tuple
+
+import numpy as np
+
+from repro.vector.index import BatchedRankIndex
+from repro.vector.records import VectorRunResult
+
+#: Sentinel top for an empty queue — larger than any real label.
+EMPTY = np.iinfo(np.int64).max
+
+#: Removal steps per deferred-rank chunk.  The kernel advances queue
+#: state step by step, but rank costs are reconstructed one chunk at a
+#: time (one batched index query per chunk), which amortizes the
+#: per-call overhead of the rank index across CHUNK_STEPS steps.
+CHUNK_STEPS = 64
+
+
+def _pow2_at_least(x: int) -> int:
+    return 1 << max(4, math.ceil(math.log2(max(1, x))))
+
+
+class VectorProcessBase:
+    """Shared queue state and the batched (1+beta) removal kernel.
+
+    Subclasses add their insertion rule (labelled, round-robin) or their
+    generation phase (exponential).  ``source`` is a choice source from
+    :mod:`repro.vector.chooser`.
+    """
+
+    def __init__(self, n_queues: int, capacity: int, replicas: int, source) -> None:
+        if n_queues <= 0:
+            raise ValueError(f"n_queues must be positive, got {n_queues}")
+        if capacity <= 0:
+            raise ValueError(f"capacity must be positive, got {capacity}")
+        if replicas <= 0:
+            raise ValueError(f"replicas must be positive, got {replicas}")
+        self.n_queues = n_queues
+        self.capacity = capacity
+        self.replicas = replicas
+        self._source = source
+        self._index = BatchedRankIndex(replicas, capacity)
+        self._rows = np.arange(replicas, dtype=np.int64)
+        self._qids = np.arange(n_queues, dtype=np.int64)
+        self._buf: Optional[np.ndarray] = None
+        self._head: Optional[np.ndarray] = None
+        self._size: Optional[np.ndarray] = None
+        #: (R, n) current top label per queue, EMPTY where empty —
+        #: maintained incrementally so the removal kernel compares tops
+        #: with single gathers.
+        self._tops = np.full((replicas, n_queues), EMPTY, dtype=np.int64)
+        self._cap = 0
+        self._capmask = 0
+        #: Upper bound on the current max queue size (grows by one per
+        #: append, re-tightened only when it reaches the ring capacity),
+        #: so the append hot path checks a scalar instead of scanning.
+        self._watermark = 0
+        self._removal_steps = 0
+        #: Per-replica count of removal redraws forced by empty queues.
+        self.empty_redraws = np.zeros(replicas, dtype=np.int64)
+
+    # -- state inspection ------------------------------------------------
+
+    @property
+    def present_count(self) -> int:
+        """Labels currently present (equal across replicas, by lockstep)."""
+        return self._index.present_count
+
+    @property
+    def removal_steps(self) -> int:
+        """Removals performed so far (per replica)."""
+        return self._removal_steps
+
+    def queue_sizes(self) -> np.ndarray:
+        """Current ``(R, n)`` queue occupancies (a copy)."""
+        if self._size is None:
+            return np.zeros((self.replicas, self.n_queues), dtype=np.int64)
+        return self._size.copy()
+
+    def top_labels(self) -> np.ndarray:
+        """``(R, n)`` label on top of each queue (``EMPTY`` where empty)."""
+        return self._tops.copy()
+
+    def top_rank_profile(self) -> Tuple[np.ndarray, np.ndarray]:
+        """Per-replica ``(max, mean)`` rank over all non-empty queue tops.
+
+        The max is the Corollary 1 quantity; both are exact (computed
+        against the current present-label sets).
+        """
+        tops = self._tops
+        counts = self._index.count_leq_grid(np.where(tops == EMPTY, 0, tops))
+        nonempty = self._size > 0 if self._size is not None else np.zeros_like(tops, bool)
+        ranks = np.where(nonempty, counts, 0)
+        occupied = np.maximum(nonempty.sum(axis=1), 1)
+        return ranks.max(axis=1), ranks.sum(axis=1) / occupied
+
+    # -- buffer management ----------------------------------------------
+
+    def _alloc_from_assignment(self, assign: np.ndarray) -> None:
+        """Build the ring buffers from an ``(R, m)`` queue assignment.
+
+        ``assign[r, t]`` is the queue receiving label ``t`` in replica
+        ``r``; labels ``0..m-1`` are laid out in increasing order within
+        each queue (a stable grouping sort per replica).
+        """
+        replicas, m = assign.shape
+        n = self.n_queues
+        counts = np.zeros((replicas, n), dtype=np.int64)
+        np.add.at(counts, (self._rows[:, None], assign), 1)
+        max_size = int(counts.max()) if m else 0
+        cap = _pow2_at_least(max_size + 8 + 4 * math.isqrt(max_size + 1))
+        self._buf = np.zeros((replicas, n, cap), dtype=np.int64)
+        self._head = np.zeros((replicas, n), dtype=np.int64)
+        self._size = counts
+        self._cap = cap
+        self._capmask = cap - 1
+        self._watermark = max_size
+        labels = np.arange(m, dtype=np.int64)
+        queue_range = np.arange(n)
+        for r in range(replicas):
+            order = np.argsort(assign[r], kind="stable")
+            grouped = assign[r][order]
+            starts = np.searchsorted(grouped, queue_range)
+            within = labels - starts[grouped]
+            self._buf[r, grouped, within] = order
+        self._tops = np.where(counts > 0, self._buf[:, :, 0], EMPTY)
+
+    def _grow(self) -> None:
+        """Double ring capacity, re-linearizing every queue to head 0."""
+        cap = self._cap
+        idx = (self._head[:, :, None] + np.arange(cap)) & self._capmask
+        linear = np.take_along_axis(self._buf, idx, axis=2)
+        new = np.zeros((self.replicas, self.n_queues, 2 * cap), dtype=np.int64)
+        new[:, :, :cap] = linear
+        self._buf = new
+        self._head.fill(0)
+        self._cap = 2 * cap
+        self._capmask = 2 * cap - 1
+
+    def _append(self, queues: np.ndarray, label: int) -> None:
+        """Append ``label`` to per-replica ``queues`` (one per replica)."""
+        rows = self._rows
+        if self._watermark >= self._cap:
+            actual = int(self._size.max())
+            if actual >= self._cap:
+                self._grow()
+            self._watermark = actual
+        self._watermark += 1
+        sizes = self._size[rows, queues]
+        pos = (self._head[rows, queues] + sizes) & self._capmask
+        self._buf[rows, queues, pos] = label
+        self._size[rows, queues] = sizes + 1
+        # Labels enter in increasing order, so the top changes only when
+        # the queue was empty.
+        tops = self._tops
+        tops[rows, queues] = np.where(sizes == 0, label, tops[rows, queues])
+
+    def _tops_at(self, rows: np.ndarray, queues: np.ndarray) -> np.ndarray:
+        """Top label of ``queues[k]`` in replica ``rows[k]`` (EMPTY if none)."""
+        return self._tops[rows, queues]
+
+    # -- the batched (1+beta) removal kernel -----------------------------
+
+    def _choose_removal_queues(self) -> np.ndarray:
+        """One (1+beta) queue choice per replica, redrawing on empties."""
+        rows = self._rows
+        two, i, j = self._source.removal_draws()
+        ti = self._tops_at(rows, i)
+        tj = self._tops_at(rows, j)
+        better_j = two & (tj < ti)
+        pick = np.where(better_j, j, i)
+        # The chosen queue's top is EMPTY iff both candidates were empty
+        # (or the single candidate was): tj < ti is false when both are
+        # EMPTY, so where(better_j, tj, ti) is the chosen top.
+        empty = np.where(better_j, tj, ti) == EMPTY
+        while empty.any():
+            self.empty_redraws += empty
+            sub = np.nonzero(empty)[0]
+            two_s, i_s, j_s = self._source.removal_redraws(sub)
+            ti_s = self._tops_at(sub, i_s)
+            tj_s = self._tops_at(sub, j_s)
+            better_s = two_s & (tj_s < ti_s)
+            pick[sub] = np.where(better_s, j_s, i_s)
+            still = np.where(better_s, tj_s, ti_s) == EMPTY
+            empty = np.zeros_like(empty)
+            empty[sub] = still
+        return pick
+
+    def _pop_step(self) -> Tuple[np.ndarray, np.ndarray]:
+        """One (1+beta) pop in every replica — queue state only.
+
+        Returns ``(labels, queues)``; the rank index is *not* updated
+        (callers either update it immediately or defer a whole chunk).
+        """
+        rows = self._rows
+        pick = self._choose_removal_queues()
+        heads = self._head[rows, pick]
+        labels = self._buf[rows, pick, heads & self._capmask]
+        sizes = self._size[rows, pick] - 1
+        self._head[rows, pick] = heads + 1
+        self._size[rows, pick] = sizes
+        successor = self._buf[rows, pick, (heads + 1) & self._capmask]
+        self._tops[rows, pick] = np.where(sizes > 0, successor, EMPTY)
+        self._removal_steps += 1
+        return labels, pick
+
+    def _removal_step(self) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """Remove one element in every replica.
+
+        Returns ``(labels, ranks, queues)``, each ``(R,)``.
+        """
+        if self._index.present_count == 0:
+            raise LookupError("remove from empty process")
+        labels, pick = self._pop_step()
+        ranks = self._index.remove_trusted(labels)
+        return labels, ranks, pick
+
+    # -- deferred chunk rank accounting ----------------------------------
+
+    def _tril_mask(self, k: int) -> np.ndarray:
+        """Cached ``(k, k, 1)`` strict-lower-triangle mask (``s < t``)."""
+        cached = getattr(self, "_tril_cache", None)
+        if cached is None or cached.shape[0] < k:
+            self._tril_cache = np.tril(np.ones((k, k), dtype=bool), -1)[:, :, None]
+            cached = self._tril_cache
+        return cached[:k, :k]
+
+    def _flush_chunk(
+        self, removed: np.ndarray, insert_start: int, insert_count: int
+    ) -> np.ndarray:
+        """Exact ranks for one chunk of deferred removals; syncs the index.
+
+        ``removed`` is ``(k, R)`` — the labels popped at the chunk's
+        steps, in order.  During the chunk the index still holds the
+        chunk-*start* present sets, so the rank paid at step ``t`` is
+
+            count_leq(start, x_t)                       (batched query)
+          + #{chunk inserts before step t with label <= x_t}   (closed form:
+              inserts are the consecutive labels insert_start + i, one
+              per step, inserted *before* removal i)
+          - #{chunk removals s < t with x_s < x_t}      (pairwise count)
+
+        which is exactly the rank :class:`~repro.core.rank.RankOracle`
+        would have reported step by step.
+        """
+        k = removed.shape[0]
+        ranks = self._index.count_leq_grid(removed.T).T
+        if insert_count:
+            limit = np.minimum(np.arange(1, k + 1), insert_count)[:, None]
+            ranks += np.clip(removed - insert_start + 1, 0, limit)
+        earlier_smaller = removed[None, :, :] < removed[:, None, :]
+        ranks -= (earlier_smaller & self._tril_mask(k)).sum(axis=1)
+        self._index.apply_chunk(insert_start, insert_count, removed)
+        return ranks
+
+    def _on_remove(self, queues: np.ndarray) -> None:
+        """Hook for subclasses (e.g. round-robin virtual-load counting)."""
+
+    def run_drain(
+        self, removals: int, sample_every: Optional[int] = None
+    ) -> VectorRunResult:
+        """Remove ``removals`` elements per replica; no inserts.
+
+        With ``sample_every`` set, the top-rank profile is snapshotted
+        every that many removals.
+        """
+        if removals < 0:
+            raise ValueError(f"removals must be non-negative, got {removals}")
+        ranks = np.empty((removals, self.replicas), dtype=np.int32)
+        samples = [] if sample_every else None
+        removed = np.empty((CHUNK_STEPS, self.replicas), dtype=np.int64)
+        live = self._index.present_count
+        done = 0
+        while done < removals:
+            k = min(CHUNK_STEPS, removals - done)
+            if sample_every:
+                # Align chunk ends with sample points so the index is
+                # synced when the top-rank profile is taken.
+                k = min(k, sample_every - done % sample_every)
+            if live == 0:
+                raise LookupError("remove from empty process")
+            k = min(k, live)
+            for s in range(k):
+                removed[s], pick = self._pop_step()
+                self._on_remove(pick)
+            live -= k
+            ranks[done : done + k] = self._flush_chunk(removed[:k], 0, 0)
+            done += k
+            if sample_every and done % sample_every == 0:
+                samples.append((done, *self.top_rank_profile()))
+        return self._package(ranks, samples)
+
+    def _package(self, ranks: np.ndarray, samples) -> VectorRunResult:
+        result = VectorRunResult(ranks=ranks, empty_redraws=self.empty_redraws.copy())
+        if samples:
+            result.sample_steps = np.asarray([s[0] for s in samples], dtype=np.int64)
+            result.max_top_ranks = np.stack([s[1] for s in samples])
+            result.mean_top_ranks = np.stack([s[2] for s in samples])
+        return result

@@ -1,0 +1,47 @@
+"""Weight-only statistics over an ``(R, n)`` top-weight matrix.
+
+Batched counterparts of :mod:`repro.core.potential`: every function
+takes the stacked top weights of ``R`` replicas and returns per-replica
+values, computed exactly (no approximation — just the same formulas
+evaluated along axis 1).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+def normalized_deviation(weights: np.ndarray) -> np.ndarray:
+    """``y = w/n - mean(w/n)`` per replica, for ``(R, n)`` weights."""
+    w = np.asarray(weights, dtype=float)
+    if w.ndim != 2 or w.shape[1] == 0:
+        raise ValueError(f"weights must be a non-empty (R, n) array, got {w.shape}")
+    x = w / w.shape[1]
+    return x - x.mean(axis=1, keepdims=True)
+
+
+def batched_potentials(weights: np.ndarray, alpha: float) -> "tuple[np.ndarray, np.ndarray]":
+    """Per-replica ``(Phi, Psi)`` of Theorem 3, each shape ``(R,)``."""
+    y = normalized_deviation(weights)
+    e = np.exp(alpha * y)
+    return e.sum(axis=1), (1.0 / e).sum(axis=1)
+
+
+def batched_gamma(weights: np.ndarray, alpha: float) -> np.ndarray:
+    """Per-replica ``Gamma = Phi + Psi``."""
+    phi, psi = batched_potentials(weights, alpha)
+    return phi + psi
+
+
+def spread(weights: np.ndarray) -> np.ndarray:
+    """Per-replica ``max - min`` top weight (the raw imbalance measure)."""
+    w = np.asarray(weights, dtype=float)
+    if w.ndim != 2 or w.shape[1] == 0:
+        raise ValueError(f"weights must be a non-empty (R, n) array, got {w.shape}")
+    return w.max(axis=1) - w.min(axis=1)
+
+
+def tail_bin_counts(weights: np.ndarray, s: float) -> "tuple[np.ndarray, np.ndarray]":
+    """Per-replica Lemma 5 striping counts ``(b_{>s}, b_{<-s})``."""
+    y = normalized_deviation(weights)
+    return (y > s).sum(axis=1), (y < -s).sum(axis=1)

@@ -1,0 +1,170 @@
+"""Backend-level sweep runners: reference vs vector, timed and compared.
+
+This is the layer the ``repro sweep`` CLI and the vector benchmarks sit
+on.  A *backend run* executes the steady-state (1+beta) experiment —
+prefill, then ``steps`` insert+remove rounds — across ``replicas``
+independent copies, either one reference :class:`SequentialProcess` at a
+time or all at once through :class:`VectorSequentialProcess`, and
+reports identical statistics either way so results are directly
+comparable.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Optional
+
+import numpy as np
+
+from repro.analysis.stats import ks_2sample
+from repro.core.process import SequentialProcess
+from repro.utils.rngtools import SeedLike, spawn_seeds
+from repro.vector.labelled import VectorSequentialProcess
+
+#: Cap on per-side sample size fed to the KS test.  The rank sequence is
+#: autocorrelated over time (queue state mixes slowly), and the KS
+#: p-value assumes i.i.d. samples, so feeding it densely-sampled steps
+#: makes it anti-conservative — two independent runs of the *same* law
+#: then fail.  The sampler thins by steps (replicas at one step are
+#: independent; sampled steps are spaced widely apart) and caps the
+#: total so the spacing stays well above the process mixing time.
+KS_SAMPLE_CAP = 2_000
+
+
+@dataclass
+class BackendRun:
+    """One timed steady-state run of a backend across replicas."""
+
+    backend: str
+    n: int
+    beta: float
+    replicas: int
+    prefill: int
+    steps: int
+    elapsed: float
+    #: ``(steps, replicas)`` rank costs.
+    ranks: np.ndarray = field(repr=False)
+
+    @property
+    def ops_per_sec(self) -> float:
+        """Aggregate throughput: each step is one insert + one remove."""
+        return 2.0 * self.steps * self.replicas / self.elapsed
+
+    def pooled_ranks(self) -> np.ndarray:
+        return self.ranks.reshape(-1)
+
+    def row(self) -> dict:
+        """JSON-safe summary row (what the CLI prints and benches emit)."""
+        means = self.ranks.mean(axis=0)
+        sd = float(means.std(ddof=1)) if self.replicas > 1 else 0.0
+        return {
+            "backend": self.backend,
+            "n": self.n,
+            "beta": self.beta,
+            "replicas": self.replicas,
+            "prefill": self.prefill,
+            "steps": self.steps,
+            "elapsed_s": round(self.elapsed, 4),
+            "ops_per_sec": round(self.ops_per_sec, 1),
+            "mean_rank": float(means.mean()),
+            "mean_rank_sd": sd,
+            "p99_rank": float(np.quantile(self.ranks, 0.99)),
+            "max_rank": int(self.ranks.max()),
+        }
+
+
+def run_reference_backend(
+    n: int,
+    beta: float,
+    prefill: int,
+    steps: int,
+    replicas: int,
+    seed: SeedLike = None,
+    insert_probs: Optional[np.ndarray] = None,
+) -> BackendRun:
+    """Run ``replicas`` independent reference processes, one at a time."""
+    gens = spawn_seeds(seed, replicas)
+    ranks = np.empty((steps, replicas), dtype=np.int32)
+    start = time.perf_counter()
+    for r, gen in enumerate(gens):
+        proc = SequentialProcess(
+            n, prefill + steps, beta=beta, insert_probs=insert_probs, rng=gen
+        )
+        trace = proc.run_steady_state(prefill, steps)
+        ranks[:, r] = trace.ranks
+    elapsed = time.perf_counter() - start
+    return BackendRun("reference", n, beta, replicas, prefill, steps, elapsed, ranks)
+
+
+def run_vector_backend(
+    n: int,
+    beta: float,
+    prefill: int,
+    steps: int,
+    replicas: int,
+    seed: SeedLike = None,
+    insert_probs: Optional[np.ndarray] = None,
+) -> BackendRun:
+    """Run all ``replicas`` copies in lockstep through the vector engine."""
+    proc = VectorSequentialProcess(
+        n, prefill + steps, replicas, beta=beta, insert_probs=insert_probs, rng=seed
+    )
+    start = time.perf_counter()
+    result = proc.run_steady_state(prefill, steps)
+    elapsed = time.perf_counter() - start
+    return BackendRun("vector", n, beta, replicas, prefill, steps, elapsed, result.ranks)
+
+
+def _ks_sample(ranks: np.ndarray, cap: int = KS_SAMPLE_CAP) -> np.ndarray:
+    """Near-independent subsample of a ``(steps, replicas)`` rank array."""
+    steps, replicas = ranks.shape
+    if steps * replicas <= cap:
+        return ranks.reshape(-1)
+    n_steps = max(1, cap // replicas)
+    stride = max(1, steps // n_steps)
+    return ranks[stride - 1 :: stride].reshape(-1)[:cap]
+
+
+def compare_backends(
+    n: int,
+    beta: float,
+    prefill: int,
+    steps: int,
+    replicas: int,
+    seed: SeedLike = 0,
+    insert_probs: Optional[np.ndarray] = None,
+    ref_replicas: Optional[int] = None,
+    ks_alpha: float = 0.001,
+) -> dict:
+    """Time both backends on the same sweep and KS-test their rank laws.
+
+    The reference side may run fewer replicas (``ref_replicas``, default
+    ``min(replicas, 8)``) — its per-op throughput is what the speedup is
+    measured against, and that rate does not depend on how many replicas
+    are run back to back.  Parity is judged on the pooled rank
+    distributions: both backends simulate the same process law, so the
+    KS p-value should be comfortably above ``ks_alpha``.
+    """
+    if ref_replicas is None:
+        ref_replicas = min(replicas, 8)
+    ref = run_reference_backend(
+        n, beta, prefill, steps, ref_replicas, seed=seed, insert_probs=insert_probs
+    )
+    vec = run_vector_backend(
+        n, beta, prefill, steps, replicas, seed=seed, insert_probs=insert_probs
+    )
+    stat, p_value = ks_2sample(_ks_sample(ref.ranks), _ks_sample(vec.ranks))
+    return {
+        "n": n,
+        "beta": beta,
+        "prefill": prefill,
+        "steps": steps,
+        "reference": ref.row(),
+        "vector": vec.row(),
+        "speedup": vec.ops_per_sec / ref.ops_per_sec,
+        "ks_stat": stat,
+        "ks_p_value": p_value,
+        "parity_ok": bool(p_value > ks_alpha),
+        "ks_alpha": ks_alpha,
+    }

@@ -3,7 +3,7 @@
 import numpy as np
 import pytest
 
-from repro.bench.harness import ExperimentResult, run_seeds, sweep
+from repro.bench.harness import ExperimentResult, make_reducer, run_seeds, sweep
 
 
 class TestExperimentResult:
@@ -44,6 +44,33 @@ class TestSweep:
     def test_unknown_reduce(self):
         with pytest.raises(ValueError):
             sweep(lambda n, seed: {}, "n", [1], seeds=[0], reduce="max")
+
+    def test_percentile_reduce(self):
+        def fn(n, seed):
+            return {"value": seed}
+
+        rows = sweep(fn, "n", [1], seeds=list(range(101)), reduce="p95")
+        assert rows[0]["value"] == pytest.approx(95.0)
+
+    def test_percentile_validation(self):
+        with pytest.raises(ValueError):
+            make_reducer("p101")
+        with pytest.raises(ValueError):
+            make_reducer("pxx")
+        assert make_reducer("p50")([1.0, 2.0, 3.0]) == 2.0
+
+    def test_with_sd_adds_companion_columns(self):
+        def fn(n, seed):
+            return {"value": seed, "tag": f"n{n}"}
+
+        rows = sweep(fn, "n", [1], seeds=[0, 2, 4], with_sd=True)
+        assert rows[0]["value"] == pytest.approx(2.0)
+        assert rows[0]["value_sd"] == pytest.approx(2.0)  # sd of 0,2,4 (ddof=1)
+        assert "tag_sd" not in rows[0]  # non-numeric columns get no sd
+
+    def test_with_sd_single_seed_is_zero(self):
+        rows = sweep(lambda n, seed: {"value": seed}, "n", [1], seeds=[3], with_sd=True)
+        assert rows[0]["value_sd"] == 0.0
 
     def test_fixed_kwargs_passed(self):
         def fn(n, seed, offset):

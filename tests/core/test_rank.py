@@ -26,6 +26,21 @@ class TestBasics:
         with pytest.raises(ValueError):
             oracle.insert(1)
 
+    def test_insert_beyond_capacity_raises_value_error(self):
+        # Regression: exceeding the label universe used to surface as an
+        # opaque IndexError from the Fenwick layer; it must be a clear
+        # ValueError naming the capacity.
+        oracle = RankOracle(4)
+        for label in range(4):
+            oracle.insert(label)
+        with pytest.raises(ValueError, match=r"\[0, 4\)"):
+            oracle.insert(4)
+
+    def test_negative_label_rejected(self):
+        oracle = RankOracle(4)
+        with pytest.raises(ValueError, match="outside"):
+            oracle.insert(-1)
+
     def test_rank_of_absent_label_raises(self):
         oracle = RankOracle(4)
         with pytest.raises(KeyError):

@@ -108,6 +108,51 @@ class TestCommands:
         out = capsys.readouterr().out
         assert "cycle" in out and "complete" in out
 
+    def test_sweep_vector_backend(self, capsys):
+        assert (
+            main(
+                [
+                    "sweep", "--backend", "vector", "--n", "8", "--replicas", "4",
+                    "--prefill", "500", "--steps", "500",
+                ]
+            )
+            == 0
+        )
+        out = capsys.readouterr().out
+        assert "replica sweep" in out
+        assert "ops_per_sec" in out
+
+    def test_sweep_both_backends_with_json(self, capsys, tmp_path):
+        path = tmp_path / "sweep.json"
+        assert (
+            main(
+                [
+                    "sweep", "--backend", "both", "--n", "8", "--replicas", "4",
+                    "--prefill", "800", "--steps", "1000", "--json", str(path),
+                ]
+            )
+            == 0
+        )
+        out = capsys.readouterr().out
+        assert "speedup" in out and "ks_p" in out
+        import json
+
+        payload = json.loads(path.read_text())
+        assert payload[0]["parity_ok"]
+        assert payload[0]["vector"]["backend"] == "vector"
+
+    def test_sweep_biased_insertion(self, capsys):
+        assert (
+            main(
+                [
+                    "sweep", "--backend", "reference", "--n", "8", "--gamma", "0.3",
+                    "--replicas", "2", "--prefill", "400", "--steps", "400",
+                ]
+            )
+            == 0
+        )
+        assert "mean_rank" in capsys.readouterr().out
+
     def test_chaos(self, capsys):
         assert main(["chaos", "--steps", "400", "--prefill", "800"]) == 0
         out = capsys.readouterr().out

@@ -1,0 +1,49 @@
+"""Batched Appendix A reduction: exact coupling across replicas."""
+
+import numpy as np
+import pytest
+
+from repro.core.round_robin import coupled_virtual_loads
+from repro.vector.ballsbins import (
+    batched_two_choice_loads,
+    coupled_virtual_loads_vector,
+)
+
+
+class TestBatchedTwoChoice:
+    def test_single_replica_matches_reference_stream(self):
+        # Replaying the reference's exact (i, j) stream must reproduce
+        # its loads (same (load, index) tie-break).
+        n, prefill, removals = 8, 4000, 1000
+        counts, loads = coupled_virtual_loads(n, prefill, removals, seed=3)
+        np.testing.assert_array_equal(counts, loads)
+
+    def test_loads_conserve_balls(self):
+        rng = np.random.default_rng(0)
+        i = rng.integers(6, size=(500, 4))
+        j = rng.integers(6, size=(500, 4))
+        loads = batched_two_choice_loads(6, i, j)
+        assert loads.shape == (4, 6)
+        np.testing.assert_array_equal(loads.sum(axis=1), np.full(4, 500))
+
+    def test_ties_break_toward_smaller_index(self):
+        # One step, equal (zero) loads: the smaller index must win.
+        i = np.array([[3, 1]])
+        j = np.array([[1, 3]])
+        loads = batched_two_choice_loads(4, i, j)
+        np.testing.assert_array_equal(loads[:, 1], [1, 1])
+        np.testing.assert_array_equal(loads[:, 3], [0, 0])
+
+
+class TestCoupledReduction:
+    @pytest.mark.parametrize("seed", [0, 1, 2])
+    def test_removal_counts_equal_virtual_loads(self, seed):
+        counts, loads = coupled_virtual_loads_vector(
+            8, prefill=4000, removals=1000, replicas=6, seed=seed
+        )
+        assert counts.shape == loads.shape == (6, 8)
+        np.testing.assert_array_equal(counts, loads)
+
+    def test_rejects_draining_past_prefill(self):
+        with pytest.raises(ValueError):
+            coupled_virtual_loads_vector(8, prefill=10, removals=11, replicas=2)

@@ -1,0 +1,71 @@
+"""Backend sweep runners: shapes, rows, and the backend comparison."""
+
+import numpy as np
+import pytest
+
+from repro.vector.sweep import (
+    _ks_sample,
+    compare_backends,
+    run_reference_backend,
+    run_vector_backend,
+)
+
+
+class TestBackendRuns:
+    def test_reference_run_shapes_and_row(self):
+        run = run_reference_backend(8, 1.0, 200, 300, 3, seed=0)
+        assert run.ranks.shape == (300, 3)
+        assert run.ops_per_sec > 0
+        row = run.row()
+        assert row["backend"] == "reference"
+        assert row["replicas"] == 3
+        assert row["mean_rank"] > 0
+        assert row["mean_rank_sd"] >= 0
+
+    def test_vector_run_shapes_and_row(self):
+        run = run_vector_backend(8, 1.0, 200, 300, 5, seed=0)
+        assert run.ranks.shape == (300, 5)
+        row = run.row()
+        assert row["backend"] == "vector"
+        assert set(row) >= {"elapsed_s", "ops_per_sec", "p99_rank", "max_rank"}
+
+    def test_single_replica_sd_is_zero(self):
+        run = run_vector_backend(8, 1.0, 200, 300, 1, seed=0)
+        assert run.row()["mean_rank_sd"] == 0.0
+
+
+class TestKsSampling:
+    def test_small_arrays_pass_through(self):
+        ranks = np.arange(12).reshape(4, 3)
+        np.testing.assert_array_equal(_ks_sample(ranks, cap=100), ranks.reshape(-1))
+
+    def test_large_arrays_thinned_by_step(self):
+        ranks = np.arange(10_000 * 4).reshape(10_000, 4)
+        sample = _ks_sample(ranks, cap=200)
+        assert len(sample) <= 200
+        # Samples come from widely spaced steps, all replicas per step.
+        rows_used = np.unique(np.asarray(sample) // 4)
+        assert len(rows_used) >= 40
+
+    def test_thinning_keeps_replica_balance(self):
+        ranks = np.tile(np.array([[10, 20]]), (5000, 1))
+        sample = _ks_sample(ranks, cap=100)
+        assert (sample == 10).sum() == (sample == 20).sum()
+
+
+class TestCompareBackends:
+    def test_small_comparison_is_consistent(self):
+        result = compare_backends(16, 1.0, 800, 1000, 6, seed=0, ref_replicas=2)
+        assert result["reference"]["replicas"] == 2
+        assert result["vector"]["replicas"] == 6
+        assert result["speedup"] > 0
+        assert 0 <= result["ks_p_value"] <= 1
+        assert result["parity_ok"], f"parity failed (p={result['ks_p_value']:.2e})"
+        # Same process law: mean ranks in the same ballpark.
+        assert result["reference"]["mean_rank"] == pytest.approx(
+            result["vector"]["mean_rank"], rel=0.25
+        )
+
+    def test_ref_replicas_defaults_to_min(self):
+        result = compare_backends(8, 1.0, 200, 200, 3, seed=1)
+        assert result["reference"]["replicas"] == 3
