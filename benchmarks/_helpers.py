@@ -8,6 +8,7 @@ output survives pytest's stdout capture.
 
 from __future__ import annotations
 
+import json
 import pathlib
 
 RESULTS_DIR = pathlib.Path(__file__).parent / "results"
@@ -20,6 +21,27 @@ def emit(experiment_id: str, text: str) -> None:
     RESULTS_DIR.mkdir(exist_ok=True)
     path = RESULTS_DIR / f"{experiment_id}.txt"
     path.write_text(text + "\n")
+
+
+def archive_json(name: str, payload) -> pathlib.Path:
+    """Archive a machine-readable payload next to the result tables."""
+    RESULTS_DIR.mkdir(exist_ok=True)
+    path = RESULTS_DIR / f"{name}.json"
+    with open(path, "w") as fh:
+        json.dump(payload, fh, indent=2)
+    return path
+
+
+def archive_manifest(experiment_id: str, manifest) -> pathlib.Path:
+    """Archive an orchestrator run manifest next to the experiment's table.
+
+    ``manifest`` is a :class:`repro.orchestrate.RunManifest`; the JSON
+    lands at ``benchmarks/results/<experiment_id>.manifest.json`` so the
+    grid, cache hits, per-cell wall times, and git SHA of every archived
+    sweep are auditable after the fact.
+    """
+    RESULTS_DIR.mkdir(exist_ok=True)
+    return manifest.write(RESULTS_DIR / f"{experiment_id}.manifest.json")
 
 
 def once(benchmark, fn):

@@ -1,7 +1,13 @@
 """Experiment harness: seed sweeps and paper-style table printing."""
 
 from repro.bench.tables import format_series, format_table
-from repro.bench.harness import ExperimentResult, run_seeds, sweep
+from repro.bench.harness import (
+    ExperimentResult,
+    reduce_outputs,
+    run_seeds,
+    sweep,
+    sweep_cells,
+)
 from repro.bench.registry import (
     ExperimentSpec,
     all_experiments,
@@ -13,8 +19,10 @@ __all__ = [
     "format_table",
     "format_series",
     "ExperimentResult",
+    "reduce_outputs",
     "run_seeds",
     "sweep",
+    "sweep_cells",
     "ExperimentSpec",
     "all_experiments",
     "get_experiment",

@@ -1,11 +1,19 @@
-"""Seed sweeps and parameter sweeps for experiments."""
+"""Seed sweeps and parameter sweeps for experiments.
+
+Execution routes through :mod:`repro.orchestrate`: serial in-process by
+default (what tests exercise), with ``workers=N`` fanning cells out
+across processes and ``cache_dir=...`` making the sweep resumable — a
+killed run recomputes only the cells that never finished.
+"""
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Any, Callable, Dict, Iterable, List, Sequence
+from typing import Any, Callable, Dict, Iterable, List, Optional, Sequence, Union
 
 import numpy as np
+
+from repro.orchestrate import ResultCache, RunManifest, expand_grid, run_cells
 
 
 @dataclass
@@ -17,8 +25,21 @@ class ExperimentResult:
     meta: Dict[str, Any] = field(default_factory=dict)
 
     def column(self, key: str) -> np.ndarray:
-        """Extract one column across rows as an array."""
-        return np.asarray([row[key] for row in self.rows])
+        """Extract one column across rows as an array.
+
+        Raises a :class:`KeyError` naming the offending row when the
+        rows are ragged, instead of an opaque bare-key error.
+        """
+        values = []
+        for i, row in enumerate(self.rows):
+            try:
+                values.append(row[key])
+            except KeyError:
+                raise KeyError(
+                    f"row {i} of ExperimentResult {self.name!r} has no column "
+                    f"{key!r} (row keys: {sorted(row)})"
+                ) from None
+        return np.asarray(values)
 
     def __repr__(self) -> str:
         return f"ExperimentResult({self.name!r}, rows={len(self.rows)})"
@@ -52,6 +73,74 @@ def make_reducer(reduce: str) -> Callable[[Sequence[float]], float]:
     raise ValueError(f"unknown reduce {reduce!r}")
 
 
+def _is_numeric(value: Any) -> bool:
+    """True for values that mean-reduce meaningfully across seeds.
+
+    Booleans are excluded explicitly: ``isinstance(True, int)`` holds in
+    Python, but averaging a flag like ``parity_ok`` into ``0.75`` is
+    silent data corruption, not a statistic.
+    """
+    if isinstance(value, (bool, np.bool_)):
+        return False
+    return isinstance(value, (int, float, np.integer, np.floating))
+
+
+def _is_flag(value: Any) -> bool:
+    return isinstance(value, (bool, np.bool_))
+
+
+def _validate_key_sets(outputs: Sequence[Dict], seeds: Sequence[int]) -> None:
+    """Every seed's output dict must expose the same columns."""
+    expected = set(outputs[0])
+    for out, seed in zip(outputs[1:], seeds[1:]):
+        got = set(out)
+        if got != expected:
+            missing = sorted(expected - got)
+            extra = sorted(got - expected)
+            detail = []
+            if missing:
+                detail.append(f"missing keys {missing}")
+            if extra:
+                detail.append(f"extra keys {extra}")
+            raise ValueError(
+                f"sweep outputs disagree on columns: seed {seed} "
+                f"{' and '.join(detail)} relative to seed {seeds[0]} "
+                f"(expected {sorted(expected)})"
+            )
+
+
+def reduce_outputs(
+    outputs: Sequence[Dict],
+    seeds: Sequence[int],
+    reducer: Callable[[Sequence[float]], float],
+    with_sd: bool = False,
+) -> Dict:
+    """Collapse per-seed output dicts into one row.
+
+    Numeric columns reduce via ``reducer`` (plus a ``_sd`` companion
+    when ``with_sd``); boolean flags reduce via ``all`` — a sweep point
+    only passes if every seed passed — and the per-seed values are kept
+    under ``<key>_seeds`` whenever the seeds disagree; anything else is
+    taken from the first seed's run.
+    """
+    _validate_key_sets(outputs, seeds)
+    row: Dict = {}
+    for key in outputs[0]:
+        samples = [out[key] for out in outputs]
+        if all(_is_numeric(s) for s in samples):
+            row[key] = reducer(samples)
+            if with_sd:
+                sd = float(np.std(samples, ddof=1)) if len(samples) > 1 else 0.0
+                row[f"{key}_sd"] = sd
+        elif all(_is_flag(s) for s in samples):
+            row[key] = all(bool(s) for s in samples)
+            if len(set(bool(s) for s in samples)) > 1:
+                row[f"{key}_seeds"] = [bool(s) for s in samples]
+        else:
+            row[key] = samples[0]
+    return row
+
+
 def sweep(
     fn: Callable[..., Dict],
     param_name: str,
@@ -59,33 +148,73 @@ def sweep(
     seeds: Sequence[int],
     reduce: str = "mean",
     with_sd: bool = False,
+    workers: int = 0,
+    cache_dir: Optional[Union[str, "ResultCache"]] = None,
+    manifest_path: Optional[str] = None,
     **fixed,
 ) -> List[Dict]:
     """Sweep one parameter, reducing numeric outputs across seeds.
 
-    ``fn(param_name=value, seed=seed, **fixed)`` must return a dict of
-    numbers (non-numeric values are taken from the first seed's run).
-    Returns one row per parameter value with the parameter included.
+    ``fn(param_name=value, seed=seed, **fixed)`` must return a dict with
+    the same keys for every seed (a mismatch raises ``ValueError`` naming
+    the seed).  Returns one row per parameter value with the parameter
+    included.
 
     ``reduce`` may be ``"mean"``, ``"median"``, or a percentile such as
     ``"p95"``.  With ``with_sd=True`` each numeric column ``key`` gains a
     companion ``key_sd`` column holding the per-seed sample standard
     deviation (ddof=1; 0.0 for a single seed), so sweep tables carry
-    their own error bars.
+    their own error bars.  Boolean columns are *not* averaged: a flag
+    such as ``parity_ok`` reduces via ``all`` and stays a bool.
+
+    Execution is serial and in-process by default.  ``workers=N`` fans
+    the ``(value, seed)`` cells out across N processes (``fn`` must be a
+    module-level function); ``cache_dir`` persists each completed cell
+    so an interrupted sweep resumes where it stopped; ``manifest_path``
+    archives the run manifest (grid, cache hits, per-cell wall time,
+    git SHA) as JSON.
     """
     reducer = make_reducer(reduce)
+    seeds = [int(s) for s in seeds]
+    run = sweep_cells(
+        fn, param_name, values, seeds,
+        workers=workers, cache_dir=cache_dir, manifest_path=manifest_path,
+        **fixed,
+    )
     rows: List[Dict] = []
-    for value in values:
-        outputs = [fn(**{param_name: value, "seed": int(s)}, **fixed) for s in seeds]
-        row: Dict = {param_name: value}
-        for key in outputs[0]:
-            samples = [out[key] for out in outputs]
-            if all(isinstance(s, (int, float, np.integer, np.floating)) for s in samples):
-                row[key] = reducer(samples)
-                if with_sd:
-                    sd = float(np.std(samples, ddof=1)) if len(samples) > 1 else 0.0
-                    row[f"{key}_sd"] = sd
-            else:
-                row[key] = samples[0]
+    for start in range(0, len(run.results), len(seeds)):
+        chunk = run.results[start : start + len(seeds)]
+        value = chunk[0].cell.params[param_name]
+        row = {param_name: value}
+        row.update(
+            reduce_outputs([r.payload for r in chunk], seeds, reducer, with_sd)
+        )
         rows.append(row)
     return rows
+
+
+def sweep_cells(
+    fn: Callable[..., Dict],
+    param_name: str,
+    values: Iterable,
+    seeds: Sequence[int],
+    workers: int = 0,
+    cache_dir: Optional[Union[str, "ResultCache"]] = None,
+    manifest_path: Optional[str] = None,
+    config: Optional[Dict] = None,
+    **fixed,
+):
+    """Run a sweep grid through the orchestrator without reducing.
+
+    The unreduced sibling of :func:`sweep` — returns the
+    :class:`repro.orchestrate.SweepRun` with one payload per
+    ``(value, seed)`` cell plus the run manifest.
+    """
+    cells = expand_grid(param_name, values, list(seeds), **fixed)
+    cache = None
+    if cache_dir is not None:
+        cache = cache_dir if isinstance(cache_dir, ResultCache) else ResultCache(cache_dir)
+    run = run_cells(fn, cells, workers=workers, cache=cache, config=config)
+    if manifest_path is not None and run.manifest is not None:
+        run.manifest.write(manifest_path)
+    return run

@@ -135,6 +135,11 @@ _SPECS: List[ExperimentSpec] = [
         "theory claims re-verified across wide replica sweeps",
         "test_vector_theory.py",
     ),
+    ExperimentSpec(
+        "orch-scaling", "infrastructure",
+        "orchestrated sweeps: identical rows, resumable cache, multi-core scaling",
+        "test_orchestrate_scaling.py",
+    ),
 ]
 
 

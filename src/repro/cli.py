@@ -117,6 +117,32 @@ def build_parser() -> argparse.ArgumentParser:
         help="reference-side replicas when timing 'both' (default min(replicas, 8))",
     )
     p.add_argument("--json", type=str, default=None, help="write rows as JSON here")
+    p.add_argument(
+        "--seeds",
+        type=int,
+        default=1,
+        help="run root seeds seed..seed+N-1 as independent sweep cells (default 1)",
+    )
+    p.add_argument(
+        "--workers",
+        type=int,
+        default=0,
+        help="fan (beta x seed) cells out across N worker processes (default serial)",
+    )
+    p.add_argument(
+        "--cache-dir",
+        type=str,
+        default=None,
+        help="resumable result cache: completed cells persist here and are "
+        "reused on re-run (crash/Ctrl-C safe)",
+    )
+    p.add_argument(
+        "--manifest",
+        type=str,
+        default=None,
+        help="write the run manifest (grid, cache hits, per-cell wall time, "
+        "git SHA) as JSON here; defaults to <json>.manifest.json when --json is set",
+    )
     _add_seed(p)
 
     p = sub.add_parser(
@@ -421,57 +447,54 @@ def cmd_graph_choice(args) -> None:
 def cmd_sweep(args) -> None:
     import json
 
-    from repro.core.policies import biased_insert_probs
-    from repro.vector.sweep import (
-        compare_backends,
-        run_reference_backend,
-        run_vector_backend,
-    )
+    from repro.bench.harness import sweep_cells
+    from repro.vector.sweep import sweep_cell_backend, sweep_cell_compare
 
-    pi = biased_insert_probs(args.n, args.gamma) if args.gamma else None
+    seeds = list(range(args.seed, args.seed + max(args.seeds, 1)))
+    common = dict(
+        n=args.n,
+        prefill=args.prefill,
+        steps=args.steps,
+        replicas=args.replicas,
+        gamma=args.gamma,
+    )
+    manifest_path = args.manifest
+    if manifest_path is None and args.json:
+        manifest_path = f"{args.json}.manifest.json"
+    if args.backend == "both":
+        fn = sweep_cell_compare
+        common["ref_replicas"] = args.ref_replicas
+    else:
+        fn = sweep_cell_backend
+        common["backend"] = args.backend
+    run = sweep_cells(
+        fn,
+        "beta",
+        args.betas,
+        seeds,
+        workers=args.workers,
+        cache_dir=args.cache_dir,
+        manifest_path=manifest_path,
+        **common,
+    )
     rows = []
     payload = []
-    for beta in args.betas:
+    for cell_result in run.results:
+        result = cell_result.payload
+        payload.append(result)
         if args.backend == "both":
-            result = compare_backends(
-                args.n,
-                beta,
-                args.prefill,
-                args.steps,
-                args.replicas,
-                seed=args.seed,
-                insert_probs=pi,
-                ref_replicas=args.ref_replicas,
-            )
-            payload.append(result)
             for side in ("reference", "vector"):
                 rows.append(dict(result[side]))
             rows[-1]["speedup"] = round(result["speedup"], 2)
             rows[-1]["ks_p"] = round(result["ks_p_value"], 4)
             if not result["parity_ok"]:
                 print(
-                    f"WARNING: rank-law KS test failed at beta={beta} "
+                    f"WARNING: rank-law KS test failed at beta={result['beta']} "
                     f"(p={result['ks_p_value']:.2e})",
                     file=sys.stderr,
                 )
         else:
-            runner = (
-                run_vector_backend
-                if args.backend == "vector"
-                else run_reference_backend
-            )
-            run = runner(
-                args.n,
-                beta,
-                args.prefill,
-                args.steps,
-                args.replicas,
-                seed=args.seed,
-                insert_probs=pi,
-            )
-            row = run.row()
-            payload.append(row)
-            rows.append(row)
+            rows.append(dict(result))
     title = (
         f"replica sweep: n={args.n}, replicas={args.replicas}, "
         f"prefill={args.prefill}, steps={args.steps}"
@@ -481,6 +504,10 @@ def cmd_sweep(args) -> None:
         if any(extra in r for r in rows) and extra not in columns:
             columns.append(extra)
     print(format_table(rows, columns=columns, title=title))
+    if args.workers or args.cache_dir or manifest_path:
+        print(f"\n{run.manifest.describe()}")
+    if manifest_path:
+        print(f"manifest: {manifest_path}")
     if args.backend == "both":
         failed = [r for r in payload if not r["parity_ok"]]
         if failed:

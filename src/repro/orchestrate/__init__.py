@@ -1,0 +1,46 @@
+"""Sweep orchestration: parallel fan-out, resumable result cache, manifests.
+
+The execution layer between experiment functions and the sweep surfaces
+(``repro.bench.harness.sweep``, the ``repro sweep`` CLI, and the
+benchmark suite).  A sweep is expanded into :class:`Cell`\\ s — one
+``(parameter value, seed)`` point each — and :func:`run_cells` executes
+them serially (the default) or across worker processes, consulting a
+content-addressed :class:`ResultCache` so interrupted runs resume from
+the cells already completed.  Every run emits a :class:`RunManifest`
+recording the grid, cache hits/misses, per-cell wall time, worker count,
+and git SHA.
+
+See ``docs/usage.md`` ("Resumable parallel sweeps") for recipes and
+EXPERIMENTS.md for cache-key hygiene when code changes.
+"""
+
+from repro.orchestrate.cache import (
+    VOLATILE_KEYS,
+    ResultCache,
+    cache_key,
+    canonical_json,
+    jsonify,
+    qualname_of,
+    strip_volatile,
+)
+from repro.orchestrate.cells import Cell, expand_grid
+from repro.orchestrate.manifest import RunManifest, git_sha
+from repro.orchestrate.runner import CellError, CellResult, SweepRun, run_cells
+
+__all__ = [
+    "Cell",
+    "CellError",
+    "CellResult",
+    "ResultCache",
+    "RunManifest",
+    "SweepRun",
+    "VOLATILE_KEYS",
+    "cache_key",
+    "strip_volatile",
+    "canonical_json",
+    "expand_grid",
+    "git_sha",
+    "jsonify",
+    "qualname_of",
+    "run_cells",
+]

@@ -1,0 +1,175 @@
+"""Content-addressed on-disk result cache for sweep cells.
+
+Each completed cell is stored as one JSON file whose name is the SHA-256
+of a canonical encoding of ``(function qualname, params, seed, config)``.
+Re-running a sweep after a crash, an interrupt, or a grid extension
+recomputes only the cells whose keys are not on disk.
+
+Canonicalisation notes
+----------------------
+JSON text already distinguishes every case the cache cares about:
+``true`` vs ``1`` vs ``1.0`` are three different encodings, so boolean
+flags, ints, and floats never collide.  Dicts are serialised with sorted
+keys, tuples collapse to lists (a tuple and a list of the same values
+are the same experiment point), and NumPy scalars/arrays are converted
+to their Python equivalents so a key does not depend on which numeric
+backend produced a parameter.
+
+Writes are atomic (temp file + ``os.replace`` in the same directory), so
+a killed run never leaves a half-written entry — a torn file can only be
+a leftover temp file, which is ignored.  Unreadable or corrupt entries
+are treated as misses and recomputed.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import tempfile
+from pathlib import Path
+from typing import Any, Callable, Mapping, Optional, Union
+
+
+def qualname_of(fn: Union[Callable, str]) -> str:
+    """Stable dotted name of the sweep function, for cache keys.
+
+    Accepts a callable (module + qualname) or an already-formatted
+    string.  Lambdas and local closures produce names like
+    ``module.<locals>.<lambda>`` that are *not* unique — they run fine
+    serially, but see EXPERIMENTS.md on cache-key hygiene before caching
+    them.
+    """
+    if isinstance(fn, str):
+        return fn
+    module = getattr(fn, "__module__", "?")
+    qualname = getattr(fn, "__qualname__", getattr(fn, "__name__", repr(fn)))
+    return f"{module}.{qualname}"
+
+
+def jsonify(value: Any) -> Any:
+    """Coerce a payload to JSON-native types, preserving numeric identity.
+
+    NumPy scalars become Python scalars, arrays become nested lists,
+    tuples become lists.  Used both for cache keys and for cell payloads,
+    so a cache *hit* returns byte-identical data to a fresh computation.
+    """
+    if isinstance(value, (bool, int, float, str)) or value is None:
+        return value
+    if isinstance(value, Mapping):
+        return {str(k): jsonify(v) for k, v in value.items()}
+    if isinstance(value, (list, tuple)):
+        return [jsonify(v) for v in value]
+    item = getattr(value, "item", None)
+    if item is not None and getattr(value, "shape", None) == ():
+        return jsonify(item())  # NumPy 0-d scalar
+    tolist = getattr(value, "tolist", None)
+    if tolist is not None:
+        return jsonify(tolist())  # NumPy array
+    raise TypeError(
+        f"cannot canonicalise {type(value).__name__!r} for the result cache; "
+        "sweep functions must return JSON-representable dicts"
+    )
+
+
+#: Payload keys that vary run-to-run even for a deterministic simulation.
+#: Timing is measurement, not simulation output — comparisons of
+#: orchestrated vs serial rows strip these.
+VOLATILE_KEYS = frozenset({"elapsed_s", "ops_per_sec", "speedup"})
+
+
+def strip_volatile(value: Any, keys: Any = VOLATILE_KEYS) -> Any:
+    """Recursively drop wall-clock-derived keys from a payload.
+
+    Deterministic sweeps produce identical rows regardless of worker
+    count or cache state *except* for timing fields; this is the
+    canonical projection used to compare them.
+    """
+    keys = frozenset(keys)
+    if isinstance(value, Mapping):
+        return {k: strip_volatile(v, keys) for k, v in value.items() if k not in keys}
+    if isinstance(value, (list, tuple)):
+        return [strip_volatile(v, keys) for v in value]
+    return value
+
+
+def canonical_json(value: Any) -> str:
+    """Deterministic JSON encoding: sorted keys, no whitespace."""
+    return json.dumps(jsonify(value), sort_keys=True, separators=(",", ":"))
+
+
+def cache_key(
+    fn: Union[Callable, str],
+    params: Mapping,
+    seed: int,
+    config: Optional[Mapping] = None,
+) -> str:
+    """SHA-256 key of one cell: function identity, params, seed, config.
+
+    ``config`` carries code-relevant context that is not a sweep
+    parameter — e.g. a code-version tag — so bumping it invalidates every
+    entry produced by older code (see EXPERIMENTS.md).
+    """
+    blob = canonical_json(
+        {
+            "fn": qualname_of(fn),
+            "params": dict(params),
+            "seed": int(seed),
+            "config": dict(config or {}),
+        }
+    )
+    return hashlib.sha256(blob.encode("utf-8")).hexdigest()
+
+
+class ResultCache:
+    """Directory of completed-cell payloads, addressed by cell key."""
+
+    def __init__(self, root: Union[str, Path]) -> None:
+        self.root = Path(root)
+        self.root.mkdir(parents=True, exist_ok=True)
+
+    def path_for(self, key: str) -> Path:
+        """Two-level fan-out keeps directory listings manageable."""
+        return self.root / key[:2] / f"{key}.json"
+
+    def get(self, key: str) -> Optional[dict]:
+        """The cached payload for ``key``, or ``None`` on miss/corruption."""
+        path = self.path_for(key)
+        try:
+            with open(path, "r", encoding="utf-8") as fh:
+                entry = json.load(fh)
+        except (OSError, ValueError):
+            return None
+        if not isinstance(entry, dict) or "payload" not in entry:
+            return None
+        return entry["payload"]
+
+    def put(self, key: str, payload: Any, meta: Optional[Mapping] = None) -> Path:
+        """Atomically persist ``payload`` under ``key``."""
+        path = self.path_for(key)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        entry = {"key": key, "payload": jsonify(payload), "meta": jsonify(meta or {})}
+        fd, tmp = tempfile.mkstemp(dir=path.parent, suffix=".tmp")
+        try:
+            with os.fdopen(fd, "w", encoding="utf-8") as fh:
+                # Not sort_keys: the payload's own key order must survive
+                # the round trip so cache hits are byte-identical to
+                # freshly-computed rows.
+                json.dump(entry, fh)
+            os.replace(tmp, path)
+        except BaseException:
+            try:
+                os.unlink(tmp)
+            except OSError:
+                pass
+            raise
+        return path
+
+    def __contains__(self, key: str) -> bool:
+        return self.path_for(key).is_file()
+
+    def __len__(self) -> int:
+        return sum(1 for _ in self.root.glob("??/*.json"))
+
+    def __repr__(self) -> str:
+        return f"ResultCache({str(self.root)!r}, entries={len(self)})"

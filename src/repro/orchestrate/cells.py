@@ -1,0 +1,59 @@
+"""Sweep cells: the unit of work the orchestrator schedules and caches.
+
+A *cell* is one ``(parameter assignment, seed)`` point of a sweep grid.
+Cells are plain data — the function that runs them travels separately —
+so they pickle cheaply to worker processes and hash canonically into
+cache keys.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Mapping, Sequence
+
+
+@dataclass(frozen=True)
+class Cell:
+    """One point of a sweep: fixed parameters plus a seed.
+
+    ``params`` holds every keyword the target function receives except
+    ``seed``, which is kept separate because it is the replication axis:
+    two cells with equal params and different seeds are independent
+    repetitions of the same experiment point.
+    """
+
+    params: Mapping = field(default_factory=dict)
+    seed: int = 0
+
+    def kwargs(self) -> Dict:
+        """The keyword arguments the target function is called with."""
+        return {**self.params, "seed": int(self.seed)}
+
+    def describe(self) -> str:
+        inner = ", ".join(f"{k}={v!r}" for k, v in sorted(self.params.items()))
+        return f"Cell({inner}, seed={self.seed})"
+
+
+def expand_grid(
+    param_name: str,
+    values: Iterable,
+    seeds: Sequence[int],
+    **fixed,
+) -> List[Cell]:
+    """Expand a one-parameter sweep into its ``value x seed`` cells.
+
+    The returned order is row-major — all seeds of the first value, then
+    all seeds of the second — which is the order serial execution runs
+    them in and the order results are reported in, regardless of how
+    many workers actually execute the cells.
+    """
+    values = list(values)
+    if not values:
+        raise ValueError("need at least one parameter value")
+    if not seeds:
+        raise ValueError("need at least one seed")
+    cells = []
+    for value in values:
+        for seed in seeds:
+            cells.append(Cell(params={param_name: value, **fixed}, seed=int(seed)))
+    return cells

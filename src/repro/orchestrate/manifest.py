@@ -1,0 +1,114 @@
+"""Structured run manifests: what a sweep did, archived next to results.
+
+A manifest is the audit record of one orchestrated run — the grid, the
+seeds, cache hit/miss counts, per-cell wall time, worker count, and the
+git SHA of the code that produced it — written as JSON so tooling and CI
+can assert on it (e.g. "the second run must be 100% cache hits").
+"""
+
+from __future__ import annotations
+
+import datetime
+import json
+import platform
+import subprocess
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any, Dict, List, Optional, Union
+
+from repro.orchestrate.cache import jsonify
+
+
+def git_sha(cwd: Optional[Union[str, Path]] = None) -> Optional[str]:
+    """The commit SHA of the *code under measurement*, or ``None``.
+
+    Defaults to the checkout containing this package (not the caller's
+    working directory — sweeps are routinely launched from scratch
+    dirs); returns ``None`` for installed, non-git deployments.
+    """
+    try:
+        out = subprocess.run(
+            ["git", "rev-parse", "HEAD"],
+            cwd=str(cwd) if cwd else str(Path(__file__).resolve().parent),
+            capture_output=True,
+            text=True,
+            timeout=5,
+        )
+    except (OSError, subprocess.TimeoutExpired):
+        return None
+    sha = out.stdout.strip()
+    return sha if out.returncode == 0 and sha else None
+
+
+@dataclass
+class RunManifest:
+    """Everything needed to audit (and re-run) one orchestrated sweep."""
+
+    fn: str
+    grid: Dict[str, List] = field(default_factory=dict)
+    seeds: List[int] = field(default_factory=list)
+    fixed: Dict[str, Any] = field(default_factory=dict)
+    workers: int = 0
+    cache_dir: Optional[str] = None
+    n_cells: int = 0
+    cache_hits: int = 0
+    cache_misses: int = 0
+    elapsed_s: float = 0.0
+    #: One record per cell, in grid order:
+    #: ``{"params", "seed", "key", "cached", "wall_s"}``.
+    cells: List[Dict] = field(default_factory=list)
+    git_sha: Optional[str] = None
+    started_at: Optional[str] = None
+    python: str = field(default_factory=platform.python_version)
+    extra: Dict[str, Any] = field(default_factory=dict)
+
+    @staticmethod
+    def now() -> str:
+        return datetime.datetime.now(datetime.timezone.utc).isoformat()
+
+    @property
+    def hit_ratio(self) -> float:
+        return self.cache_hits / self.n_cells if self.n_cells else 0.0
+
+    def to_dict(self) -> Dict:
+        return jsonify(
+            {
+                "fn": self.fn,
+                "grid": self.grid,
+                "seeds": self.seeds,
+                "fixed": self.fixed,
+                "workers": self.workers,
+                "cache_dir": self.cache_dir,
+                "n_cells": self.n_cells,
+                "cache_hits": self.cache_hits,
+                "cache_misses": self.cache_misses,
+                "hit_ratio": self.hit_ratio,
+                "elapsed_s": self.elapsed_s,
+                "cells": self.cells,
+                "git_sha": self.git_sha,
+                "started_at": self.started_at,
+                "python": self.python,
+                "extra": self.extra,
+            }
+        )
+
+    def write(self, path: Union[str, Path]) -> Path:
+        """Archive the manifest as indented JSON at ``path``."""
+        path = Path(path)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        path.write_text(json.dumps(self.to_dict(), indent=2) + "\n")
+        return path
+
+    @classmethod
+    def read(cls, path: Union[str, Path]) -> "RunManifest":
+        data = json.loads(Path(path).read_text())
+        data.pop("hit_ratio", None)
+        return cls(**data)
+
+    def describe(self) -> str:
+        """One-line human summary (what the CLI prints after a sweep)."""
+        where = f", cache {self.cache_hits}/{self.n_cells} hits" if self.cache_dir else ""
+        return (
+            f"orchestrated {self.n_cells} cell(s) in {self.elapsed_s:.2f}s "
+            f"with {self.workers or 1} worker(s){where}"
+        )

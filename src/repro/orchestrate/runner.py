@@ -1,0 +1,212 @@
+"""The sweep executor: fan cells out to workers, persist, resume.
+
+``run_cells`` is the single entry point every sweep in the repo routes
+through.  Serial in-process execution is the default (and what tests
+exercise); ``workers=N`` opts in to a ``ProcessPoolExecutor`` fan-out,
+and ``cache`` opts in to the content-addressed result cache so a killed
+run resumes from its completed cells.
+
+Guarantees, in both modes:
+
+* **Determinism** — each cell carries its own seed and the target
+  function derives all randomness from it, so results do not depend on
+  worker count or completion order.  Results are returned in grid
+  order.
+* **Canonical payloads** — every payload is passed through
+  :func:`repro.orchestrate.cache.jsonify` whether or not it came from
+  the cache, so cached and freshly-computed rows are byte-identical.
+* **Crash safety** — completed cells are persisted (atomically) as they
+  finish, not at the end of the run, so ``Ctrl-C`` or ``SIGKILL`` loses
+  at most the in-flight cells.
+"""
+
+from __future__ import annotations
+
+import time
+from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Mapping, Optional, Sequence, Tuple
+
+from repro.orchestrate.cache import ResultCache, cache_key, jsonify, qualname_of
+from repro.orchestrate.cells import Cell
+from repro.orchestrate.manifest import RunManifest, git_sha
+
+
+class CellError(RuntimeError):
+    """A sweep cell raised; carries which cell so sweeps fail debuggably."""
+
+    def __init__(self, cell: Cell, cause: BaseException) -> None:
+        super().__init__(f"{cell.describe()} failed: {type(cause).__name__}: {cause}")
+        self.cell = cell
+
+
+@dataclass
+class CellResult:
+    """One completed cell: its payload plus execution provenance."""
+
+    cell: Cell
+    payload: Dict
+    wall_s: float
+    cached: bool
+    key: Optional[str] = None
+
+
+@dataclass
+class SweepRun:
+    """Results of one orchestrated sweep, in grid order, plus manifest."""
+
+    results: List[CellResult] = field(default_factory=list)
+    manifest: Optional[RunManifest] = None
+
+    def payloads(self) -> List[Dict]:
+        return [r.payload for r in self.results]
+
+
+def _execute_cell(fn: Callable[..., Dict], cell: Cell) -> Tuple[Dict, float]:
+    """Run one cell and time it.  Module-level so it pickles to workers."""
+    start = time.perf_counter()
+    payload = fn(**cell.kwargs())
+    wall = time.perf_counter() - start
+    if not isinstance(payload, Mapping):
+        raise TypeError(
+            f"sweep function {qualname_of(fn)} returned "
+            f"{type(payload).__name__}, expected a dict"
+        )
+    return jsonify(payload), wall
+
+
+def _check_parallelisable(fn: Callable) -> None:
+    qualname = getattr(fn, "__qualname__", "")
+    if "<locals>" in qualname or "<lambda>" in qualname:
+        raise ValueError(
+            f"cannot run {qualname_of(fn)!r} with workers > 1: lambdas and "
+            "locally-defined functions do not pickle to worker processes; "
+            "move the sweep function to module level"
+        )
+
+
+def run_cells(
+    fn: Callable[..., Dict],
+    cells: Sequence[Cell],
+    workers: int = 0,
+    cache: Optional[ResultCache] = None,
+    config: Optional[Mapping] = None,
+    manifest_meta: Optional[Mapping] = None,
+) -> SweepRun:
+    """Execute ``fn`` over ``cells``, with optional fan-out and caching.
+
+    ``workers <= 1`` runs serially in-process (the default); larger
+    values fan the uncached cells out across that many worker processes.
+    With a ``cache``, completed cells are looked up before execution and
+    persisted the moment they finish.  ``config`` is folded into every
+    cache key (code-version tags live here); ``manifest_meta`` is
+    recorded verbatim in the manifest's ``extra`` field.
+    """
+    if workers < 0:
+        raise ValueError(f"workers must be >= 0, got {workers}")
+    cells = list(cells)
+    started = RunManifest.now()
+    t0 = time.perf_counter()
+
+    keys: List[Optional[str]] = [
+        cache_key(fn, c.params, c.seed, config) if cache is not None else None
+        for c in cells
+    ]
+    results: List[Optional[CellResult]] = [None] * len(cells)
+
+    pending: List[int] = []
+    for i, cell in enumerate(cells):
+        hit = cache.get(keys[i]) if cache is not None else None
+        if hit is not None:
+            results[i] = CellResult(cell, hit, 0.0, cached=True, key=keys[i])
+        else:
+            pending.append(i)
+
+    def finish(i: int, payload: Dict, wall: float) -> None:
+        if cache is not None:
+            cache.put(keys[i], payload, meta={"params": dict(cells[i].params),
+                                              "seed": cells[i].seed,
+                                              "fn": qualname_of(fn)})
+        results[i] = CellResult(cells[i], payload, wall, cached=False, key=keys[i])
+
+    if workers > 1 and pending:
+        _check_parallelisable(fn)
+        with ProcessPoolExecutor(max_workers=min(workers, len(pending))) as pool:
+            futures = {pool.submit(_execute_cell, fn, cells[i]): i for i in pending}
+            not_done = set(futures)
+            try:
+                # Persist each cell as it completes: a kill mid-run loses
+                # only the in-flight cells, never the finished ones.
+                while not_done:
+                    done, not_done = wait(not_done, return_when=FIRST_COMPLETED)
+                    for fut in done:
+                        i = futures[fut]
+                        try:
+                            payload, wall = fut.result()
+                        except Exception as err:
+                            raise CellError(cells[i], err) from err
+                        finish(i, payload, wall)
+            finally:
+                for fut in not_done:
+                    fut.cancel()
+    else:
+        for i in pending:
+            try:
+                payload, wall = _execute_cell(fn, cells[i])
+            except CellError:
+                raise
+            except Exception as err:
+                raise CellError(cells[i], err) from err
+            finish(i, payload, wall)
+
+    done_results: List[CellResult] = [r for r in results if r is not None]
+    hits = sum(1 for r in done_results if r.cached)
+    manifest = RunManifest(
+        fn=qualname_of(fn),
+        grid=_infer_grid(cells),
+        seeds=sorted({c.seed for c in cells}),
+        fixed=_infer_fixed(cells),
+        workers=workers,
+        cache_dir=str(cache.root) if cache is not None else None,
+        n_cells=len(cells),
+        cache_hits=hits,
+        cache_misses=len(done_results) - hits,
+        elapsed_s=time.perf_counter() - t0,
+        cells=[
+            {
+                "params": dict(r.cell.params),
+                "seed": r.cell.seed,
+                "key": r.key,
+                "cached": r.cached,
+                "wall_s": round(r.wall_s, 6),
+            }
+            for r in done_results
+        ],
+        git_sha=git_sha(),
+        started_at=started,
+        extra=dict(manifest_meta or {}),
+    )
+    return SweepRun(results=done_results, manifest=manifest)
+
+
+def _infer_grid(cells: Sequence[Cell]) -> Dict[str, List]:
+    """Params that vary across cells, with their distinct values in order."""
+    varying: Dict[str, List] = {}
+    for cell in cells:
+        for name, value in cell.params.items():
+            values = varying.setdefault(name, [])
+            if value not in values:
+                values.append(value)
+    return {k: v for k, v in varying.items() if len(v) > 1}
+
+
+def _infer_fixed(cells: Sequence[Cell]) -> Dict:
+    """Params held constant across every cell."""
+    if not cells:
+        return {}
+    fixed = dict(cells[0].params)
+    for cell in cells[1:]:
+        for name in list(fixed):
+            if name not in cell.params or cell.params[name] != fixed[name]:
+                del fixed[name]
+    return fixed

@@ -34,6 +34,8 @@ from repro.vector.sweep import (
     compare_backends,
     run_reference_backend,
     run_vector_backend,
+    sweep_cell_backend,
+    sweep_cell_compare,
 )
 
 __all__ = [
@@ -61,5 +63,7 @@ __all__ = [
     "run_reference_backend",
     "run_vector_backend",
     "spread",
+    "sweep_cell_backend",
+    "sweep_cell_compare",
     "tail_bin_counts",
 ]

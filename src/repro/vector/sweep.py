@@ -116,14 +116,30 @@ def run_vector_backend(
     return BackendRun("vector", n, beta, replicas, prefill, steps, elapsed, result.ranks)
 
 
+def _even_indices(size: int, count: int) -> np.ndarray:
+    """``count`` indices spread evenly across ``range(size)``, inclusive of
+    both ends (deduplicated when ``count >= size``)."""
+    if count >= size:
+        return np.arange(size)
+    return np.unique(np.round(np.linspace(0, size - 1, num=count)).astype(np.intp))
+
+
 def _ks_sample(ranks: np.ndarray, cap: int = KS_SAMPLE_CAP) -> np.ndarray:
-    """Near-independent subsample of a ``(steps, replicas)`` rank array."""
+    """Near-independent subsample of a ``(steps, replicas)`` rank array.
+
+    Sampled steps are spread evenly across the *full* step range — a
+    naive ``[::stride][:cap]`` truncation biases the subsample toward
+    early steps whenever stride rounding overshoots, which skews the KS
+    comparison toward the burn-in end of the run.
+    """
     steps, replicas = ranks.shape
     if steps * replicas <= cap:
         return ranks.reshape(-1)
     n_steps = max(1, cap // replicas)
-    stride = max(1, steps // n_steps)
-    return ranks[stride - 1 :: stride].reshape(-1)[:cap]
+    sample = ranks[_even_indices(steps, n_steps)].reshape(-1)
+    if len(sample) > cap:  # replicas alone exceed the cap: thin evenly too
+        sample = sample[_even_indices(len(sample), cap)]
+    return sample
 
 
 def compare_backends(
@@ -168,3 +184,61 @@ def compare_backends(
         "parity_ok": bool(p_value > ks_alpha),
         "ks_alpha": ks_alpha,
     }
+
+
+# -- orchestrator cells ------------------------------------------------------
+#
+# Module-level, JSON-returning entry points for repro.orchestrate: they
+# pickle to worker processes, their keyword signature *is* their cache
+# identity, and everything they return round-trips through the result
+# cache unchanged.  Insertion bias travels as the scalar ``gamma`` (the
+# probability array is derived inside the cell) so cache keys stay
+# canonical.
+
+
+def _insert_probs_for(n: int, gamma: float) -> Optional[np.ndarray]:
+    if not gamma:
+        return None
+    from repro.core.policies import biased_insert_probs
+
+    return biased_insert_probs(n, gamma)
+
+
+def sweep_cell_backend(
+    beta: float,
+    seed: int,
+    backend: str = "vector",
+    n: int = 256,
+    prefill: int = 16384,
+    steps: int = 20000,
+    replicas: int = 64,
+    gamma: float = 0.0,
+) -> dict:
+    """One orchestrated cell: a single-backend run, as its summary row."""
+    runner = run_vector_backend if backend == "vector" else run_reference_backend
+    run = runner(
+        n, beta, prefill, steps, replicas,
+        seed=seed, insert_probs=_insert_probs_for(n, gamma),
+    )
+    return run.row()
+
+
+def sweep_cell_compare(
+    beta: float,
+    seed: int,
+    n: int = 256,
+    prefill: int = 16384,
+    steps: int = 20000,
+    replicas: int = 64,
+    ref_replicas: Optional[int] = None,
+    gamma: float = 0.0,
+    ks_alpha: float = 0.001,
+) -> dict:
+    """One orchestrated cell: both backends head to head plus KS parity."""
+    return compare_backends(
+        n, beta, prefill, steps, replicas,
+        seed=seed,
+        insert_probs=_insert_probs_for(n, gamma),
+        ref_replicas=ref_replicas,
+        ks_alpha=ks_alpha,
+    )

@@ -3,7 +3,18 @@
 import numpy as np
 import pytest
 
-from repro.bench.harness import ExperimentResult, make_reducer, run_seeds, sweep
+from repro.bench.harness import (
+    ExperimentResult,
+    make_reducer,
+    run_seeds,
+    sweep,
+    sweep_cells,
+)
+
+
+def parity_fn(n, seed):
+    """Module-level (worker-safe) fn with numeric, bool, and text columns."""
+    return {"value": n * 10 + seed, "parity_ok": seed != 3, "tag": f"n{n}"}
 
 
 class TestExperimentResult:
@@ -11,6 +22,13 @@ class TestExperimentResult:
         res = ExperimentResult("demo", rows=[{"x": 1}, {"x": 2}])
         assert list(res.column("x")) == [1, 2]
         assert "demo" in repr(res)
+
+    def test_ragged_rows_error_names_the_row(self):
+        res = ExperimentResult("demo", rows=[{"x": 1}, {"y": 2}, {"x": 3}])
+        with pytest.raises(KeyError, match=r"row 1 .*'demo'.* no column 'x'"):
+            res.column("x")
+        with pytest.raises(KeyError, match=r"row keys: \['y'\]"):
+            res.column("x")
 
 
 class TestRunSeeds:
@@ -78,3 +96,79 @@ class TestSweep:
 
         rows = sweep(fn, "n", [1], seeds=[0], offset=100)
         assert rows[0]["value"] == 101.0
+
+
+class TestBoolColumns:
+    """Regression: flags must never be mean-reduced into floats."""
+
+    def test_flags_are_not_averaged(self):
+        # Seeds 1,2,4 pass, seed 3 fails: the old code averaged the
+        # column to 0.75 because isinstance(True, int) holds.
+        rows = sweep(parity_fn, "n", [1], seeds=[1, 2, 3, 4])
+        assert rows[0]["parity_ok"] is False  # all(), and stays a bool
+        assert not isinstance(rows[0]["parity_ok"], float)
+        assert rows[0]["parity_ok_seeds"] == [True, True, False, True]
+
+    def test_unanimous_flags_stay_scalar(self):
+        rows = sweep(parity_fn, "n", [1], seeds=[1, 2])
+        assert rows[0]["parity_ok"] is True
+        assert "parity_ok_seeds" not in rows[0]
+
+    def test_numpy_bools_treated_as_flags(self):
+        def fn(n, seed):
+            return {"ok": np.bool_(seed != 1)}
+
+        rows = sweep(fn, "n", [1], seeds=[0, 1])
+        assert rows[0]["ok"] is False
+
+    def test_flags_get_no_sd_column(self):
+        rows = sweep(parity_fn, "n", [1], seeds=[1, 3], with_sd=True)
+        assert "parity_ok_sd" not in rows[0]
+        assert "value_sd" in rows[0]
+
+
+class TestKeySetValidation:
+    """Regression: ragged per-seed dicts must fail loudly, naming the seed."""
+
+    def test_extra_key_names_the_seed(self):
+        def fn(n, seed):
+            row = {"value": seed}
+            if seed == 3:
+                row["surprise"] = 1
+            return row
+
+        with pytest.raises(ValueError, match=r"seed 3 extra keys \['surprise'\]"):
+            sweep(fn, "n", [1], seeds=[0, 3])
+
+    def test_missing_key_names_the_seed_and_keys(self):
+        def fn(n, seed):
+            return {"value": seed} if seed != 2 else {}
+
+        with pytest.raises(ValueError, match=r"seed 2 missing keys \['value'\]"):
+            sweep(fn, "n", [1], seeds=[0, 2])
+
+
+class TestOrchestratedSweep:
+    def test_workers_match_serial(self):
+        serial = sweep(parity_fn, "n", [1, 2], seeds=[1, 2])
+        parallel = sweep(parity_fn, "n", [1, 2], seeds=[1, 2], workers=2)
+        assert parallel == serial
+
+    def test_cache_dir_resumes_and_writes_manifest(self, tmp_path):
+        manifest_path = tmp_path / "run.manifest.json"
+        kwargs = dict(seeds=[1, 2], cache_dir=tmp_path / "cells")
+        first = sweep(parity_fn, "n", [1, 2], **kwargs)
+        second = sweep(
+            parity_fn, "n", [1, 2], manifest_path=manifest_path, **kwargs
+        )
+        assert second == first
+        assert manifest_path.exists()
+        from repro.orchestrate import RunManifest
+
+        manifest = RunManifest.read(manifest_path)
+        assert manifest.cache_hits == 4 and manifest.cache_misses == 0
+
+    def test_sweep_cells_returns_unreduced_grid(self):
+        run = sweep_cells(parity_fn, "n", [1, 2], [1, 2])
+        assert [r.payload["value"] for r in run.results] == [11, 12, 21, 22]
+        assert run.manifest.grid == {"n": [1, 2]}

@@ -1,0 +1,40 @@
+"""Module-level sweep functions for orchestrator tests.
+
+Worker processes import sweep functions by reference, so everything the
+parallel tests run must live at module level — lambdas and closures are
+serial-only by design (see ``repro.orchestrate.runner``).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+def affine_cell(x, seed):
+    """Deterministic, instant: row is a pure function of (x, seed)."""
+    return {"x": x, "seed_used": seed, "y": 100 * x + seed}
+
+
+def rng_cell(x, seed):
+    """Draws through NumPy from the cell seed: float round-trip check."""
+    rng = np.random.default_rng(seed)
+    draws = rng.normal(loc=float(x), size=8)
+    return {
+        "mean": float(draws.mean()),
+        "mx": float(draws.max()),
+        "positive": bool(draws.mean() > 0),
+    }
+
+
+def flaky_keys_cell(x, seed):
+    """Misbehaving fn: seed 3 grows an extra column."""
+    row = {"value": x + seed}
+    if seed == 3:
+        row["surprise"] = 1
+    return row
+
+
+def failing_cell(x, seed):
+    if x == 2:
+        raise RuntimeError("boom at x=2")
+    return {"value": x}

@@ -1,0 +1,100 @@
+"""Result cache: canonical keys, atomic storage, corruption handling."""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.orchestrate import (
+    ResultCache,
+    cache_key,
+    canonical_json,
+    jsonify,
+    qualname_of,
+    strip_volatile,
+)
+
+
+def module_fn(x, seed):
+    return {"x": x}
+
+
+class TestCanonicalisation:
+    def test_key_order_does_not_matter(self):
+        a = cache_key("f", {"x": 1, "y": 2}, 0)
+        b = cache_key("f", {"y": 2, "x": 1}, 0)
+        assert a == b
+
+    def test_bool_int_float_are_distinct(self):
+        keys = {
+            cache_key("f", {"x": True}, 0),
+            cache_key("f", {"x": 1}, 0),
+            cache_key("f", {"x": 1.0}, 0),
+        }
+        assert len(keys) == 3
+
+    def test_seed_config_and_fn_enter_the_key(self):
+        base = cache_key("f", {"x": 1}, 0)
+        assert cache_key("f", {"x": 1}, 1) != base
+        assert cache_key("g", {"x": 1}, 0) != base
+        assert cache_key("f", {"x": 1}, 0, config={"v": 2}) != base
+
+    def test_numpy_params_hash_like_python(self):
+        assert cache_key("f", {"x": np.float64(0.5)}, 0) == cache_key(
+            "f", {"x": 0.5}, 0
+        )
+        assert cache_key("f", {"s": np.int32(7)}, 0) == cache_key("f", {"s": 7}, 0)
+
+    def test_tuples_collapse_to_lists(self):
+        assert canonical_json((1, 2)) == canonical_json([1, 2])
+
+    def test_jsonify_rejects_opaque_objects(self):
+        with pytest.raises(TypeError, match="JSON-representable"):
+            jsonify({"bad": object()})
+
+    def test_jsonify_converts_numpy(self):
+        out = jsonify({"a": np.float32(2.0), "b": np.arange(3)})
+        assert out == {"a": 2.0, "b": [0, 1, 2]}
+        assert type(out["a"]) is float
+
+    def test_qualname_of(self):
+        assert qualname_of(module_fn).endswith("test_cache.module_fn")
+        assert qualname_of("already.dotted") == "already.dotted"
+
+    def test_strip_volatile_recurses(self):
+        row = {"elapsed_s": 1.0, "nested": {"ops_per_sec": 2.0, "keep": 3}}
+        assert strip_volatile(row) == {"nested": {"keep": 3}}
+
+
+class TestResultCache:
+    def test_put_get_roundtrip_preserves_key_order(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        payload = {"z_last": 1, "a_first": 2, "flag": True}
+        key = cache_key("f", {"x": 1}, 0)
+        cache.put(key, payload)
+        got = cache.get(key)
+        assert got == payload
+        assert list(got) == ["z_last", "a_first", "flag"]  # byte-identical rows
+        assert key in cache and len(cache) == 1
+
+    def test_miss_returns_none(self, tmp_path):
+        assert ResultCache(tmp_path).get("0" * 64) is None
+
+    def test_corrupt_entry_is_a_miss(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        key = cache_key("f", {"x": 1}, 0)
+        cache.put(key, {"v": 1})
+        cache.path_for(key).write_text("{ truncated")
+        assert cache.get(key) is None
+
+    def test_wrong_shape_entry_is_a_miss(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        key = cache_key("f", {"x": 1}, 0)
+        cache.path_for(key).parent.mkdir(parents=True)
+        cache.path_for(key).write_text(json.dumps([1, 2, 3]))
+        assert cache.get(key) is None
+
+    def test_no_temp_droppings_after_put(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        cache.put(cache_key("f", {"x": 1}, 0), {"v": 1})
+        assert not list(tmp_path.rglob("*.tmp"))

@@ -1,0 +1,67 @@
+"""Run manifests: field inference, archiving, the audit round trip."""
+
+import json
+
+from repro.orchestrate import ResultCache, RunManifest, expand_grid, git_sha, run_cells
+
+from tests.orchestrate.cellfns import affine_cell
+
+
+class TestManifestContents:
+    def test_grid_and_fixed_inferred(self):
+        run = run_cells(affine_cell, expand_grid("x", [1, 2], [0, 1]))
+        m = run.manifest
+        assert m.grid == {"x": [1, 2]}
+        assert m.seeds == [0, 1]
+        assert m.n_cells == 4
+        assert m.workers == 0
+        assert m.cache_dir is None
+        assert m.fn.endswith("cellfns.affine_cell")
+
+    def test_fixed_params_separated_from_grid(self):
+        run = run_cells(affine_cell, expand_grid("x", [1, 2], [0]))
+        assert "x" in run.manifest.grid
+        cells = expand_grid("x", [5], [0])  # nothing varies
+        assert run_cells(affine_cell, cells).manifest.fixed == {"x": 5}
+
+    def test_per_cell_records(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        run = run_cells(affine_cell, expand_grid("x", [1], [0, 1]), cache=cache)
+        records = run.manifest.cells
+        assert len(records) == 2
+        assert all(set(r) == {"params", "seed", "key", "cached", "wall_s"}
+                   for r in records)
+        assert all(r["cached"] is False and r["wall_s"] >= 0 for r in records)
+        assert all(len(r["key"]) == 64 for r in records)
+
+    def test_git_sha_recorded_in_checkout(self):
+        run = run_cells(affine_cell, expand_grid("x", [1], [0]))
+        # This repo's tests always run from a checkout.
+        assert run.manifest.git_sha == git_sha()
+        assert run.manifest.git_sha and len(run.manifest.git_sha) == 40
+
+    def test_describe_mentions_cache_only_when_caching(self, tmp_path):
+        plain = run_cells(affine_cell, expand_grid("x", [1], [0]))
+        assert "cache" not in plain.manifest.describe()
+        cached = run_cells(
+            affine_cell, expand_grid("x", [1], [0]), cache=ResultCache(tmp_path)
+        )
+        assert "cache 0/1 hits" in cached.manifest.describe()
+
+
+class TestManifestIO:
+    def test_write_read_roundtrip(self, tmp_path):
+        run = run_cells(affine_cell, expand_grid("x", [1, 2], [0]))
+        path = run.manifest.write(tmp_path / "run.manifest.json")
+        data = json.loads(path.read_text())
+        assert data["n_cells"] == 2
+        assert data["hit_ratio"] == 0.0
+        assert "started_at" in data and "python" in data
+        back = RunManifest.read(path)
+        assert back.grid == {"x": [1, 2]}
+        assert back.cache_misses == 2
+
+    def test_hit_ratio(self):
+        m = RunManifest(fn="f", n_cells=4, cache_hits=3)
+        assert m.hit_ratio == 0.75
+        assert RunManifest(fn="f").hit_ratio == 0.0

@@ -1,0 +1,116 @@
+"""Crash resumability: a killed sweep resumes from its completed cells.
+
+The scenario the orchestrator exists for — a long sweep is SIGKILLed
+partway through, and the re-run (same grid, same cache dir) recomputes
+only the cells that never finished, producing rows identical to an
+uninterrupted serial run.
+"""
+
+import importlib.util
+import signal
+import subprocess
+import sys
+import time
+from pathlib import Path
+
+import repro
+
+SRC = str(Path(repro.__file__).resolve().parents[1])
+
+#: The sweep the victim process runs: slow enough per cell that the kill
+#: lands mid-run, small enough that the test stays fast.
+SLOWMOD = '''\
+import time
+
+def slow_cell(x, seed):
+    time.sleep(0.15)
+    return {"x_used": x, "seed_used": seed, "y": 100 * x + seed}
+'''
+
+VALUES = [1, 2, 3, 4, 5]
+SEEDS = [0, 1]
+
+
+def _load_slowmod(tmp_path):
+    path = tmp_path / "slowmod.py"
+    path.write_text(SLOWMOD)
+    spec = importlib.util.spec_from_file_location("slowmod", path)
+    module = importlib.util.module_from_spec(spec)
+    # Registered under its real name so worker processes (fork) and the
+    # cache key (qualname "slowmod.slow_cell") agree with the victim run.
+    sys.modules["slowmod"] = module
+    spec.loader.exec_module(module)
+    return module
+
+
+def _victim_script(tmp_path, cache_dir):
+    return (
+        f"import sys\n"
+        f"sys.path.insert(0, {str(tmp_path)!r})\n"
+        f"sys.path.insert(0, {SRC!r})\n"
+        f"from repro.bench.harness import sweep_cells\n"
+        f"import slowmod\n"
+        f"sweep_cells(slowmod.slow_cell, 'x', {VALUES!r}, {SEEDS!r}, "
+        f"cache_dir={str(cache_dir)!r})\n"
+    )
+
+
+def _completed_cells(cache_dir):
+    return sorted(cache_dir.glob("??/*.json")) if cache_dir.exists() else []
+
+
+def test_mid_run_kill_then_resume(tmp_path):
+    slowmod = _load_slowmod(tmp_path)
+    try:
+        cache_dir = tmp_path / "cells"
+        victim = subprocess.Popen(
+            [sys.executable, "-c", _victim_script(tmp_path, cache_dir)],
+            stdout=subprocess.DEVNULL,
+            stderr=subprocess.DEVNULL,
+        )
+        # Let at least two cells land on disk, then kill without warning.
+        deadline = time.time() + 60
+        while time.time() < deadline and victim.poll() is None:
+            if len(_completed_cells(cache_dir)) >= 2:
+                break
+            time.sleep(0.02)
+        victim.send_signal(signal.SIGKILL)
+        victim.wait(timeout=30)
+
+        survived = len(_completed_cells(cache_dir))
+        total = len(VALUES) * len(SEEDS)
+        assert survived >= 2, "kill landed before any cell was persisted"
+
+        from repro.bench.harness import sweep_cells
+
+        # Resume with the same grid and cache: only missing cells run.
+        resumed = sweep_cells(
+            slowmod.slow_cell, "x", VALUES, SEEDS, workers=2, cache_dir=cache_dir
+        )
+        manifest = resumed.manifest
+        assert manifest.cache_hits == survived
+        assert manifest.cache_misses == total - survived
+        assert manifest.cache_hits > 0
+
+        # And the resumed rows are identical to an uninterrupted serial run.
+        serial = sweep_cells(slowmod.slow_cell, "x", VALUES, SEEDS)
+        assert resumed.payloads() == serial.payloads()
+    finally:
+        sys.modules.pop("slowmod", None)
+
+
+def test_interrupted_serial_cache_write_is_atomic(tmp_path):
+    """A cache directory containing only torn temp files is a clean miss."""
+    slowmod = _load_slowmod(tmp_path)
+    try:
+        cache_dir = tmp_path / "cells"
+        sub = cache_dir / "ab"
+        sub.mkdir(parents=True)
+        (sub / "deadbeef.tmp").write_text('{"key": "partial')  # torn write
+        from repro.bench.harness import sweep_cells
+
+        run = sweep_cells(slowmod.slow_cell, "x", [1], [0], cache_dir=cache_dir)
+        assert run.manifest.cache_hits == 0
+        assert run.payloads() == [{"x_used": 1, "seed_used": 0, "y": 100}]
+    finally:
+        sys.modules.pop("slowmod", None)

@@ -141,6 +141,73 @@ class TestCommands:
         assert payload[0]["parity_ok"]
         assert payload[0]["vector"]["backend"] == "vector"
 
+    def test_sweep_orchestrated_cache_resume(self, capsys, tmp_path):
+        cache_dir = str(tmp_path / "cells")
+        manifest1 = tmp_path / "m1.json"
+        manifest2 = tmp_path / "m2.json"
+        argv = [
+            "sweep", "--backend", "vector", "--n", "8", "--replicas", "4",
+            "--prefill", "400", "--steps", "400", "--betas", "1.0", "0.5",
+            "--workers", "2", "--cache-dir", cache_dir,
+        ]
+        assert main(argv + ["--manifest", str(manifest1)]) == 0
+        out1 = capsys.readouterr().out
+        assert "cache 0/2 hits" in out1
+        assert main(argv + ["--manifest", str(manifest2)]) == 0
+        out2 = capsys.readouterr().out
+        assert "cache 2/2 hits" in out2
+
+        import json
+
+        m1 = json.loads(manifest1.read_text())
+        m2 = json.loads(manifest2.read_text())
+        assert m1["cache_misses"] == 2 and m2["cache_hits"] == 2
+        assert m2["cache_misses"] == 0 and m2["hit_ratio"] == 1.0
+        assert m2["workers"] == 2
+        assert m2["grid"] == {"beta": [1.0, 0.5]}
+
+        # Identical tables modulo wall-clock columns: same ranks/rows.
+        def stable(out):
+            return [
+                [f for f in line.split() if "." not in f or "rank" in line]
+                for line in out.splitlines()
+                if line.strip().startswith("vector")
+            ]
+
+        assert "mean_rank" in out1 and stable(out1) == stable(out2)
+
+    def test_sweep_manifest_defaults_next_to_json(self, capsys, tmp_path):
+        path = tmp_path / "rows.json"
+        assert (
+            main(
+                [
+                    "sweep", "--backend", "vector", "--n", "8", "--replicas", "2",
+                    "--prefill", "300", "--steps", "300", "--json", str(path),
+                ]
+            )
+            == 0
+        )
+        out = capsys.readouterr().out
+        assert "manifest:" in out
+        import json
+
+        manifest = json.loads((tmp_path / "rows.json.manifest.json").read_text())
+        assert manifest["n_cells"] == 1
+        assert manifest["fn"].endswith("sweep_cell_backend")
+
+    def test_sweep_multiple_seeds(self, capsys):
+        assert (
+            main(
+                [
+                    "sweep", "--backend", "vector", "--n", "8", "--replicas", "2",
+                    "--prefill", "300", "--steps", "300", "--seeds", "2",
+                ]
+            )
+            == 0
+        )
+        out = capsys.readouterr().out
+        assert out.count(" vector ") >= 2  # one row per seed cell
+
     def test_sweep_biased_insertion(self, capsys):
         assert (
             main(

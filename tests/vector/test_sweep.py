@@ -8,6 +8,8 @@ from repro.vector.sweep import (
     compare_backends,
     run_reference_backend,
     run_vector_backend,
+    sweep_cell_backend,
+    sweep_cell_compare,
 )
 
 
@@ -51,6 +53,57 @@ class TestKsSampling:
         ranks = np.tile(np.array([[10, 20]]), (5000, 1))
         sample = _ks_sample(ranks, cap=100)
         assert (sample == 10).sum() == (sample == 20).sum()
+
+    def test_sample_spans_the_full_step_range(self):
+        # Regression: when stride rounding overshoots, the old [:cap]
+        # truncation dropped the tail of the run — with 150 steps and a
+        # cap of 100 it kept only steps 0..99.  Each row's value is its
+        # step index, so coverage is directly observable.
+        ranks = np.repeat(np.arange(150)[:, None], 1, axis=1)
+        sample = _ks_sample(ranks, cap=100)
+        assert len(sample) <= 100
+        assert sample.min() == 0
+        assert sample.max() == 149  # reaches the end of the run
+        # Evenly spread, not front-loaded: the mean step sits mid-run.
+        assert 60 < sample.mean() < 90
+
+    def test_many_replicas_thinned_evenly_within_steps(self):
+        # replicas > cap: a single step exceeds the budget; the sample
+        # must still span it instead of truncating to early replicas.
+        ranks = np.arange(3 * 500).reshape(3, 500)
+        sample = _ks_sample(ranks, cap=100)
+        assert len(sample) <= 100
+        assert sample.max() >= 490
+
+
+class TestSweepCells:
+    def test_backend_cell_matches_direct_run(self):
+        cell_row = sweep_cell_backend(
+            1.0, 0, backend="vector", n=8, prefill=200, steps=300, replicas=4
+        )
+        direct = run_vector_backend(8, 1.0, 200, 300, 4, seed=0).row()
+        for key in ("backend", "mean_rank", "p99_rank", "max_rank"):
+            assert cell_row[key] == direct[key]
+
+    def test_compare_cell_is_json_safe(self):
+        import json
+
+        result = sweep_cell_compare(
+            1.0, 0, n=8, prefill=400, steps=500, replicas=4, ref_replicas=2
+        )
+        payload = json.loads(json.dumps(result))
+        assert payload["vector"]["backend"] == "vector"
+        assert isinstance(payload["parity_ok"], bool)
+
+    def test_gamma_derives_bias_inside_the_cell(self):
+        biased = sweep_cell_backend(
+            1.0, 0, backend="reference", n=8, prefill=300, steps=400,
+            replicas=2, gamma=0.3,
+        )
+        unbiased = sweep_cell_backend(
+            1.0, 0, backend="reference", n=8, prefill=300, steps=400, replicas=2,
+        )
+        assert biased["mean_rank"] != unbiased["mean_rank"]
 
 
 class TestCompareBackends:
