@@ -13,7 +13,13 @@ from typing import Any, Callable, Dict, Iterable, List, Optional, Sequence, Unio
 
 import numpy as np
 
-from repro.orchestrate import ResultCache, RunManifest, expand_grid, run_cells
+from repro.orchestrate import (
+    ResultCache,
+    RetryPolicy,
+    RunManifest,
+    expand_grid,
+    run_cells,
+)
 
 
 @dataclass
@@ -151,6 +157,13 @@ def sweep(
     workers: int = 0,
     cache_dir: Optional[Union[str, "ResultCache"]] = None,
     manifest_path: Optional[str] = None,
+    retries: int = 0,
+    cell_timeout: Optional[float] = None,
+    deadline: Optional[float] = None,
+    on_error: str = "raise",
+    policy: Optional["RetryPolicy"] = None,
+    fault_hook: Optional[Callable] = None,
+    max_pool_restarts: int = 3,
     **fixed,
 ) -> List[Dict]:
     """Sweep one parameter, reducing numeric outputs across seeds.
@@ -173,21 +186,46 @@ def sweep(
     so an interrupted sweep resumes where it stopped; ``manifest_path``
     archives the run manifest (grid, cache hits, per-cell wall time,
     git SHA) as JSON.
+
+    Fault tolerance mirrors :func:`repro.orchestrate.run_cells`:
+    ``retries=N`` grants each failing cell N extra attempts,
+    ``cell_timeout``/``deadline`` bound cell and sweep durations, and
+    ``on_error="quarantine"`` skips cells that exhaust their attempts.
+    Quarantined cells leave holes: the affected parameter value reduces
+    over its surviving seeds only (or drops out entirely when no seed
+    survived) — inspect the manifest's ``failures`` section and report
+    the holes alongside any table built from the rows.
     """
     reducer = make_reducer(reduce)
     seeds = [int(s) for s in seeds]
     run = sweep_cells(
         fn, param_name, values, seeds,
         workers=workers, cache_dir=cache_dir, manifest_path=manifest_path,
+        retries=retries, cell_timeout=cell_timeout, deadline=deadline,
+        on_error=on_error, policy=policy, fault_hook=fault_hook,
+        max_pool_restarts=max_pool_restarts,
         **fixed,
     )
+    # Group by parameter value rather than slicing len(seeds)-sized
+    # chunks: quarantined cells leave holes, and results stay in grid
+    # order (all seeds of one value are consecutive).
     rows: List[Dict] = []
-    for start in range(0, len(run.results), len(seeds)):
-        chunk = run.results[start : start + len(seeds)]
-        value = chunk[0].cell.params[param_name]
+    idx = 0
+    results = run.results
+    while idx < len(results):
+        value = results[idx].cell.params[param_name]
+        chunk = [results[idx]]
+        idx += 1
+        while (
+            idx < len(results)
+            and results[idx].cell.params[param_name] == value
+        ):
+            chunk.append(results[idx])
+            idx += 1
+        seeds_used = [r.cell.seed for r in chunk]
         row = {param_name: value}
         row.update(
-            reduce_outputs([r.payload for r in chunk], seeds, reducer, with_sd)
+            reduce_outputs([r.payload for r in chunk], seeds_used, reducer, with_sd)
         )
         rows.append(row)
     return rows
@@ -202,19 +240,37 @@ def sweep_cells(
     cache_dir: Optional[Union[str, "ResultCache"]] = None,
     manifest_path: Optional[str] = None,
     config: Optional[Dict] = None,
+    retries: int = 0,
+    cell_timeout: Optional[float] = None,
+    deadline: Optional[float] = None,
+    on_error: str = "raise",
+    policy: Optional["RetryPolicy"] = None,
+    fault_hook: Optional[Callable] = None,
+    max_pool_restarts: int = 3,
     **fixed,
 ):
     """Run a sweep grid through the orchestrator without reducing.
 
     The unreduced sibling of :func:`sweep` — returns the
     :class:`repro.orchestrate.SweepRun` with one payload per
-    ``(value, seed)`` cell plus the run manifest.
+    ``(value, seed)`` cell plus the run manifest.  ``retries=N`` is
+    shorthand for ``policy=RetryPolicy(max_attempts=N + 1)``; pass
+    ``policy`` explicitly to tune backoff or failure classification.
     """
+    if retries < 0:
+        raise ValueError(f"retries must be >= 0, got {retries}")
+    if policy is None and retries:
+        policy = RetryPolicy(max_attempts=retries + 1)
     cells = expand_grid(param_name, values, list(seeds), **fixed)
     cache = None
     if cache_dir is not None:
         cache = cache_dir if isinstance(cache_dir, ResultCache) else ResultCache(cache_dir)
-    run = run_cells(fn, cells, workers=workers, cache=cache, config=config)
+    run = run_cells(
+        fn, cells, workers=workers, cache=cache, config=config,
+        policy=policy, cell_timeout=cell_timeout, deadline=deadline,
+        on_error=on_error, fault_hook=fault_hook,
+        max_pool_restarts=max_pool_restarts,
+    )
     if manifest_path is not None and run.manifest is not None:
         run.manifest.write(manifest_path)
     return run

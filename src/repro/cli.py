@@ -143,6 +143,50 @@ def build_parser() -> argparse.ArgumentParser:
         help="write the run manifest (grid, cache hits, per-cell wall time, "
         "git SHA) as JSON here; defaults to <json>.manifest.json when --json is set",
     )
+    p.add_argument(
+        "--retries",
+        type=int,
+        default=0,
+        help="give each failing cell up to N extra attempts (exponential "
+        "backoff with deterministic jitter; TypeError/ValueError are fatal "
+        "and never retried)",
+    )
+    p.add_argument(
+        "--cell-timeout",
+        type=float,
+        default=None,
+        help="per-cell soft timeout in seconds: an over-budget cell counts "
+        "as a failed attempt (parallel mode abandons it and respawns the "
+        "worker pool; serial mode checks after the cell returns)",
+    )
+    p.add_argument(
+        "--deadline",
+        type=float,
+        default=None,
+        help="whole-sweep deadline in seconds; cells still unfinished when "
+        "it expires fail with SweepDeadlineExceeded",
+    )
+    p.add_argument(
+        "--on-error",
+        choices=["raise", "quarantine"],
+        default="raise",
+        help="'quarantine' records cells that exhaust their attempts in the "
+        "manifest's failures section and keeps sweeping (exit is nonzero "
+        "if any cell failed); 'raise' aborts on the first exhausted cell",
+    )
+    p.add_argument(
+        "--max-pool-restarts",
+        type=int,
+        default=3,
+        help="worker-pool rebuild budget after crashed workers or hung cells",
+    )
+    p.add_argument(
+        "--fault-plan",
+        type=str,
+        default=None,
+        help="JSON fault-injection plan chaos-testing the sweep itself "
+        "(see repro.orchestrate.policy.SweepFaultPlan; used by CI)",
+    )
     _add_seed(p)
 
     p = sub.add_parser(
@@ -467,6 +511,11 @@ def cmd_sweep(args) -> None:
     else:
         fn = sweep_cell_backend
         common["backend"] = args.backend
+    fault_hook = None
+    if args.fault_plan:
+        from repro.orchestrate import SweepFaultPlan
+
+        fault_hook = SweepFaultPlan.load(args.fault_plan)
     run = sweep_cells(
         fn,
         "beta",
@@ -475,6 +524,12 @@ def cmd_sweep(args) -> None:
         workers=args.workers,
         cache_dir=args.cache_dir,
         manifest_path=manifest_path,
+        retries=args.retries,
+        cell_timeout=args.cell_timeout,
+        deadline=args.deadline,
+        on_error=args.on_error,
+        fault_hook=fault_hook,
+        max_pool_restarts=args.max_pool_restarts,
         **common,
     )
     rows = []
@@ -499,23 +554,35 @@ def cmd_sweep(args) -> None:
         f"replica sweep: n={args.n}, replicas={args.replicas}, "
         f"prefill={args.prefill}, steps={args.steps}"
     )
-    columns = list(rows[0].keys())
-    for extra in ("speedup", "ks_p"):
-        if any(extra in r for r in rows) and extra not in columns:
-            columns.append(extra)
-    print(format_table(rows, columns=columns, title=title))
-    if args.workers or args.cache_dir or manifest_path:
+    if rows:
+        columns = list(rows[0].keys())
+        for extra in ("speedup", "ks_p"):
+            if any(extra in r for r in rows) and extra not in columns:
+                columns.append(extra)
+        print(format_table(rows, columns=columns, title=title))
+    else:
+        print(f"{title}: no completed cells")
+    if args.workers or args.cache_dir or manifest_path or not run.ok:
         print(f"\n{run.manifest.describe()}")
     if manifest_path:
         print(f"manifest: {manifest_path}")
-    if args.backend == "both":
-        failed = [r for r in payload if not r["parity_ok"]]
-        if failed:
-            raise SystemExit(1)
     if args.json:
         with open(args.json, "w") as fh:
             json.dump(payload, fh, indent=2)
         print(f"\nwrote {args.json}")
+    if run.failures:
+        # Partial results were archived above, but the exit code and the
+        # summary make the holes impossible to miss in scripts and CI.
+        print(
+            f"ERROR: {len(run.failures)} cell(s) failed, "
+            f"first: {run.failures[0].summary()}",
+            file=sys.stderr,
+        )
+        raise SystemExit(1)
+    if args.backend == "both":
+        failed = [r for r in payload if not r["parity_ok"]]
+        if failed:
+            raise SystemExit(1)
 
 
 def cmd_chaos(args) -> None:

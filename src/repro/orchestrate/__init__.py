@@ -10,8 +10,19 @@ the cells already completed.  Every run emits a :class:`RunManifest`
 recording the grid, cache hits/misses, per-cell wall time, worker count,
 and git SHA.
 
-See ``docs/usage.md`` ("Resumable parallel sweeps") for recipes and
-EXPERIMENTS.md for cache-key hygiene when code changes.
+Fault tolerance lives in :mod:`repro.orchestrate.policy`: a
+:class:`RetryPolicy` grants failing cells more attempts (exponential
+backoff, deterministic jitter, retryable-vs-fatal classification),
+``cell_timeout``/``deadline`` bound cell and sweep durations, crashed
+worker pools are rebuilt and only unfinished cells resubmitted, and
+``on_error="quarantine"`` records exhausted cells in the manifest's
+``failures`` section instead of aborting the sweep.  A
+:class:`SweepFaultPlan` injects deterministic faults (transient raise,
+oversleep, worker SIGKILL) for chaos-testing the orchestration itself.
+
+See ``docs/usage.md`` ("Resumable parallel sweeps" and "Surviving flaky
+sweeps") for recipes and EXPERIMENTS.md for cache-key hygiene when code
+changes.
 """
 
 from repro.orchestrate.cache import (
@@ -25,14 +36,34 @@ from repro.orchestrate.cache import (
 )
 from repro.orchestrate.cells import Cell, expand_grid
 from repro.orchestrate.manifest import RunManifest, git_sha
+from repro.orchestrate.policy import (
+    FAILURE_VOLATILE_KEYS,
+    CellFailure,
+    CellFault,
+    CellTimeout,
+    InjectedFault,
+    PoolRestartBudgetError,
+    RetryPolicy,
+    SweepDeadlineError,
+    SweepFaultPlan,
+)
 from repro.orchestrate.runner import CellError, CellResult, SweepRun, run_cells
 
 __all__ = [
     "Cell",
     "CellError",
+    "CellFailure",
+    "CellFault",
     "CellResult",
+    "CellTimeout",
+    "FAILURE_VOLATILE_KEYS",
+    "InjectedFault",
+    "PoolRestartBudgetError",
     "ResultCache",
+    "RetryPolicy",
     "RunManifest",
+    "SweepDeadlineError",
+    "SweepFaultPlan",
     "SweepRun",
     "VOLATILE_KEYS",
     "cache_key",

@@ -28,7 +28,7 @@ import json
 import os
 import tempfile
 from pathlib import Path
-from typing import Any, Callable, Mapping, Optional, Union
+from typing import Any, Callable, Mapping, Optional, Tuple, Union
 
 
 def qualname_of(fn: Union[Callable, str]) -> str:
@@ -134,15 +134,30 @@ class ResultCache:
 
     def get(self, key: str) -> Optional[dict]:
         """The cached payload for ``key``, or ``None`` on miss/corruption."""
+        return self.probe(key)[0]
+
+    def probe(self, key: str) -> Tuple[Optional[dict], str]:
+        """Like :meth:`get`, but distinguishes *why* a lookup missed.
+
+        Returns ``(payload, "hit")``, ``(None, "miss")`` for an absent
+        entry, or ``(None, "corrupt")`` for a file that exists but does
+        not parse to a well-formed entry (truncated write from a dying
+        process, disk mangling).  Corrupt entries still behave as misses
+        — the runner recomputes and the next :meth:`put` atomically
+        replaces the bad file (self-healing, counted in the manifest's
+        ``cache_repairs``).
+        """
         path = self.path_for(key)
         try:
             with open(path, "r", encoding="utf-8") as fh:
                 entry = json.load(fh)
+        except FileNotFoundError:
+            return None, "miss"
         except (OSError, ValueError):
-            return None
+            return None, "corrupt"
         if not isinstance(entry, dict) or "payload" not in entry:
-            return None
-        return entry["payload"]
+            return None, "corrupt"
+        return entry["payload"], "hit"
 
     def put(self, key: str, payload: Any, meta: Optional[Mapping] = None) -> Path:
         """Atomically persist ``payload`` under ``key``."""

@@ -55,8 +55,23 @@ class RunManifest:
     cache_misses: int = 0
     elapsed_s: float = 0.0
     #: One record per cell, in grid order:
-    #: ``{"params", "seed", "key", "cached", "wall_s"}``.
+    #: ``{"params", "seed", "key", "cached", "wall_s", "attempts"}``.
     cells: List[Dict] = field(default_factory=list)
+    #: Failure-triggered re-executions across the whole run (a cell that
+    #: succeeded on its third attempt contributes 2).
+    retries: int = 0
+    #: Times the worker pool was rebuilt — after a crashed worker
+    #: (``BrokenProcessPoolError``) or an abandoned hung cell.
+    pool_restarts: int = 0
+    #: Cache entries found corrupt/truncated at lookup (treated as misses).
+    cache_corrupt: int = 0
+    #: Corrupt entries overwritten by a subsequent successful compute.
+    cache_repairs: int = 0
+    #: Quarantined cells, in grid order: one
+    #: :meth:`repro.orchestrate.policy.CellFailure.to_dict` record each.
+    #: Non-empty only with ``on_error="quarantine"`` — these cells have
+    #: no row in ``cells`` and must be reported alongside any results.
+    failures: List[Dict] = field(default_factory=list)
     git_sha: Optional[str] = None
     started_at: Optional[str] = None
     python: str = field(default_factory=platform.python_version)
@@ -85,6 +100,11 @@ class RunManifest:
                 "hit_ratio": self.hit_ratio,
                 "elapsed_s": self.elapsed_s,
                 "cells": self.cells,
+                "retries": self.retries,
+                "pool_restarts": self.pool_restarts,
+                "cache_corrupt": self.cache_corrupt,
+                "cache_repairs": self.cache_repairs,
+                "failures": self.failures,
                 "git_sha": self.git_sha,
                 "started_at": self.started_at,
                 "python": self.python,
@@ -108,7 +128,17 @@ class RunManifest:
     def describe(self) -> str:
         """One-line human summary (what the CLI prints after a sweep)."""
         where = f", cache {self.cache_hits}/{self.n_cells} hits" if self.cache_dir else ""
+        fault_parts = []
+        if self.retries:
+            fault_parts.append(f"{self.retries} retr{'y' if self.retries == 1 else 'ies'}")
+        if self.pool_restarts:
+            fault_parts.append(f"{self.pool_restarts} pool restart(s)")
+        if self.cache_repairs:
+            fault_parts.append(f"{self.cache_repairs} cache repair(s)")
+        if self.failures:
+            fault_parts.append(f"{len(self.failures)} quarantined")
+        faults = f" [{', '.join(fault_parts)}]" if fault_parts else ""
         return (
             f"orchestrated {self.n_cells} cell(s) in {self.elapsed_s:.2f}s "
-            f"with {self.workers or 1} worker(s){where}"
+            f"with {self.workers or 1} worker(s){where}{faults}"
         )

@@ -1,4 +1,4 @@
-"""The sweep executor: fan cells out to workers, persist, resume.
+"""The sweep executor: fan cells out to workers, persist, resume, survive.
 
 ``run_cells`` is the single entry point every sweep in the repo routes
 through.  Serial in-process execution is the default (and what tests
@@ -18,26 +18,82 @@ Guarantees, in both modes:
 * **Crash safety** — completed cells are persisted (atomically) as they
   finish, not at the end of the run, so ``Ctrl-C`` or ``SIGKILL`` loses
   at most the in-flight cells.
+
+Fault tolerance (see :mod:`repro.orchestrate.policy`):
+
+* **Retries** — a :class:`~repro.orchestrate.policy.RetryPolicy` gives
+  each cell a budget of attempts with exponential, deterministically
+  jittered backoff; deterministic programming errors are classified
+  fatal and fail fast.
+* **Deadlines** — ``cell_timeout`` bounds one cell attempt (parallel
+  mode abandons the hung future and respawns the pool; serial mode
+  checks cooperatively after the cell returns), ``deadline`` bounds the
+  whole sweep.
+* **Worker-crash recovery** — a ``BrokenProcessPoolError`` (an
+  OOM-killed or segfaulted worker) rebuilds the executor and resubmits
+  only the unfinished cells, up to ``max_pool_restarts`` rebuilds.
+  Abandoned in-flight cells keep their attempt count: the crash is the
+  pool's fault, not theirs.
+* **Quarantine** — with ``on_error="quarantine"`` a cell that exhausts
+  its attempts is recorded in ``SweepRun.failures`` (and the manifest's
+  ``failures`` section) and skipped, so long sweeps return partial
+  results with explicit holes; the default ``on_error="raise"``
+  preserves fail-fast behavior.
 """
 
 from __future__ import annotations
 
+import heapq
 import time
+import types
+from collections import deque
 from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
+from concurrent.futures.process import BrokenProcessPool
 from dataclasses import dataclass, field
-from typing import Callable, Dict, List, Mapping, Optional, Sequence, Tuple
+from typing import Callable, Dict, List, Mapping, Optional, Sequence, Set, Tuple
 
 from repro.orchestrate.cache import ResultCache, cache_key, jsonify, qualname_of
 from repro.orchestrate.cells import Cell
 from repro.orchestrate.manifest import RunManifest, git_sha
+from repro.orchestrate.policy import (
+    CellFailure,
+    PoolRestartBudgetError,
+    RetryPolicy,
+    SweepDeadlineError,
+    describe_exception,
+    timeout_info,
+)
 
 
 class CellError(RuntimeError):
-    """A sweep cell raised; carries which cell so sweeps fail debuggably."""
+    """A sweep cell failed; carries which cell, how, and the original
+    traceback so sweeps fail debuggably even across process boundaries.
 
-    def __init__(self, cell: Cell, cause: BaseException) -> None:
-        super().__init__(f"{cell.describe()} failed: {type(cause).__name__}: {cause}")
+    Worker exceptions lose their traceback to pickling — only the
+    formatted string captured at the raise site survives — so the
+    traceback travels in the message, after the one-line summary.
+    """
+
+    def __init__(self, cell: Cell, failure) -> None:
+        if isinstance(failure, BaseException):
+            failure = CellFailure.from_infos(
+                cell.params, cell.seed, None, [describe_exception(failure)]
+            )
+        message = (
+            f"{cell.describe()} failed after {failure.attempts} attempt(s): "
+            f"{failure.exc_type}: {failure.message}"
+        )
+        if failure.traceback:
+            message += f"\n--- original traceback ---\n{failure.traceback.rstrip()}"
+        super().__init__(message)
         self.cell = cell
+        self.failure = failure
+
+
+class _RemoteCause(RuntimeError):
+    """Stand-in ``__cause__`` for an exception raised in a worker process:
+    carries the worker-side traceback text where the chained-exception
+    display expects a cause."""
 
 
 @dataclass
@@ -49,40 +105,387 @@ class CellResult:
     wall_s: float
     cached: bool
     key: Optional[str] = None
+    #: Executions this cell took (0 for a cache hit, 1 for a clean run,
+    #: more when retries were needed).
+    attempts: int = 1
 
 
 @dataclass
 class SweepRun:
-    """Results of one orchestrated sweep, in grid order, plus manifest."""
+    """Results of one orchestrated sweep, in grid order, plus manifest.
+
+    ``results`` holds only *completed* cells: with
+    ``on_error="quarantine"`` the failed cells are absent from
+    ``results`` and present in ``failures`` instead — partial results
+    with explicit holes, never silent ones.
+    """
 
     results: List[CellResult] = field(default_factory=list)
     manifest: Optional[RunManifest] = None
+    failures: List[CellFailure] = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        return not self.failures
 
     def payloads(self) -> List[Dict]:
         return [r.payload for r in self.results]
 
 
-def _execute_cell(fn: Callable[..., Dict], cell: Cell) -> Tuple[Dict, float]:
-    """Run one cell and time it.  Module-level so it pickles to workers."""
+def _execute_attempt(
+    fn: Callable[..., Dict],
+    cell: Cell,
+    attempt: int,
+    fault_hook: Optional[Callable[[Cell, int], None]],
+    keep_exception: bool = False,
+) -> Tuple:
+    """Run one cell attempt; report failure as data, never by raising.
+
+    Module-level so it pickles to workers.  Returns ``("ok", payload,
+    wall_s)`` or ``("fail", info)`` where ``info`` is
+    :func:`~repro.orchestrate.policy.describe_exception` output — the
+    exception itself may not survive pickling, so it crosses the
+    process boundary as plain data captured at the raise site.
+    ``keep_exception`` (serial mode only) attaches the live exception
+    object for ``raise ... from`` chaining.
+    """
     start = time.perf_counter()
-    payload = fn(**cell.kwargs())
-    wall = time.perf_counter() - start
-    if not isinstance(payload, Mapping):
-        raise TypeError(
-            f"sweep function {qualname_of(fn)} returned "
-            f"{type(payload).__name__}, expected a dict"
-        )
-    return jsonify(payload), wall
+    try:
+        if fault_hook is not None:
+            fault_hook(cell, attempt)
+        payload = fn(**cell.kwargs())
+        if not isinstance(payload, Mapping):
+            raise TypeError(
+                f"sweep function {qualname_of(fn)} returned "
+                f"{type(payload).__name__}, expected a dict"
+            )
+        return ("ok", jsonify(payload), time.perf_counter() - start)
+    except Exception as err:
+        info = describe_exception(err)
+        info["wall"] = time.perf_counter() - start
+        if keep_exception:
+            info["exception"] = err
+        return ("fail", info)
 
 
-def _check_parallelisable(fn: Callable) -> None:
+def _check_parallelisable(fn: Callable, what: str = "") -> None:
     qualname = getattr(fn, "__qualname__", "")
-    if "<locals>" in qualname or "<lambda>" in qualname:
+    if isinstance(fn, (types.FunctionType, types.LambdaType)) and (
+        "<locals>" in qualname or "<lambda>" in qualname
+    ):
         raise ValueError(
-            f"cannot run {qualname_of(fn)!r} with workers > 1: lambdas and "
+            f"cannot run {what}{qualname_of(fn)!r} with workers > 1: lambdas and "
             "locally-defined functions do not pickle to worker processes; "
-            "move the sweep function to module level"
+            "move the function to module level"
         )
+
+
+@dataclass
+class _CellState:
+    """Parent-side attempt bookkeeping for one pending cell."""
+
+    attempts: int = 0  # completed (failed or successful) executions
+    infos: List[Dict] = field(default_factory=list)  # one per failed attempt
+
+
+class _Sweep:
+    """Shared state and failure handling for one ``run_cells`` invocation."""
+
+    def __init__(
+        self,
+        fn: Callable[..., Dict],
+        cells: Sequence[Cell],
+        keys: Sequence[str],
+        cache: Optional[ResultCache],
+        corrupt: Set[int],
+        policy: RetryPolicy,
+        cell_timeout: Optional[float],
+        deadline: Optional[float],
+        on_error: str,
+        fault_hook: Optional[Callable],
+    ) -> None:
+        self.fn = fn
+        self.cells = list(cells)
+        self.keys = list(keys)
+        self.cache = cache
+        self.corrupt = corrupt
+        self.policy = policy
+        self.cell_timeout = cell_timeout
+        self.deadline = deadline
+        self.on_error = on_error
+        self.fault_hook = fault_hook
+        self.t0 = time.monotonic()
+        self.states: Dict[int, _CellState] = {}
+        self.results: List[Optional[CellResult]] = [None] * len(self.cells)
+        self.failures: Dict[int, CellFailure] = {}
+        self.retries = 0
+        self.pool_restarts = 0
+        self.cache_repairs = 0
+
+    def state(self, i: int) -> _CellState:
+        return self.states.setdefault(i, _CellState())
+
+    def deadline_expired(self) -> bool:
+        return (
+            self.deadline is not None
+            and time.monotonic() - self.t0 > self.deadline
+        )
+
+    def finish(self, i: int, payload: Dict, wall: float) -> None:
+        if self.cache is not None:
+            self.cache.put(
+                self.keys[i],
+                payload,
+                meta={
+                    "params": dict(self.cells[i].params),
+                    "seed": self.cells[i].seed,
+                    "fn": qualname_of(self.fn),
+                },
+            )
+            if i in self.corrupt:
+                # Self-healed: the corrupt entry was just overwritten by a
+                # fresh, complete one.
+                self.corrupt.discard(i)
+                self.cache_repairs += 1
+        self.results[i] = CellResult(
+            self.cells[i],
+            payload,
+            wall,
+            cached=False,
+            key=self.keys[i],
+            attempts=self.state(i).attempts,
+        )
+
+    def record_failure(self, i: int, info: Dict) -> _CellState:
+        state = self.state(i)
+        state.attempts += 1
+        state.infos.append(info)
+        return state
+
+    def should_retry(self, i: int) -> bool:
+        state = self.state(i)
+        return state.attempts < self.policy.max_attempts and self.policy.is_retryable(
+            state.infos[-1]["mro"]
+        )
+
+    def give_up(self, i: int) -> None:
+        """Exhausted or fatal: quarantine the cell, or raise chained."""
+        state = self.state(i)
+        failure = CellFailure.from_infos(
+            self.cells[i].params, self.cells[i].seed, self.keys[i], state.infos
+        )
+        if self.on_error == "quarantine":
+            self.failures[i] = failure
+            return
+        last = state.infos[-1]
+        cause = last.get("exception")
+        if cause is None and last.get("traceback"):
+            cause = _RemoteCause(
+                f"{failure.exc_type}: {failure.message}\n{failure.traceback.rstrip()}"
+            )
+        raise CellError(self.cells[i], failure) from cause
+
+    def expire_sweep(self, unfinished: Sequence[int]) -> None:
+        """The whole-sweep deadline passed with ``unfinished`` cells left."""
+        if self.on_error == "quarantine":
+            for i in sorted(unfinished):
+                state = self.state(i)
+                self.failures[i] = CellFailure(
+                    params=dict(self.cells[i].params),
+                    seed=self.cells[i].seed,
+                    key=self.keys[i],
+                    exc_type="SweepDeadlineExceeded",
+                    message=f"sweep deadline {self.deadline:g}s expired before this cell finished",
+                    attempts=state.attempts,
+                    wall_s_per_attempt=[round(x.get("wall", 0.0), 6) for x in state.infos],
+                )
+            return
+        raise SweepDeadlineError(
+            f"sweep deadline {self.deadline:g}s expired with "
+            f"{len(unfinished)} cell(s) unfinished"
+        )
+
+
+def _run_serial(sweep: _Sweep, pending: Sequence[int]) -> None:
+    for n, i in enumerate(pending):
+        while True:
+            if sweep.deadline_expired():
+                sweep.expire_sweep(list(pending[n:]))
+                return
+            outcome = _execute_attempt(
+                sweep.fn,
+                sweep.cells[i],
+                sweep.state(i).attempts + 1,
+                sweep.fault_hook,
+                keep_exception=True,
+            )
+            if outcome[0] == "ok":
+                _, payload, wall = outcome
+                if sweep.cell_timeout is not None and wall > sweep.cell_timeout:
+                    # Cooperative soft timeout: serial execution cannot
+                    # interrupt a running cell, so the overrun is detected
+                    # after the fact and the attempt is charged as failed —
+                    # the same accounting parallel mode applies.
+                    sweep.record_failure(i, timeout_info(sweep.cell_timeout, wall))
+                else:
+                    sweep.state(i).attempts += 1
+                    sweep.finish(i, payload, wall)
+                    break
+            else:
+                sweep.record_failure(i, outcome[1])
+            if sweep.should_retry(i):
+                sweep.retries += 1
+                delay = sweep.policy.backoff_for(sweep.keys[i], sweep.state(i).attempts)
+                if delay > 0:
+                    time.sleep(delay)
+                continue
+            sweep.give_up(i)
+            break
+
+
+def _run_parallel(
+    sweep: _Sweep, pending: Sequence[int], workers: int, max_pool_restarts: int
+) -> None:
+    max_workers = min(workers, len(pending))
+    runnable: deque = deque(pending)
+    delayed: List[Tuple[float, int]] = []  # (ready_monotonic, index) heap
+    active: Dict = {}  # future -> (index, submit_monotonic)
+    pool = ProcessPoolExecutor(max_workers=max_workers)
+
+    def shutdown(p) -> None:
+        """Abandon a pool without waiting: cancel what is queued and
+        terminate worker processes best-effort so hung cells do not keep
+        the machine busy after the run moved on."""
+        procs = list((getattr(p, "_processes", None) or {}).values())
+        p.shutdown(wait=False, cancel_futures=True)
+        for proc in procs:
+            try:
+                proc.terminate()
+            except Exception:
+                pass
+
+    def restart_pool() -> None:
+        nonlocal pool
+        sweep.pool_restarts += 1
+        if sweep.pool_restarts > max_pool_restarts:
+            shutdown(pool)
+            unfinished = len(runnable) + len(delayed) + len(active)
+            raise PoolRestartBudgetError(
+                f"worker pool restarted {sweep.pool_restarts - 1} time(s) "
+                f"(max_pool_restarts={max_pool_restarts}) and broke again with "
+                f"{unfinished} cell(s) unfinished"
+            )
+        shutdown(pool)
+        pool = ProcessPoolExecutor(max_workers=max_workers)
+
+    def abandon_active() -> None:
+        """Requeue in-flight cells after a pool failure, attempt counts
+        untouched: the breakage is attributed to the pool, not the cells,
+        so innocent bystanders never exhaust their retry budget."""
+        for i, _ in active.values():
+            runnable.appendleft(i)
+        active.clear()
+
+    def handle_failure(i: int, info: Dict) -> None:
+        sweep.record_failure(i, info)
+        if sweep.should_retry(i):
+            sweep.retries += 1
+            delay = sweep.policy.backoff_for(sweep.keys[i], sweep.state(i).attempts)
+            if delay > 0:
+                heapq.heappush(delayed, (time.monotonic() + delay, i))
+            else:
+                runnable.append(i)
+        else:
+            sweep.give_up(i)
+
+    try:
+        while runnable or delayed or active:
+            now = time.monotonic()
+            if sweep.deadline_expired():
+                unfinished = (
+                    list(runnable)
+                    + [i for _, i in delayed]
+                    + [i for i, _ in active.values()]
+                )
+                sweep.expire_sweep(unfinished)
+                return
+            while delayed and delayed[0][0] <= now:
+                runnable.append(heapq.heappop(delayed)[1])
+            while runnable and len(active) < max_workers:
+                i = runnable.popleft()
+                try:
+                    fut = pool.submit(
+                        _execute_attempt,
+                        sweep.fn,
+                        sweep.cells[i],
+                        sweep.state(i).attempts + 1,
+                        sweep.fault_hook,
+                    )
+                except BrokenProcessPool:
+                    runnable.appendleft(i)
+                    abandon_active()
+                    restart_pool()
+                    break
+                active[fut] = (i, time.monotonic())
+
+            if not active:
+                if delayed:
+                    time.sleep(max(0.0, delayed[0][0] - time.monotonic()))
+                continue
+
+            # Wake at the earliest of: a completion, a cell-timeout
+            # expiry, a backoff becoming ready, or the sweep deadline.
+            timeout_candidates = []
+            if sweep.cell_timeout is not None:
+                earliest = min(t for _, t in active.values())
+                timeout_candidates.append(earliest + sweep.cell_timeout - now)
+            if delayed:
+                timeout_candidates.append(delayed[0][0] - now)
+            if sweep.deadline is not None:
+                timeout_candidates.append(sweep.t0 + sweep.deadline - now)
+            wait_timeout = (
+                max(0.0, min(timeout_candidates)) if timeout_candidates else None
+            )
+            done, _ = wait(set(active), timeout=wait_timeout, return_when=FIRST_COMPLETED)
+
+            broken = False
+            for fut in done:
+                i, _submitted = active.pop(fut)
+                try:
+                    outcome = fut.result()
+                except BrokenProcessPool:
+                    runnable.appendleft(i)
+                    broken = True
+                    continue
+                if outcome[0] == "ok":
+                    _, payload, wall = outcome
+                    sweep.state(i).attempts += 1
+                    sweep.finish(i, payload, wall)
+                else:
+                    handle_failure(i, outcome[1])
+            if broken:
+                abandon_active()
+                restart_pool()
+                continue
+
+            if sweep.cell_timeout is not None and active:
+                now = time.monotonic()
+                expired = [
+                    (fut, i, t)
+                    for fut, (i, t) in active.items()
+                    if now - t > sweep.cell_timeout
+                ]
+                if expired:
+                    # The hung workers cannot be reclaimed individually —
+                    # abandon the futures, respawn the pool, and charge
+                    # only the overdue cells with a failed attempt.
+                    for fut, i, t in expired:
+                        del active[fut]
+                        handle_failure(i, timeout_info(sweep.cell_timeout, now - t))
+                    abandon_active()
+                    restart_pool()
+    finally:
+        shutdown(pool)
 
 
 def run_cells(
@@ -92,6 +495,12 @@ def run_cells(
     cache: Optional[ResultCache] = None,
     config: Optional[Mapping] = None,
     manifest_meta: Optional[Mapping] = None,
+    policy: Optional[RetryPolicy] = None,
+    cell_timeout: Optional[float] = None,
+    deadline: Optional[float] = None,
+    on_error: str = "raise",
+    fault_hook: Optional[Callable[[Cell, int], None]] = None,
+    max_pool_restarts: int = 3,
 ) -> SweepRun:
     """Execute ``fn`` over ``cells``, with optional fan-out and caching.
 
@@ -101,65 +510,68 @@ def run_cells(
     persisted the moment they finish.  ``config`` is folded into every
     cache key (code-version tags live here); ``manifest_meta`` is
     recorded verbatim in the manifest's ``extra`` field.
+
+    Fault tolerance: ``policy`` grants each cell multiple attempts with
+    deterministic backoff, ``cell_timeout``/``deadline`` bound cell and
+    sweep durations, ``on_error="quarantine"`` records exhausted cells
+    in the manifest instead of raising, and ``fault_hook(cell,
+    attempt)`` — called in the worker immediately before each attempt —
+    injects deterministic faults for testing (see
+    :class:`repro.orchestrate.policy.SweepFaultPlan`).
     """
     if workers < 0:
         raise ValueError(f"workers must be >= 0, got {workers}")
+    if on_error not in ("raise", "quarantine"):
+        raise ValueError(f"on_error must be 'raise' or 'quarantine', got {on_error!r}")
+    if cell_timeout is not None and cell_timeout <= 0:
+        raise ValueError(f"cell_timeout must be positive, got {cell_timeout}")
+    if deadline is not None and deadline < 0:
+        raise ValueError(f"deadline must be non-negative, got {deadline}")
+    if max_pool_restarts < 0:
+        raise ValueError(f"max_pool_restarts must be >= 0, got {max_pool_restarts}")
+    policy = policy or RetryPolicy()
     cells = list(cells)
     started = RunManifest.now()
     t0 = time.perf_counter()
 
-    keys: List[Optional[str]] = [
-        cache_key(fn, c.params, c.seed, config) if cache is not None else None
-        for c in cells
-    ]
-    results: List[Optional[CellResult]] = [None] * len(cells)
+    # Keys are computed unconditionally: they seed the deterministic
+    # retry jitter and identify cells in the failures section even for
+    # cache-less runs.
+    keys: List[str] = [cache_key(fn, c.params, c.seed, config) for c in cells]
 
     pending: List[int] = []
+    corrupt: Set[int] = set()
+    cached_results: List[Optional[CellResult]] = [None] * len(cells)
     for i, cell in enumerate(cells):
-        hit = cache.get(keys[i]) if cache is not None else None
+        hit, status = cache.probe(keys[i]) if cache is not None else (None, "miss")
         if hit is not None:
-            results[i] = CellResult(cell, hit, 0.0, cached=True, key=keys[i])
+            cached_results[i] = CellResult(
+                cell, hit, 0.0, cached=True, key=keys[i], attempts=0
+            )
         else:
+            if status == "corrupt":
+                corrupt.add(i)
             pending.append(i)
 
-    def finish(i: int, payload: Dict, wall: float) -> None:
-        if cache is not None:
-            cache.put(keys[i], payload, meta={"params": dict(cells[i].params),
-                                              "seed": cells[i].seed,
-                                              "fn": qualname_of(fn)})
-        results[i] = CellResult(cells[i], payload, wall, cached=False, key=keys[i])
+    sweep = _Sweep(
+        fn, cells, keys, cache, corrupt, policy,
+        cell_timeout, deadline, on_error, fault_hook,
+    )
+    n_corrupt = len(corrupt)
+    for i, r in enumerate(cached_results):
+        if r is not None:
+            sweep.results[i] = r
 
     if workers > 1 and pending:
         _check_parallelisable(fn)
-        with ProcessPoolExecutor(max_workers=min(workers, len(pending))) as pool:
-            futures = {pool.submit(_execute_cell, fn, cells[i]): i for i in pending}
-            not_done = set(futures)
-            try:
-                # Persist each cell as it completes: a kill mid-run loses
-                # only the in-flight cells, never the finished ones.
-                while not_done:
-                    done, not_done = wait(not_done, return_when=FIRST_COMPLETED)
-                    for fut in done:
-                        i = futures[fut]
-                        try:
-                            payload, wall = fut.result()
-                        except Exception as err:
-                            raise CellError(cells[i], err) from err
-                        finish(i, payload, wall)
-            finally:
-                for fut in not_done:
-                    fut.cancel()
-    else:
-        for i in pending:
-            try:
-                payload, wall = _execute_cell(fn, cells[i])
-            except CellError:
-                raise
-            except Exception as err:
-                raise CellError(cells[i], err) from err
-            finish(i, payload, wall)
+        if fault_hook is not None:
+            _check_parallelisable(fault_hook, what="fault_hook ")
+        _run_parallel(sweep, pending, workers, max_pool_restarts)
+    elif pending:
+        _run_serial(sweep, pending)
 
-    done_results: List[CellResult] = [r for r in results if r is not None]
+    done_results: List[CellResult] = [r for r in sweep.results if r is not None]
+    failures: List[CellFailure] = [sweep.failures[i] for i in sorted(sweep.failures)]
     hits = sum(1 for r in done_results if r.cached)
     manifest = RunManifest(
         fn=qualname_of(fn),
@@ -179,14 +591,20 @@ def run_cells(
                 "key": r.key,
                 "cached": r.cached,
                 "wall_s": round(r.wall_s, 6),
+                "attempts": r.attempts,
             }
             for r in done_results
         ],
         git_sha=git_sha(),
         started_at=started,
         extra=dict(manifest_meta or {}),
+        retries=sweep.retries,
+        pool_restarts=sweep.pool_restarts,
+        cache_corrupt=n_corrupt,
+        cache_repairs=sweep.cache_repairs,
+        failures=[f.to_dict() for f in failures],
     )
-    return SweepRun(results=done_results, manifest=manifest)
+    return SweepRun(results=done_results, manifest=manifest, failures=failures)
 
 
 def _infer_grid(cells: Sequence[Cell]) -> Dict[str, List]:

@@ -214,7 +214,18 @@ def sweep_cell_backend(
     replicas: int = 64,
     gamma: float = 0.0,
 ) -> dict:
-    """One orchestrated cell: a single-backend run, as its summary row."""
+    """One orchestrated cell: a single-backend run, as its summary row.
+
+    An unknown ``backend`` raises ``ValueError`` rather than silently
+    falling back to the reference backend — under the orchestrator's
+    retry policy a ``ValueError`` is classified *fatal*, so a typo fails
+    the cell on its first attempt instead of burning the retry budget on
+    a deterministic error (or worse, caching a mislabeled row).
+    """
+    if backend not in ("vector", "reference"):
+        raise ValueError(
+            f"unknown backend {backend!r}: expected 'vector' or 'reference'"
+        )
     runner = run_vector_backend if backend == "vector" else run_reference_backend
     run = runner(
         n, beta, prefill, steps, replicas,

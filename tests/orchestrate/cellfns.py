@@ -38,3 +38,23 @@ def failing_cell(x, seed):
     if x == 2:
         raise RuntimeError("boom at x=2")
     return {"value": x}
+
+
+def fatal_cell(x, seed):
+    """Deterministic programming error: fatal under the default policy."""
+    raise ValueError(f"bad parameter x={x}")
+
+
+def hammer_cache(root, key, worker_id, iterations):
+    """Concurrent-writer workload: repeatedly persist the same cell key.
+
+    Run from several processes at once against a shared cache root to
+    exercise the atomic temp-file + rename path — any interleaving must
+    leave a complete, parseable entry on disk.
+    """
+    from repro.orchestrate import ResultCache
+
+    cache = ResultCache(root)
+    for i in range(iterations):
+        cache.put(key, {"worker": worker_id, "i": i, "blob": "x" * 4096})
+    return worker_id

@@ -1,6 +1,7 @@
 """Result cache: canonical keys, atomic storage, corruption handling."""
 
 import json
+from concurrent.futures import ProcessPoolExecutor
 
 import numpy as np
 import pytest
@@ -9,10 +10,14 @@ from repro.orchestrate import (
     ResultCache,
     cache_key,
     canonical_json,
+    expand_grid,
     jsonify,
     qualname_of,
+    run_cells,
     strip_volatile,
 )
+
+from tests.orchestrate.cellfns import affine_cell, hammer_cache
 
 
 def module_fn(x, seed):
@@ -98,3 +103,81 @@ class TestResultCache:
         cache = ResultCache(tmp_path)
         cache.put(cache_key("f", {"x": 1}, 0), {"v": 1})
         assert not list(tmp_path.rglob("*.tmp"))
+
+
+class TestProbe:
+    """probe() distinguishes hit / miss / corrupt; get() keeps its old API."""
+
+    def test_hit(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        key = cache_key("f", {"x": 1}, 0)
+        cache.put(key, {"v": 1})
+        assert cache.probe(key) == ({"v": 1}, "hit")
+
+    def test_absent_entry_is_a_miss_not_corrupt(self, tmp_path):
+        payload, status = ResultCache(tmp_path).probe("0" * 64)
+        assert (payload, status) == (None, "miss")
+
+    def test_truncated_entry_is_corrupt(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        key = cache_key("f", {"x": 1}, 0)
+        cache.put(key, {"v": 1})
+        cache.path_for(key).write_text("{ truncated")
+        assert cache.probe(key) == (None, "corrupt")
+
+    def test_wrong_shape_entry_is_corrupt(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        key = cache_key("f", {"x": 1}, 0)
+        cache.path_for(key).parent.mkdir(parents=True)
+        cache.path_for(key).write_text(json.dumps([1, 2, 3]))
+        assert cache.probe(key) == (None, "corrupt")
+
+
+class TestConcurrentWriters:
+    def test_atomic_rename_survives_writer_races(self, tmp_path):
+        # Several processes hammer the SAME key on a shared cache root.
+        # Whatever the interleaving, the surviving entry must be one
+        # writer's complete payload — never a torn or truncated file.
+        key = cache_key("hammer", {"contended": True}, 0)
+        n_workers, iterations = 4, 25
+        with ProcessPoolExecutor(max_workers=n_workers) as pool:
+            done = list(
+                pool.map(
+                    hammer_cache,
+                    [str(tmp_path)] * n_workers,
+                    [key] * n_workers,
+                    range(n_workers),
+                    [iterations] * n_workers,
+                )
+            )
+        assert sorted(done) == list(range(n_workers))
+        payload, status = ResultCache(tmp_path).probe(key)
+        assert status == "hit"
+        assert set(payload) == {"worker", "i", "blob"}
+        assert payload["worker"] in range(n_workers)
+        assert payload["i"] in range(iterations)
+        assert payload["blob"] == "x" * 4096
+        assert not list(tmp_path.rglob("*.tmp"))
+
+
+class TestSelfHealing:
+    def test_corrupt_entry_recomputed_and_rewritten(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        cells = expand_grid("x", [1, 2, 3], [0])
+        first = run_cells(affine_cell, cells, cache=cache)
+        assert first.manifest.cache_corrupt == 0
+
+        # Truncate one entry on disk, then resume.
+        victim = first.results[1]
+        cache.path_for(victim.key).write_text('{"payload": {"x":')
+        healed = run_cells(affine_cell, cells, cache=cache)
+
+        assert healed.manifest.cache_hits == 2
+        assert healed.manifest.cache_corrupt == 1
+        assert healed.manifest.cache_repairs == 1
+        assert healed.payloads() == first.payloads()
+        # The entry is whole again: a third run is all hits.
+        third = run_cells(affine_cell, cells, cache=cache)
+        assert third.manifest.cache_hits == 3
+        assert third.manifest.cache_corrupt == 0
+        assert third.manifest.cache_repairs == 0

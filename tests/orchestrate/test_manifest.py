@@ -29,9 +29,10 @@ class TestManifestContents:
         run = run_cells(affine_cell, expand_grid("x", [1], [0, 1]), cache=cache)
         records = run.manifest.cells
         assert len(records) == 2
-        assert all(set(r) == {"params", "seed", "key", "cached", "wall_s"}
+        assert all(set(r) == {"params", "seed", "key", "cached", "wall_s", "attempts"}
                    for r in records)
         assert all(r["cached"] is False and r["wall_s"] >= 0 for r in records)
+        assert all(r["attempts"] == 1 for r in records)
         assert all(len(r["key"]) == 64 for r in records)
 
     def test_git_sha_recorded_in_checkout(self):

@@ -1,0 +1,183 @@
+"""Retry policy, failure records, and the deterministic fault plan."""
+
+import json
+import pickle
+
+import pytest
+
+from repro.orchestrate import Cell, CellFault, InjectedFault, RetryPolicy, SweepFaultPlan
+from repro.orchestrate.policy import (
+    CellFailure,
+    CellTimeout,
+    describe_exception,
+    timeout_info,
+)
+
+
+class TestRetryClassification:
+    def test_defaults_retry_generic_exceptions(self):
+        policy = RetryPolicy(max_attempts=3)
+        assert policy.is_retryable(["RuntimeError", "Exception", "BaseException"])
+        assert policy.is_retryable(["OSError", "Exception", "BaseException"])
+
+    def test_programming_errors_are_fatal_by_default(self):
+        policy = RetryPolicy(max_attempts=3)
+        for name in ("TypeError", "ValueError", "AssertionError", "NotImplementedError"):
+            assert not policy.is_retryable([name, "Exception", "BaseException"])
+
+    def test_fatal_wins_over_retryable(self):
+        policy = RetryPolicy(retry_on=("Exception",), fatal_on=("RuntimeError",))
+        assert not policy.is_retryable(["RuntimeError", "Exception"])
+
+    def test_mro_matching_catches_subclasses(self):
+        # retry_on names match anywhere in the MRO: ConnectionError IS-A OSError.
+        policy = RetryPolicy(retry_on=("OSError",), fatal_on=())
+        mro = [c.__name__ for c in ConnectionError.__mro__ if c is not object]
+        assert policy.is_retryable(mro)
+        assert not policy.is_retryable(["KeyError", "LookupError", "Exception"])
+
+    def test_classes_accepted_and_normalised_to_names(self):
+        policy = RetryPolicy(retry_on=(OSError,), fatal_on=(ValueError,))
+        assert policy.retry_on == ("OSError",)
+        assert policy.fatal_on == ("ValueError",)
+
+    def test_timeout_is_retryable_by_default(self):
+        policy = RetryPolicy(max_attempts=2)
+        assert policy.is_retryable(timeout_info(1.0, 2.0)["mro"])
+
+    def test_validation(self):
+        with pytest.raises(ValueError, match="max_attempts"):
+            RetryPolicy(max_attempts=0)
+        with pytest.raises(ValueError, match="jitter"):
+            RetryPolicy(jitter=1.5)
+        with pytest.raises(ValueError, match="backoff"):
+            RetryPolicy(backoff_factor=0.5)
+
+
+class TestBackoff:
+    def test_zero_base_means_no_delay(self):
+        assert RetryPolicy().backoff_for("k" * 64, 1) == 0.0
+
+    def test_deterministic_per_key_and_attempt(self):
+        policy = RetryPolicy(backoff_s=0.1)
+        assert policy.backoff_for("a" * 64, 1) == policy.backoff_for("a" * 64, 1)
+        assert policy.backoff_for("a" * 64, 1) != policy.backoff_for("b" * 64, 1)
+        assert policy.backoff_for("a" * 64, 1) != policy.backoff_for("a" * 64, 2)
+
+    def test_exponential_growth_and_cap(self):
+        policy = RetryPolicy(backoff_s=1.0, backoff_factor=2.0, backoff_cap_s=3.0, jitter=0.0)
+        assert policy.backoff_for("k", 1) == 1.0
+        assert policy.backoff_for("k", 2) == 2.0
+        assert policy.backoff_for("k", 3) == 3.0  # capped, not 4.0
+
+    def test_jitter_stays_within_fraction(self):
+        policy = RetryPolicy(backoff_s=1.0, backoff_factor=1.0, jitter=0.5)
+        for attempt in range(1, 20):
+            delay = policy.backoff_for("key", attempt)
+            assert 0.5 <= delay <= 1.5
+
+
+class TestFailureRecords:
+    def test_describe_exception_captures_raise_site(self):
+        try:
+            raise RuntimeError("kaboom")
+        except RuntimeError as err:
+            info = describe_exception(err)
+        assert info["exc_type"] == "RuntimeError"
+        assert info["message"] == "kaboom"
+        assert "RuntimeError" in info["mro"] and "Exception" in info["mro"]
+        assert 'raise RuntimeError("kaboom")' in info["traceback"]
+
+    def test_cell_failure_from_infos_takes_last_attempt(self):
+        infos = [
+            {"exc_type": "OSError", "message": "flaky", "wall": 0.5, "traceback": "t1"},
+            {"exc_type": "RuntimeError", "message": "dead", "wall": 1.25, "traceback": "t2"},
+        ]
+        failure = CellFailure.from_infos({"x": 1}, 7, "k" * 64, infos)
+        assert failure.exc_type == "RuntimeError"
+        assert failure.message == "dead"
+        assert failure.attempts == 2
+        assert failure.wall_s_per_attempt == [0.5, 1.25]
+        assert failure.traceback == "t2"
+        assert "Cell(x=1, seed=7)" in failure.summary()
+        assert "2 attempt(s)" in failure.summary()
+
+    def test_timeout_info_mro_names_cell_timeout(self):
+        info = timeout_info(0.5, 0.9)
+        assert info["exc_type"] == CellTimeout.__name__
+        assert "cell_timeout=0.5s" in info["message"]
+        assert info["traceback"] == ""
+
+
+class TestCellFault:
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(ValueError, match="kind"):
+            CellFault("explode")
+
+    def test_matching_by_seed_params_attempt(self):
+        fault = CellFault("raise", seed=3, params={"x": 2}, attempts=(1, 2))
+        assert fault.matches(Cell({"x": 2, "k": 9}, 3), 1)
+        assert fault.matches(Cell({"x": 2}, 3), 2)
+        assert not fault.matches(Cell({"x": 2}, 3), 3)  # attempt
+        assert not fault.matches(Cell({"x": 2}, 4), 1)  # seed
+        assert not fault.matches(Cell({"x": 1}, 3), 1)  # params
+
+    def test_wildcard_seed_matches_all(self):
+        fault = CellFault("raise", params={"x": 1})
+        assert fault.matches(Cell({"x": 1}, 0), 1)
+        assert fault.matches(Cell({"x": 1}, 99), 1)
+
+    def test_raise_fires_injected_fault(self):
+        with pytest.raises(InjectedFault, match="transient"):
+            CellFault("raise").fire(Cell({}, 0), 1)
+
+    def test_kill_without_worker_degrades_to_raise(self):
+        # Serial mode: no worker process to kill; the fault must not take
+        # down the orchestrating process itself.
+        with pytest.raises(InjectedFault, match="simulated worker SIGKILL"):
+            CellFault("kill").fire(Cell({}, 0), 1)
+
+    def test_once_marker_makes_fault_one_shot(self, tmp_path):
+        marker = tmp_path / "fired"
+        fault = CellFault("raise", once_marker=str(marker))
+        with pytest.raises(InjectedFault):
+            fault.fire(Cell({}, 0), 1)
+        assert marker.exists()
+        fault.fire(Cell({}, 0), 1)  # spent: no raise
+
+    def test_dict_roundtrip(self):
+        fault = CellFault(
+            "kill", seed=2, params={"x": 1}, attempts=(1, 3),
+            message="die", once_marker="/tmp/m",
+        )
+        assert CellFault.from_dict(fault.to_dict()) == fault
+
+    def test_from_dict_rejects_unknown_fields(self):
+        with pytest.raises(ValueError, match="unknown CellFault field"):
+            CellFault.from_dict({"kind": "raise", "when": "now"})
+
+
+class TestSweepFaultPlan:
+    def test_first_matching_fault_fires(self):
+        plan = SweepFaultPlan((
+            CellFault("raise", seed=0, message="first"),
+            CellFault("raise", seed=0, message="second"),
+        ))
+        with pytest.raises(InjectedFault, match="first"):
+            plan(Cell({}, 0), 1)
+        plan(Cell({}, 1), 1)  # no match: no-op
+
+    def test_json_roundtrip_through_file(self, tmp_path):
+        plan = SweepFaultPlan((
+            CellFault("kill", seed=1, params={"beta": 1.0}, once_marker="m"),
+            CellFault("raise", seed=2, attempts=(1, 2)),
+            CellFault("sleep", sleep_s=0.5),
+        ))
+        path = plan.save(tmp_path / "plan.json")
+        assert SweepFaultPlan.load(path) == plan
+        # The file is plain JSON (hand-editable, CI-writable).
+        assert json.loads(path.read_text())["faults"][0]["kind"] == "kill"
+
+    def test_plan_pickles_to_workers(self):
+        plan = SweepFaultPlan((CellFault("raise", seed=1),))
+        assert pickle.loads(pickle.dumps(plan)) == plan

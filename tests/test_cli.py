@@ -208,6 +208,83 @@ class TestCommands:
         out = capsys.readouterr().out
         assert out.count(" vector ") >= 2  # one row per seed cell
 
+    def test_sweep_quarantine_exits_nonzero_with_summary(self, capsys, tmp_path):
+        # One cell fails all its attempts; the sweep finishes, archives
+        # the surviving rows, and exits 1 with a one-line summary.
+        from repro.orchestrate import CellFault, SweepFaultPlan
+
+        plan = SweepFaultPlan(
+            (CellFault("raise", seed=1, params={"beta": 0.5}, attempts=(1, 2, 3)),)
+        )
+        plan_path = plan.save(tmp_path / "plan.json")
+        rows_path = tmp_path / "rows.json"
+        with pytest.raises(SystemExit) as excinfo:
+            main(
+                [
+                    "sweep", "--backend", "vector", "--n", "8", "--replicas", "2",
+                    "--prefill", "300", "--steps", "300", "--betas", "1.0", "0.5",
+                    "--seeds", "2", "--retries", "2", "--on-error", "quarantine",
+                    "--fault-plan", str(plan_path), "--json", str(rows_path),
+                ]
+            )
+        assert excinfo.value.code == 1
+        captured = capsys.readouterr()
+        assert "1 cell(s) failed, first:" in captured.err
+        assert "InjectedFault" in captured.err
+        assert "3 attempt(s)" in captured.err
+        # Partial results were still archived, with the hole visible in
+        # the manifest's failures section.
+        import json
+
+        rows = json.loads(rows_path.read_text())
+        assert len(rows) == 3
+        manifest = json.loads((tmp_path / "rows.json.manifest.json").read_text())
+        assert len(manifest["failures"]) == 1
+        assert manifest["failures"][0]["params"]["beta"] == 0.5
+        assert manifest["failures"][0]["seed"] == 1
+        assert manifest["failures"][0]["attempts"] == 3
+        assert manifest["retries"] == 2
+        assert "quarantined" in captured.out
+
+    def test_sweep_chaos_completes_with_exact_counters(self, capsys, tmp_path):
+        # A SIGKILLed worker plus a transient exception: with retries the
+        # 8-cell sweep still completes 8/8 and the manifest records
+        # exactly the injected faults.
+        from repro.orchestrate import CellFault, SweepFaultPlan
+
+        plan = SweepFaultPlan(
+            (
+                CellFault(
+                    "kill", seed=2, params={"beta": 1.0},
+                    once_marker=str(tmp_path / "kill.marker"),
+                ),
+                CellFault("raise", seed=3, params={"beta": 0.5}),
+            )
+        )
+        plan_path = plan.save(tmp_path / "plan.json")
+        manifest_path = tmp_path / "chaos.manifest.json"
+        assert (
+            main(
+                [
+                    "sweep", "--backend", "vector", "--n", "8", "--replicas", "2",
+                    "--prefill", "300", "--steps", "300", "--betas", "1.0", "0.5",
+                    "--seeds", "4", "--workers", "2", "--retries", "2",
+                    "--fault-plan", str(plan_path), "--manifest", str(manifest_path),
+                ]
+            )
+            == 0
+        )
+        out = capsys.readouterr().out
+        assert out.count(" vector ") == 8
+        import json
+
+        manifest = json.loads(manifest_path.read_text())
+        assert manifest["n_cells"] == 8
+        assert len(manifest["cells"]) == 8
+        assert manifest["failures"] == []
+        assert manifest["pool_restarts"] == 1
+        assert manifest["retries"] == 1
+
     def test_sweep_biased_insertion(self, capsys):
         assert (
             main(
