@@ -4,11 +4,16 @@ Execution routes through :mod:`repro.orchestrate`: serial in-process by
 default (what tests exercise), with ``workers=N`` fanning cells out
 across processes and ``cache_dir=...`` making the sweep resumable — a
 killed run recomputes only the cells that never finished.
+:func:`queue_worker` is the multi-host path: the grid becomes a
+lease-based job queue on a shared filesystem and each invocation drains
+cells as one worker (see docs/usage.md, "Running a sweep across
+machines").
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from pathlib import Path
 from typing import Any, Callable, Dict, Iterable, List, Optional, Sequence, Union
 
 import numpy as np
@@ -274,3 +279,74 @@ def sweep_cells(
     if manifest_path is not None and run.manifest is not None:
         run.manifest.write(manifest_path)
     return run
+
+
+def queue_worker(
+    fn: Callable[..., Dict],
+    param_name: str,
+    values: Iterable,
+    seeds: Sequence[int],
+    queue_dir: Union[str, "Path"],
+    lease_ttl_s: float = 30.0,
+    heartbeat_s: Optional[float] = None,
+    max_attempts: int = 3,
+    worker_id: Optional[str] = None,
+    fault_plan: Optional[Callable] = None,
+    poll_s: float = 0.5,
+    allow_sigkill: bool = False,
+    gc_tmp_age_s: float = 3600.0,
+    config: Optional[Dict] = None,
+    policy: Optional["RetryPolicy"] = None,
+    merged_manifest_path: Optional[str] = None,
+    **fixed,
+):
+    """Attach one worker to a shared-filesystem job queue and drain it.
+
+    The multi-host sibling of :func:`sweep_cells`: instead of executing
+    the grid in this process's pool, the grid is materialised as a
+    :class:`repro.orchestrate.JobQueue` under ``queue_dir`` (created by
+    whichever worker arrives first; later arrivals validate the spec
+    hash and join) and *this* process becomes one
+    :class:`repro.orchestrate.QueueWorker`.  Start the same invocation
+    on any number of hosts sharing ``queue_dir`` — cells are divided
+    dynamically via lease files, a crashed worker's cells are taken
+    over after ``lease_ttl_s`` without heartbeats, and every worker
+    returns once all cells are committed or quarantined.
+
+    Returns ``(report, run)``: the per-worker
+    :class:`~repro.orchestrate.WorkerReport` and the queue-wide
+    :class:`~repro.orchestrate.SweepRun` (grid-order results, merged
+    manifest, quarantined failures) — identical rows, modulo timing
+    fields, to a serial :func:`sweep_cells` of the same grid.
+
+    ``allow_sigkill=True`` lets an injected ``"kill"`` fault deliver a
+    real ``SIGKILL`` (the CLI does this — each worker is a process);
+    leave it off for thread-hosted workers in tests.
+    """
+    from repro.orchestrate import JobQueue, QueueWorker
+
+    cells = expand_grid(param_name, values, [int(s) for s in seeds], **fixed)
+    queue = JobQueue(
+        queue_dir,
+        fn,
+        cells,
+        config=config,
+        lease_ttl_s=lease_ttl_s,
+        heartbeat_s=heartbeat_s,
+        max_attempts=max_attempts,
+        policy=policy,
+    )
+    worker = QueueWorker(
+        queue,
+        fn,
+        worker_id=worker_id,
+        fault_plan=fault_plan,
+        poll_s=poll_s,
+        allow_sigkill=allow_sigkill,
+        gc_tmp_age_s=gc_tmp_age_s,
+    )
+    report = worker.run()
+    run = queue.to_sweep_run()
+    if merged_manifest_path is not None and run.manifest is not None:
+        run.manifest.write(merged_manifest_path)
+    return report, run

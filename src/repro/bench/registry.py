@@ -140,6 +140,11 @@ _SPECS: List[ExperimentSpec] = [
         "orchestrated sweeps: identical rows, resumable cache, multi-core scaling",
         "test_orchestrate_scaling.py",
     ),
+    ExperimentSpec(
+        "orch-queue", "infrastructure",
+        "multi-host job queue: crash takeover and zombie fencing, rows identical",
+        "test_orchestrate_distributed.py",
+    ),
 ]
 
 

@@ -10,6 +10,7 @@ Usage (after ``pip install -e .``)::
     python -m repro potential --n 16 --beta 1.0 --steps 20000
     python -m repro graph-choice --n 36
     python -m repro sweep --backend both --replicas 64 --steps 20000
+    python -m repro worker --queue-dir /shared/q --betas 1.0 0.5 --seeds 4
 
 Every subcommand prints a paper-style table and, where a curve is the
 point, an ASCII chart.  All experiments accept ``--seed`` for exact
@@ -32,6 +33,41 @@ from repro.core.single_choice import SingleChoiceProcess
 
 def _add_seed(parser: argparse.ArgumentParser) -> None:
     parser.add_argument("--seed", type=int, default=1, help="root RNG seed (default 1)")
+
+
+def _add_sweep_grid_args(p: argparse.ArgumentParser) -> None:
+    """The sweep-grid arguments shared by ``sweep`` and ``worker``.
+
+    Both subcommands must expand *identical* grids from identical
+    arguments — cache keys and queue cell keys are derived from them, so
+    a ``worker`` invocation with the same flags as a ``sweep`` addresses
+    the same cells.
+    """
+    p.add_argument(
+        "--backend",
+        choices=["reference", "vector", "both"],
+        default="vector",
+        help="'both' times the backends head to head and KS-tests parity",
+    )
+    p.add_argument("--n", type=int, default=256, help="number of queues")
+    p.add_argument("--betas", type=float, nargs="+", default=[1.0])
+    p.add_argument("--gamma", type=float, default=0.0, help="insertion bias bound")
+    p.add_argument("--replicas", type=int, default=64)
+    p.add_argument("--prefill", type=int, default=16384)
+    p.add_argument("--steps", type=int, default=20000)
+    p.add_argument(
+        "--ref-replicas",
+        type=int,
+        default=None,
+        help="reference-side replicas when timing 'both' (default min(replicas, 8))",
+    )
+    p.add_argument("--json", type=str, default=None, help="write rows as JSON here")
+    p.add_argument(
+        "--seeds",
+        type=int,
+        default=1,
+        help="run root seeds seed..seed+N-1 as independent sweep cells (default 1)",
+    )
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -98,31 +134,7 @@ def build_parser() -> argparse.ArgumentParser:
         "sweep",
         help="replica sweep of the (1+beta) process: reference vs vector backend",
     )
-    p.add_argument(
-        "--backend",
-        choices=["reference", "vector", "both"],
-        default="vector",
-        help="'both' times the backends head to head and KS-tests parity",
-    )
-    p.add_argument("--n", type=int, default=256, help="number of queues")
-    p.add_argument("--betas", type=float, nargs="+", default=[1.0])
-    p.add_argument("--gamma", type=float, default=0.0, help="insertion bias bound")
-    p.add_argument("--replicas", type=int, default=64)
-    p.add_argument("--prefill", type=int, default=16384)
-    p.add_argument("--steps", type=int, default=20000)
-    p.add_argument(
-        "--ref-replicas",
-        type=int,
-        default=None,
-        help="reference-side replicas when timing 'both' (default min(replicas, 8))",
-    )
-    p.add_argument("--json", type=str, default=None, help="write rows as JSON here")
-    p.add_argument(
-        "--seeds",
-        type=int,
-        default=1,
-        help="run root seeds seed..seed+N-1 as independent sweep cells (default 1)",
-    )
+    _add_sweep_grid_args(p)
     p.add_argument(
         "--workers",
         type=int,
@@ -171,8 +183,10 @@ def build_parser() -> argparse.ArgumentParser:
         choices=["raise", "quarantine"],
         default="raise",
         help="'quarantine' records cells that exhaust their attempts in the "
-        "manifest's failures section and keeps sweeping (exit is nonzero "
-        "if any cell failed); 'raise' aborts on the first exhausted cell",
+        "manifest's failures section and keeps sweeping; 'raise' aborts on "
+        "the first exhausted cell.  Exit codes: 0 = every cell completed "
+        "(and, with --backend both, parity held); 1 = quarantined cells "
+        "(the summary line reports quarantined=N) or a parity failure",
     )
     p.add_argument(
         "--max-pool-restarts",
@@ -186,6 +200,78 @@ def build_parser() -> argparse.ArgumentParser:
         default=None,
         help="JSON fault-injection plan chaos-testing the sweep itself "
         "(see repro.orchestrate.policy.SweepFaultPlan; used by CI)",
+    )
+    _add_seed(p)
+
+    p = sub.add_parser(
+        "worker",
+        help="drain one worker's share of a multi-host sweep from a shared "
+        "queue directory (start the same command on every machine)",
+    )
+    _add_sweep_grid_args(p)
+    p.add_argument(
+        "--queue-dir",
+        type=str,
+        required=True,
+        help="queue directory on a filesystem every worker can reach (NFS "
+        "or local); created by the first worker, validated by the rest",
+    )
+    p.add_argument(
+        "--lease-ttl",
+        type=float,
+        default=30.0,
+        help="seconds without heartbeats before a cell's lease counts as "
+        "stale and another worker may take it over (default 30; keep well "
+        "above --heartbeat plus worst-case clock skew on the shared fs)",
+    )
+    p.add_argument(
+        "--heartbeat",
+        type=float,
+        default=None,
+        help="lease renewal interval in seconds (default lease-ttl/3)",
+    )
+    p.add_argument(
+        "--poll",
+        type=float,
+        default=0.5,
+        help="idle poll interval while waiting on other workers' leases",
+    )
+    p.add_argument(
+        "--max-attempts",
+        type=int,
+        default=3,
+        help="queue-wide attempt budget per cell: a cell that fails this "
+        "many attempts (across distinct workers when several run) is "
+        "quarantined for everyone",
+    )
+    p.add_argument(
+        "--worker-id",
+        type=str,
+        default=None,
+        help="stable worker name for leases and the shard manifest "
+        "(default host-pid-suffix)",
+    )
+    p.add_argument(
+        "--fault-plan",
+        type=str,
+        default=None,
+        help="JSON fault-injection plan; kinds kill/zombie/pause_heartbeat "
+        "exercise the lease protocol itself (used by CI)",
+    )
+    p.add_argument(
+        "--manifest",
+        type=str,
+        default=None,
+        help="also write the queue-wide *merged* manifest here once the "
+        "queue is drained (per-worker shard manifests always land in "
+        "<queue-dir>/manifests/)",
+    )
+    p.add_argument(
+        "--gc-tmp-age",
+        type=float,
+        default=3600.0,
+        help="on startup, reap cache temp files older than this many "
+        "seconds (orphans of SIGKILLed workers; default 3600)",
     )
     _add_seed(p)
 
@@ -488,10 +574,13 @@ def cmd_graph_choice(args) -> None:
     print(format_table(rows, title=f"Section 6 graph choice process, n={args.n}"))
 
 
-def cmd_sweep(args) -> None:
-    import json
+def _resolve_sweep_fn(args):
+    """Map shared grid args to ``(cell function, fixed kwargs, seeds)``.
 
-    from repro.bench.harness import sweep_cells
+    Used by both ``sweep`` and ``worker`` so the two subcommands address
+    byte-identical cells (cache keys and queue cell keys are derived
+    from exactly these values).
+    """
     from repro.vector.sweep import sweep_cell_backend, sweep_cell_compare
 
     seeds = list(range(args.seed, args.seed + max(args.seeds, 1)))
@@ -502,36 +591,29 @@ def cmd_sweep(args) -> None:
         replicas=args.replicas,
         gamma=args.gamma,
     )
-    manifest_path = args.manifest
-    if manifest_path is None and args.json:
-        manifest_path = f"{args.json}.manifest.json"
     if args.backend == "both":
         fn = sweep_cell_compare
         common["ref_replicas"] = args.ref_replicas
     else:
         fn = sweep_cell_backend
         common["backend"] = args.backend
-    fault_hook = None
-    if args.fault_plan:
-        from repro.orchestrate import SweepFaultPlan
+    return fn, common, seeds
 
-        fault_hook = SweepFaultPlan.load(args.fault_plan)
-    run = sweep_cells(
-        fn,
-        "beta",
-        args.betas,
-        seeds,
-        workers=args.workers,
-        cache_dir=args.cache_dir,
-        manifest_path=manifest_path,
-        retries=args.retries,
-        cell_timeout=args.cell_timeout,
-        deadline=args.deadline,
-        on_error=args.on_error,
-        fault_hook=fault_hook,
-        max_pool_restarts=args.max_pool_restarts,
-        **common,
-    )
+
+def _load_fault_plan(args):
+    if not args.fault_plan:
+        return None
+    from repro.orchestrate import SweepFaultPlan
+
+    return SweepFaultPlan.load(args.fault_plan)
+
+
+def _print_sweep_results(args, run) -> None:
+    """Shared result rendering for ``sweep`` and ``worker``: the table,
+    parity warnings, optional JSON rows, and the quarantine error line
+    (which exits 1 — quarantined cells are holes, never silent)."""
+    import json
+
     rows = []
     payload = []
     for cell_result in run.results:
@@ -562,10 +644,6 @@ def cmd_sweep(args) -> None:
         print(format_table(rows, columns=columns, title=title))
     else:
         print(f"{title}: no completed cells")
-    if args.workers or args.cache_dir or manifest_path or not run.ok:
-        print(f"\n{run.manifest.describe()}")
-    if manifest_path:
-        print(f"manifest: {manifest_path}")
     if args.json:
         with open(args.json, "w") as fh:
             json.dump(payload, fh, indent=2)
@@ -574,7 +652,7 @@ def cmd_sweep(args) -> None:
         # Partial results were archived above, but the exit code and the
         # summary make the holes impossible to miss in scripts and CI.
         print(
-            f"ERROR: {len(run.failures)} cell(s) failed, "
+            f"ERROR: quarantined={len(run.failures)} cell(s) failed, "
             f"first: {run.failures[0].summary()}",
             file=sys.stderr,
         )
@@ -583,6 +661,76 @@ def cmd_sweep(args) -> None:
         failed = [r for r in payload if not r["parity_ok"]]
         if failed:
             raise SystemExit(1)
+
+
+def cmd_sweep(args) -> None:
+    from repro.bench.harness import sweep_cells
+
+    fn, common, seeds = _resolve_sweep_fn(args)
+    manifest_path = args.manifest
+    if manifest_path is None and args.json:
+        manifest_path = f"{args.json}.manifest.json"
+    fault_hook = _load_fault_plan(args)
+    run = sweep_cells(
+        fn,
+        "beta",
+        args.betas,
+        seeds,
+        workers=args.workers,
+        cache_dir=args.cache_dir,
+        manifest_path=manifest_path,
+        retries=args.retries,
+        cell_timeout=args.cell_timeout,
+        deadline=args.deadline,
+        on_error=args.on_error,
+        fault_hook=fault_hook,
+        max_pool_restarts=args.max_pool_restarts,
+        **common,
+    )
+    if args.workers or args.cache_dir or manifest_path or not run.ok:
+        print(f"{run.manifest.describe()}\n")
+    if manifest_path:
+        print(f"manifest: {manifest_path}")
+    _print_sweep_results(args, run)
+
+
+def cmd_worker(args) -> None:
+    from repro.bench.harness import queue_worker
+
+    fn, common, seeds = _resolve_sweep_fn(args)
+    report, run = queue_worker(
+        fn,
+        "beta",
+        args.betas,
+        seeds,
+        queue_dir=args.queue_dir,
+        lease_ttl_s=args.lease_ttl,
+        heartbeat_s=args.heartbeat,
+        max_attempts=args.max_attempts,
+        worker_id=args.worker_id,
+        fault_plan=_load_fault_plan(args),
+        poll_s=args.poll,
+        # Each CLI worker is its own process: an injected "kill" fault
+        # delivers a real SIGKILL, leaving the lease to go stale.
+        allow_sigkill=True,
+        gc_tmp_age_s=args.gc_tmp_age,
+        merged_manifest_path=args.manifest,
+        **common,
+    )
+    print(
+        f"worker {report.worker_id}: claimed {report.cells_claimed}, "
+        f"committed {report.cells_committed} "
+        f"({report.cache_hits} from cache), "
+        f"{report.takeovers} takeover(s), "
+        f"{report.zombie_writes_fenced} fenced write(s), "
+        f"{report.failures_recorded} failure(s) recorded "
+        f"in {report.elapsed_s:.2f}s"
+    )
+    if run.manifest is not None:
+        print(f"{run.manifest.describe()}\n")
+    if args.manifest:
+        print(f"merged manifest: {args.manifest}")
+    _print_sweep_results(args, run)
 
 
 def cmd_chaos(args) -> None:
@@ -773,6 +921,7 @@ _COMMANDS = {
     "potential": cmd_potential,
     "graph-choice": cmd_graph_choice,
     "sweep": cmd_sweep,
+    "worker": cmd_worker,
     "chaos": cmd_chaos,
     "sanitize": cmd_sanitize,
     "lint": cmd_lint,

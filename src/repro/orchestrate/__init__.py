@@ -20,9 +20,19 @@ worker pools are rebuilt and only unfinished cells resubmitted, and
 :class:`SweepFaultPlan` injects deterministic faults (transient raise,
 oversleep, worker SIGKILL) for chaos-testing the orchestration itself.
 
-See ``docs/usage.md`` ("Resumable parallel sweeps" and "Surviving flaky
-sweeps") for recipes and EXPERIMENTS.md for cache-key hygiene when code
-changes.
+Multi-host sweeps live in :mod:`repro.orchestrate.queue` and
+:mod:`repro.orchestrate.worker`: a :class:`JobQueue` materialises the
+grid as a shared-filesystem queue directory, and any number of
+:class:`QueueWorker`\\ s (the ``repro worker`` CLI) claim cells through
+lease files carrying fencing tokens — crashed workers' leases are taken
+over after ``lease_ttl_s`` without heartbeats, and a resurrected
+zombie's late write is fenced rather than applied.  Per-worker shard
+manifests merge into one queue-wide record via
+:meth:`RunManifest.merge`.
+
+See ``docs/usage.md`` ("Resumable parallel sweeps", "Surviving flaky
+sweeps", and "Running a sweep across machines") for recipes and
+EXPERIMENTS.md for cache-key hygiene when code changes.
 """
 
 from repro.orchestrate.cache import (
@@ -37,6 +47,8 @@ from repro.orchestrate.cache import (
 from repro.orchestrate.cells import Cell, expand_grid
 from repro.orchestrate.manifest import RunManifest, git_sha
 from repro.orchestrate.policy import (
+    DISTRIBUTED_FAULT_KINDS,
+    EXECUTION_FAULT_KINDS,
     FAILURE_VOLATILE_KEYS,
     CellFailure,
     CellFault,
@@ -47,7 +59,9 @@ from repro.orchestrate.policy import (
     SweepDeadlineError,
     SweepFaultPlan,
 )
+from repro.orchestrate.queue import Claim, JobQueue, LeaseLost, QueueSpecMismatch
 from repro.orchestrate.runner import CellError, CellResult, SweepRun, run_cells
+from repro.orchestrate.worker import InjectedWorkerCrash, QueueWorker, WorkerReport
 
 __all__ = [
     "Cell",
@@ -56,9 +70,17 @@ __all__ = [
     "CellFault",
     "CellResult",
     "CellTimeout",
+    "Claim",
+    "DISTRIBUTED_FAULT_KINDS",
+    "EXECUTION_FAULT_KINDS",
     "FAILURE_VOLATILE_KEYS",
     "InjectedFault",
+    "InjectedWorkerCrash",
+    "JobQueue",
+    "LeaseLost",
     "PoolRestartBudgetError",
+    "QueueSpecMismatch",
+    "QueueWorker",
     "ResultCache",
     "RetryPolicy",
     "RunManifest",
@@ -66,6 +88,7 @@ __all__ = [
     "SweepFaultPlan",
     "SweepRun",
     "VOLATILE_KEYS",
+    "WorkerReport",
     "cache_key",
     "strip_volatile",
     "canonical_json",

@@ -19,14 +19,22 @@ Writes are atomic (temp file + ``os.replace`` in the same directory), so
 a killed run never leaves a half-written entry — a torn file can only be
 a leftover temp file, which is ignored.  Unreadable or corrupt entries
 are treated as misses and recomputed.
+
+Temp-file names embed ``(hostname, pid, counter)`` so any number of
+workers — across processes *and* hosts sharing the cache directory over
+NFS — can write concurrently without colliding, and
+:meth:`ResultCache.gc_stale_tmp` reaps the orphans a SIGKILLed worker
+leaves behind (reported in run manifests as ``cache_tmp_reaped``).
 """
 
 from __future__ import annotations
 
 import hashlib
+import itertools
 import json
 import os
-import tempfile
+import socket
+import time
 from pathlib import Path
 from typing import Any, Callable, Mapping, Optional, Tuple, Union
 
@@ -121,6 +129,15 @@ def cache_key(
     return hashlib.sha256(blob.encode("utf-8")).hexdigest()
 
 
+#: Short hostname component of temp-file names; "." would read as a
+#: suffix separator, so only the first DNS label is kept.
+_HOSTNAME = (socket.gethostname().split(".")[0] or "host").replace("/", "_")
+
+#: Per-process counter completing the (hostname, pid, counter) triple
+#: that makes every temp-file name unique across a shared filesystem.
+_TMP_COUNTER = itertools.count()
+
+
 class ResultCache:
     """Directory of completed-cell payloads, addressed by cell key."""
 
@@ -159,12 +176,32 @@ class ResultCache:
             return None, "corrupt"
         return entry["payload"], "hit"
 
+    def _open_tmp(self, parent: Path, key: str) -> Tuple[int, str]:
+        """Create a uniquely-named temp file next to ``parent``.
+
+        The name carries ``(hostname, pid, counter)``: two writers on the
+        same host differ in pid or counter, two hosts differ in hostname,
+        so concurrent ``put`` calls against one shared cache directory
+        never race on the temp file itself.  ``O_EXCL`` backstops the
+        construction (e.g. a pid reused after a crash colliding with a
+        dead writer's orphan): on collision the counter advances and the
+        open retries.
+        """
+        while True:
+            tmp = str(
+                parent / f"{key[:12]}.{_HOSTNAME}-{os.getpid()}-{next(_TMP_COUNTER)}.tmp"
+            )
+            try:
+                return os.open(tmp, os.O_CREAT | os.O_EXCL | os.O_WRONLY, 0o644), tmp
+            except FileExistsError:
+                continue
+
     def put(self, key: str, payload: Any, meta: Optional[Mapping] = None) -> Path:
         """Atomically persist ``payload`` under ``key``."""
         path = self.path_for(key)
         path.parent.mkdir(parents=True, exist_ok=True)
         entry = {"key": key, "payload": jsonify(payload), "meta": jsonify(meta or {})}
-        fd, tmp = tempfile.mkstemp(dir=path.parent, suffix=".tmp")
+        fd, tmp = self._open_tmp(path.parent, key)
         try:
             with os.fdopen(fd, "w", encoding="utf-8") as fh:
                 # Not sort_keys: the payload's own key order must survive
@@ -179,6 +216,28 @@ class ResultCache:
                 pass
             raise
         return path
+
+    def gc_stale_tmp(self, max_age_s: float = 3600.0) -> int:
+        """Remove orphaned temp files and return how many were reaped.
+
+        A SIGKILLed writer leaves its ``.tmp`` file behind forever —
+        nothing ever renames or deletes it.  Only files older than
+        ``max_age_s`` are touched so a *live* writer's in-flight temp
+        file is never yanked out from under its ``os.replace``; pass
+        ``0.0`` only once the cache has no concurrent writers (e.g.
+        after a job queue has drained).  Concurrent reapers are safe:
+        losing an unlink race just means the other reaper counted it.
+        """
+        reaped = 0
+        cutoff = time.time() - max_age_s
+        for tmp in self.root.glob("??/*.tmp"):
+            try:
+                if tmp.stat().st_mtime <= cutoff:
+                    tmp.unlink()
+                    reaped += 1
+            except OSError:
+                continue
+        return reaped
 
     def __contains__(self, key: str) -> bool:
         return self.path_for(key).is_file()

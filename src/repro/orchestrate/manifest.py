@@ -14,7 +14,7 @@ import platform
 import subprocess
 from dataclasses import dataclass, field
 from pathlib import Path
-from typing import Any, Dict, List, Optional, Union
+from typing import Any, Dict, List, Optional, Sequence, Union
 
 from repro.orchestrate.cache import jsonify
 
@@ -67,6 +67,15 @@ class RunManifest:
     cache_corrupt: int = 0
     #: Corrupt entries overwritten by a subsequent successful compute.
     cache_repairs: int = 0
+    #: Distributed queue only: leases this run claimed from a worker
+    #: whose heartbeats had gone stale (crash takeover).
+    takeovers: int = 0
+    #: Distributed queue only: late writes discarded because the
+    #: writer's fencing token had been superseded by a takeover.
+    zombie_writes_fenced: int = 0
+    #: Orphaned cache temp files (left by SIGKILLed writers) reaped by
+    #: :meth:`repro.orchestrate.cache.ResultCache.gc_stale_tmp`.
+    cache_tmp_reaped: int = 0
     #: Quarantined cells, in grid order: one
     #: :meth:`repro.orchestrate.policy.CellFailure.to_dict` record each.
     #: Non-empty only with ``on_error="quarantine"`` — these cells have
@@ -104,6 +113,9 @@ class RunManifest:
                 "pool_restarts": self.pool_restarts,
                 "cache_corrupt": self.cache_corrupt,
                 "cache_repairs": self.cache_repairs,
+                "takeovers": self.takeovers,
+                "zombie_writes_fenced": self.zombie_writes_fenced,
+                "cache_tmp_reaped": self.cache_tmp_reaped,
                 "failures": self.failures,
                 "git_sha": self.git_sha,
                 "started_at": self.started_at,
@@ -125,6 +137,85 @@ class RunManifest:
         data.pop("hit_ratio", None)
         return cls(**data)
 
+    @classmethod
+    def merge(
+        cls,
+        shards: Sequence["RunManifest"],
+        cell_order: Optional[Sequence[str]] = None,
+    ) -> "RunManifest":
+        """Combine per-worker shard manifests into one queue-wide record.
+
+        Each distributed worker archives a shard manifest covering only
+        the cells *it* committed; ``merge`` reassembles the full sweep:
+        cell rows deduplicated by cache key (the fencing protocol makes
+        duplicates impossible in a healthy queue, but a torn shard must
+        not double-count), counters summed, failures deduplicated, and
+        ``extra["workers"]`` carrying per-worker provenance — cells
+        claimed, leases taken over, zombie writes fenced, temp files
+        reaped — so a takeover is attributable to the worker that
+        performed it.  ``cell_order`` (the queue's key order) restores
+        grid order; without it cells keep shard order.
+        """
+        if not shards:
+            raise ValueError("need at least one shard manifest to merge")
+        fns = sorted({s.fn for s in shards})
+        if len(fns) > 1:
+            raise ValueError(f"shard manifests disagree on the sweep function: {fns}")
+        cells: Dict[str, Dict] = {}
+        for shard in shards:
+            for row in shard.cells:
+                cells.setdefault(row.get("key") or id(row), row)
+        if cell_order is not None:
+            rank = {key: i for i, key in enumerate(cell_order)}
+            ordered = sorted(cells.values(), key=lambda r: rank.get(r.get("key"), len(rank)))
+        else:
+            ordered = list(cells.values())
+        failures: Dict[Any, Dict] = {}
+        for shard in shards:
+            for rec in shard.failures:
+                failures.setdefault(rec.get("key") or id(rec), rec)
+        provenance = []
+        for shard in shards:
+            prov = {
+                "worker_id": shard.extra.get("worker_id"),
+                "host": shard.extra.get("host"),
+                "pid": shard.extra.get("pid"),
+                "cells_claimed": shard.extra.get("cells_claimed", len(shard.cells)),
+                "cells_committed": len(shard.cells),
+                "cache_hits": shard.cache_hits,
+                "takeovers": shard.takeovers,
+                "zombie_writes_fenced": shard.zombie_writes_fenced,
+                "cache_tmp_reaped": shard.cache_tmp_reaped,
+                "failures_recorded": shard.retries,
+                "elapsed_s": shard.elapsed_s,
+            }
+            provenance.append(prov)
+        first = shards[0]
+        return cls(
+            fn=first.fn,
+            grid=dict(first.grid),
+            seeds=sorted({s for shard in shards for s in shard.seeds}),
+            fixed=dict(first.fixed),
+            workers=len(shards),
+            cache_dir=first.cache_dir,
+            n_cells=max(s.n_cells for s in shards),
+            cache_hits=sum(s.cache_hits for s in shards),
+            cache_misses=sum(s.cache_misses for s in shards),
+            elapsed_s=max(s.elapsed_s for s in shards),
+            cells=ordered,
+            retries=sum(s.retries for s in shards),
+            pool_restarts=sum(s.pool_restarts for s in shards),
+            cache_corrupt=sum(s.cache_corrupt for s in shards),
+            cache_repairs=sum(s.cache_repairs for s in shards),
+            takeovers=sum(s.takeovers for s in shards),
+            zombie_writes_fenced=sum(s.zombie_writes_fenced for s in shards),
+            cache_tmp_reaped=sum(s.cache_tmp_reaped for s in shards),
+            failures=list(failures.values()),
+            git_sha=first.git_sha,
+            started_at=min((s.started_at for s in shards if s.started_at), default=None),
+            extra={"merged_from": len(shards), "workers": provenance},
+        )
+
     def describe(self) -> str:
         """One-line human summary (what the CLI prints after a sweep)."""
         where = f", cache {self.cache_hits}/{self.n_cells} hits" if self.cache_dir else ""
@@ -135,8 +226,14 @@ class RunManifest:
             fault_parts.append(f"{self.pool_restarts} pool restart(s)")
         if self.cache_repairs:
             fault_parts.append(f"{self.cache_repairs} cache repair(s)")
+        if self.takeovers:
+            fault_parts.append(f"{self.takeovers} lease takeover(s)")
+        if self.zombie_writes_fenced:
+            fault_parts.append(f"{self.zombie_writes_fenced} fenced zombie write(s)")
+        if self.cache_tmp_reaped:
+            fault_parts.append(f"{self.cache_tmp_reaped} tmp file(s) reaped")
         if self.failures:
-            fault_parts.append(f"{len(self.failures)} quarantined")
+            fault_parts.append(f"quarantined={len(self.failures)}")
         faults = f" [{', '.join(fault_parts)}]" if fault_parts else ""
         return (
             f"orchestrated {self.n_cells} cell(s) in {self.elapsed_s:.2f}s "

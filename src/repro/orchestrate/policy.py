@@ -42,6 +42,8 @@ from typing import Dict, List, Mapping, Optional, Sequence, Tuple, Union
 
 __all__ = [
     "CellTimeout",
+    "DISTRIBUTED_FAULT_KINDS",
+    "EXECUTION_FAULT_KINDS",
     "InjectedFault",
     "SweepDeadlineError",
     "PoolRestartBudgetError",
@@ -243,6 +245,16 @@ def _in_worker_process() -> bool:
     return multiprocessing.parent_process() is not None
 
 
+#: Fault kinds the in-process execution hook interprets (serial runner
+#: and pool workers alike).
+EXECUTION_FAULT_KINDS = ("raise", "sleep", "kill")
+
+#: Fault kinds only the distributed queue worker interprets — they
+#: manipulate the lease protocol, which does not exist in-process.  The
+#: execution hook skips them, so one plan drives both paths.
+DISTRIBUTED_FAULT_KINDS = ("zombie", "pause_heartbeat")
+
+
 @dataclass(frozen=True)
 class CellFault:
     """One injected fault: which cells it hits, on which attempts, and how.
@@ -256,13 +268,23 @@ class CellFault:
       ``BrokenProcessPoolError`` scenario).  With no worker to kill
       (serial mode), it degrades to a retryable :class:`InjectedFault`
       so serial and parallel runs of one plan survive the same schedule.
+      A distributed queue worker dies mid-*lease* instead, leaving its
+      lease to go stale (the crash-takeover scenario).
+    * ``"zombie"`` — distributed queues only: after computing the cell,
+      stall ``sleep_s`` past lease expiry before committing, so the
+      commit replays a write whose fencing token has been superseded;
+    * ``"pause_heartbeat"`` — distributed queues only: suppress lease
+      heartbeats for ``sleep_s`` so the lease goes stale mid-compute.
 
     A fault fires when the cell's seed matches (``seed=None`` matches
     any), every ``params`` item matches the cell's params, and the
     1-based attempt number is in ``attempts``.  ``once_marker`` names a
     file created atomically on first firing; while it exists the fault
     is spent — this is how a kill stays one-shot across the pool restart
-    that re-runs its victim at the same attempt number.
+    that re-runs its victim at the same attempt number.  (On a
+    distributed queue the attempt number is the cell's fencing token,
+    which a takeover bumps, so ``attempts=(1,)`` faults are naturally
+    one-shot there.)
     """
 
     kind: str
@@ -274,9 +296,10 @@ class CellFault:
     once_marker: Optional[str] = None
 
     def __post_init__(self) -> None:
-        if self.kind not in ("raise", "sleep", "kill"):
+        if self.kind not in EXECUTION_FAULT_KINDS + DISTRIBUTED_FAULT_KINDS:
             raise ValueError(
-                f"unknown fault kind {self.kind!r}: expected 'raise', 'sleep', or 'kill'"
+                f"unknown fault kind {self.kind!r}: expected one of "
+                f"{EXECUTION_FAULT_KINDS + DISTRIBUTED_FAULT_KINDS}"
             )
         object.__setattr__(self, "attempts", tuple(int(a) for a in self.attempts))
         if self.params is not None:
@@ -293,7 +316,7 @@ class CellFault:
                     return False
         return True
 
-    def _claim_once(self) -> bool:
+    def claim_once(self) -> bool:
         """Atomically claim a one-shot fault; False if already spent."""
         if self.once_marker is None:
             return True
@@ -305,7 +328,12 @@ class CellFault:
         return True
 
     def fire(self, cell, attempt: int) -> None:
-        if not self._claim_once():
+        if self.kind in DISTRIBUTED_FAULT_KINDS:
+            # Interpreted by the queue worker at the lease layer, not by
+            # the execution hook — a no-op here keeps one plan usable on
+            # both the in-process and the distributed path.
+            return
+        if not self.claim_once():
             return
         if self.kind == "sleep":
             time.sleep(self.sleep_s)
@@ -359,9 +387,26 @@ class SweepFaultPlan:
 
     def __call__(self, cell, attempt: int) -> None:
         for fault in self.faults:
+            if fault.kind in DISTRIBUTED_FAULT_KINDS:
+                continue
             if fault.matches(cell, attempt):
                 fault.fire(cell, attempt)
                 return
+
+    def first_matching(
+        self, cell, attempt: int, kinds: Sequence[str]
+    ) -> Optional[CellFault]:
+        """The first fault of one of ``kinds`` matching ``(cell, attempt)``.
+
+        The distributed queue worker uses this to interpret lease-layer
+        faults (``kill`` at claim time, ``zombie``/``pause_heartbeat``)
+        itself; the returned fault's ``claim_once()``/``sleep_s`` drive
+        the injection at the right protocol point.
+        """
+        for fault in self.faults:
+            if fault.kind in kinds and fault.matches(cell, attempt):
+                return fault
+        return None
 
     def to_dict(self) -> Dict:
         return {"faults": [f.to_dict() for f in self.faults]}

@@ -231,6 +231,18 @@ class _Sweep:
             and time.monotonic() - self.t0 > self.deadline
         )
 
+    def clamp_to_deadline(self, delay: float) -> float:
+        """Cap a sleep at the time remaining before the sweep deadline.
+
+        A retry backoff must never park the sweep *past* its deadline:
+        sleeping the full backoff and only then noticing the expiry
+        would retry cells the deadline had already condemned (and hold
+        the caller hostage for up to ``backoff_cap_s``).
+        """
+        if self.deadline is None:
+            return delay
+        return min(delay, max(0.0, self.deadline - (time.monotonic() - self.t0)))
+
     def finish(self, i: int, payload: Dict, wall: float) -> None:
         if self.cache is not None:
             self.cache.put(
@@ -335,7 +347,9 @@ def _run_serial(sweep: _Sweep, pending: Sequence[int]) -> None:
                 sweep.record_failure(i, outcome[1])
             if sweep.should_retry(i):
                 sweep.retries += 1
-                delay = sweep.policy.backoff_for(sweep.keys[i], sweep.state(i).attempts)
+                delay = sweep.clamp_to_deadline(
+                    sweep.policy.backoff_for(sweep.keys[i], sweep.state(i).attempts)
+                )
                 if delay > 0:
                     time.sleep(delay)
                 continue
@@ -430,7 +444,11 @@ def _run_parallel(
 
             if not active:
                 if delayed:
-                    time.sleep(max(0.0, delayed[0][0] - time.monotonic()))
+                    time.sleep(
+                        sweep.clamp_to_deadline(
+                            max(0.0, delayed[0][0] - time.monotonic())
+                        )
+                    )
                 continue
 
             # Wake at the earliest of: a completion, a cell-timeout

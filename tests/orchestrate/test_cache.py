@@ -1,6 +1,8 @@
 """Result cache: canonical keys, atomic storage, corruption handling."""
 
 import json
+import os
+import time
 from concurrent.futures import ProcessPoolExecutor
 
 import numpy as np
@@ -181,3 +183,61 @@ class TestSelfHealing:
         assert third.manifest.cache_hits == 3
         assert third.manifest.cache_corrupt == 0
         assert third.manifest.cache_repairs == 0
+
+
+class TestTempFileHygiene:
+    def test_tmp_names_carry_host_and_pid(self, tmp_path, monkeypatch):
+        # Freeze the replace step so the temp file is observable.
+        import repro.orchestrate.cache as cache_mod
+
+        seen = {}
+        real_replace = os.replace
+
+        def spy(src, dst):
+            seen["tmp"] = str(src)
+            return real_replace(src, dst)
+
+        monkeypatch.setattr(cache_mod.os, "replace", spy)
+        cache = ResultCache(tmp_path)
+        cache.put("ab" * 32, {"v": 1})
+        name = seen["tmp"].rsplit("/", 1)[-1]
+        # <key12>.<host>-<pid>-<counter>.tmp — distinct across processes
+        # and hosts sharing one cache directory over NFS.
+        assert name.endswith(".tmp")
+        assert f"-{os.getpid()}-" in name
+        assert name.startswith("ab" * 6 + ".")
+
+    def test_concurrent_puts_same_key_leave_no_droppings(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        key = "cd" * 32
+        for i in range(5):
+            cache.put(key, {"i": i})
+        assert cache.get(key) == {"i": 4}
+        assert not list(tmp_path.rglob("*.tmp"))
+
+    def test_gc_reaps_only_stale_tmp_files(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        key = "ef" * 32
+        cache.put(key, {"v": 1})
+        sub = cache.path_for(key).parent
+        old = sub / f"{key[:12]}.deadhost-1-0.tmp"
+        old.write_text("torn")
+        ancient = time.time() - 7200
+        os.utime(old, (ancient, ancient))
+        fresh = sub / f"{key[:12]}.livehost-2-0.tmp"
+        fresh.write_text("in flight")
+
+        reaped = cache.gc_stale_tmp(max_age_s=3600.0)
+        assert reaped == 1
+        assert not old.exists()
+        assert fresh.exists()  # a live writer's file is never yanked
+        assert cache.get(key) == {"v": 1}
+
+    def test_gc_zero_age_reaps_everything_after_drain(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        cache.put("12" * 32, {"v": 1})
+        sub = cache.path_for("12" * 32).parent
+        (sub / "121212121212.host-9-0.tmp").write_text("orphan")
+        # Only safe once no writers remain (e.g. a drained job queue).
+        assert cache.gc_stale_tmp(max_age_s=0.0) == 1
+        assert cache.gc_stale_tmp(max_age_s=0.0) == 0

@@ -1,0 +1,76 @@
+"""Retry backoff must respect the sweep deadline.
+
+Regression tests for a sleep-past-the-deadline bug: a failing cell with
+a large backoff (e.g. 5 s, against a sub-second deadline) used to park
+the sweep in ``time.sleep`` for the full backoff before re-checking the
+deadline — retrying cells the deadline had already condemned and holding
+the caller hostage for up to ``backoff_cap_s``.  The fix clamps every
+retry sleep (serial) and idle wait (parallel) to the time remaining.
+
+Property, over 10 base seeds and both execution modes: a cell whose
+retries would exceed the deadline is quarantined with
+``SweepDeadlineExceeded`` promptly — not retried past the deadline, not
+slept past it.
+"""
+
+import time
+
+import pytest
+
+from repro.orchestrate import RetryPolicy, expand_grid, run_cells
+
+from tests.orchestrate.cellfns import failing_cell
+
+#: Far larger than DEADLINE_S: an unclamped sleep is unmissable.
+BIG_BACKOFF = RetryPolicy(
+    max_attempts=20, backoff_s=5.0, backoff_cap_s=30.0, jitter=0.0
+)
+DEADLINE_S = 0.25
+#: Generous CI slack, still far below one unclamped 5 s backoff.
+PROMPT_S = 3.0
+
+
+def run_deadline_sweep(base_seed: int, workers: int):
+    cells = expand_grid("x", [1, 2], [base_seed])  # x=2 always fails
+    t0 = time.monotonic()
+    run = run_cells(
+        failing_cell,
+        cells,
+        workers=workers,
+        policy=BIG_BACKOFF,
+        deadline=DEADLINE_S,
+        on_error="quarantine",
+    )
+    return run, time.monotonic() - t0
+
+
+@pytest.mark.parametrize("base_seed", range(10))
+def test_serial_deadline_cuts_backoff_short(base_seed):
+    run, elapsed = run_deadline_sweep(base_seed, workers=0)
+    assert elapsed < PROMPT_S, f"slept past the deadline ({elapsed:.2f}s)"
+    # The healthy cell completed; the poison cell was condemned by the
+    # deadline, not retried through its 20-attempt budget.
+    assert [r.payload["value"] for r in run.results] == [1]
+    (failure,) = run.failures
+    assert failure.exc_type == "SweepDeadlineExceeded"
+    assert failure.seed == base_seed
+    assert failure.attempts < 3, "kept retrying past the deadline"
+
+
+@pytest.mark.parametrize("base_seed", range(10))
+def test_parallel_deadline_cuts_backoff_short(base_seed):
+    run, elapsed = run_deadline_sweep(base_seed, workers=2)
+    assert elapsed < PROMPT_S + 2.0, f"slept past the deadline ({elapsed:.2f}s)"
+    assert [r.payload["value"] for r in run.results] == [1]
+    (failure,) = run.failures
+    assert failure.exc_type == "SweepDeadlineExceeded"
+    assert failure.attempts < 3
+
+
+def test_deadline_failures_record_attempts_so_far():
+    # The quarantine record distinguishes "never ran" (attempts 0) from
+    # "failed then condemned mid-backoff" (attempts >= 1).
+    run, _ = run_deadline_sweep(0, workers=0)
+    (failure,) = run.failures
+    assert failure.attempts >= 1
+    assert len(failure.wall_s_per_attempt) == failure.attempts

@@ -66,3 +66,93 @@ class TestManifestIO:
         m = RunManifest(fn="f", n_cells=4, cache_hits=3)
         assert m.hit_ratio == 0.75
         assert RunManifest(fn="f").hit_ratio == 0.0
+
+
+class TestManifestMerge:
+    def shard(self, worker_id, cells, **overrides):
+        kwargs = dict(
+            fn="tests.orchestrate.cellfns.affine_cell",
+            grid={"x": [1, 2]},
+            seeds=[0, 1],
+            n_cells=4,
+            workers=1,
+            cells=cells,
+            cache_hits=0,
+            cache_misses=len(cells),
+            elapsed_s=1.0,
+            started_at="2026-08-07T00:00:00+00:00",
+            extra={"worker_id": worker_id, "host": "h", "pid": 1,
+                   "cells_claimed": len(cells)},
+        )
+        kwargs.update(overrides)
+        return RunManifest(**kwargs)
+
+    def row(self, x, seed, key, attempts=1):
+        return {"params": {"x": x}, "seed": seed, "key": key,
+                "cached": False, "wall_s": 0.1, "attempts": attempts}
+
+    def test_merge_restores_grid_order_and_sums_counters(self):
+        a = self.shard("a", [self.row(1, 0, "k0"), self.row(2, 1, "k3")],
+                       takeovers=1, elapsed_s=2.0)
+        b = self.shard("b", [self.row(1, 1, "k1"), self.row(2, 0, "k2")],
+                       zombie_writes_fenced=1, retries=2)
+        merged = RunManifest.merge([a, b], cell_order=["k0", "k1", "k2", "k3"])
+        assert [r["key"] for r in merged.cells] == ["k0", "k1", "k2", "k3"]
+        assert merged.workers == 2
+        assert merged.takeovers == 1
+        assert merged.zombie_writes_fenced == 1
+        assert merged.retries == 2
+        assert merged.elapsed_s == 2.0  # makespan, not sum
+        assert merged.n_cells == 4
+        assert merged.extra["merged_from"] == 2
+
+    def test_merge_carries_per_worker_provenance(self):
+        a = self.shard("a", [self.row(1, 0, "k0")], takeovers=1)
+        b = self.shard("b", [self.row(1, 1, "k1")])
+        merged = RunManifest.merge([a, b])
+        prov = {p["worker_id"]: p for p in merged.extra["workers"]}
+        assert prov["a"]["takeovers"] == 1
+        assert prov["b"]["takeovers"] == 0
+        assert prov["a"]["cells_committed"] == 1
+
+    def test_merge_dedups_rows_by_key(self):
+        # A torn shard must not double-count a cell another shard owns.
+        a = self.shard("a", [self.row(1, 0, "k0")])
+        b = self.shard("b", [self.row(1, 0, "k0"), self.row(1, 1, "k1")])
+        merged = RunManifest.merge([a, b])
+        assert len(merged.cells) == 2
+
+    def test_merge_dedups_failures_by_key(self):
+        failure = {"params": {"x": 2}, "seed": 0, "key": "kf",
+                   "exc_type": "RuntimeError", "message": "boom",
+                   "attempts": 3, "wall_s_per_attempt": [], "traceback": ""}
+        a = self.shard("a", [], failures=[failure])
+        b = self.shard("b", [], failures=[dict(failure)])
+        merged = RunManifest.merge([a, b])
+        assert len(merged.failures) == 1
+
+    def test_merge_rejects_mismatched_functions(self):
+        import pytest
+
+        a = self.shard("a", [])
+        b = self.shard("b", [], fn="other.fn")
+        with pytest.raises(ValueError, match="disagree"):
+            RunManifest.merge([a, b])
+        with pytest.raises(ValueError, match="at least one"):
+            RunManifest.merge([])
+
+    def test_merged_describe_mentions_distributed_counters(self):
+        a = self.shard("a", [self.row(1, 0, "k0")],
+                       takeovers=1, zombie_writes_fenced=1, cache_tmp_reaped=2)
+        merged = RunManifest.merge([a])
+        text = merged.describe()
+        assert "1 lease takeover(s)" in text
+        assert "1 fenced zombie write(s)" in text
+        assert "2 tmp file(s) reaped" in text
+
+    def test_quarantined_count_in_describe(self):
+        failure = {"params": {"x": 2}, "seed": 0, "key": "kf",
+                   "exc_type": "RuntimeError", "message": "boom",
+                   "attempts": 3, "wall_s_per_attempt": [], "traceback": ""}
+        m = RunManifest(fn="f", n_cells=2, failures=[failure])
+        assert "quarantined=1" in m.describe()

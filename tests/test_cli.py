@@ -337,3 +337,95 @@ class TestCommands:
         main(["report"])
         out = capsys.readouterr().out
         assert "===== fig2" in out
+
+
+class TestWorkerCommand:
+    ARGS = [
+        "--backend", "vector", "--n", "8", "--replicas", "2",
+        "--prefill", "300", "--steps", "300", "--betas", "1.0", "0.5",
+    ]
+
+    def test_single_worker_drains_queue_and_matches_sweep(self, capsys, tmp_path):
+        import json
+
+        sweep_rows = tmp_path / "sweep.json"
+        assert main(["sweep", *self.ARGS, "--json", str(sweep_rows)]) == 0
+        capsys.readouterr()
+
+        worker_rows = tmp_path / "worker.json"
+        merged = tmp_path / "merged.json"
+        assert (
+            main(
+                [
+                    "worker", *self.ARGS,
+                    "--queue-dir", str(tmp_path / "q"),
+                    "--lease-ttl", "10", "--worker-id", "w0",
+                    "--json", str(worker_rows), "--manifest", str(merged),
+                ]
+            )
+            == 0
+        )
+        out = capsys.readouterr().out
+        assert "worker w0: claimed 2, committed 2" in out
+        assert "merged manifest:" in out
+
+        from repro.orchestrate import strip_volatile
+
+        assert strip_volatile(json.loads(worker_rows.read_text())) == strip_volatile(
+            json.loads(sweep_rows.read_text())
+        )
+        manifest = json.loads(merged.read_text())
+        assert manifest["n_cells"] == 2
+        assert len(manifest["cells"]) == 2
+        assert manifest["takeovers"] == 0
+        assert manifest["extra"]["workers"][0]["worker_id"] == "w0"
+
+    def test_second_worker_invocation_resumes_with_cache_hits(self, capsys, tmp_path):
+        queue_dir = str(tmp_path / "q")
+        base = ["worker", *self.ARGS, "--queue-dir", queue_dir, "--lease-ttl", "10"]
+        assert main(base + ["--worker-id", "w0"]) == 0
+        capsys.readouterr()
+        # The queue is already drained: a late worker claims nothing and
+        # reports the same completed table.
+        assert main(base + ["--worker-id", "w1"]) == 0
+        out = capsys.readouterr().out
+        assert "worker w1: claimed 0, committed 0" in out
+        assert out.count(" vector ") >= 2
+
+    def test_mismatched_grid_rejected(self, tmp_path):
+        from repro.orchestrate import QueueSpecMismatch
+
+        queue_dir = str(tmp_path / "q")
+        assert main(
+            ["worker", *self.ARGS, "--queue-dir", queue_dir, "--lease-ttl", "10"]
+        ) == 0
+        with pytest.raises(QueueSpecMismatch):
+            main(
+                [
+                    "worker", *self.ARGS, "--queue-dir", queue_dir,
+                    "--lease-ttl", "10", "--seeds", "3",
+                ]
+            )
+
+    def test_quarantine_exits_nonzero_with_summary(self, capsys, tmp_path):
+        from repro.orchestrate import CellFault, SweepFaultPlan
+
+        plan = SweepFaultPlan(
+            (CellFault("raise", seed=1, params={"beta": 0.5}, attempts=(1,)),)
+        )
+        plan_path = plan.save(tmp_path / "plan.json")
+        with pytest.raises(SystemExit) as excinfo:
+            main(
+                [
+                    "worker", *self.ARGS,
+                    "--queue-dir", str(tmp_path / "q"),
+                    "--lease-ttl", "10", "--max-attempts", "1",
+                    "--fault-plan", str(plan_path), "--worker-id", "w0",
+                ]
+            )
+        assert excinfo.value.code == 1
+        captured = capsys.readouterr()
+        assert "quarantined=1 cell(s) failed, first:" in captured.err
+        assert "InjectedFault" in captured.err
+        # The surviving cell's row is still printed.
+        assert " vector " in captured.out
