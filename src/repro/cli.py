@@ -344,6 +344,37 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument(
         "paths", nargs="*", default=None, help="files/dirs to lint (default: the models)"
     )
+    p.add_argument(
+        "--json", action="store_true", help="emit violations/suppressions as JSON"
+    )
+
+    p = sub.add_parser(
+        "check",
+        help="whole-program determinism + lock-order checker (DET101-106, SAN105-106)",
+    )
+    p.add_argument(
+        "paths",
+        nargs="*",
+        default=None,
+        help="files/dirs to analyze (default: the installed repro tree)",
+    )
+    p.add_argument("--json", action="store_true", help="emit the report as JSON")
+    p.add_argument(
+        "--baseline",
+        default=None,
+        help="baseline suppression file; stale entries fail the run",
+    )
+    p.add_argument(
+        "--write-baseline",
+        default=None,
+        metavar="FILE",
+        help="write current findings to FILE as a baseline and exit 0",
+    )
+    p.add_argument(
+        "--reason",
+        default="baselined pre-existing finding; fix before extending this code",
+        help="reason recorded on entries written by --write-baseline",
+    )
 
     sub.add_parser("experiments", help="list all reproduced experiments")
 
@@ -874,10 +905,37 @@ def cmd_sanitize(args) -> None:
 
 
 def cmd_lint(args) -> None:
+    import json
+
     from repro.sanitizer.lint import lint_paths
 
     report = lint_paths(args.paths or None)
-    print(report.describe())
+    if args.json:
+        print(json.dumps(report.to_dict(), indent=2))
+    else:
+        print(report.describe())
+    if not report.ok:
+        raise SystemExit(1)
+
+
+def cmd_check(args) -> None:
+    import json
+
+    from repro.staticcheck import run_check, write_baseline
+
+    if args.write_baseline:
+        report = run_check(args.paths or None)
+        write_baseline(args.write_baseline, report.findings, args.reason)
+        print(
+            f"wrote {len(report.findings)} finding(s) to {args.write_baseline}; "
+            f"review the recorded reasons before committing"
+        )
+        return
+    report = run_check(args.paths or None, baseline=args.baseline)
+    if args.json:
+        print(json.dumps(report.to_dict(), indent=2))
+    else:
+        print(report.describe())
     if not report.ok:
         raise SystemExit(1)
 
@@ -925,6 +983,7 @@ _COMMANDS = {
     "chaos": cmd_chaos,
     "sanitize": cmd_sanitize,
     "lint": cmd_lint,
+    "check": cmd_check,
     "experiments": cmd_experiments,
     "report": cmd_report,
 }

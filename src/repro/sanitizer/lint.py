@@ -111,6 +111,24 @@ class LintReport:
         lines += ["  " + s.describe() for s in self.suppressed]
         return "\n".join(lines)
 
+    def to_dict(self) -> dict:
+        """Structured form of the report (``repro lint --json``), so CI
+        and ``repro check`` can merge lint output with checker reports."""
+        return {
+            "ok": self.ok,
+            "files_checked": self.files_checked,
+            "classes_checked": self.classes_checked,
+            "violations": [
+                {"file": v.file, "line": v.line, "rule": v.rule, "message": v.message}
+                for v in self.violations
+            ],
+            "suppressed": [
+                {"file": s.file, "line": s.line, "rule": s.rule, "reason": s.reason}
+                for s in self.suppressed
+            ],
+            "rules": dict(RULES),
+        }
+
 
 @dataclass(frozen=True)
 class StaticPolicy:

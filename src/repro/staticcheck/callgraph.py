@@ -1,0 +1,414 @@
+"""Whole-program call graph with per-function effect summaries.
+
+The analyzed tree is **parsed, never imported**: every module becomes an
+AST plus an import table, every function/method a node in the call
+graph.  Call edges are resolved syntactically —
+
+* direct names, chased through ``import`` / ``from ... import`` tables
+  (including package ``__init__`` re-exports, to a bounded depth);
+* ``self.method(...)`` within a class, including base classes defined in
+  the analyzed tree (one-level name-resolved MRO walk);
+* ``ClassName(...)`` as a call to ``ClassName.__init__``;
+* ``var.method(...)`` where ``var`` was locally assigned from a
+  resolvable ``ClassName(...)`` construction (local type propagation);
+* local function aliases: ``f = g`` / ``f = g if cond else h`` followed
+  by ``f(...)`` resolves to ``g`` (and ``h``).
+
+Effect summaries (:mod:`repro.staticcheck.effects`) are propagated to a
+fixpoint over these edges: a function's summary is its own direct
+effect sites unioned with every callee's, so the purity pass can ask
+"does any path from this root reach entropy?" with one set lookup, and
+the witness still points at the concrete offending line.
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+from collections import deque
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Dict, FrozenSet, Iterator, List, Optional, Set, Tuple
+
+from repro.staticcheck.effects import EffectSite, direct_effects
+
+
+def _name_candidates(value: ast.expr) -> Iterator[ast.expr]:
+    """Expressions a local alias assignment may bind: a bare name, or
+    either arm of a conditional expression (``f = g if cond else h``)."""
+    if isinstance(value, (ast.Name, ast.Attribute)):
+        yield value
+    elif isinstance(value, ast.IfExp):
+        yield from _name_candidates(value.body)
+        yield from _name_candidates(value.orelse)
+
+
+@dataclass
+class FunctionInfo:
+    """One function or method in the analyzed tree."""
+
+    qualname: str  # e.g. "repro.vector.sweep.run_vector_backend" or "...Cls.m"
+    node: ast.AST  # FunctionDef / AsyncFunctionDef
+    module: "ModuleInfo"
+    class_name: Optional[str] = None
+    #: Resolved callees: (callee qualname, call line).
+    calls: List[Tuple[str, int]] = field(default_factory=list)
+    direct_sites: List[EffectSite] = field(default_factory=list)
+
+    @property
+    def name(self) -> str:
+        return self.qualname.rsplit(".", 1)[-1]
+
+
+@dataclass
+class ClassInfo:
+    qualname: str
+    node: ast.ClassDef
+    module: "ModuleInfo"
+    methods: Dict[str, str] = field(default_factory=dict)  # name -> fn qualname
+    base_names: List[str] = field(default_factory=list)  # canonical base names
+
+
+@dataclass
+class ModuleInfo:
+    """One parsed module: AST, imports, symbols, suppression comments."""
+
+    name: str  # dotted module name ("repro.cli", or bare stem for fixtures)
+    path: Path
+    rel: str  # path relative to the scan root, for reports
+    tree: ast.Module
+    imports: Dict[str, str] = field(default_factory=dict)
+    functions: Dict[str, str] = field(default_factory=dict)  # local name -> qualname
+    classes: Dict[str, ClassInfo] = field(default_factory=dict)
+    global_names: Set[str] = field(default_factory=set)
+    #: line -> (rule, reason) from ``# staticcheck: allow(RULE) reason``.
+    suppressions: Dict[int, Tuple[str, str]] = field(default_factory=dict)
+
+    def canon(self, expr: ast.expr) -> Optional[str]:
+        """Canonical dotted name of an expression, or ``None``.
+
+        Leading names are chased through this module's import table;
+        names defined at module level resolve to ``<module>.<name>``;
+        anything else (builtins, unresolved) passes through unchanged so
+        callers can still match builtins like ``hash`` or ``sorted``.
+        """
+        parts: List[str] = []
+        node = expr
+        while isinstance(node, ast.Attribute):
+            parts.append(node.attr)
+            node = node.value
+        if not isinstance(node, ast.Name):
+            return None
+        base = node.id
+        origin = self.imports.get(base)
+        if origin is None:
+            if base in self.functions:
+                origin = self.functions[base]
+            elif base in self.classes:
+                origin = self.classes[base].qualname
+            elif base in self.global_names:
+                origin = f"{self.name}.{base}" if self.name else base
+            else:
+                origin = base
+        parts.append(origin)
+        return ".".join(reversed(parts))
+
+
+_SUPPRESS_RE = re.compile(r"#\s*staticcheck:\s*allow\(((?:DET|SAN)\d{3})\)\s*(.*)")
+
+
+def _module_name(path: Path, root: Path, package: Optional[str]) -> str:
+    """Dotted module name for ``path`` under ``root``.
+
+    With ``package`` (e.g. ``"repro"`` when scanning ``src/repro``), the
+    name is rooted there; without, bare stems (fixture directories).
+    """
+    rel = path.relative_to(root)
+    parts = list(rel.parts)
+    if parts[-1] == "__init__.py":
+        parts = parts[:-1]
+    else:
+        parts[-1] = parts[-1][:-3]
+    if package:
+        parts = [package] + parts
+    return ".".join(parts)
+
+
+def _build_imports(tree: ast.Module, module_name: str) -> Dict[str, str]:
+    imports: Dict[str, str] = {}
+    for node in ast.walk(tree):
+        if isinstance(node, ast.Import):
+            for alias in node.names:
+                local = alias.asname or alias.name.split(".")[0]
+                imports[local] = alias.name if alias.asname else alias.name.split(".")[0]
+        elif isinstance(node, ast.ImportFrom):
+            base = node.module or ""
+            if node.level:
+                # Relative import: resolve against this module's package.
+                pkg_parts = module_name.split(".")
+                # level 1 = current package (for a plain module, drop the
+                # module's own name); deeper levels walk further up.
+                pkg_parts = pkg_parts[: len(pkg_parts) - node.level]
+                base = ".".join(pkg_parts + ([node.module] if node.module else []))
+            for alias in node.names:
+                if alias.name == "*":
+                    continue
+                local = alias.asname or alias.name
+                imports[local] = f"{base}.{alias.name}" if base else alias.name
+    return imports
+
+
+class Project:
+    """The analyzed tree: modules, symbol index, call graph, summaries."""
+
+    def __init__(self) -> None:
+        self.modules: Dict[str, ModuleInfo] = {}
+        self.functions: Dict[str, FunctionInfo] = {}
+        self.classes: Dict[str, ClassInfo] = {}
+        #: qualname -> frozenset of reachable EffectSites (post-fixpoint).
+        self.summaries: Dict[str, FrozenSet[EffectSite]] = {}
+
+    # -- loading -------------------------------------------------------------
+
+    @classmethod
+    def load(
+        cls,
+        root: Path,
+        package: Optional[str] = None,
+        rel_base: Optional[Path] = None,
+    ) -> "Project":
+        """Parse every ``*.py`` under ``root`` into a project.
+
+        ``package`` prefixes dotted module names (``"repro"`` for the
+        real tree); ``rel_base`` controls how report paths are printed
+        (default: relative to ``root``'s parent).
+        """
+        project = cls()
+        root = Path(root).resolve()
+        rel_base = (rel_base or root.parent).resolve()
+        for path in sorted(root.rglob("*.py")):
+            name = _module_name(path, root, package)
+            try:
+                rel = str(path.relative_to(rel_base))
+            except ValueError:
+                rel = str(path)
+            project._load_module(name, path, rel)
+        project._resolve_calls()
+        project._propagate()
+        return project
+
+    def _load_module(self, name: str, path: Path, rel: str) -> None:
+        source = path.read_text()
+        tree = ast.parse(source, filename=str(path))
+        module = ModuleInfo(name=name, path=path, rel=rel, tree=tree)
+        module.imports = _build_imports(tree, name)
+        for lineno, line in enumerate(source.splitlines(), start=1):
+            match = _SUPPRESS_RE.search(line)
+            if match:
+                module.suppressions[lineno] = (match.group(1), match.group(2).strip())
+        prefix = f"{name}." if name else ""
+        for node in tree.body:
+            if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                qual = f"{prefix}{node.name}"
+                module.functions[node.name] = qual
+                self.functions[qual] = FunctionInfo(qual, node, module)
+            elif isinstance(node, ast.ClassDef):
+                cqual = f"{prefix}{node.name}"
+                info = ClassInfo(cqual, node, module)
+                for item in node.body:
+                    if isinstance(item, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                        mqual = f"{cqual}.{item.name}"
+                        info.methods[item.name] = mqual
+                        self.functions[mqual] = FunctionInfo(
+                            mqual, item, module, class_name=node.name
+                        )
+                module.classes[node.name] = info
+                self.classes[cqual] = info
+            elif isinstance(node, (ast.Assign, ast.AnnAssign, ast.AugAssign)):
+                targets = (
+                    node.targets if isinstance(node, ast.Assign) else [node.target]
+                )
+                for target in targets:
+                    if isinstance(target, ast.Name):
+                        module.global_names.add(target.id)
+        self.modules[name] = module
+        # Base-class canonical names need the import table, done above.
+        for cinfo in module.classes.values():
+            for base in cinfo.node.bases:
+                canonical = module.canon(base)
+                if canonical:
+                    cinfo.base_names.append(canonical)
+
+    # -- symbol chasing ------------------------------------------------------
+
+    def resolve_symbol(self, canonical: Optional[str], depth: int = 0) -> Optional[str]:
+        """Chase a canonical name to a function qualname, through package
+        re-exports (``from .runner import run_cells`` in ``__init__``)."""
+        if canonical is None or depth > 4:
+            return None
+        if canonical in self.functions:
+            return canonical
+        if canonical in self.classes:
+            init = self.classes[canonical].methods.get("__init__")
+            if init is None:
+                init = self._inherited_method(self.classes[canonical], "__init__")
+            return init
+        head, _, tail = canonical.rpartition(".")
+        module = self.modules.get(head)
+        if module is not None and tail in module.imports:
+            return self.resolve_symbol(module.imports[tail], depth + 1)
+        return None
+
+    def resolve_class(self, canonical: Optional[str], depth: int = 0) -> Optional[ClassInfo]:
+        if canonical is None or depth > 4:
+            return None
+        if canonical in self.classes:
+            return self.classes[canonical]
+        head, _, tail = canonical.rpartition(".")
+        module = self.modules.get(head)
+        if module is not None and tail in module.imports:
+            return self.resolve_class(module.imports[tail], depth + 1)
+        return None
+
+    def _inherited_method(self, cinfo: ClassInfo, method: str) -> Optional[str]:
+        seen: Set[str] = set()
+        stack = list(cinfo.base_names)
+        while stack:
+            base_name = stack.pop(0)
+            if base_name in seen:
+                continue
+            seen.add(base_name)
+            base = self.resolve_class(base_name)
+            if base is None:
+                continue
+            if method in base.methods:
+                return base.methods[method]
+            stack.extend(base.base_names)
+        return None
+
+    def method_of(self, cinfo: ClassInfo, method: str) -> Optional[str]:
+        return cinfo.methods.get(method) or self._inherited_method(cinfo, method)
+
+    # -- call resolution -----------------------------------------------------
+
+    def _resolve_calls(self) -> None:
+        for fn in self.functions.values():
+            self._resolve_function(fn)
+
+    def _resolve_function(self, fn: FunctionInfo) -> None:
+        module = fn.module
+        #: local var -> ClassInfo (from ``x = ClassName(...)``).
+        local_types: Dict[str, ClassInfo] = {}
+        #: local var -> function qualnames (from ``f = g`` aliases).
+        aliases: Dict[str, List[str]] = {}
+        for node in ast.walk(fn.node):
+            if isinstance(node, ast.Assign) and len(node.targets) == 1:
+                target = node.targets[0]
+                if not isinstance(target, ast.Name):
+                    continue
+                value = node.value
+                if isinstance(value, ast.Call):
+                    cinfo = self.resolve_class(module.canon(value.func))
+                    if cinfo is not None:
+                        local_types[target.id] = cinfo
+                else:
+                    funcs = [
+                        sym
+                        for cand in _name_candidates(value)
+                        for sym in [self.resolve_symbol(module.canon(cand))]
+                        if sym is not None
+                    ]
+                    if funcs:
+                        aliases[target.id] = funcs
+
+        own_class = (
+            module.classes.get(fn.class_name) if fn.class_name is not None else None
+        )
+        for node in ast.walk(fn.node):
+            if not isinstance(node, ast.Call):
+                continue
+            func = node.func
+            # self.method(...) → same class (or inherited).
+            if (
+                isinstance(func, ast.Attribute)
+                and isinstance(func.value, ast.Name)
+                and func.value.id in ("self", "cls")
+                and own_class is not None
+            ):
+                target = self.method_of(own_class, func.attr)
+                if target is not None:
+                    fn.calls.append((target, node.lineno))
+                continue
+            # var.method(...) with locally-known type.
+            if (
+                isinstance(func, ast.Attribute)
+                and isinstance(func.value, ast.Name)
+                and func.value.id in local_types
+            ):
+                target = self.method_of(local_types[func.value.id], func.attr)
+                if target is not None:
+                    fn.calls.append((target, node.lineno))
+                continue
+            # Aliased local function variable.
+            if isinstance(func, ast.Name) and func.id in aliases:
+                for target in aliases[func.id]:
+                    fn.calls.append((target, node.lineno))
+                continue
+            target = self.resolve_symbol(module.canon(func))
+            if target is not None:
+                fn.calls.append((target, node.lineno))
+
+    # -- effect propagation --------------------------------------------------
+
+    def _propagate(self) -> None:
+        for fn in self.functions.values():
+            fn.direct_sites = direct_effects(
+                fn.node,
+                fn.qualname,
+                fn.module.rel,
+                fn.module.canon,
+                fn.module.global_names,
+            )
+        summaries: Dict[str, FrozenSet[EffectSite]] = {
+            q: frozenset(fn.direct_sites) for q, fn in self.functions.items()
+        }
+        changed = True
+        while changed:
+            changed = False
+            for qual, fn in self.functions.items():
+                merged = set(summaries[qual])
+                for callee, _line in fn.calls:
+                    merged |= summaries.get(callee, frozenset())
+                frozen = frozenset(merged)
+                if frozen != summaries[qual]:
+                    summaries[qual] = frozen
+                    changed = True
+        self.summaries = summaries
+
+    # -- queries -------------------------------------------------------------
+
+    def call_path(self, root: str, target_fn: str) -> List[str]:
+        """Shortest call chain ``root -> ... -> target_fn`` (BFS), as
+        qualnames.  Empty when target is unreachable or equals root."""
+        if root == target_fn:
+            return [root]
+        parents: Dict[str, str] = {}
+        queue = deque([root])
+        seen = {root}
+        while queue:
+            current = queue.popleft()
+            fn = self.functions.get(current)
+            if fn is None:
+                continue
+            for callee, _line in fn.calls:
+                if callee in seen:
+                    continue
+                seen.add(callee)
+                parents[callee] = current
+                if callee == target_fn:
+                    path = [callee]
+                    while path[-1] in parents:
+                        path.append(parents[path[-1]])
+                    return list(reversed(path))
+                queue.append(callee)
+        return []

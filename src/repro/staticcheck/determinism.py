@@ -1,0 +1,281 @@
+"""The determinism / cell-purity pass: rules DET101–DET106.
+
+The orchestrator's content-addressed cache and the multi-host job queue
+assume every sweep cell is a **pure, deterministic function of
+``(fn, params, seed, config)``**.  This pass verifies that assumption
+statically: it roots at every orchestrator cell and process entry point,
+asks the call-graph summaries which effects each root can reach, and
+maps effects to rules —
+
+=======  ===================================================================
+DET101   unseeded entropy (``default_rng()``/``SeedSequence()`` with no
+         argument, ``as_generator(None)``, ``spawn_seeds(None, ...)``,
+         stdlib ``random``, ``uuid4``, ...) reachable from a root.  The
+         CLI (``repro.cli``) is the declared entropy *boundary* — sites
+         inside it are exempt, everything below it must thread seeds.
+DET102   wall-clock reads reachable from a root, plus (locally, in every
+         root-reachable function) a wall-clock-derived value stored under
+         a payload key outside the declared volatile sets
+         (``VOLATILE_KEYS`` / ``FAILURE_VOLATILE_KEYS`` / ``wall``).
+DET103   environment/host-identity reads reachable from a root — and
+         anywhere inside cache-key construction, env-dependent keys
+         poison cross-host cache sharing silently.
+DET104   builtin ``hash()`` reachable from a root or key construction:
+         salted per process, so derived values differ across workers.
+DET105   unordered set iteration reachable from a root: results that
+         depend on hash-salted iteration order are not replayable.
+DET106   module-level mutable state written by root-reachable code:
+         worker-executed writes to globals diverge across pool workers
+         and vanish across process boundaries.
+=======  ===================================================================
+
+Roots are discovered, not declared:
+
+* any function named ``sweep_cell_*`` anywhere in the tree;
+* the function argument of every ``run_cells(...)`` / ``sweep_cells`` /
+  ``sweep(...)`` / ``queue_worker(...)`` / ``QueueWorker(...)`` call
+  site that resolves syntactically;
+* module-level ``run_*`` / ``compare_*`` entry points of ``repro.core``
+  and ``repro.vector``.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Dict, List, Optional, Sequence, Set, Tuple
+
+from repro.staticcheck.callgraph import FunctionInfo, Project
+from repro.staticcheck.effects import (
+    ENTROPY,
+    ENV,
+    GLOBAL_MUT,
+    STR_HASH,
+    UNORDERED_ITER,
+    WALL_CLOCK,
+    WALL_CLOCK_CALLS,
+)
+from repro.staticcheck.report import Finding
+
+EFFECT_RULES = {
+    ENTROPY: "DET101",
+    WALL_CLOCK: "DET102",
+    ENV: "DET103",
+    STR_HASH: "DET104",
+    UNORDERED_ITER: "DET105",
+    GLOBAL_MUT: "DET106",
+}
+
+#: Call sites whose function argument is a purity root (terminal names).
+ORCHESTRATION_ENTRY_POINTS = frozenset(
+    {"run_cells", "sweep_cells", "sweep", "queue_worker", "QueueWorker"}
+)
+
+#: Payload keys that may legitimately carry wall-clock-derived values.
+#: Seeded from the tree's own declarations (see ``declared_volatile_keys``)
+#: plus the runner-internal fields.
+BASE_VOLATILE_KEYS = frozenset(
+    {"elapsed_s", "ops_per_sec", "speedup", "wall", "wall_s",
+     "wall_s_per_attempt", "traceback", "started_at", "elapsed"}
+)
+
+
+def declared_volatile_keys(project: Project) -> Set[str]:
+    """Read ``*VOLATILE_KEYS = frozenset({...})`` declarations from the
+    analyzed tree itself (no imports), so the allowed set tracks the
+    orchestrator's own contract instead of a copy that can drift."""
+    keys: Set[str] = set(BASE_VOLATILE_KEYS)
+    for module in project.modules.values():
+        for node in module.tree.body:
+            if not isinstance(node, ast.Assign) or len(node.targets) != 1:
+                continue
+            target = node.targets[0]
+            if not (isinstance(target, ast.Name) and target.id.endswith("VOLATILE_KEYS")):
+                continue
+            for sub in ast.walk(node.value):
+                if isinstance(sub, ast.Constant) and isinstance(sub.value, str):
+                    keys.add(sub.value)
+    return keys
+
+
+def discover_roots(project: Project) -> List[str]:
+    """The purity roots: sweep cells, orchestrated functions, entry points."""
+    roots: Set[str] = set()
+    for qual, fn in project.functions.items():
+        if fn.name.startswith("sweep_cell_"):
+            roots.add(qual)
+        elif (
+            fn.class_name is None
+            and (fn.name.startswith("run_") or fn.name.startswith("compare_"))
+            and _is_entry_module(fn.module.name)
+        ):
+            roots.add(qual)
+    # Call-site discovery: first arg (or fn=) of orchestration calls.
+    for module in project.modules.values():
+        for node in ast.walk(module.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            name = module.canon(node.func)
+            terminal = name.rsplit(".", 1)[-1] if name else None
+            if terminal not in ORCHESTRATION_ENTRY_POINTS:
+                continue
+            arg: Optional[ast.expr] = node.args[0] if node.args else None
+            if arg is None:
+                for kw in node.keywords:
+                    if kw.arg == "fn":
+                        arg = kw.value
+            if arg is None:
+                continue
+            resolved = project.resolve_symbol(module.canon(arg))
+            if resolved is not None:
+                roots.add(resolved)
+    return sorted(roots)
+
+
+def _is_entry_module(module_name: str) -> bool:
+    parts = module_name.split(".")
+    return "core" in parts or "vector" in parts
+
+
+def run_determinism_pass(
+    project: Project,
+    roots: Optional[Sequence[str]] = None,
+    entropy_boundary: Sequence[str] = ("repro.cli",),
+    volatile_keys: Optional[Set[str]] = None,
+) -> Tuple[List[Finding], List[str]]:
+    """Run DET101–DET106; returns ``(findings, roots_used)``."""
+    roots = list(roots) if roots is not None else discover_roots(project)
+    boundary = set(entropy_boundary)
+    allowed_keys = volatile_keys if volatile_keys is not None else declared_volatile_keys(project)
+
+    findings: List[Finding] = []
+    seen: Set[Tuple[str, str, int]] = set()
+
+    for root in roots:
+        for site in sorted(
+            project.summaries.get(root, frozenset()),
+            key=lambda s: (s.witness.file, s.witness.line),
+        ):
+            rule = EFFECT_RULES.get(site.effect)
+            if rule is None:
+                continue  # FILESYSTEM: summary-only, no DET rule
+            owner = project.functions.get(site.function)
+            if (
+                site.effect == ENTROPY
+                and owner is not None
+                and owner.module.name in boundary
+            ):
+                continue
+            dedupe = (rule, site.witness.file, site.witness.line)
+            if dedupe in seen:
+                continue
+            seen.add(dedupe)
+            path = project.call_path(root, site.function)
+            findings.append(
+                Finding(
+                    rule=rule,
+                    file=site.witness.file,
+                    line=site.witness.line,
+                    symbol=site.function,
+                    message=f"{site.witness.detail} (reachable from root {root})",
+                    path=tuple(path),
+                )
+            )
+
+    # DET102 payload-key taint: local, in every root-reachable function.
+    reachable = _reachable_functions(project, roots)
+    for qual in sorted(reachable):
+        fn = project.functions.get(qual)
+        if fn is None:
+            continue
+        for line, key in _wall_clock_key_sinks(fn, allowed_keys):
+            dedupe = ("DET102", fn.module.rel, line)
+            if dedupe in seen:
+                continue
+            seen.add(dedupe)
+            findings.append(
+                Finding(
+                    rule="DET102",
+                    file=fn.module.rel,
+                    line=line,
+                    symbol=qual,
+                    message=(
+                        f"wall-clock-derived value stored under payload key "
+                        f"{key!r}, which is not in the declared volatile set"
+                    ),
+                )
+            )
+    findings.sort(key=lambda f: (f.file, f.line, f.rule))
+    return findings, roots
+
+
+def _reachable_functions(project: Project, roots: Sequence[str]) -> Set[str]:
+    seen: Set[str] = set()
+    stack = list(roots)
+    while stack:
+        current = stack.pop()
+        if current in seen:
+            continue
+        seen.add(current)
+        fn = project.functions.get(current)
+        if fn is None:
+            continue
+        stack.extend(callee for callee, _ in fn.calls)
+    return seen
+
+
+def _wall_clock_key_sinks(
+    fn: FunctionInfo, allowed_keys: Set[str]
+) -> List[Tuple[int, str]]:
+    """Local taint: wall-clock values stored under non-volatile keys.
+
+    Taint seeds are wall-clock calls; it flows through arithmetic and
+    simple assignments (textual order — good enough for the measurement
+    idiom ``start = perf_counter() ... out["k"] = perf_counter() -
+    start``).  Sinks are constant-keyed dict-literal entries and
+    constant-keyed subscript stores.
+    """
+    canon = fn.module.canon
+    tainted: Set[str] = set()
+
+    def expr_tainted(node: ast.expr) -> bool:
+        for sub in ast.walk(node):
+            if isinstance(sub, ast.Call) and canon(sub.func) in WALL_CLOCK_CALLS:
+                return True
+            if isinstance(sub, ast.Name) and sub.id in tainted:
+                return True
+        return False
+
+    sinks: List[Tuple[int, str]] = []
+
+    def visit_block(stmts: Sequence[ast.stmt]) -> None:
+        for stmt in stmts:
+            for node in ast.walk(stmt):
+                if isinstance(node, ast.Assign):
+                    if expr_tainted(node.value):
+                        for target in node.targets:
+                            if isinstance(target, ast.Name):
+                                tainted.add(target.id)
+                            elif (
+                                isinstance(target, ast.Subscript)
+                                and isinstance(target.slice, ast.Constant)
+                                and isinstance(target.slice.value, str)
+                                and target.slice.value not in allowed_keys
+                            ):
+                                sinks.append((node.lineno, target.slice.value))
+                elif isinstance(node, ast.AugAssign):
+                    if expr_tainted(node.value) and isinstance(node.target, ast.Name):
+                        tainted.add(node.target.id)
+                elif isinstance(node, ast.Dict):
+                    for key, value in zip(node.keys, node.values):
+                        if (
+                            isinstance(key, ast.Constant)
+                            and isinstance(key.value, str)
+                            and key.value not in allowed_keys
+                            and value is not None
+                            and expr_tainted(value)
+                        ):
+                            sinks.append((node.lineno, key.value))
+
+    body = getattr(fn.node, "body", [])
+    visit_block(body)
+    return sinks

@@ -1,0 +1,357 @@
+"""The effect lattice: what a function *does* that purity cares about.
+
+Every function in the analyzed tree gets a summary of its **direct**
+effects — facts established by looking at its own AST, before any
+interprocedural propagation.  The lattice is a powerset of seven flags:
+
+==============  =============================================================
+ENTROPY         draws OS entropy: ``np.random.default_rng()`` / unseeded
+                ``SeedSequence``, the legacy ``numpy.random`` global RNG,
+                the stdlib ``random`` module, ``uuid4``, ``os.urandom``,
+                ``secrets``, or ``as_generator(None)`` / a literal-``None``
+                seed handed to ``spawn_seeds``
+WALL_CLOCK      reads the wall clock (``time.time``/``perf_counter``/
+                ``monotonic``/``process_time`` and ``datetime`` equivalents)
+ENV             reads the process environment or host identity
+                (``os.environ``, ``os.getenv``, ``socket.gethostname``, ...)
+FILESYSTEM      touches the filesystem (``open``, ``os.listdir``,
+                ``Path.read_text``, ...); tracked for summaries, no DET rule
+GLOBAL_MUT      mutates module-level state (``global`` + store, or
+                ``.append``/``[k] =``/attribute stores on module globals)
+STR_HASH        calls builtin ``hash()`` — salted per process since 3.3, so
+                any value derived from it is not stable across runs
+UNORDERED_ITER  iterates a set (literal, comprehension, or ``set(...)``)
+                without ``sorted(...)`` — iteration order varies with hash
+                salting, so anything it feeds is order-nondeterministic
+==============  =============================================================
+
+Direct effects carry a :class:`Witness` — file, line, and a one-line
+description of the offending construct — so the determinism pass can
+point a finding at the exact site even when it is three calls below the
+cell that makes it a problem.
+
+Matching is by *canonical name*: each module's import table is resolved
+so ``np.random.default_rng``, ``from numpy.random import default_rng``,
+and ``from numpy import random; random.default_rng`` all normalise to
+``numpy.random.default_rng``.  The seed helpers ``as_generator`` /
+``spawn_seeds`` are matched by terminal name so re-exports (e.g. via
+``repro.utils``) cannot dodge the check.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Set
+
+# -- the lattice -------------------------------------------------------------
+
+ENTROPY = "entropy"
+WALL_CLOCK = "wall_clock"
+ENV = "env"
+FILESYSTEM = "filesystem"
+GLOBAL_MUT = "global_mutation"
+STR_HASH = "str_hash"
+UNORDERED_ITER = "unordered_iteration"
+
+ALL_EFFECTS = (
+    ENTROPY, WALL_CLOCK, ENV, FILESYSTEM, GLOBAL_MUT, STR_HASH, UNORDERED_ITER,
+)
+
+
+@dataclass(frozen=True)
+class Witness:
+    """Where a direct effect happens: the site a finding should point at."""
+
+    file: str
+    line: int
+    detail: str
+
+
+@dataclass(frozen=True)
+class EffectSite:
+    """One direct effect occurrence, attributed to its owning function."""
+
+    effect: str
+    function: str  # fully-qualified name of the function containing the site
+    witness: Witness
+
+
+# -- canonical-name tables ---------------------------------------------------
+
+#: Calls that draw entropy whatever their arguments.
+ENTROPY_CALLS = frozenset({
+    "random.random", "random.randint", "random.randrange", "random.choice",
+    "random.choices", "random.shuffle", "random.sample", "random.uniform",
+    "random.gauss", "random.getrandbits", "random.randbytes", "random.seed",
+    "numpy.random.random", "numpy.random.random_sample", "numpy.random.rand",
+    "numpy.random.randn", "numpy.random.randint", "numpy.random.choice",
+    "numpy.random.shuffle", "numpy.random.permutation", "numpy.random.seed",
+    "numpy.random.standard_normal", "numpy.random.uniform",
+    "uuid.uuid1", "uuid.uuid4",
+    "secrets.token_bytes", "secrets.token_hex", "secrets.token_urlsafe",
+    "secrets.randbelow", "secrets.choice",
+    "os.urandom",
+})
+
+#: Calls that draw entropy only when called with no argument (or an
+#: explicit literal ``None``): seeded, they are the reproducible path.
+ENTROPY_IF_UNSEEDED = frozenset({
+    "numpy.random.default_rng", "numpy.random.SeedSequence",
+})
+
+#: repro's own seed coercers, matched by terminal name (re-export-proof):
+#: ``as_generator()`` / ``as_generator(None)`` is the entropy-by-default
+#: footgun, legal only at the CLI boundary.
+SEED_COERCERS = frozenset({"as_generator"})
+
+#: Spawning independent streams from ``None`` is *never* reproducible —
+#: flagged wherever it appears (and rejected at runtime by rngtools).
+SEED_SPAWNERS = frozenset({"spawn_seeds", "RngStreams"})
+
+WALL_CLOCK_CALLS = frozenset({
+    "time.time", "time.time_ns", "time.perf_counter", "time.perf_counter_ns",
+    "time.monotonic", "time.monotonic_ns", "time.process_time",
+    "time.process_time_ns", "time.clock_gettime",
+    "datetime.datetime.now", "datetime.datetime.utcnow",
+    "datetime.datetime.today", "datetime.date.today",
+})
+
+ENV_CALLS = frozenset({
+    "os.getenv", "os.uname", "socket.gethostname", "socket.getfqdn",
+    "platform.node", "platform.platform", "getpass.getuser", "os.getlogin",
+    "os.cpu_count", "multiprocessing.cpu_count",
+})
+
+#: Names whose mere *read* is an environment dependency.
+ENV_READS = frozenset({"os.environ", "sys.argv"})
+
+FILESYSTEM_CALLS = frozenset({
+    "open", "io.open", "os.listdir", "os.scandir", "os.walk", "os.stat",
+    "os.replace", "os.rename", "os.unlink", "os.remove", "os.mkdir",
+    "os.makedirs", "os.open", "os.rmdir", "glob.glob", "glob.iglob",
+    "shutil.copy", "shutil.copyfile", "shutil.move", "shutil.rmtree",
+    "tempfile.mkstemp", "tempfile.mkdtemp", "tempfile.NamedTemporaryFile",
+})
+
+#: Method names that read/write files on any receiver (Path idiom) —
+#: informational only, so the unknown-receiver imprecision is acceptable.
+FILESYSTEM_METHODS = frozenset({
+    "read_text", "write_text", "read_bytes", "write_bytes",
+    "iterdir", "rglob", "touch",
+})
+
+#: ``x.<name>(...)`` calls that mutate the receiver in place.
+_MUTATOR_METHODS = frozenset({
+    "append", "extend", "insert", "add", "update", "setdefault", "pop",
+    "popitem", "clear", "remove", "discard", "appendleft",
+})
+
+
+def _is_none(node: ast.expr) -> bool:
+    return isinstance(node, ast.Constant) and node.value is None
+
+
+def _first_arg(call: ast.Call) -> Optional[ast.expr]:
+    if call.args:
+        return call.args[0]
+    for kw in call.keywords:
+        if kw.arg in ("seed", "rng"):
+            return kw.value
+    return None
+
+
+def _unseeded(call: ast.Call) -> bool:
+    """No argument at all, or an explicit literal ``None`` seed."""
+    arg = _first_arg(call)
+    return arg is None or _is_none(arg)
+
+
+class _SetTracker:
+    """Which local names (syntactically) hold sets inside one function."""
+
+    def __init__(self, func: ast.AST, canon) -> None:
+        self.names: Set[str] = set()
+        for node in ast.walk(func):
+            if isinstance(node, ast.Assign) and _is_set_expr(node.value, canon, self.names):
+                for target in node.targets:
+                    if isinstance(target, ast.Name):
+                        self.names.add(target.id)
+
+    def is_set(self, node: ast.expr, canon) -> bool:
+        if isinstance(node, ast.Name):
+            return node.id in self.names
+        return _is_set_expr(node, canon, self.names)
+
+
+def _is_set_expr(node: ast.expr, canon, set_names: Set[str]) -> bool:
+    if isinstance(node, (ast.Set, ast.SetComp)):
+        return True
+    if isinstance(node, ast.Call) and canon(node.func) in ("set", "frozenset"):
+        return True
+    if isinstance(node, ast.Name):
+        return node.id in set_names
+    if isinstance(node, ast.BinOp) and isinstance(node.op, (ast.BitAnd, ast.BitOr, ast.BitXor, ast.Sub)):
+        return _is_set_expr(node.left, canon, set_names) and _is_set_expr(
+            node.right, canon, set_names
+        )
+    return False
+
+
+def direct_effects(
+    func: ast.AST,
+    qualname: str,
+    rel_file: str,
+    canon,
+    module_globals: Set[str],
+) -> List[EffectSite]:
+    """Scan one function body for direct effects.
+
+    ``canon`` maps an expression to its canonical dotted name (or
+    ``None``); ``module_globals`` names the module-level bindings of the
+    enclosing module (for GLOBAL_MUT).  Nested functions and lambdas are
+    included: they are part of this function's behaviour whenever they
+    run, and over-approximating is the conservative direction.
+    """
+    sites: List[EffectSite] = []
+    declared_global: Set[str] = set()
+    local_stores: Set[str] = _local_store_names(func)
+    sets = _SetTracker(func, canon)
+
+    def emit(effect: str, node: ast.AST, detail: str) -> None:
+        sites.append(
+            EffectSite(effect, qualname, Witness(rel_file, node.lineno, detail))
+        )
+
+    for node in ast.walk(func):
+        if isinstance(node, ast.Global):
+            declared_global.update(node.names)
+
+    for node in ast.walk(func):
+        if isinstance(node, ast.Call):
+            name = canon(node.func)
+            terminal = name.rsplit(".", 1)[-1] if name else (
+                node.func.attr if isinstance(node.func, ast.Attribute) else None
+            )
+            if name in ENTROPY_CALLS:
+                emit(ENTROPY, node, f"{name}() draws from the global/OS entropy source")
+            elif name in ENTROPY_IF_UNSEEDED and _unseeded(node):
+                emit(ENTROPY, node, f"{name}() without a seed draws OS entropy")
+            elif terminal in SEED_COERCERS and _unseeded(node):
+                emit(
+                    ENTROPY, node,
+                    f"{terminal}(None) coerces to a fresh-entropy generator",
+                )
+            elif terminal in SEED_SPAWNERS and node.args and _is_none(node.args[0]):
+                emit(
+                    ENTROPY, node,
+                    f"{terminal}(None, ...) spawns unreproducible streams",
+                )
+            elif name in WALL_CLOCK_CALLS:
+                emit(WALL_CLOCK, node, f"{name}() reads the wall clock")
+            elif name in ENV_CALLS:
+                emit(ENV, node, f"{name}() reads the process environment")
+            elif name in FILESYSTEM_CALLS:
+                emit(FILESYSTEM, node, f"{name}() touches the filesystem")
+            elif name is None and terminal in FILESYSTEM_METHODS:
+                emit(FILESYSTEM, node, f".{terminal}() touches the filesystem")
+            elif name == "hash":
+                emit(
+                    STR_HASH, node,
+                    "builtin hash() is salted per process (PYTHONHASHSEED)",
+                )
+            if terminal in _MUTATOR_METHODS and isinstance(node.func, ast.Attribute):
+                base = node.func.value
+                if (
+                    isinstance(base, ast.Name)
+                    and base.id in module_globals
+                    and base.id not in local_stores
+                ):
+                    emit(
+                        GLOBAL_MUT, node,
+                        f"mutates module-level {base.id!r} via .{terminal}()",
+                    )
+            if name in ("list", "tuple", "enumerate", "iter") and node.args:
+                if sets.is_set(node.args[0], canon):
+                    emit(
+                        UNORDERED_ITER, node,
+                        f"{name}() over a set: iteration order is hash-salted",
+                    )
+        elif isinstance(node, (ast.Name, ast.Attribute)):
+            name = canon(node)
+            if name in ENV_READS and isinstance(getattr(node, "ctx", None), ast.Load):
+                emit(ENV, node, f"reads {name}")
+        elif isinstance(node, ast.For):
+            if sets.is_set(node.iter, canon):
+                emit(
+                    UNORDERED_ITER, node,
+                    "for-loop over a set: iteration order is hash-salted",
+                )
+        elif isinstance(node, (ast.ListComp, ast.SetComp, ast.DictComp, ast.GeneratorExp)):
+            for gen in node.generators:
+                if sets.is_set(gen.iter, canon):
+                    emit(
+                        UNORDERED_ITER, node,
+                        "comprehension over a set: iteration order is hash-salted",
+                    )
+        elif isinstance(node, (ast.Assign, ast.AugAssign)):
+            targets = node.targets if isinstance(node, ast.Assign) else [node.target]
+            for target in targets:
+                for name, how in _global_store(target, module_globals, declared_global, local_stores):
+                    emit(GLOBAL_MUT, node, f"{how} module-level {name!r}")
+
+    return sites
+
+
+def _local_store_names(func: ast.AST) -> Set[str]:
+    """Names bound locally (assignment targets, params, for targets) —
+    these shadow module globals for GLOBAL_MUT purposes."""
+    names: Set[str] = set()
+    args = getattr(func, "args", None)
+    if args is not None:
+        for a in list(args.args) + list(args.posonlyargs) + list(args.kwonlyargs):
+            names.add(a.arg)
+        if args.vararg:
+            names.add(args.vararg.arg)
+        if args.kwarg:
+            names.add(args.kwarg.arg)
+    for node in ast.walk(func):
+        if isinstance(node, ast.Assign):
+            for target in node.targets:
+                if isinstance(target, ast.Name):
+                    names.add(target.id)
+        elif isinstance(node, ast.For) and isinstance(node.target, ast.Name):
+            names.add(node.target.id)
+        elif isinstance(node, (ast.With,)):
+            for item in node.items:
+                if isinstance(item.optional_vars, ast.Name):
+                    names.add(item.optional_vars.id)
+    return names
+
+
+def _global_store(
+    target: ast.expr,
+    module_globals: Set[str],
+    declared_global: Set[str],
+    local_stores: Set[str],
+):
+    """Yield ``(name, description)`` for stores that hit module state."""
+    if isinstance(target, ast.Name):
+        if target.id in declared_global and target.id in module_globals:
+            yield target.id, "rebinds (via `global`)"
+    elif isinstance(target, ast.Subscript):
+        base = target.value
+        if (
+            isinstance(base, ast.Name)
+            and base.id in module_globals
+            and base.id not in local_stores
+        ):
+            yield base.id, "item-assigns into"
+    elif isinstance(target, ast.Attribute):
+        base = target.value
+        if (
+            isinstance(base, ast.Name)
+            and base.id in module_globals
+            and base.id not in local_stores
+        ):
+            yield base.id, "attribute-assigns onto"

@@ -1,26 +1,44 @@
 """Deterministic random-number stream management.
 
 All stochastic components in the library accept either a seed, a
-``numpy.random.Generator``, or ``None`` (fresh entropy).  Experiments that
+``numpy.random.Generator``, or a ``SeedSequence``.  Experiments that
 need *independent but reproducible* streams (e.g. one per simulated
 thread) use :class:`RngStreams`, which spawns child generators from a
 single root seed via ``numpy``'s ``SeedSequence`` machinery.
+
+**The entropy boundary.**  The CLI is the only place allowed to decide
+"no seed given, draw OS entropy" — everything below it (library code,
+sweep cells, workers) must thread an explicit seed, or cached results
+stop being a function of their parameters and cross-host replays
+silently diverge.  Concretely:
+
+* :func:`as_generator` requires its argument.  Passing an explicit
+  ``None`` still yields a fresh-entropy generator for the CLI-boundary
+  case, but ``repro check`` (DET101) flags any ``as_generator(None)``
+  outside ``repro/cli.py``.
+* :func:`spawn_seeds` and :class:`RngStreams` reject ``None`` outright:
+  spawning *independent named streams* from entropy is never
+  reproducible, so there is no boundary case to allow.
 """
 
 from __future__ import annotations
 
-from typing import List, Optional, Union
+from typing import List, Union
 
 import numpy as np
 
 SeedLike = Union[None, int, np.random.Generator, np.random.SeedSequence]
 
 
-def as_generator(seed: SeedLike = None) -> np.random.Generator:
+def as_generator(seed: SeedLike) -> np.random.Generator:
     """Coerce ``seed`` into a ``numpy.random.Generator``.
 
-    Accepts ``None`` (OS entropy), an integer seed, a ``SeedSequence``,
-    or an existing ``Generator`` (returned unchanged).
+    Accepts an integer seed, a ``SeedSequence``, an existing
+    ``Generator`` (returned unchanged), or an explicit ``None`` (fresh
+    OS entropy).  The argument is required: callers must *state* their
+    seeding decision.  ``None`` is legal only at the CLI entropy
+    boundary — library and worker code passing it trips DET101 in
+    ``repro check``.
     """
     if isinstance(seed, np.random.Generator):
         return seed
@@ -35,8 +53,15 @@ def spawn_seeds(seed: SeedLike, count: int) -> List[np.random.Generator]:
     Derived deterministically from ``seed`` when it is an int or
     ``SeedSequence``; if ``seed`` is already a ``Generator``, children are
     spawned from it (still independent, reproducible given the generator
-    state).
+    state).  ``seed=None`` is rejected: unseeded independent streams are
+    unreproducible by construction, and the silent-entropy default was
+    exactly the footgun DET101 exists to catch.
     """
+    if seed is None:
+        raise ValueError(
+            "spawn_seeds(None, ...) would draw OS entropy; pass an explicit "
+            "seed — only the CLI may decide to run unseeded"
+        )
     if count < 0:
         raise ValueError(f"count must be non-negative, got {count}")
     if isinstance(seed, np.random.Generator):
@@ -52,6 +77,9 @@ class RngStreams:
     and algorithmic coin flips draw from independent streams — varying one
     does not perturb the other, which keeps A/B comparisons paired.
 
+    The root seed is required and may not be ``None`` (same rationale as
+    :func:`spawn_seeds`).
+
     Example
     -------
     >>> streams = RngStreams(1234)
@@ -61,7 +89,12 @@ class RngStreams:
     True
     """
 
-    def __init__(self, seed: SeedLike = None) -> None:
+    def __init__(self, seed: SeedLike) -> None:
+        if seed is None:
+            raise ValueError(
+                "RngStreams(None) would draw OS entropy; pass an explicit "
+                "root seed — only the CLI may decide to run unseeded"
+            )
         if isinstance(seed, np.random.SeedSequence):
             self._root = seed
         elif isinstance(seed, np.random.Generator):

@@ -1,0 +1,8 @@
+"""The entropy boundary: unseeded generators are legal here (and only
+here) when the test passes ``entropy_boundary=("cli",)``."""
+
+import numpy as np
+
+
+def sweep_cell_boundary(seed=None):
+    return np.random.default_rng().random()  # masked by the boundary

@@ -1,0 +1,56 @@
+"""Must-flag fixtures: one sweep cell per DET rule.
+
+Each cell is a determinism root (by its ``sweep_cell_`` name) whose body
+— or a helper two calls down — commits exactly one class of purity
+violation.  The analyzer test suite asserts each rule fires here and
+points its witness at the right line.
+"""
+
+import os
+import time
+
+import numpy as np
+
+from somewhere import as_generator  # resolved by terminal name, import is opaque
+
+RESULT_CACHE = {}
+
+
+def _entropy_helper():
+    return np.random.default_rng()  # DET101: unseeded
+
+
+def _entropy_middle():
+    return _entropy_helper()
+
+
+def sweep_cell_entropy(seed):
+    # The violation is two helper calls down; only the summary sees it.
+    return _entropy_middle().random()
+
+
+def sweep_cell_entropy_coercer(seed):
+    return as_generator(None).random()  # DET101: None outside the CLI
+
+
+def sweep_cell_wall_clock(seed):
+    started = time.time()  # DET102: wall clock reachable from a cell
+    return {"value": 1.0, "timestamp": started}  # DET102: non-volatile key
+
+
+def sweep_cell_env(seed):
+    return {"host_tag": os.environ["HOSTNAME"]}  # DET103: env read
+
+
+def sweep_cell_str_hash(seed):
+    return {"key": hash("params")}  # DET104: salted builtin hash
+
+
+def sweep_cell_set_iter(seed):
+    names = {"a", "b", "c"}
+    return [n for n in names]  # DET105: unordered set iteration
+
+
+def sweep_cell_global_mut(seed):
+    RESULT_CACHE[seed] = 1  # DET106: writes module-level state
+    return seed

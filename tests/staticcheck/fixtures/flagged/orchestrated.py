@@ -1,0 +1,17 @@
+"""Root discovery through an orchestration call site.
+
+``plain_cell`` is *not* named ``sweep_cell_*``; it becomes a root only
+because it is the function argument of a ``run_cells(...)`` call.
+"""
+
+import numpy as np
+
+from repro.orchestrate import run_cells
+
+
+def plain_cell(x, seed):
+    return np.random.default_rng().random()  # DET101, root via run_cells
+
+
+def launch(grid):
+    return run_cells(plain_cell, grid)

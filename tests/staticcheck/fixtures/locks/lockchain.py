@@ -1,0 +1,52 @@
+"""Must-flag lock-order fixtures.
+
+``HiddenReacquire`` trips SAN105: the lock array is blocking-acquired
+again inside a helper while the caller already holds it, so ascending
+index order cannot be proven across the call boundary.
+
+``CrossOrder`` trips SAN106: two operations acquire the two locks in
+opposite orders, and on one side the second acquisition sits **two
+helper calls deep** — the cycle is only visible interprocedurally.
+"""
+
+from repro.sim.syscalls import Acquire, Release
+
+
+class HiddenReacquire:
+    def __init__(self, locks):
+        self._locks = locks
+
+    def _take_another(self, j):
+        yield Acquire(self._locks[j])  # blocking re-acquire of a held array
+
+    def remove(self, i, j):
+        yield Acquire(self._locks[i])
+        yield from self._take_another(j)  # SAN105 at this call
+        yield Release(self._locks[j])
+        yield Release(self._locks[i])
+
+
+class CrossOrder:
+    def __init__(self, lock_a, lock_b):
+        self._a = lock_a
+        self._b = lock_b
+
+    # forward: a, then (two helpers down) b
+    def _forward_inner(self):
+        yield Acquire(self._b)
+
+    def _forward_outer(self):
+        yield from self._forward_inner()
+
+    def op_forward(self):
+        yield Acquire(self._a)
+        yield from self._forward_outer()
+        yield Release(self._b)
+        yield Release(self._a)
+
+    # backward: b, then a — closes the cycle
+    def op_backward(self):
+        yield Acquire(self._b)
+        yield Acquire(self._a)
+        yield Release(self._a)
+        yield Release(self._b)

@@ -1,0 +1,25 @@
+"""Clean lock fixture: TryAcquire never blocks, so it cannot be the
+*target* of a wait-for edge — opposite orders via try-acquire are fine
+(the restart idiom the MultiQueue operations use)."""
+
+from repro.sim.syscalls import Acquire, Release, TryAcquire
+
+
+class RestartIdiom:
+    def __init__(self, lock_a, lock_b):
+        self._a = lock_a
+        self._b = lock_b
+
+    def op_forward(self):
+        yield Acquire(self._a)
+        ok = yield TryAcquire(self._b)  # try: never a cycle target
+        if ok:
+            yield Release(self._b)
+        yield Release(self._a)
+
+    def op_backward(self):
+        yield Acquire(self._b)
+        ok = yield TryAcquire(self._a)
+        if ok:
+            yield Release(self._a)
+        yield Release(self._b)

@@ -1,0 +1,151 @@
+"""Unit tests for the call-graph builder on small synthetic trees."""
+
+import textwrap
+
+from repro.staticcheck.callgraph import Project
+
+
+def _project(tmp_path, **modules):
+    for name, body in modules.items():
+        (tmp_path / f"{name}.py").write_text(textwrap.dedent(body))
+    return Project.load(tmp_path, rel_base=tmp_path)
+
+
+def _callees(project, qualname):
+    return {callee for callee, _line in project.functions[qualname].calls}
+
+
+class TestCallResolution:
+    def test_direct_call_through_import(self, tmp_path):
+        project = _project(
+            tmp_path,
+            a="""
+            def helper():
+                return 1
+            """,
+            b="""
+            from a import helper
+
+            def caller():
+                return helper()
+            """,
+        )
+        assert "a.helper" in _callees(project, "b.caller")
+
+    def test_class_construction_resolves_to_init(self, tmp_path):
+        project = _project(
+            tmp_path,
+            m="""
+            class Widget:
+                def __init__(self):
+                    self.x = 1
+
+            def build():
+                return Widget()
+            """,
+        )
+        assert "m.Widget.__init__" in _callees(project, "m.build")
+
+    def test_self_method_and_inherited_method(self, tmp_path):
+        project = _project(
+            tmp_path,
+            base="""
+            class Base:
+                def shared(self):
+                    return 1
+            """,
+            child="""
+            from base import Base
+
+            class Child(Base):
+                def run(self):
+                    return self.shared()
+            """,
+        )
+        assert "base.Base.shared" in _callees(project, "child.Child.run")
+
+    def test_local_type_propagation(self, tmp_path):
+        project = _project(
+            tmp_path,
+            m="""
+            class Engine:
+                def step(self):
+                    return 1
+
+            def drive():
+                eng = Engine()
+                return eng.step()
+            """,
+        )
+        assert "m.Engine.step" in _callees(project, "m.drive")
+
+    def test_conditional_alias_resolves_both_arms(self, tmp_path):
+        project = _project(
+            tmp_path,
+            m="""
+            def fast():
+                return 1
+
+            def slow():
+                return 2
+
+            def pick(flag):
+                fn = fast if flag else slow
+                return fn()
+            """,
+        )
+        callees = _callees(project, "m.pick")
+        assert {"m.fast", "m.slow"} <= callees
+
+
+class TestSummariesAndPaths:
+    def test_effects_propagate_to_fixpoint(self, tmp_path):
+        project = _project(
+            tmp_path,
+            m="""
+            import time
+
+            def leaf():
+                return time.time()
+
+            def mid():
+                return leaf()
+
+            def top():
+                return mid()
+            """,
+        )
+        effects = {site.effect for site in project.summaries["m.top"]}
+        assert "wall_clock" in effects
+
+    def test_call_path_is_shortest_chain(self, tmp_path):
+        project = _project(
+            tmp_path,
+            m="""
+            def leaf():
+                return 1
+
+            def mid():
+                return leaf()
+
+            def top():
+                return mid()
+            """,
+        )
+        assert project.call_path("m.top", "m.leaf") == ["m.top", "m.mid", "m.leaf"]
+        assert project.call_path("m.leaf", "m.top") == []
+
+    def test_mutual_recursion_terminates(self, tmp_path):
+        project = _project(
+            tmp_path,
+            m="""
+            import os
+
+            def ping(n):
+                return pong(n - 1) if n else os.getenv("X")
+
+            def pong(n):
+                return ping(n - 1) if n else 0
+            """,
+        )
+        assert any(s.effect == "env" for s in project.summaries["m.pong"])

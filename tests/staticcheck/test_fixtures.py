@@ -1,0 +1,109 @@
+"""Fixture-driven acceptance tests: every DET/SAN rule fires on its
+must-flag fixture and stays quiet on the clean one."""
+
+from pathlib import Path
+
+from repro.staticcheck import run_check
+
+FIXTURES = Path(__file__).parent / "fixtures"
+
+
+def _rules(report):
+    return sorted({f.rule for f in report.findings})
+
+
+class TestDetRulesFire:
+    def _report(self):
+        return run_check([FIXTURES / "flagged"], entropy_boundary=("cli",))
+
+    def test_all_det_rules_fire(self):
+        assert _rules(self._report()) == [
+            "DET101", "DET102", "DET103", "DET104", "DET105", "DET106",
+        ]
+
+    def test_det101_witness_is_the_helper_two_calls_down(self):
+        """The root is the cell; the witness points at the helper's line
+        and the path walks the chain."""
+        findings = [
+            f
+            for f in self._report().findings
+            if f.rule == "DET101" and f.symbol == "det_flags._entropy_helper"
+        ]
+        assert len(findings) == 1
+        assert findings[0].path == (
+            "det_flags.sweep_cell_entropy",
+            "det_flags._entropy_middle",
+            "det_flags._entropy_helper",
+        )
+
+    def test_det101_flags_as_generator_none(self):
+        assert any(
+            f.rule == "DET101" and "as_generator" in f.message
+            for f in self._report().findings
+        )
+
+    def test_det102_flags_both_reach_and_payload_key(self):
+        det102 = [f for f in self._report().findings if f.rule == "DET102"]
+        assert any("wall clock" in f.message for f in det102)
+        assert any("'timestamp'" in f.message for f in det102)
+
+    def test_entropy_boundary_masks_cli_module(self):
+        """cli.sweep_cell_boundary draws entropy but sits inside the
+        declared boundary, so no finding points into cli.py."""
+        assert not any(
+            f.file.endswith("cli.py") for f in self._report().findings
+        )
+        # Without the boundary declaration the same site must flag.
+        unmasked = run_check([FIXTURES / "flagged"], entropy_boundary=())
+        assert any(f.file.endswith("cli.py") for f in unmasked.findings)
+
+    def test_root_discovered_through_run_cells_call_site(self):
+        """plain_cell is a root only via the run_cells(...) argument."""
+        report = self._report()
+        assert "orchestrated.plain_cell" in report.roots
+        assert any(
+            f.rule == "DET101" and f.symbol == "orchestrated.plain_cell"
+            for f in report.findings
+        )
+
+
+class TestLockRulesFire:
+    def _report(self):
+        return run_check([FIXTURES / "locks"])
+
+    def test_san105_hidden_reacquire_through_helper(self):
+        san105 = [f for f in self._report().findings if f.rule == "SAN105"]
+        assert len(san105) == 1
+        assert san105[0].symbol == "lockchain.HiddenReacquire.remove"
+        assert "_locks" in san105[0].message
+
+    def test_san106_cycle_through_two_helper_calls(self):
+        """The forward edge's second acquisition is two helpers deep;
+        the cycle must still be found, with the witness chain."""
+        san106 = [f for f in self._report().findings if f.rule == "SAN106"]
+        assert len(san106) == 1
+        finding = san106[0]
+        assert "CrossOrder._a" in finding.message
+        assert "CrossOrder._b" in finding.message
+        assert finding.path == (
+            "lockchain.CrossOrder.op_forward",
+            "lockchain.CrossOrder._forward_outer",
+            "lockchain.CrossOrder._forward_inner",
+        )
+
+    def test_tryacquire_restart_idiom_is_clean(self):
+        """Opposite-order TryAcquire cannot close a wait cycle."""
+        report = self._report()
+        assert not any(
+            f.file.endswith("tryacquire_ok.py") for f in report.findings
+        )
+
+
+class TestCleanFixture:
+    def test_golden_report_zero_findings(self):
+        report = run_check([FIXTURES / "clean"])
+        assert report.ok
+        assert report.findings == []
+        assert report.suppressed == []
+        assert report.roots == ["clean_cell.sweep_cell_clean"]
+        assert report.modules_checked == 1

@@ -1,0 +1,141 @@
+"""Suppression and baseline mechanics: counted, never silent."""
+
+import json
+import textwrap
+
+import pytest
+
+from repro.staticcheck import load_baseline, run_check, write_baseline
+from repro.staticcheck.report import (
+    CheckReport,
+    Finding,
+    apply_baseline,
+    apply_inline_suppressions,
+)
+
+
+def _flagging_module(tmp_path, suffix=""):
+    (tmp_path / "mod.py").write_text(
+        textwrap.dedent(
+            f"""
+            import numpy as np
+
+
+            def sweep_cell_bad(seed):
+                return np.random.default_rng().random(){suffix}
+            """
+        )
+    )
+    return tmp_path
+
+
+class TestInlineSuppressions:
+    def test_reasoned_suppression_moves_finding(self, tmp_path):
+        _flagging_module(
+            tmp_path, suffix="  # staticcheck: allow(DET101) fixture exercising waiver"
+        )
+        report = run_check([tmp_path])
+        assert report.ok
+        assert report.findings == []
+        assert len(report.suppressed) == 1
+        assert report.suppressed[0].source == "inline"
+        assert report.suppressed[0].reason == "fixture exercising waiver"
+
+    def test_reasonless_suppression_is_void(self, tmp_path):
+        _flagging_module(tmp_path, suffix="  # staticcheck: allow(DET101)")
+        report = run_check([tmp_path])
+        assert not report.ok
+        assert len(report.findings) == 1
+        assert len(report.void_suppressions) == 1
+        assert "void" in report.describe()
+
+    def test_wrong_rule_does_not_suppress(self, tmp_path):
+        _flagging_module(tmp_path, suffix="  # staticcheck: allow(DET102) wrong code")
+        report = run_check([tmp_path])
+        assert len(report.findings) == 1
+
+    def test_line_above_suppresses(self):
+        finding = Finding("DET101", "m.py", 10, "m.f", "boom")
+        remaining, suppressed, void = apply_inline_suppressions(
+            [finding], {"m.py": {9: ("DET101", "reason on line above")}}
+        )
+        assert remaining == [] and void == []
+        assert suppressed[0].reason == "reason on line above"
+
+
+class TestBaseline:
+    def test_baseline_suppresses_and_counts(self, tmp_path):
+        _flagging_module(tmp_path)
+        baseline = tmp_path / "baseline.json"
+        write_baseline(
+            baseline,
+            run_check([tmp_path]).findings,
+            reason="adopted before fixing",
+        )
+        report = run_check([tmp_path], baseline=baseline)
+        assert report.ok
+        assert len(report.suppressed) == 1
+        assert report.suppressed[0].source == "baseline"
+
+    def test_stale_baseline_entry_fails_the_run(self, tmp_path):
+        (tmp_path / "mod.py").write_text("def sweep_cell_fine(seed):\n    return seed\n")
+        baseline = tmp_path / "baseline.json"
+        baseline.write_text(
+            json.dumps(
+                {
+                    "version": 1,
+                    "suppressions": [
+                        {
+                            "rule": "DET101",
+                            "file": "mod.py",
+                            "symbol": "mod.sweep_cell_fine",
+                            "reason": "was flagged once",
+                        }
+                    ],
+                }
+            )
+        )
+        report = run_check([tmp_path], baseline=baseline)
+        assert not report.ok
+        assert len(report.stale_baseline) == 1
+        assert "STALE" in report.describe()
+
+    def test_reasonless_baseline_entry_rejected(self, tmp_path):
+        baseline = tmp_path / "baseline.json"
+        baseline.write_text(
+            json.dumps(
+                [{"rule": "DET101", "file": "m.py", "symbol": "m.f", "reason": "  "}]
+            )
+        )
+        with pytest.raises(ValueError, match="never silent"):
+            load_baseline(baseline)
+
+    def test_write_baseline_dedupes_per_symbol(self, tmp_path):
+        findings = [
+            Finding("DET102", "m.py", 5, "m.f", "a"),
+            Finding("DET102", "m.py", 9, "m.f", "b"),
+        ]
+        path = tmp_path / "b.json"
+        write_baseline(path, findings, reason="two sites, one waiver")
+        assert len(load_baseline(path)) == 1
+
+    def test_matching_is_by_path_suffix(self):
+        report = CheckReport(
+            findings=[Finding("DET103", "src/repro/m.py", 3, "repro.m.f", "env")]
+        )
+        report = apply_baseline(
+            report,
+            [{"rule": "DET103", "file": "repro/m.py", "symbol": "repro.m.f",
+              "reason": "host tag is display-only"}],
+        )
+        assert report.findings == [] and report.stale_baseline == []
+
+
+class TestReportShape:
+    def test_json_roundtrip_fields(self, tmp_path):
+        _flagging_module(tmp_path)
+        payload = run_check([tmp_path]).to_dict()
+        assert payload["ok"] is False
+        (finding,) = payload["findings"]
+        assert {"rule", "file", "line", "symbol", "message"} <= set(finding)
+        assert payload["rules"]["DET101"]

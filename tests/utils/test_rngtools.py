@@ -7,8 +7,13 @@ from repro.utils.rngtools import RngStreams, as_generator, spawn_seeds
 
 
 class TestAsGenerator:
-    def test_none_gives_generator(self):
+    def test_explicit_none_gives_generator(self):
+        """``None`` must be stated explicitly (CLI entropy boundary)."""
         assert isinstance(as_generator(None), np.random.Generator)
+
+    def test_seed_argument_is_required(self):
+        with pytest.raises(TypeError):
+            as_generator()  # entropy-by-default footgun removed
 
     def test_int_seed_is_deterministic(self):
         a = as_generator(7).random(5)
@@ -32,6 +37,11 @@ class TestSpawnSeeds:
     def test_negative_count_rejected(self):
         with pytest.raises(ValueError):
             spawn_seeds(1, -1)
+
+    def test_none_seed_rejected(self):
+        """Independent streams from OS entropy are never reproducible."""
+        with pytest.raises(ValueError, match="explicit"):
+            spawn_seeds(None, 3)
 
     def test_children_are_deterministic(self):
         a = [g.random() for g in spawn_seeds(42, 3)]
@@ -71,3 +81,11 @@ class TestRngStreams:
         streams = RngStreams(0)
         streams.get("x")
         assert "x" in repr(streams)
+
+    def test_none_seed_rejected(self):
+        with pytest.raises(ValueError, match="explicit"):
+            RngStreams(None)
+
+    def test_seed_argument_is_required(self):
+        with pytest.raises(TypeError):
+            RngStreams()
