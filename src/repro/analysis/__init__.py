@@ -5,6 +5,8 @@ from repro.analysis.stats import (
     bootstrap_ci,
     linear_fit,
     loglog_slope,
+    rank_summary,
+    replica_rank_summary,
 )
 from repro.analysis.rank_series import (
     TimeUniformityReport,
@@ -31,6 +33,8 @@ __all__ = [
     "bootstrap_ci",
     "linear_fit",
     "loglog_slope",
+    "rank_summary",
+    "replica_rank_summary",
     "TimeUniformityReport",
     "aggregate_summaries",
     "time_uniformity",

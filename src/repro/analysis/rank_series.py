@@ -13,6 +13,7 @@ from typing import Dict, Sequence
 
 import numpy as np
 
+from repro.analysis.stats import rank_summary
 from repro.core.records import RankTrace
 
 
@@ -24,9 +25,10 @@ def aggregate_summaries(traces: Sequence[RankTrace]) -> Dict[str, float]:
     """
     if not traces:
         raise ValueError("no traces to aggregate")
-    means = np.array([t.mean_rank() for t in traces])
-    maxes = np.array([t.max_rank() for t in traces])
-    p99s = np.array([t.quantile(0.99) for t in traces])
+    rows = [rank_summary(t.ranks) for t in traces]
+    means = np.array([r["mean_rank"] for r in rows])
+    maxes = np.array([r["max_rank"] for r in rows])
+    p99s = np.array([r["p99_rank"] for r in rows])
     return {
         "runs": len(traces),
         "mean_rank": float(means.mean()),

@@ -70,6 +70,50 @@ class StreamingMoments:
         return f"StreamingMoments(n={self.count}, mean={self.mean:.4g}, std={self.std:.4g})"
 
 
+def rank_summary(ranks) -> dict:
+    """Headline statistics of a flat rank sample, with canonical keys.
+
+    The single authority for the ``mean/p50/p99/max`` rank-summary shape
+    used across the repo (reference traces, vector runs, sweep rows,
+    service metrics) — the four hand-rolled copies it replaced had
+    already drifted once on quantile conventions.
+
+    Returns ``{"removals", "mean_rank", "p50_rank", "p99_rank",
+    "max_rank"}``; raises :class:`ValueError` on an empty sample.
+    """
+    ranks = np.asarray(ranks)
+    if ranks.size == 0:
+        raise ValueError("empty rank sample has no summary")
+    return {
+        "removals": int(ranks.size),
+        "mean_rank": float(ranks.mean()),
+        "p50_rank": float(np.quantile(ranks, 0.50)),
+        "p99_rank": float(np.quantile(ranks, 0.99)),
+        "max_rank": int(ranks.max()),
+    }
+
+
+def replica_rank_summary(ranks: np.ndarray) -> dict:
+    """Rank summary of a ``(steps, replicas)`` array of per-replica runs.
+
+    The mean is reported with its *across-replica* spread (each replica
+    is one i.i.d. seed estimate); the tail statistics pool all replicas.
+
+    Returns ``{"mean_rank", "mean_rank_sd", "p99_rank", "max_rank"}``.
+    """
+    ranks = np.asarray(ranks)
+    if ranks.ndim != 2 or ranks.size == 0:
+        raise ValueError(f"expected a non-empty (steps, replicas) array, got shape {ranks.shape}")
+    means = ranks.mean(axis=0)
+    sd = float(means.std(ddof=1)) if ranks.shape[1] > 1 else 0.0
+    return {
+        "mean_rank": float(means.mean()),
+        "mean_rank_sd": sd,
+        "p99_rank": float(np.quantile(ranks, 0.99)),
+        "max_rank": int(ranks.max()),
+    }
+
+
 def bootstrap_ci(
     data: Sequence[float],
     stat=np.mean,

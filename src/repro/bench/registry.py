@@ -145,6 +145,11 @@ _SPECS: List[ExperimentSpec] = [
         "multi-host job queue: crash takeover and zombie fencing, rows identical",
         "test_orchestrate_distributed.py",
     ),
+    ExperimentSpec(
+        "service-scaling", "infrastructure",
+        "live shm service: throughput scales with shard owners, sim rank shape holds",
+        "test_service_scaling.py",
+    ),
 ]
 
 

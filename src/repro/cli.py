@@ -11,6 +11,7 @@ Usage (after ``pip install -e .``)::
     python -m repro graph-choice --n 36
     python -m repro sweep --backend both --replicas 64 --steps 20000
     python -m repro worker --queue-dir /shared/q --betas 1.0 0.5 --seeds 4
+    python -m repro serve --shards 4 --workers 4 --scaling 1 2 4
 
 Every subcommand prints a paper-style table and, where a curve is the
 point, an ASCII chart.  All experiments accept ``--seed`` for exact
@@ -273,6 +274,57 @@ def build_parser() -> argparse.ArgumentParser:
         help="on startup, reap cache temp files older than this many "
         "seconds (orphans of SIGKILLed workers; default 3600)",
     )
+    _add_seed(p)
+
+    p = sub.add_parser(
+        "serve",
+        help="live sharded MultiQueue over shared memory: real processes, real cores",
+    )
+    p.add_argument("--shards", type=int, default=4, help="shard-owner processes")
+    p.add_argument("--workers", type=int, default=4, help="loadgen processes")
+    p.add_argument("--ops", type=int, default=20000, help="offered operations")
+    p.add_argument("--prefill", type=int, default=2048)
+    p.add_argument("--beta", type=float, default=0.5)
+    p.add_argument("--gamma", type=float, default=0.0, help="insertion bias bound")
+    p.add_argument("--policy", choices=["mq", "single", "rr"], default="mq")
+    p.add_argument(
+        "--mode", choices=["poisson", "onoff", "diurnal", "trace"], default="poisson"
+    )
+    p.add_argument(
+        "--rate",
+        type=float,
+        default=0.0,
+        help="aggregate offered ops/s (0 = closed throttle, as fast as possible)",
+    )
+    p.add_argument("--on-s", type=float, default=0.5, help="onoff: burst length")
+    p.add_argument("--off-s", type=float, default=0.5, help="onoff: quiet length")
+    p.add_argument("--burst-factor", type=float, default=8.0)
+    p.add_argument("--period-s", type=float, default=4.0, help="diurnal period")
+    p.add_argument(
+        "--trace", type=str, default=None, help="arrival trace file (seconds per line)"
+    )
+    p.add_argument(
+        "--scaling",
+        type=int,
+        nargs="+",
+        default=None,
+        metavar="SHARDS",
+        help="rerun the same load at each shard count and report speedup",
+    )
+    p.add_argument(
+        "--validate",
+        action="store_true",
+        help="cross-validate the rank-vs-beta shape against the simulator "
+        "(exit 1 on shape disagreement)",
+    )
+    p.add_argument(
+        "--betas",
+        type=float,
+        nargs="+",
+        default=[0.0, 0.5, 1.0],
+        help="beta grid for --validate",
+    )
+    p.add_argument("--json", type=str, default=None, help="write raw result JSON here")
     _add_seed(p)
 
     p = sub.add_parser(
@@ -940,6 +992,140 @@ def cmd_check(args) -> None:
         raise SystemExit(1)
 
 
+def cmd_serve(args) -> None:
+    import json
+
+    from repro.service.loadgen import ScheduleSpec
+    from repro.service.server import run_scaling_sweep, run_service
+    from repro.service.validate import compare_service_and_sim
+
+    spec = ScheduleSpec(
+        mode=args.mode,
+        ops=args.ops,
+        prefill=args.prefill,
+        rate=args.rate,
+        seed=args.seed,
+        on_s=args.on_s,
+        off_s=args.off_s,
+        burst_factor=args.burst_factor,
+        period_s=args.period_s,
+        trace_path=args.trace,
+    )
+    if args.validate:
+        result = compare_service_and_sim(
+            args.shards,
+            args.workers,
+            betas=tuple(args.betas),
+            ops=args.ops,
+            prefill=args.prefill,
+            seed=args.seed,
+            gamma=args.gamma,
+            rate=args.rate or 2000.0,
+        )
+        rows = [
+            {
+                "beta": row["beta"],
+                "service mean": row["service"]["mean_rank"],
+                "sim mean": row["sim"]["mean_rank"],
+                "service p99": row["service"]["p99_rank"],
+                "sim p99": row["sim"]["p99_rank"],
+                "ks stat": row["ks_stat"],
+            }
+            for row in result["rows"]
+        ]
+        print(
+            format_table(
+                rows,
+                title=f"service vs sim rank shape ({args.shards} shards, "
+                f"{args.workers} loadgen workers)",
+            )
+        )
+        print(
+            f"\nworst-beta agreement: {result['worst_beta_agreement']}, "
+            f"spearman rho: {result['spearman_rho']:.2f}"
+        )
+        if args.json:
+            with open(args.json, "w") as fh:
+                json.dump(result, fh, indent=2)
+        if not result["ordering_agreement"]:
+            print("SHAPE DISAGREEMENT: service does not reproduce the sim's rank law")
+            raise SystemExit(1)
+        print("shape agreement: ok")
+        return
+    if args.scaling:
+        result = run_scaling_sweep(
+            args.scaling,
+            args.workers,
+            spec,
+            beta=args.beta,
+            gamma=args.gamma,
+            policy=args.policy,
+            seed=args.seed,
+        )
+        rows = [
+            {
+                "shards": row["shards"],
+                "ops/s": row["throughput_ops_s"],
+                "speedup": row["speedup"],
+                "delete p99 ms": row["delete_p99_ms"],
+                "mean rank": row["rank"]["mean_rank"] if row["rank"] else float("nan"),
+                "torn": row["torn"],
+            }
+            for row in result["rows"]
+        ]
+        print(
+            format_table(
+                rows,
+                title=f"throughput scaling, beta={args.beta}, "
+                f"{args.workers} loadgen workers",
+                floatfmt=".2f",
+            )
+        )
+    else:
+        result = run_service(
+            args.shards,
+            args.workers,
+            spec,
+            beta=args.beta,
+            gamma=args.gamma,
+            policy=args.policy,
+            seed=args.seed,
+        )
+        headline = {
+            "ops/s": result["throughput_ops_s"],
+            "wall s": result["wall_s"],
+            "insert p99 ms": result["insert_p99_ms"],
+            "delete p99 ms": result["delete_p99_ms"],
+            "empties": result["empties"],
+            "mean rank": result["rank"]["mean_rank"] if result["rank"] else float("nan"),
+            "torn": result["audit"]["torn"],
+        }
+        print(
+            format_table(
+                [headline],
+                title=f"service run: {args.shards} shards, {args.workers} workers, "
+                f"beta={args.beta}, policy={args.policy}, mode={args.mode}",
+                floatfmt=".2f",
+            )
+        )
+        shard_rows = [
+            {
+                "shard": row["shard"],
+                "inserts": row["inserts"],
+                "deletes": row["deletes"],
+                "empties": row["empties"],
+                "ops/s": result["per_shard_ops_s"][row["shard"]],
+            }
+            for row in result["per_shard"]
+        ]
+        print()
+        print(format_table(shard_rows, title="per-shard load", floatfmt=".0f"))
+    if args.json:
+        result.pop("rank_values", None)
+        with open(args.json, "w") as fh:
+            json.dump(result, fh, indent=2)
+
+
 def cmd_experiments(args) -> None:
     from repro.bench.registry import coverage_report
 
@@ -980,6 +1166,7 @@ _COMMANDS = {
     "graph-choice": cmd_graph_choice,
     "sweep": cmd_sweep,
     "worker": cmd_worker,
+    "serve": cmd_serve,
     "chaos": cmd_chaos,
     "sanitize": cmd_sanitize,
     "lint": cmd_lint,

@@ -139,13 +139,11 @@ class RankTrace:
 
     def summary(self) -> dict:
         """A dict of the headline statistics, for table printing."""
-        return {
-            "removals": len(self),
-            "mean_rank": self.mean_rank(),
-            "p50_rank": self.quantile(0.50),
-            "p99_rank": self.quantile(0.99),
-            "max_rank": self.max_rank(),
-        }
+        from repro.analysis.stats import rank_summary
+
+        if not self._ranks:
+            raise ValueError("empty trace has no summary")
+        return rank_summary(self.ranks)
 
     @staticmethod
     def merge(traces: Sequence["RankTrace"]) -> "RankTrace":

@@ -1,0 +1,32 @@
+"""Sharded (1+beta) MultiQueue served over shared memory.
+
+Real worker *processes* — not simulated threads — exchange requests and
+events through :mod:`repro.service.shm` rings: shard-owner processes
+each own one priority shard, loadgen processes replay open-loop arrival
+schedules against them, and the parent collects events for rank-quality
+and tail-latency analysis.  :mod:`repro.service.validate` closes the
+loop by running the same (n, beta, gamma, threads) grid on the
+discrete-event simulator and checking shape agreement.
+"""
+
+from repro.service.shm import (
+    OP_DELETE,
+    OP_INSERT,
+    OP_STOP,
+    ServiceSegment,
+    ShardHeader,
+    SlotRing,
+    TOP_EMPTY,
+    TornSlotError,
+)
+
+__all__ = [
+    "OP_DELETE",
+    "OP_INSERT",
+    "OP_STOP",
+    "ServiceSegment",
+    "ShardHeader",
+    "SlotRing",
+    "TOP_EMPTY",
+    "TornSlotError",
+]

@@ -1,0 +1,180 @@
+"""Metrics over collected service events.
+
+Latency honors coordinated omission: each event carries the *intended*
+start time stamped by the open-loop schedule, so a stalled owner is
+charged for everything that queued behind it.  Rank quality replays the
+event stream against a Fenwick-tree snapshot oracle: events are merged
+across shards by their Lamport clocks (ties broken by shard id, a fixed
+linearization), and every sampled delete is scored by the global rank
+of the removed label among all labels present at that point — the same
+1-based rank-cost convention as the simulator.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.analysis.stats import rank_summary
+from repro.core.rank import RankOracle
+from repro.service.loadgen import ArrivalSchedule
+from repro.service.shm import EV_DELETE, EV_EMPTY, EV_INSERT
+
+_NS_PER_MS = 1_000_000.0
+
+#: Wall-clock-derived fields of a service summary.  Declared for
+#: ``repro check`` (DET102): anything ending up under these keys is
+#: measurement, not result, and is exempt from determinism comparison.
+SERVICE_VOLATILE_KEYS = frozenset(
+    {
+        "wall_s",
+        "throughput_ops_s",
+        "per_shard_ops_s",
+        "speedup",
+        "insert_mean_ms",
+        "insert_p50_ms",
+        "insert_p99_ms",
+        "insert_p999_ms",
+        "delete_mean_ms",
+        "delete_p50_ms",
+        "delete_p99_ms",
+        "delete_p999_ms",
+    }
+)
+
+Event = Tuple[int, int, int, int, int]  # (ev, label, clock, t0_ns, t1_ns)
+
+
+def latency_stats(latencies_ns: np.ndarray, prefix: str) -> dict:
+    """Tail statistics of one op kind, in milliseconds."""
+    if latencies_ns.size == 0:
+        return {
+            f"{prefix}_mean_ms": None,
+            f"{prefix}_p50_ms": None,
+            f"{prefix}_p99_ms": None,
+            f"{prefix}_p999_ms": None,
+        }
+    ms = latencies_ns / _NS_PER_MS
+    return {
+        f"{prefix}_mean_ms": float(ms.mean()),
+        f"{prefix}_p50_ms": float(np.quantile(ms, 0.50)),
+        f"{prefix}_p99_ms": float(np.quantile(ms, 0.99)),
+        f"{prefix}_p999_ms": float(np.quantile(ms, 0.999)),
+    }
+
+
+def merge_events(events_by_shard: Sequence[Sequence[Event]]) -> np.ndarray:
+    """All shards' events as one ``(N, 6)`` array in linearized order.
+
+    Columns: shard, ev, label, clock, t0_ns, t1_ns.  Order is
+    ``(clock, shard)`` — Lamport clocks give a causally consistent
+    order, and within a shard the owner's clock is strictly increasing,
+    so a label's insert always precedes its delete.
+    """
+    rows = []
+    for shard, events in enumerate(events_by_shard):
+        for ev, label, clock, t0, t1 in events:
+            rows.append((shard, ev, label, clock, t0, t1))
+    if not rows:
+        return np.empty((0, 6), dtype=np.int64)
+    arr = np.asarray(rows, dtype=np.int64)
+    order = np.lexsort((arr[:, 0], arr[:, 3]))
+    return arr[order]
+
+
+def replay_ranks(
+    merged: np.ndarray,
+    label_universe: int,
+    sample_every: int = 16,
+) -> np.ndarray:
+    """Global rank paid by every ``sample_every``-th delete.
+
+    The oracle tracks the set of present labels across *all* shards; a
+    delete's cost is the 1-based rank of the removed label in that
+    global set — rank 1 is the true minimum, exactly the simulator's
+    accounting.  All events are replayed (the oracle must see every
+    insert); only sampled deletes are scored, keeping the replay cheap
+    at millions of ops.
+    """
+    if sample_every <= 0:
+        raise ValueError(f"sample_every must be positive, got {sample_every}")
+    oracle = RankOracle(label_universe)
+    ranks: List[int] = []
+    deletes_seen = 0
+    for row in merged:
+        ev, label = int(row[1]), int(row[2])
+        if ev == EV_INSERT:
+            oracle.insert(label)
+        elif ev == EV_DELETE:
+            rank = oracle.remove(label)
+            if deletes_seen % sample_every == 0:
+                ranks.append(rank)
+            deletes_seen += 1
+    return np.asarray(ranks, dtype=np.int64)
+
+
+def summarize(
+    events_by_shard: Sequence[Sequence[Event]],
+    schedule: ArrivalSchedule,
+    wall_s: float,
+    rank_sample_every: int = 16,
+) -> dict:
+    """The full metrics block of one service run."""
+    merged = merge_events(events_by_shard)
+    per_shard = []
+    for shard, events in enumerate(events_by_shard):
+        kinds = [ev for ev, *_ in events]
+        per_shard.append(
+            {
+                "shard": shard,
+                "inserts": kinds.count(EV_INSERT),
+                "deletes": kinds.count(EV_DELETE),
+                "empties": kinds.count(EV_EMPTY),
+            }
+        )
+    inserts = sum(row["inserts"] for row in per_shard)
+    deletes = sum(row["deletes"] for row in per_shard)
+    empties = sum(row["empties"] for row in per_shard)
+    total_ops = inserts + deletes + empties
+
+    # Prefill requests carry t0 == 0: not offered traffic, no latency.
+    measured = merged[merged[:, 4] > 0]
+    lat = measured[:, 5] - measured[:, 4]
+    is_insert = measured[:, 1] == EV_INSERT
+    summary = {
+        "ops_offered": schedule.ops,
+        "ops_processed": total_ops - len(schedule.prefill_labels),
+        "inserts": inserts,
+        "deletes": deletes,
+        "empties": empties,
+        "span_s": schedule.span_s,
+        "wall_s": wall_s,
+        "throughput_ops_s": total_ops / wall_s if wall_s > 0 else 0.0,
+        "per_shard_ops_s": [
+            (row["inserts"] + row["deletes"] + row["empties"]) / wall_s
+            if wall_s > 0
+            else 0.0
+            for row in per_shard
+        ],
+        "per_shard": per_shard,
+    }
+    summary.update(latency_stats(lat[is_insert], "insert"))
+    summary.update(latency_stats(lat[~is_insert], "delete"))
+
+    sampled = replay_ranks(merged, schedule.label_universe, rank_sample_every)
+    summary["rank_sample_every"] = rank_sample_every
+    summary["rank"] = rank_summary(sampled) if sampled.size else None
+    # Raw samples ride along for distribution-level comparison (validate's
+    # KS test against the simulator); droppable before archival.
+    summary["rank_values"] = sampled.tolist()
+    return summary
+
+
+def sampled_rank_values(
+    events_by_shard: Sequence[Sequence[Event]],
+    schedule: ArrivalSchedule,
+    sample_every: int = 16,
+) -> np.ndarray:
+    """Raw sampled rank costs (for KS comparison against the simulator)."""
+    return replay_ranks(merge_events(events_by_shard), schedule.label_universe, sample_every)

@@ -1,0 +1,501 @@
+"""Shard owners, d-choice routing, and whole-service orchestration.
+
+The service is a sharded (1+beta) MultiQueue made of real processes:
+each *shard owner* process owns one binary heap and drains its request
+lanes; clients route each request with the same policy family as the
+paper's process — inserts via a (possibly gamma-biased) distribution
+over shards, deletes via a beta-mixed one/two-choice on the seqlock-
+published shard tops.  :func:`run_service` wires the whole thing up:
+segment, owners, prefill, loadgen workers, event collection, teardown,
+and the post-mortem ring audit that proves no crash tore shared state.
+"""
+
+from __future__ import annotations
+
+import heapq
+import multiprocessing
+import threading
+import time
+from dataclasses import dataclass, field
+from typing import List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.core.policies import biased_insert_probs
+from repro.service.loadgen import ArrivalSchedule, ScheduleSpec, loadgen_main
+from repro.service.shm import (
+    EV_BYE,
+    EV_DELETE,
+    EV_EMPTY,
+    EV_INSERT,
+    OP_DELETE,
+    OP_INSERT,
+    OP_STOP,
+    ServiceSegment,
+    TOP_EMPTY,
+)
+from repro.utils.rngtools import SeedLike, as_generator, spawn_seeds
+
+_NS = 1_000_000_000
+
+#: Requests drained per lane per sweep before the owner republishes its
+#: header — bounds how stale the published top can get under load.
+OWNER_BATCH = 64
+
+#: Routing policies, mirroring the process variants in ``repro.core``:
+#: ``mq`` is the paper's (1+beta) MultiQueue, ``single`` funnels
+#: everything to one shard (the sequential-heap baseline), ``rr`` is
+#: deterministic round-robin (the d=1-without-randomness strawman).
+POLICIES = ("mq", "single", "rr")
+
+
+class Router:
+    """Client-side shard choice for inserts and deletes.
+
+    Deletes under ``mq`` flip a beta-coin: tails probes one shard top,
+    heads probes two (with replacement, matching the paper's ``p_i``
+    law) and takes the smaller.  Tops come from the shard headers'
+    seqlock snapshots — advisory, never locked.  Shards marked dead are
+    excluded from every subsequent draw.
+    """
+
+    def __init__(
+        self,
+        segment: ServiceSegment,
+        beta: float,
+        gamma: float = 0.0,
+        policy: str = "mq",
+        rng: SeedLike = None,
+    ) -> None:
+        if policy not in POLICIES:
+            raise ValueError(f"unknown policy {policy!r}: expected one of {POLICIES}")
+        if not 0 <= beta <= 1:
+            raise ValueError(f"beta must be in [0, 1], got {beta}")
+        self._segment = segment
+        self.n = segment.shards
+        self.beta = float(beta)
+        self.policy = policy
+        self._rng = as_generator(rng)
+        self._alive: List[int] = list(range(self.n))
+        self._insert_probs = biased_insert_probs(self.n, gamma) if gamma else None
+        self._rr = 0
+
+    def alive_shards(self) -> Tuple[int, ...]:
+        return tuple(self._alive)
+
+    def mark_dead(self, shard: int) -> None:
+        if shard in self._alive:
+            self._alive.remove(shard)
+        if not self._alive:
+            raise RuntimeError("every shard is dead; nowhere to route")
+
+    def _uniform_alive(self) -> int:
+        return self._alive[int(self._rng.integers(len(self._alive)))]
+
+    def insert_shard(self) -> int:
+        if self.policy == "single":
+            return self._alive[0]
+        if self.policy == "rr":
+            shard = self._alive[self._rr % len(self._alive)]
+            self._rr += 1
+            return shard
+        if self._insert_probs is None:
+            return self._uniform_alive()
+        probs = self._insert_probs[self._alive]
+        probs = probs / probs.sum()
+        return self._alive[int(self._rng.choice(len(self._alive), p=probs))]
+
+    def delete_shard(self) -> int:
+        if self.policy == "single":
+            return self._alive[0]
+        if self.policy == "rr":
+            shard = self._alive[self._rr % len(self._alive)]
+            self._rr += 1
+            return shard
+        i = self._uniform_alive()
+        two = self.beta >= 1.0 or (self.beta > 0.0 and self._rng.random() < self.beta)
+        if not two:
+            return i
+        j = self._uniform_alive()
+        if i == j:
+            return i
+        top_i = self._segment.header(i).read()[1]
+        top_j = self._segment.header(j).read()[1]
+        return i if top_i <= top_j else j
+
+
+# -- the shard-owner process --------------------------------------------------
+
+
+def run_shard_owner(segment_name: str, shard: int, poll_s: float = 0.0002) -> int:
+    """Own one shard: drain request lanes into a heap, emit events.
+
+    Exits when every lane has sent ``OP_STOP``.  Publishes the header
+    (top, size, heartbeat) after every sweep so routers and liveness
+    probes see fresh state.  Returns the residual heap size.
+    """
+    segment = ServiceSegment.attach(segment_name)
+    try:
+        header = segment.header(shard)
+        header.bump_epoch()
+        lanes = [segment.request_ring(shard, lane) for lane in range(segment.lanes)]
+        events = segment.event_ring(shard)
+        stopped = [False] * segment.lanes
+        heap: List[int] = []
+        clock = 0
+
+        def publish() -> None:
+            header.publish(
+                top=heap[0] if heap else TOP_EMPTY,
+                size=len(heap),
+                heartbeat_ns=time.monotonic_ns(),
+            )
+
+        def emit(ev: int, label: int, ev_clock: int, t0_ns: int, t1_ns: int) -> None:
+            # The event ring has a single consumer (the collector); if it
+            # falls behind, wait — but keep the heartbeat fresh so the
+            # backpressure is not mistaken for death.
+            while not events.try_push(ev, label, ev_clock, t0_ns, t1_ns):
+                publish()
+                time.sleep(poll_s)
+
+        publish()
+        while not all(stopped):
+            processed = 0
+            for lane_id in range(segment.lanes):
+                if stopped[lane_id]:
+                    continue
+                ring = lanes[lane_id]
+                for _ in range(OWNER_BATCH):
+                    req = ring.try_pop()
+                    if req is None:
+                        break
+                    op, label, req_clock, t0_ns, _ = req
+                    clock = max(clock, req_clock) + 1
+                    processed += 1
+                    if op == OP_INSERT:
+                        heapq.heappush(heap, label)
+                        publish()  # per-op: stale tops make two-choice herd
+                        emit(EV_INSERT, label, clock, t0_ns, time.monotonic_ns())
+                    elif op == OP_DELETE:
+                        if heap:
+                            popped = heapq.heappop(heap)
+                            publish()
+                            emit(EV_DELETE, popped, clock, t0_ns, time.monotonic_ns())
+                        else:
+                            emit(EV_EMPTY, -1, clock, t0_ns, time.monotonic_ns())
+                    elif op == OP_STOP:
+                        stopped[lane_id] = True
+                        break
+            publish()
+            if processed == 0:
+                time.sleep(poll_s)
+        emit(EV_BYE, len(heap), clock + 1, 0, time.monotonic_ns())
+        publish()
+        return len(heap)
+    finally:
+        segment.close()
+
+
+def shard_owner_main(segment_name: str, shard: int, poll_s: float) -> None:
+    """``multiprocessing.Process`` target wrapper."""
+    run_shard_owner(segment_name, shard, poll_s)
+
+
+def _mp_context():
+    """Fork where available (fast, COW schedule rebuild), spawn otherwise."""
+    methods = multiprocessing.get_all_start_methods()
+    return multiprocessing.get_context("fork" if "fork" in methods else None)
+
+
+@dataclass
+class ServiceCluster:
+    """Lifecycle of the shard-owner processes over one segment."""
+
+    segment: ServiceSegment
+    poll_s: float = 0.0002
+    processes: List[multiprocessing.Process] = field(default_factory=list)
+
+    def start(self) -> None:
+        ctx = _mp_context()
+        for shard in range(self.segment.shards):
+            proc = ctx.Process(
+                target=shard_owner_main,
+                args=(self.segment.name, shard, self.poll_s),
+                name=f"shard-owner-{shard}",
+                daemon=True,
+            )
+            proc.start()
+            self.processes.append(proc)
+
+    def kill(self, shard: int) -> None:
+        """SIGKILL one owner — the crash-safety test's hammer."""
+        proc = self.processes[shard]
+        proc.kill()
+        proc.join()
+
+    def alive(self) -> List[bool]:
+        return [p.is_alive() for p in self.processes]
+
+    def join(self, timeout_s: float = 30.0) -> List[Optional[int]]:
+        deadline = time.monotonic() + timeout_s
+        for proc in self.processes:
+            proc.join(timeout=max(0.0, deadline - time.monotonic()))
+            if proc.is_alive():  # wedged: don't hang the parent
+                proc.kill()
+                proc.join()
+        return [p.exitcode for p in self.processes]
+
+
+# -- event collection ---------------------------------------------------------
+
+
+class EventCollector(threading.Thread):
+    """Single consumer of every shard's event ring.
+
+    Runs in the parent while the service is live so bounded event rings
+    never become the bottleneck.  A shard is finished when it sends
+    ``EV_BYE`` (clean) or its owner died with nothing left to drain.
+    """
+
+    def __init__(self, segment: ServiceSegment, cluster: ServiceCluster) -> None:
+        super().__init__(name="service-collector", daemon=True)
+        self._segment = segment
+        self._cluster = cluster
+        self.events_by_shard: List[List[Tuple[int, int, int, int, int]]] = [
+            [] for _ in range(segment.shards)
+        ]
+        self.residual_sizes: List[Optional[int]] = [None] * segment.shards
+
+    def run(self) -> None:
+        rings = [self._segment.event_ring(s) for s in range(self._segment.shards)]
+        live = [True] * self._segment.shards
+        while any(live):
+            progressed = False
+            owners_alive = self._cluster.alive()
+            for s in range(self._segment.shards):
+                if not live[s]:
+                    continue
+                drained_any = False
+                for _ in range(4 * OWNER_BATCH):
+                    ev = rings[s].try_pop()
+                    if ev is None:
+                        break
+                    drained_any = True
+                    if ev[0] == EV_BYE:
+                        self.residual_sizes[s] = ev[1]
+                        live[s] = False
+                        break
+                    self.events_by_shard[s].append(ev)
+                progressed = progressed or drained_any
+                if live[s] and not drained_any and not owners_alive[s]:
+                    live[s] = False  # killed owner, ring fully drained
+            if not progressed:
+                time.sleep(0.0005)
+
+
+# -- whole-service runs -------------------------------------------------------
+
+
+def _prefill(
+    segment: ServiceSegment,
+    schedule: ArrivalSchedule,
+    router: Router,
+    timeout_s: float,
+) -> None:
+    """Load the initial population through the parent's control lane."""
+    lane = segment.lanes - 1
+    rings = [segment.request_ring(s, lane) for s in range(segment.shards)]
+    clock = 0
+    for label in schedule.prefill_labels:
+        shard = router.insert_shard()
+        clock += 1
+        deadline = time.monotonic() + timeout_s
+        while not rings[shard].try_push(OP_INSERT, int(label), clock, 0, 0):
+            if time.monotonic() > deadline:
+                raise RuntimeError(f"prefill stalled: shard {shard} not draining")
+            time.sleep(0.0002)
+    deadline = time.monotonic() + timeout_s
+    want = len(schedule.prefill_labels)
+    while True:
+        total = sum(segment.header(s).read()[2] for s in range(segment.shards))
+        if total >= want:
+            return
+        if time.monotonic() > deadline:
+            raise RuntimeError(f"prefill incomplete: {total}/{want} after {timeout_s:.0f}s")
+        time.sleep(0.001)
+
+
+def _stop_owners(segment: ServiceSegment, timeout_s: float = 10.0) -> None:
+    """Send the control lane's STOP to every shard (dead owners skipped)."""
+    lane = segment.lanes - 1
+    for s in range(segment.shards):
+        ring = segment.request_ring(s, lane)
+        ring.recover()  # prefill advanced this lane's position
+        deadline = time.monotonic() + timeout_s
+        while not ring.try_push(OP_STOP, 0, 0, 0, 0):
+            if time.monotonic() > deadline:
+                break  # owner dead and ring full: nobody left to stop
+            time.sleep(0.0002)
+
+
+def run_service(
+    shards: int,
+    workers: int,
+    spec: ScheduleSpec,
+    beta: float = 0.5,
+    gamma: float = 0.0,
+    policy: str = "mq",
+    seed: int = 0,
+    req_capacity: int = 2048,
+    ev_capacity: int = 8192,
+    rank_sample_every: int = 16,
+    dead_after_s: float = 2.0,
+    chaos: Optional[Tuple[int, float]] = None,
+    poll_s: float = 0.0002,
+) -> dict:
+    """Run one complete service experiment and summarize it.
+
+    Starts ``shards`` owner processes and ``workers`` loadgen processes,
+    prefills, replays the schedule, tears down, audits every ring, and
+    returns the metrics summary (throughput, tail latency, sampled rank
+    quality) plus the audit.  ``chaos=(shard, delay_s)`` SIGKILLs one
+    owner ``delay_s`` after traffic starts — the degraded-mode path.
+    """
+    from repro.service.metrics import summarize
+
+    schedule = spec.build()
+    segment = ServiceSegment.create(
+        shards, lanes=workers + 1, req_capacity=req_capacity, ev_capacity=ev_capacity
+    )
+    cluster = ServiceCluster(segment, poll_s=poll_s)
+    killer: Optional[threading.Timer] = None
+    try:
+        cluster.start()
+        collector = EventCollector(segment, cluster)
+        collector.start()
+        control_router = Router(
+            segment, beta=beta, gamma=gamma, policy=policy, rng=seed
+        )
+        _prefill(segment, schedule, control_router, timeout_s=30.0)
+
+        ctx = _mp_context()
+        start_ns = time.monotonic_ns() + int(0.05 * _NS)
+        loadgens = []
+        for w in range(workers):
+            proc = ctx.Process(
+                target=loadgen_main,
+                name=f"loadgen-{w}",
+                args=(
+                    dict(
+                        segment_name=segment.name,
+                        worker_id=w,
+                        n_workers=workers,
+                        spec=spec,
+                        start_ns=start_ns,
+                        beta=beta,
+                        gamma=gamma,
+                        policy=policy,
+                        routing_seed=seed + 1,
+                        dead_after_s=dead_after_s,
+                    ),
+                ),
+                daemon=True,
+            )
+            proc.start()
+            loadgens.append(proc)
+        if chaos is not None:
+            kill_shard, delay_s = chaos
+            wait_s = max(0.0, (start_ns - time.monotonic_ns()) / _NS + delay_s)
+            killer = threading.Timer(wait_s, cluster.kill, args=(kill_shard,))
+            killer.start()
+
+        wall_start = time.monotonic_ns()
+        for proc in loadgens:
+            proc.join(timeout=120.0)
+            if proc.is_alive():
+                proc.kill()
+                proc.join()
+        if killer is not None:
+            killer.join()
+        _stop_owners(segment)
+        owner_exits = cluster.join(timeout_s=30.0)
+        collector.join(timeout=30.0)
+        wall_s = (time.monotonic_ns() - wall_start) / _NS
+
+        audit = segment.audit()
+        result = summarize(
+            collector.events_by_shard,
+            schedule,
+            wall_s=wall_s,
+            rank_sample_every=rank_sample_every,
+        )
+        result.update(
+            {
+                "shards": shards,
+                "workers": workers,
+                "beta": beta,
+                "gamma": gamma,
+                "policy": policy,
+                "seed": seed,
+                "mode": spec.mode,
+                "audit": audit,
+                "owner_exitcodes": owner_exits,
+                "loadgen_exitcodes": [p.exitcode for p in loadgens],
+                "residual_sizes": collector.residual_sizes,
+                "killed_shard": chaos[0] if chaos else None,
+            }
+        )
+        return result
+    finally:
+        if killer is not None:
+            killer.cancel()
+        for proc in cluster.processes:
+            if proc.is_alive():
+                proc.kill()
+        segment.close()
+        segment.unlink()
+
+
+def run_scaling_sweep(
+    shard_counts: Sequence[int],
+    workers: int,
+    spec: ScheduleSpec,
+    beta: float = 0.5,
+    gamma: float = 0.0,
+    policy: str = "mq",
+    seed: int = 0,
+) -> dict:
+    """Throughput scaling across shard-owner counts, same offered load.
+
+    The headline service claim: with real processes on real cores,
+    adding shard owners scales delete-min throughput — the axis the
+    simulator can model but never demonstrate.
+    """
+    rows = []
+    for shards in shard_counts:
+        res = run_service(
+            shards, workers, spec, beta=beta, gamma=gamma, policy=policy, seed=seed
+        )
+        rows.append(
+            {
+                "shards": shards,
+                "workers": workers,
+                "throughput_ops_s": res["throughput_ops_s"],
+                "delete_p99_ms": res["delete_p99_ms"],
+                "rank": res["rank"],
+                "torn": res["audit"]["torn"],
+            }
+        )
+    base = rows[0]["throughput_ops_s"]
+    for row in rows:
+        row["speedup"] = row["throughput_ops_s"] / base if base else float("nan")
+    return {
+        "beta": beta,
+        "gamma": gamma,
+        "policy": policy,
+        "mode": spec.mode,
+        "ops": spec.ops,
+        "prefill": spec.prefill,
+        "rows": rows,
+    }

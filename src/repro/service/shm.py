@@ -1,0 +1,433 @@
+"""Shared-memory ring shards: the wire format of the live service.
+
+One ``multiprocessing.shared_memory`` segment holds everything the
+service's processes exchange: per-shard request lanes, per-shard event
+rings, and per-shard headers publishing the queue top for two-choice
+routing.  Three protocols live here, all designed so that a SIGKILLed
+process can never corrupt what a survivor reads:
+
+**Slot protocol (claim/commit).**  Every ring slot carries an absolute
+sequence number.  A slot at ring position ``p`` reads ``seq == p`` while
+free (the producer's *claim* is the observation that its own position is
+free — single producer per ring, so the claim cannot race), the producer
+writes the payload plus a checksum, and only then *commits* by storing
+``seq = p + 1``.  The consumer accepts a slot only when ``seq == c + 1``
+and recycles it with ``seq = c + capacity``.  A writer killed anywhere
+before the commit store leaves ``seq`` unpublished, so the half-written
+payload is invisible — there is no torn state a reader can observe, and
+:meth:`SlotRing.audit` proves it after the fact by checksumming every
+committed slot.
+
+**Lane composition.**  Python cannot issue atomic read-modify-writes on
+shared memory, so instead of an MPMC ring guarded by a lock (a kill
+while holding it would wedge every peer), each (producer, shard) pair
+gets its own single-producer/single-consumer lane and the shard owner
+drains its lanes round-robin.  The lane mesh *is* the MPMC channel,
+built from parts that need no atomics at all.  (CPython executes the
+payload stores before the commit store in bytecode order, and x86/ARM64
+TSO/release semantics keep that order visible across processes.)
+
+**Header seqlock + fencing epoch.**  Each shard header publishes
+``(top, size, heartbeat)`` under a seqlock (odd = write in progress) so
+routers can read two shard tops without locks, and carries a fencing
+``epoch`` bumped by every new owner generation — events stamped with a
+stale epoch are from a zombie predecessor and can be fenced.
+"""
+
+from __future__ import annotations
+
+import struct
+from dataclasses import dataclass
+from multiprocessing import resource_tracker, shared_memory
+from typing import List, Optional, Tuple
+
+#: Slot layout: absolute sequence number, opcode, label, Lamport clock,
+#: intended-start and completion timestamps (monotonic ns), checksum.
+SLOT = struct.Struct("<QQqQqqQ")
+_SEQ = struct.Struct("<Q")
+
+#: Request opcodes (client -> shard owner).
+OP_INSERT = 1
+OP_DELETE = 2
+OP_STOP = 3
+
+#: Event opcodes (shard owner -> collector).
+EV_INSERT = 11
+EV_DELETE = 12
+EV_EMPTY = 13  # delete arrived while the shard heap was empty
+EV_BYE = 14  # owner shut down cleanly; label carries the residual size
+
+#: Published "top" for an empty shard: worse than every real label.
+TOP_EMPTY = 1 << 62
+
+_MASK64 = (1 << 64) - 1
+
+#: Shard header layout: fencing epoch, seqlock, top, size, heartbeat ns.
+HEADER = struct.Struct("<QQqqq")
+
+_SEG_HEADER = struct.Struct("<QIIIII")
+_SEG_HEADER_SIZE = 32
+_MAGIC = 0x4D51534852564D51  # "MQSHRVMQ"
+
+
+def slot_checksum(op: int, label: int, clock: int, t0_ns: int, t1_ns: int) -> int:
+    """FNV-style fold of a slot payload (``hash()`` is salted; this is not)."""
+    h = 0x9E3779B97F4A7C15
+    for v in (op, label & _MASK64, clock, t0_ns & _MASK64, t1_ns & _MASK64):
+        h = ((h ^ v) * 0x100000001B3) & _MASK64
+    return h or 1
+
+
+class TornSlotError(RuntimeError):
+    """A committed slot failed its checksum — the protocol was violated."""
+
+
+@dataclass
+class RingAudit:
+    """Post-mortem census of one ring's slots."""
+
+    capacity: int
+    committed: int  # published but not yet consumed
+    free: int
+    torn: int  # invalid sequence residue or checksum mismatch
+
+    @property
+    def ok(self) -> bool:
+        return self.torn == 0
+
+
+class SlotRing:
+    """A fixed-capacity SPSC ring over a shared-memory region.
+
+    Producer and consumer positions are plain Python attributes — each
+    side is a single process, and a restarted process recovers them from
+    the slot sequence numbers alone (:meth:`recover`).
+    """
+
+    def __init__(self, buf, offset: int, capacity: int) -> None:
+        if capacity <= 0:
+            raise ValueError(f"capacity must be positive, got {capacity}")
+        self._buf = buf
+        self._offset = offset
+        self.capacity = capacity
+        self._head = 0  # next producer position
+        self._tail = 0  # next consumer position
+
+    @staticmethod
+    def region_size(capacity: int) -> int:
+        """Bytes one ring of ``capacity`` slots occupies."""
+        return capacity * SLOT.size
+
+    def _slot_offset(self, position: int) -> int:
+        return self._offset + (position % self.capacity) * SLOT.size
+
+    def initialize(self) -> None:
+        """Format every slot as free (slot ``i`` gets ``seq = i``)."""
+        for i in range(self.capacity):
+            SLOT.pack_into(self._buf, self._offset + i * SLOT.size, i, 0, 0, 0, 0, 0, 0)
+
+    # -- producer side ---------------------------------------------------
+
+    def try_push(
+        self, op: int, label: int, clock: int = 0, t0_ns: int = 0, t1_ns: int = 0
+    ) -> bool:
+        """Claim the head slot, write the payload, commit.  False = full."""
+        p = self._head
+        off = self._slot_offset(p)
+        (seq,) = _SEQ.unpack_from(self._buf, off)
+        if seq != p:
+            return False  # ring full (or we lost our position: recover())
+        # Claimed: payload first, checksum included ...
+        SLOT.pack_into(
+            self._buf, off, seq, op, label, clock, t0_ns, t1_ns,
+            slot_checksum(op, label, clock, t0_ns, t1_ns),
+        )
+        # ... and only then the commit store that publishes the slot.
+        _SEQ.pack_into(self._buf, off, p + 1)
+        self._head = p + 1
+        return True
+
+    # -- consumer side ---------------------------------------------------
+
+    def try_pop(self) -> Optional[Tuple[int, int, int, int, int]]:
+        """Consume the tail slot; ``None`` when nothing is committed.
+
+        Returns ``(op, label, clock, t0_ns, t1_ns)``.  Raises
+        :class:`TornSlotError` if a committed slot fails its checksum —
+        by construction of the commit ordering this cannot happen from a
+        crash, only from a protocol bug, so it is loud.
+        """
+        c = self._tail
+        off = self._slot_offset(c)
+        seq, op, label, clock, t0_ns, t1_ns, checksum = SLOT.unpack_from(self._buf, off)
+        if seq != c + 1:
+            return None
+        if checksum != slot_checksum(op, label, clock, t0_ns, t1_ns):
+            raise TornSlotError(
+                f"slot at position {c} committed with a bad checksum (op={op})"
+            )
+        _SEQ.pack_into(self._buf, off, c + self.capacity)
+        self._tail = c + 1
+        return op, label, clock, t0_ns, t1_ns
+
+    # -- crash recovery and audit ----------------------------------------
+
+    def recover(self) -> None:
+        """Rederive producer/consumer positions from the slot sequences.
+
+        Used by a process attaching to a ring mid-life (e.g. a restarted
+        owner, or the post-kill auditor): free slots carry their future
+        producer position, committed slots carry ``position + 1``.
+        """
+        free_positions: List[int] = []
+        committed_positions: List[int] = []
+        for i in range(self.capacity):
+            (seq,) = _SEQ.unpack_from(self._buf, self._offset + i * SLOT.size)
+            if (seq - i) % self.capacity == 0:
+                free_positions.append(seq)
+            elif (seq - i - 1) % self.capacity == 0:
+                committed_positions.append(seq - 1)
+        if free_positions:
+            self._head = min(free_positions)
+        elif committed_positions:
+            self._head = min(committed_positions) + self.capacity
+        else:
+            self._head = 0
+        self._tail = min(committed_positions) if committed_positions else self._head
+
+    def audit(self) -> RingAudit:
+        """Census every slot; a nonzero ``torn`` count is a protocol breach."""
+        committed = free = torn = 0
+        for i in range(self.capacity):
+            off = self._offset + i * SLOT.size
+            seq, op, label, clock, t0_ns, t1_ns, checksum = SLOT.unpack_from(self._buf, off)
+            if (seq - i) % self.capacity == 0:
+                free += 1
+            elif (seq - i - 1) % self.capacity == 0:
+                if checksum == slot_checksum(op, label, clock, t0_ns, t1_ns):
+                    committed += 1
+                else:
+                    torn += 1
+            else:
+                torn += 1
+        return RingAudit(capacity=self.capacity, committed=committed, free=free, torn=torn)
+
+
+class ShardHeader:
+    """Seqlock-published ``(top, size, heartbeat)`` plus the fencing epoch."""
+
+    def __init__(self, buf, offset: int) -> None:
+        self._buf = buf
+        self._offset = offset
+
+    @staticmethod
+    def region_size() -> int:
+        return HEADER.size
+
+    def initialize(self) -> None:
+        HEADER.pack_into(self._buf, self._offset, 0, 0, TOP_EMPTY, 0, 0)
+
+    # -- owner side ------------------------------------------------------
+
+    def bump_epoch(self) -> int:
+        """Fence out any predecessor: the new owner generation's token."""
+        epoch, = struct.unpack_from("<Q", self._buf, self._offset)
+        struct.pack_into("<Q", self._buf, self._offset, epoch + 1)
+        return epoch + 1
+
+    def publish(self, top: int, size: int, heartbeat_ns: int) -> None:
+        """Seqlock write: odd seq while the fields are in flight."""
+        off = self._offset
+        (seqlock,) = struct.unpack_from("<Q", self._buf, off + 8)
+        struct.pack_into("<Q", self._buf, off + 8, seqlock + 1)  # odd: writing
+        struct.pack_into("<qqq", self._buf, off + 16, top, size, heartbeat_ns)
+        struct.pack_into("<Q", self._buf, off + 8, seqlock + 2)  # even: stable
+
+    # -- reader side -----------------------------------------------------
+
+    def read(self, max_tries: int = 64) -> Tuple[int, int, int, int]:
+        """Consistent ``(epoch, top, size, heartbeat_ns)`` snapshot."""
+        for _ in range(max_tries):
+            epoch, seq1 = struct.unpack_from("<QQ", self._buf, self._offset)
+            if seq1 % 2:
+                continue
+            top, size, heartbeat_ns = struct.unpack_from(
+                "<qqq", self._buf, self._offset + 16
+            )
+            (seq2,) = struct.unpack_from("<Q", self._buf, self._offset + 8)
+            if seq1 == seq2:
+                return epoch, top, size, heartbeat_ns
+        # The writer died mid-publish: the stale snapshot is still usable
+        # for routing (tops are advisory), so return it rather than hang.
+        top, size, heartbeat_ns = struct.unpack_from("<qqq", self._buf, self._offset + 16)
+        return epoch, top, size, heartbeat_ns
+
+    def epoch(self) -> int:
+        (epoch,) = struct.unpack_from("<Q", self._buf, self._offset)
+        return epoch
+
+
+def _attach_segment(name: str) -> shared_memory.SharedMemory:
+    """Attach to an existing segment without adopting its lifetime.
+
+    ``SharedMemory(name=...)`` registers the block with the resource
+    tracker even when merely attaching (bpo-39959), so a child exiting
+    would unlink a segment the creator still owns.  Suppress the
+    registration for the duration of the attach (unregistering *after*
+    would race the tracker and double-remove when creator and attacher
+    share a process): only the creating process manages unlink.
+    """
+    original_register = resource_tracker.register
+    resource_tracker.register = lambda *args, **kwargs: None
+    try:
+        return shared_memory.SharedMemory(name=name)
+    finally:
+        resource_tracker.register = original_register
+
+
+class ServiceSegment:
+    """Layout and lifetime of the one shared-memory block of a service run.
+
+    Geometry: ``lanes`` producers (loadgen workers plus the control lane
+    the parent uses for prefill/shutdown) times ``shards`` request rings,
+    one event ring per shard, one header per shard.  Any process can
+    attach by name and reconstruct every view from the stored geometry.
+    """
+
+    def __init__(
+        self, shm: shared_memory.SharedMemory, *, owns: bool,
+        shards: int, lanes: int, req_capacity: int, ev_capacity: int,
+    ) -> None:
+        self._shm = shm
+        self._owns = owns
+        self.shards = shards
+        self.lanes = lanes
+        self.req_capacity = req_capacity
+        self.ev_capacity = ev_capacity
+
+    # -- creation / attachment -------------------------------------------
+
+    @classmethod
+    def create(
+        cls,
+        shards: int,
+        lanes: int,
+        req_capacity: int = 2048,
+        ev_capacity: int = 8192,
+        name: Optional[str] = None,
+    ) -> "ServiceSegment":
+        if shards <= 0 or lanes <= 0:
+            raise ValueError(f"need positive geometry, got shards={shards}, lanes={lanes}")
+        total = cls._total_size(shards, lanes, req_capacity, ev_capacity)
+        shm = shared_memory.SharedMemory(name=name, create=True, size=total)
+        seg = cls(
+            shm, owns=True, shards=shards, lanes=lanes,
+            req_capacity=req_capacity, ev_capacity=ev_capacity,
+        )
+        _SEG_HEADER.pack_into(
+            shm.buf, 0, _MAGIC, 1, shards, lanes, req_capacity, ev_capacity
+        )
+        for s in range(shards):
+            seg.header(s).initialize()
+            seg.event_ring(s).initialize()
+            for lane in range(lanes):
+                seg.request_ring(s, lane).initialize()
+        return seg
+
+    @classmethod
+    def attach(cls, name: str) -> "ServiceSegment":
+        shm = _attach_segment(name)
+        magic, version, shards, lanes, req_capacity, ev_capacity = _SEG_HEADER.unpack_from(
+            shm.buf, 0
+        )
+        if magic != _MAGIC:
+            shm.close()
+            raise ValueError(f"shared segment {name!r} is not a repro.service segment")
+        return cls(
+            shm, owns=False, shards=shards, lanes=lanes,
+            req_capacity=req_capacity, ev_capacity=ev_capacity,
+        )
+
+    @property
+    def name(self) -> str:
+        return self._shm.name
+
+    @staticmethod
+    def _total_size(shards: int, lanes: int, req_capacity: int, ev_capacity: int) -> int:
+        return (
+            _SEG_HEADER_SIZE
+            + shards * ShardHeader.region_size()
+            + shards * lanes * SlotRing.region_size(req_capacity)
+            + shards * SlotRing.region_size(ev_capacity)
+        )
+
+    # -- views ------------------------------------------------------------
+
+    def _headers_base(self) -> int:
+        return _SEG_HEADER_SIZE
+
+    def _requests_base(self) -> int:
+        return self._headers_base() + self.shards * ShardHeader.region_size()
+
+    def _events_base(self) -> int:
+        return self._requests_base() + self.shards * self.lanes * SlotRing.region_size(
+            self.req_capacity
+        )
+
+    def header(self, shard: int) -> ShardHeader:
+        self._check_shard(shard)
+        return ShardHeader(
+            self._shm.buf, self._headers_base() + shard * ShardHeader.region_size()
+        )
+
+    def request_ring(self, shard: int, lane: int) -> SlotRing:
+        self._check_shard(shard)
+        if not 0 <= lane < self.lanes:
+            raise IndexError(f"lane {lane} outside [0, {self.lanes})")
+        offset = self._requests_base() + (
+            shard * self.lanes + lane
+        ) * SlotRing.region_size(self.req_capacity)
+        return SlotRing(self._shm.buf, offset, self.req_capacity)
+
+    def event_ring(self, shard: int) -> SlotRing:
+        self._check_shard(shard)
+        offset = self._events_base() + shard * SlotRing.region_size(self.ev_capacity)
+        return SlotRing(self._shm.buf, offset, self.ev_capacity)
+
+    def _check_shard(self, shard: int) -> None:
+        if not 0 <= shard < self.shards:
+            raise IndexError(f"shard {shard} outside [0, {self.shards})")
+
+    # -- audit -------------------------------------------------------------
+
+    def audit(self) -> dict:
+        """Census every ring; ``torn == 0`` is the crash-safety contract."""
+        torn = committed = 0
+        rings = 0
+        for s in range(self.shards):
+            audits = [self.event_ring(s).audit()]
+            audits.extend(
+                self.request_ring(s, lane).audit() for lane in range(self.lanes)
+            )
+            for a in audits:
+                torn += a.torn
+                committed += a.committed
+                rings += 1
+        return {"rings": rings, "torn": torn, "pending": committed}
+
+    # -- lifetime ----------------------------------------------------------
+
+    def close(self) -> None:
+        self._shm.close()
+
+    def unlink(self) -> None:
+        if self._owns:
+            self._shm.unlink()
+
+    def __enter__(self) -> "ServiceSegment":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+        if self._owns:
+            self.unlink()

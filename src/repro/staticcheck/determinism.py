@@ -17,6 +17,12 @@ DET102   wall-clock reads reachable from a root, plus (locally, in every
          root-reachable function) a wall-clock-derived value stored under
          a payload key outside the declared volatile sets
          (``VOLATILE_KEYS`` / ``FAILURE_VOLATILE_KEYS`` / ``wall``).
+         ``repro.service`` is the declared wall-clock *boundary* (like
+         the CLI is for entropy): the live service's product is
+         measurement — latency, throughput, heartbeats — so wall-clock
+         reads inside it are exempt, while the payload-key taint check
+         still applies (measured values must land under declared
+         volatile keys).
 DET103   environment/host-identity reads reachable from a root — and
          anywhere inside cache-key construction, env-dependent keys
          poison cross-host cache sharing silently.
@@ -35,8 +41,8 @@ Roots are discovered, not declared:
 * the function argument of every ``run_cells(...)`` / ``sweep_cells`` /
   ``sweep(...)`` / ``queue_worker(...)`` / ``QueueWorker(...)`` call
   site that resolves syntactically;
-* module-level ``run_*`` / ``compare_*`` entry points of ``repro.core``
-  and ``repro.vector``.
+* module-level ``run_*`` / ``compare_*`` entry points of ``repro.core``,
+  ``repro.vector``, and ``repro.service``.
 """
 
 from __future__ import annotations
@@ -133,18 +139,34 @@ def discover_roots(project: Project) -> List[str]:
 
 def _is_entry_module(module_name: str) -> bool:
     parts = module_name.split(".")
-    return "core" in parts or "vector" in parts
+    return "core" in parts or "vector" in parts or "service" in parts
+
+
+#: Modules whose wall-clock reads are the *product*, not an impurity:
+#: the live service measures latency, throughput, and owner liveness.
+#: Mirrors the entropy boundary — reads inside these modules are exempt
+#: from the DET102 reachability rule, but the payload-key taint check
+#: still applies everywhere.
+DEFAULT_WALL_CLOCK_BOUNDARY = (
+    "repro.service.shm",
+    "repro.service.server",
+    "repro.service.loadgen",
+    "repro.service.metrics",
+    "repro.service.validate",
+)
 
 
 def run_determinism_pass(
     project: Project,
     roots: Optional[Sequence[str]] = None,
     entropy_boundary: Sequence[str] = ("repro.cli",),
+    wall_clock_boundary: Sequence[str] = DEFAULT_WALL_CLOCK_BOUNDARY,
     volatile_keys: Optional[Set[str]] = None,
 ) -> Tuple[List[Finding], List[str]]:
     """Run DET101–DET106; returns ``(findings, roots_used)``."""
     roots = list(roots) if roots is not None else discover_roots(project)
     boundary = set(entropy_boundary)
+    wall_boundary = set(wall_clock_boundary)
     allowed_keys = volatile_keys if volatile_keys is not None else declared_volatile_keys(project)
 
     findings: List[Finding] = []
@@ -163,6 +185,12 @@ def run_determinism_pass(
                 site.effect == ENTROPY
                 and owner is not None
                 and owner.module.name in boundary
+            ):
+                continue
+            if (
+                site.effect == WALL_CLOCK
+                and owner is not None
+                and owner.module.name in wall_boundary
             ):
                 continue
             dedupe = (rule, site.witness.file, site.witness.line)

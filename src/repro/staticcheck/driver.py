@@ -16,7 +16,10 @@ from pathlib import Path
 from typing import Dict, List, Optional, Sequence, Tuple, Union
 
 from repro.staticcheck.callgraph import Project
-from repro.staticcheck.determinism import run_determinism_pass
+from repro.staticcheck.determinism import (
+    DEFAULT_WALL_CLOCK_BOUNDARY,
+    run_determinism_pass,
+)
 from repro.staticcheck.lockorder import run_lockorder_pass
 from repro.staticcheck.report import (
     CheckReport,
@@ -89,6 +92,7 @@ def run_check(
     paths: Optional[Sequence[Union[str, Path]]] = None,
     baseline: Optional[Union[str, Path]] = None,
     entropy_boundary: Sequence[str] = ("repro.cli",),
+    wall_clock_boundary: Sequence[str] = DEFAULT_WALL_CLOCK_BOUNDARY,
 ) -> CheckReport:
     """Run every pass and return the consolidated report.
 
@@ -98,7 +102,9 @@ def run_check(
     """
     project = load_project(paths)
     det_findings, roots = run_determinism_pass(
-        project, entropy_boundary=entropy_boundary
+        project,
+        entropy_boundary=entropy_boundary,
+        wall_clock_boundary=wall_clock_boundary,
     )
     lock_findings = run_lockorder_pass(project)
     findings: List[Finding] = det_findings + lock_findings

@@ -71,15 +71,12 @@ class VectorRunResult:
 
     def summary(self) -> dict:
         """Headline statistics: across-replica spread of per-replica means."""
-        means = self.per_replica_mean()
-        sd = float(means.std(ddof=1)) if len(means) > 1 else 0.0
+        from repro.analysis.stats import replica_rank_summary
+
         return {
             "replicas": self.replicas,
             "removals": self.removals,
-            "mean_rank": float(means.mean()),
-            "mean_rank_sd": sd,
-            "p99_rank": float(np.quantile(self.ranks, 0.99)),
-            "max_rank": int(self.ranks.max()),
+            **replica_rank_summary(self.ranks),
         }
 
     def __repr__(self) -> str:

@@ -56,8 +56,8 @@ class BackendRun:
 
     def row(self) -> dict:
         """JSON-safe summary row (what the CLI prints and benches emit)."""
-        means = self.ranks.mean(axis=0)
-        sd = float(means.std(ddof=1)) if self.replicas > 1 else 0.0
+        from repro.analysis.stats import replica_rank_summary
+
         return {
             "backend": self.backend,
             "n": self.n,
@@ -67,10 +67,7 @@ class BackendRun:
             "steps": self.steps,
             "elapsed_s": round(self.elapsed, 4),
             "ops_per_sec": round(self.ops_per_sec, 1),
-            "mean_rank": float(means.mean()),
-            "mean_rank_sd": sd,
-            "p99_rank": float(np.quantile(self.ranks, 0.99)),
-            "max_rank": int(self.ranks.max()),
+            **replica_rank_summary(self.ranks),
         }
 
 

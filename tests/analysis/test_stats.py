@@ -93,3 +93,54 @@ class TestLogLogSlope:
     def test_rejects_nonpositive(self):
         with pytest.raises(ValueError):
             loglog_slope([0, 1], [1, 2])
+
+
+class TestRankSummary:
+    def test_keys_and_values(self):
+        from repro.analysis.stats import rank_summary
+
+        s = rank_summary([1, 2, 3, 4, 100])
+        assert set(s) == {"removals", "mean_rank", "p50_rank", "p99_rank", "max_rank"}
+        assert s["removals"] == 5
+        assert s["mean_rank"] == pytest.approx(22.0)
+        assert s["p50_rank"] == pytest.approx(3.0)
+        assert s["max_rank"] == 100
+
+    def test_matches_trace_summary(self):
+        from repro.analysis.stats import rank_summary
+        from repro.core.records import RankTrace
+
+        ranks = list(np.random.default_rng(7).integers(1, 50, size=200))
+        assert RankTrace(ranks).summary() == rank_summary(np.asarray(ranks, dtype=np.int64))
+
+    def test_empty_rejected(self):
+        from repro.analysis.stats import rank_summary
+
+        with pytest.raises(ValueError):
+            rank_summary([])
+
+
+class TestReplicaRankSummary:
+    def test_keys_and_single_replica_sd(self):
+        from repro.analysis.stats import replica_rank_summary
+
+        s = replica_rank_summary(np.arange(10, dtype=float).reshape(10, 1))
+        assert set(s) == {"mean_rank", "mean_rank_sd", "p99_rank", "max_rank"}
+        assert s["mean_rank_sd"] == 0.0
+
+    def test_across_replica_spread(self):
+        from repro.analysis.stats import replica_rank_summary
+
+        ranks = np.stack([np.full(50, 1.0), np.full(50, 3.0)], axis=1)
+        s = replica_rank_summary(ranks)
+        assert s["mean_rank"] == pytest.approx(2.0)
+        assert s["mean_rank_sd"] == pytest.approx(np.std([1.0, 3.0], ddof=1))
+        assert s["max_rank"] == 3
+
+    def test_rejects_flat_or_empty(self):
+        from repro.analysis.stats import replica_rank_summary
+
+        with pytest.raises(ValueError):
+            replica_rank_summary(np.arange(5))
+        with pytest.raises(ValueError):
+            replica_rank_summary(np.empty((0, 3)))

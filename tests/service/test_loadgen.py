@@ -1,0 +1,127 @@
+"""Arrival-schedule construction: modes, determinism, striping."""
+
+import numpy as np
+import pytest
+
+from repro.service.loadgen import ArrivalSchedule, ScheduleSpec
+from repro.service.shm import OP_DELETE, OP_INSERT
+
+
+class TestSpecValidation:
+    def test_unknown_mode(self):
+        with pytest.raises(ValueError, match="unknown arrival mode"):
+            ScheduleSpec(mode="warp")
+
+    def test_trace_requires_path(self):
+        with pytest.raises(ValueError, match="requires trace_path"):
+            ScheduleSpec(mode="trace")
+
+    def test_bursty_requires_rate(self):
+        with pytest.raises(ValueError, match="requires a positive rate"):
+            ScheduleSpec(mode="onoff", rate=0.0)
+
+    def test_bad_burst_factor(self):
+        with pytest.raises(ValueError, match="burst_factor"):
+            ScheduleSpec(mode="diurnal", rate=10.0, burst_factor=1.0)
+
+
+class TestModes:
+    def test_max_speed_is_all_zero(self):
+        sched = ScheduleSpec(mode="poisson", ops=100, rate=0.0, seed=1).build()
+        assert (sched.times_ns == 0).all()
+
+    def test_poisson_rate_is_respected(self):
+        sched = ScheduleSpec(mode="poisson", ops=20_000, rate=1000.0, seed=2).build()
+        assert (np.diff(sched.times_ns) >= 0).all()
+        # 20k arrivals at 1k/s should span ~20s.
+        assert sched.span_s == pytest.approx(20.0, rel=0.1)
+
+    def test_onoff_bursts(self):
+        spec = ScheduleSpec(
+            mode="onoff", ops=40_000, rate=1000.0, seed=3,
+            on_s=0.5, off_s=0.5, burst_factor=8.0,
+        )
+        sched = spec.build()
+        t = sched.times_ns / 1e9
+        assert (np.diff(t) >= 0).all()
+        phase = t % (spec.on_s + spec.off_s)
+        on_count = int((phase < spec.on_s).sum())
+        off_count = sched.ops - on_count
+        # ON intensity is burst_factor^2 times OFF intensity.
+        assert on_count > 10 * off_count
+
+    def test_diurnal_wave(self):
+        spec = ScheduleSpec(mode="diurnal", ops=40_000, rate=2000.0, seed=4, period_s=4.0)
+        sched = spec.build()
+        t = sched.times_ns / 1e9
+        assert (np.diff(t) >= 0).all()
+        # Rising half-period draws more arrivals than the falling one.
+        phase = t % spec.period_s
+        first_half = int((phase < spec.period_s / 2).sum())
+        assert first_half > 1.3 * (sched.ops - first_half)
+
+    def test_trace_mode_replays_and_tiles(self, tmp_path):
+        trace = tmp_path / "arrivals.txt"
+        trace.write_text("# burst of three\n0.0\n0.001\n0.002\n")
+        spec = ScheduleSpec(mode="trace", ops=9, trace_path=str(trace))
+        sched = spec.build()
+        assert sched.ops == 9
+        assert (np.diff(sched.times_ns) >= 0).all()
+        # The 3-arrival burst shape repeats three times.
+        gaps = np.diff(sched.times_ns / 1e9)
+        assert gaps[[0, 1, 3, 4, 6, 7]] == pytest.approx(0.001, rel=0.01)
+
+    def test_empty_trace_rejected(self, tmp_path):
+        trace = tmp_path / "empty.txt"
+        trace.write_text("# nothing\n")
+        with pytest.raises(ValueError, match="no arrival times"):
+            ScheduleSpec(mode="trace", ops=4, trace_path=str(trace)).build()
+
+
+class TestDeterminismAndStriping:
+    def test_rebuild_is_byte_identical(self):
+        spec = ScheduleSpec(mode="onoff", ops=5000, prefill=512, rate=500.0, seed=42)
+        a, b = spec.build(), spec.build()
+        assert a.times_ns.tobytes() == b.times_ns.tobytes()
+        assert a.insert_labels.tobytes() == b.insert_labels.tobytes()
+        assert a.prefill_labels.tobytes() == b.prefill_labels.tobytes()
+
+    def test_seed_changes_schedule(self):
+        base = ScheduleSpec(mode="poisson", ops=1000, rate=100.0, seed=1).build()
+        other = ScheduleSpec(mode="poisson", ops=1000, rate=100.0, seed=2).build()
+        assert base.times_ns.tobytes() != other.times_ns.tobytes()
+
+    @pytest.mark.parametrize("n_workers", [1, 2, 3, 7])
+    def test_stripes_partition_the_schedule(self, n_workers):
+        sched = ScheduleSpec(mode="poisson", ops=1001, rate=0.0, seed=5).build()
+        stripes = [sched.stripe(w, n_workers) for w in range(n_workers)]
+        merged = np.sort(np.concatenate(stripes))
+        assert (merged == np.arange(sched.ops)).all()
+
+    def test_schedule_independent_of_worker_count(self):
+        """The offered traffic (op -> time, label) never depends on n_workers.
+
+        Striping only selects *who* sends an op; rebuilding the schedule
+        under any worker count yields the same global op table.
+        """
+        spec = ScheduleSpec(mode="diurnal", ops=2000, prefill=64, rate=800.0, seed=9)
+        table = [spec.build().op(g) for g in range(spec.ops)]
+        again = [spec.build().op(g) for g in range(spec.ops)]
+        assert table == again
+
+    def test_labels_are_a_compact_permutation(self):
+        sched = ScheduleSpec(mode="poisson", ops=101, prefill=50, rate=0.0, seed=6).build()
+        allocated = np.concatenate([sched.prefill_labels, sched.insert_labels])
+        assert sorted(allocated.tolist()) == list(range(sched.label_universe))
+        assert sched.n_inserts == 51  # ceil(101 / 2)
+
+    def test_ops_alternate_insert_delete(self):
+        sched = ScheduleSpec(mode="poisson", ops=6, rate=0.0, seed=0).build()
+        kinds = [sched.op(g)[0] for g in range(6)]
+        assert kinds == [OP_INSERT, OP_DELETE] * 3
+        assert sched.op(1)[1] == -1  # deletes carry no label
+
+    def test_stripe_bounds_checked(self):
+        sched = ScheduleSpec(ops=10, seed=0).build()
+        with pytest.raises(ValueError):
+            sched.stripe(2, 2)

@@ -1,0 +1,201 @@
+"""Router policies, shard-owner loop, and small end-to-end service runs."""
+
+import threading
+
+import pytest
+
+from repro.service.loadgen import ScheduleSpec
+from repro.service.metrics import merge_events, replay_ranks, summarize
+from repro.service.server import Router, run_service, run_shard_owner
+from repro.service.shm import (
+    EV_BYE,
+    EV_DELETE,
+    EV_EMPTY,
+    EV_INSERT,
+    OP_DELETE,
+    OP_INSERT,
+    OP_STOP,
+    ServiceSegment,
+    TOP_EMPTY,
+)
+
+
+@pytest.fixture
+def segment():
+    seg = ServiceSegment.create(shards=3, lanes=2, req_capacity=64, ev_capacity=256)
+    yield seg
+    seg.close()
+    seg.unlink()
+
+
+class TestRouter:
+    def test_single_policy_pins_first_alive(self, segment):
+        router = Router(segment, beta=1.0, policy="single", rng=0)
+        assert {router.insert_shard() for _ in range(10)} == {0}
+        router.mark_dead(0)
+        assert {router.delete_shard() for _ in range(10)} == {1}
+
+    def test_rr_policy_cycles(self, segment):
+        router = Router(segment, beta=0.0, policy="rr", rng=0)
+        assert [router.insert_shard() for _ in range(6)] == [0, 1, 2, 0, 1, 2]
+
+    def test_mq_two_choice_prefers_smaller_top(self, segment):
+        segment.header(0).publish(top=100, size=5, heartbeat_ns=1)
+        segment.header(1).publish(top=5, size=5, heartbeat_ns=1)
+        segment.header(2).publish(top=50, size=5, heartbeat_ns=1)
+        router = Router(segment, beta=1.0, policy="mq", rng=0)
+        picks = [router.delete_shard() for _ in range(200)]
+        # Shard 1 holds the smallest top: it wins every probe pair it
+        # appears in, i.e. 1 - (2/3)^2 = 5/9 of deletes in expectation.
+        assert picks.count(1) > picks.count(0)
+        assert picks.count(1) > picks.count(2)
+
+    def test_mq_beta_zero_is_uniform_single_choice(self, segment):
+        segment.header(0).publish(top=1, size=5, heartbeat_ns=1)  # best top
+        router = Router(segment, beta=0.0, policy="mq", rng=1)
+        picks = [router.delete_shard() for _ in range(300)]
+        # One-choice never compares tops, so the best shard gets ~1/3.
+        assert 50 < picks.count(0) < 150
+
+    def test_empty_top_loses_two_choice(self, segment):
+        segment.header(0).publish(top=TOP_EMPTY, size=0, heartbeat_ns=1)
+        segment.header(1).publish(top=7, size=1, heartbeat_ns=1)
+        segment.header(2).publish(top=TOP_EMPTY, size=0, heartbeat_ns=1)
+        router = Router(segment, beta=1.0, policy="mq", rng=2)
+        picks = [router.delete_shard() for _ in range(100)]
+        assert picks.count(1) > 50
+
+    def test_gamma_biases_inserts(self, segment):
+        router = Router(segment, beta=0.5, gamma=0.8, policy="mq", rng=3)
+        picks = [router.insert_shard() for _ in range(600)]
+        # two-point bias: shard 0 cold, shard 2 hot.
+        assert picks.count(2) > picks.count(0)
+
+    def test_all_dead_raises(self, segment):
+        router = Router(segment, beta=0.5, rng=0)
+        router.mark_dead(0)
+        router.mark_dead(1)
+        with pytest.raises(RuntimeError, match="every shard is dead"):
+            router.mark_dead(2)
+
+    def test_unknown_policy_rejected(self, segment):
+        with pytest.raises(ValueError, match="unknown policy"):
+            Router(segment, beta=0.5, policy="lifo", rng=0)
+
+
+class TestShardOwner:
+    def _run_owner(self, segment, shard):
+        thread = threading.Thread(
+            target=run_shard_owner, args=(segment.name, shard, 0.0002), daemon=True
+        )
+        thread.start()
+        return thread
+
+    def test_owner_serves_heap_order_and_stops(self, segment):
+        thread = self._run_owner(segment, 0)
+        lane0 = segment.request_ring(0, 0)
+        lane1 = segment.request_ring(0, 1)
+        for label in (30, 10, 20):
+            assert lane0.try_push(OP_INSERT, label, 1, 0, 0)
+        for _ in range(3):
+            assert lane1.try_push(OP_DELETE, -1, 2, 0, 0)
+        assert lane1.try_push(OP_DELETE, -1, 3, 0, 0)  # heap now empty
+        lane0.try_push(OP_STOP, 0, 4, 0, 0)
+        lane1.try_push(OP_STOP, 0, 4, 0, 0)
+        thread.join(timeout=10.0)
+        assert not thread.is_alive()
+        events = []
+        ring = segment.event_ring(0)
+        while (ev := ring.try_pop()) is not None:
+            events.append(ev)
+        kinds = [e[0] for e in events]
+        assert kinds == [EV_INSERT] * 3 + [EV_DELETE] * 3 + [EV_EMPTY, EV_BYE]
+        assert [e[1] for e in events[3:6]] == [10, 20, 30]  # min-heap order
+        clocks = [e[2] for e in events]
+        assert clocks == sorted(clocks) and len(set(clocks)) == len(clocks)
+
+    def test_owner_publishes_header(self, segment):
+        thread = self._run_owner(segment, 1)
+        # One producer view per lane: a second view of the same lane would
+        # restart at position 0 and find its slot already recycled.
+        lanes = [segment.request_ring(1, lane) for lane in range(segment.lanes)]
+        lanes[0].try_push(OP_INSERT, 77, 1, 0, 0)
+        deadline = threading.Event()
+        for _ in range(5000):
+            epoch, top, size, heartbeat = segment.header(1).read()
+            if size == 1 and top == 77:
+                break
+            deadline.wait(0.001)
+        assert (top, size) == (77, 1)
+        assert epoch == 1  # first owner generation
+        assert heartbeat > 0
+        for lane in lanes:
+            assert lane.try_push(OP_STOP, 0, 9, 0, 0)
+        thread.join(timeout=10.0)
+        assert not thread.is_alive()
+
+
+class TestMetricsPieces:
+    def test_merge_orders_by_clock_then_shard(self):
+        by_shard = [
+            [(EV_INSERT, 1, 5, 0, 0), (EV_DELETE, 1, 9, 0, 0)],
+            [(EV_INSERT, 2, 5, 0, 0), (EV_INSERT, 3, 7, 0, 0)],
+        ]
+        merged = merge_events(by_shard)
+        assert [(r[3], r[0]) for r in merged] == [(5, 0), (5, 1), (7, 1), (9, 0)]
+
+    def test_replay_ranks_scores_global_rank(self):
+        # Shard 0 holds {10}, shard 1 holds {5}; deleting 10 while 5 is
+        # present costs rank 2, then deleting 5 costs rank 1.
+        by_shard = [
+            [(EV_INSERT, 10, 1, 0, 0), (EV_DELETE, 10, 4, 0, 0)],
+            [(EV_INSERT, 5, 2, 0, 0), (EV_DELETE, 5, 6, 0, 0)],
+        ]
+        ranks = replay_ranks(merge_events(by_shard), label_universe=11, sample_every=1)
+        assert ranks.tolist() == [2, 1]
+
+    def test_summarize_counts_and_filters_prefill_latency(self):
+        spec = ScheduleSpec(mode="poisson", ops=2, prefill=1, rate=0.0, seed=0)
+        schedule = spec.build()
+        pre = int(schedule.prefill_labels[0])
+        ins = int(schedule.insert_labels[0])
+        by_shard = [[
+            (EV_INSERT, pre, 1, 0, 500),  # prefill: t0 == 0, excluded
+            (EV_INSERT, ins, 2, 1000, 3000),
+            (EV_DELETE, min(pre, ins), 3, 2000, 7000),
+        ]]
+        out = summarize(by_shard, schedule, wall_s=2.0, rank_sample_every=1)
+        assert out["inserts"] == 2 and out["deletes"] == 1
+        assert out["ops_processed"] == 2
+        assert out["throughput_ops_s"] == pytest.approx(1.5)
+        assert out["insert_p50_ms"] == pytest.approx(0.002)
+        assert out["delete_p50_ms"] == pytest.approx(0.005)
+        assert out["rank"]["removals"] == 1
+        assert out["rank_values"] == [1]
+
+
+class TestEndToEnd:
+    def test_small_run_is_clean_and_conserves_labels(self):
+        spec = ScheduleSpec(mode="poisson", ops=1200, prefill=128, rate=0.0, seed=11)
+        res = run_service(shards=2, workers=2, spec=spec, beta=0.5, seed=5)
+        assert res["audit"]["torn"] == 0
+        assert res["owner_exitcodes"] == [0, 0]
+        assert res["loadgen_exitcodes"] == [0, 0]
+        assert res["ops_processed"] == spec.ops
+        assert res["throughput_ops_s"] > 0
+        # Conservation: every insert (prefill included) either got deleted
+        # or is still in a heap at shutdown.
+        assert sum(res["residual_sizes"]) == res["inserts"] - res["deletes"]
+        assert res["rank"] is not None and res["rank"]["mean_rank"] >= 1.0
+
+    def test_single_policy_serves_exact_heap_order(self):
+        spec = ScheduleSpec(mode="poisson", ops=400, prefill=64, rate=0.0, seed=13)
+        res = run_service(
+            shards=2, workers=1, spec=spec, beta=0.0, policy="single", seed=2,
+            rank_sample_every=1,
+        )
+        assert res["audit"]["torn"] == 0
+        # Everything funnels through shard 0: one global heap, so with a
+        # single client every delete removes the true minimum (rank 1).
+        assert res["per_shard"][1]["inserts"] == 0
+        assert res["rank"]["max_rank"] == 1

@@ -1,0 +1,221 @@
+"""Slot protocol, seqlock header, and segment layout tests (in-process)."""
+
+import struct
+
+import pytest
+
+from repro.service.shm import (
+    EV_DELETE,
+    OP_DELETE,
+    OP_INSERT,
+    SLOT,
+    ServiceSegment,
+    ShardHeader,
+    SlotRing,
+    TOP_EMPTY,
+    TornSlotError,
+    slot_checksum,
+)
+
+
+@pytest.fixture
+def segment():
+    seg = ServiceSegment.create(shards=2, lanes=3, req_capacity=8, ev_capacity=16)
+    yield seg
+    seg.close()
+    seg.unlink()
+
+
+class TestSlotRing:
+    def test_roundtrip(self, segment):
+        ring = segment.request_ring(0, 0)
+        assert ring.try_push(OP_INSERT, 42, clock=7, t0_ns=100, t1_ns=0)
+        reader = segment.request_ring(0, 0)  # fresh view, same region
+        assert reader.try_pop() == (OP_INSERT, 42, 7, 100, 0)
+        assert reader.try_pop() is None
+
+    def test_fifo_order(self, segment):
+        ring = segment.request_ring(0, 1)
+        for i in range(5):
+            assert ring.try_push(OP_INSERT, i)
+        got = [ring.try_pop()[1] for _ in range(5)]
+        assert got == [0, 1, 2, 3, 4]
+
+    def test_full_rejects_push(self, segment):
+        ring = segment.request_ring(0, 0)
+        for i in range(ring.capacity):
+            assert ring.try_push(OP_INSERT, i)
+        assert not ring.try_push(OP_INSERT, 999)
+
+    def test_wraparound_many_times(self, segment):
+        producer = segment.request_ring(1, 2)
+        consumer = segment.request_ring(1, 2)
+        for i in range(10 * producer.capacity):
+            assert producer.try_push(OP_DELETE, i)
+            assert consumer.try_pop() == (OP_DELETE, i, 0, 0, 0)
+
+    def test_negative_labels_and_timestamps_roundtrip(self, segment):
+        ring = segment.request_ring(0, 0)
+        assert ring.try_push(OP_INSERT, -5, clock=1, t0_ns=-1, t1_ns=-2)
+        assert ring.try_pop() == (OP_INSERT, -5, 1, -1, -2)
+
+    def test_recover_resumes_mid_stream(self, segment):
+        producer = segment.request_ring(0, 0)
+        consumer = segment.request_ring(0, 0)
+        for i in range(11):  # wraps the 8-slot ring
+            producer.try_push(OP_INSERT, i)
+            if i < 6:
+                consumer.try_pop()
+        # A brand-new attachment must find the same positions.
+        recovered = segment.request_ring(0, 0)
+        recovered.recover()
+        got = []
+        while (item := recovered.try_pop()) is not None:
+            got.append(item[1])
+        assert got == list(range(6, 11))
+        # ... and the recovered producer position accepts new pushes.
+        producer2 = segment.request_ring(0, 0)
+        producer2.recover()
+        assert producer2.try_push(OP_INSERT, 77)
+        assert recovered.try_pop()[1] == 77
+
+    def test_recover_on_fresh_ring(self, segment):
+        ring = segment.request_ring(0, 0)
+        ring.recover()
+        assert ring.try_pop() is None
+        assert ring.try_push(OP_INSERT, 1)
+
+    def test_audit_clean(self, segment):
+        ring = segment.event_ring(0)
+        for i in range(5):
+            ring.try_push(EV_DELETE, i)
+        ring.try_pop()
+        audit = ring.audit()
+        assert audit.ok
+        assert audit.committed == 4
+        assert audit.free == ring.capacity - 4
+
+    def test_audit_detects_corrupted_checksum(self, segment):
+        ring = segment.request_ring(0, 0)
+        ring.try_push(OP_INSERT, 42)
+        # Flip a payload byte *after* commit: simulated torn write.
+        off = ring._slot_offset(0) + 16  # label field
+        ring._buf[off] ^= 0xFF
+        audit = ring.audit()
+        assert audit.torn == 1
+        assert not audit.ok
+
+    def test_pop_raises_on_torn_slot(self, segment):
+        ring = segment.request_ring(0, 0)
+        ring.try_push(OP_INSERT, 42)
+        ring._buf[ring._slot_offset(0) + 16] ^= 0xFF
+        with pytest.raises(TornSlotError):
+            ring.try_pop()
+
+    def test_uncommitted_write_is_invisible(self, segment):
+        """A payload written without the seq publish must not be consumed."""
+        ring = segment.request_ring(0, 0)
+        off = ring._slot_offset(0)
+        # Write payload bytes but keep seq at its free value (0): this is
+        # exactly the state a SIGKILL between payload and commit leaves.
+        SLOT.pack_into(
+            ring._buf, off, 0, OP_INSERT, 123, 0, 0, 0,
+            slot_checksum(OP_INSERT, 123, 0, 0, 0),
+        )
+        assert ring.try_pop() is None
+        assert ring.audit().ok  # free slot, not torn
+
+    def test_checksum_is_deterministic_and_nonzero(self):
+        a = slot_checksum(OP_INSERT, 5, 1, 2, 3)
+        assert a == slot_checksum(OP_INSERT, 5, 1, 2, 3)
+        assert a != slot_checksum(OP_INSERT, 6, 1, 2, 3)
+        assert slot_checksum(0, 0, 0, 0, 0) != 0
+
+
+class TestShardHeader:
+    def test_initial_state(self, segment):
+        epoch, top, size, hb = segment.header(0).read()
+        assert (epoch, top, size, hb) == (0, TOP_EMPTY, 0, 0)
+
+    def test_publish_read_roundtrip(self, segment):
+        hdr = segment.header(1)
+        hdr.publish(top=17, size=4, heartbeat_ns=123456)
+        epoch, top, size, hb = segment.header(1).read()
+        assert (top, size, hb) == (17, 4, 123456)
+
+    def test_epoch_fencing(self, segment):
+        hdr = segment.header(0)
+        assert hdr.bump_epoch() == 1
+        assert hdr.bump_epoch() == 2
+        assert segment.header(0).epoch() == 2
+
+    def test_read_survives_writer_died_mid_publish(self, segment):
+        hdr = segment.header(0)
+        hdr.publish(top=9, size=1, heartbeat_ns=5)
+        # Simulate a writer killed after the odd seqlock store.
+        (seq,) = struct.unpack_from("<Q", hdr._buf, hdr._offset + 8)
+        struct.pack_into("<Q", hdr._buf, hdr._offset + 8, seq + 1)
+        epoch, top, size, hb = hdr.read(max_tries=4)
+        assert top == 9  # stale-but-usable snapshot, no hang
+
+
+class TestServiceSegment:
+    def test_attach_sees_creator_geometry_and_data(self, segment):
+        segment.request_ring(1, 2).try_push(OP_INSERT, 314)
+        other = ServiceSegment.attach(segment.name)
+        try:
+            assert (other.shards, other.lanes) == (2, 3)
+            assert (other.req_capacity, other.ev_capacity) == (8, 16)
+            assert other.request_ring(1, 2).try_pop()[1] == 314
+        finally:
+            other.close()
+
+    def test_attach_rejects_foreign_segment(self):
+        from multiprocessing import shared_memory
+
+        shm = shared_memory.SharedMemory(create=True, size=64)
+        try:
+            with pytest.raises(ValueError, match="not a repro.service segment"):
+                ServiceSegment.attach(shm.name)
+        finally:
+            shm.close()
+            shm.unlink()
+
+    def test_rings_do_not_overlap(self, segment):
+        # Fill every ring with distinct labels, then verify each reads back
+        # its own — any layout overlap would cross-contaminate.
+        tag = 0
+        for s in range(segment.shards):
+            for lane in range(segment.lanes):
+                segment.request_ring(s, lane).try_push(OP_INSERT, tag)
+                tag += 1
+            segment.event_ring(s).try_push(EV_DELETE, tag)
+            tag += 1
+            segment.header(s).publish(top=tag, size=tag, heartbeat_ns=tag)
+            tag += 1
+        tag = 0
+        for s in range(segment.shards):
+            for lane in range(segment.lanes):
+                assert segment.request_ring(s, lane).try_pop()[1] == tag
+                tag += 1
+            assert segment.event_ring(s).try_pop()[1] == tag
+            tag += 1
+            assert segment.header(s).read()[1] == tag
+            tag += 1
+
+    def test_bad_indices_raise(self, segment):
+        with pytest.raises(IndexError):
+            segment.header(2)
+        with pytest.raises(IndexError):
+            segment.request_ring(0, 3)
+        with pytest.raises(IndexError):
+            segment.event_ring(-1)
+
+    def test_audit_counts_all_rings(self, segment):
+        audit = segment.audit()
+        # 2 shards x (3 request lanes + 1 event ring)
+        assert audit == {"rings": 8, "torn": 0, "pending": 0}
+
+    def test_bad_geometry_rejected(self):
+        with pytest.raises(ValueError):
+            ServiceSegment.create(shards=0, lanes=1)

@@ -1,0 +1,40 @@
+"""Service-vs-simulator shape agreement on a tiny grid."""
+
+import pytest
+
+from repro.service.validate import compare_service_and_sim
+
+
+@pytest.fixture(scope="module")
+def comparison():
+    # Two betas at the extremes: the rank-law gap between beta=0 and
+    # beta=1 is large at 3 shards, so the shape check is robust to the
+    # noise a tiny grid carries.
+    return compare_service_and_sim(
+        shards=3, workers=2, betas=(0.0, 1.0), ops=2000, prefill=384,
+        seed=2, rate=4000.0,
+    )
+
+
+class TestShapeAgreement:
+    def test_both_systems_rank_beta_zero_worst(self, comparison):
+        assert comparison["worst_beta_agreement"]
+        assert comparison["betas"][0] == 0.0
+        by_beta = {row["beta"]: row for row in comparison["rows"]}
+        assert by_beta[0.0]["service"]["mean_rank"] > by_beta[1.0]["service"]["mean_rank"]
+        assert by_beta[0.0]["sim"]["mean_rank"] > by_beta[1.0]["sim"]["mean_rank"]
+
+    def test_ordering_agreement_holds(self, comparison):
+        assert comparison["ordering_agreement"]
+        assert comparison["spearman_rho"] > 0
+
+    def test_rows_carry_ks_diagnostics(self, comparison):
+        for row in comparison["rows"]:
+            assert 0.0 <= row["ks_stat"] <= 1.0
+            assert 0.0 <= row["ks_p_value"] <= 1.0
+            assert row["service"]["removals"] > 0
+            assert row["sim"]["removals"] > 0
+
+    def test_needs_two_betas(self):
+        with pytest.raises(ValueError, match="at least two betas"):
+            compare_service_and_sim(2, 1, betas=(0.5,), ops=100, prefill=16)

@@ -26,6 +26,26 @@ class TestRealTree:
         assert "repro.vector.sweep.sweep_cell_backend" in roots
         assert "repro.vector.sweep.sweep_cell_compare" in roots
 
+    def test_tree_roots_include_the_service_entry_points(self):
+        roots = run_check().roots
+        assert "repro.service.server.run_service" in roots
+        assert "repro.service.validate.compare_service_and_sim" in roots
+
+    def test_wall_clock_boundary_masks_the_service_modules(self):
+        """The live service's wall-clock reads are its product (latency,
+        heartbeats), exempted by the declared boundary.  Dropping the
+        declaration must unmask them — proving the boundary, not a hole
+        in DET102, is what keeps the tree clean."""
+        unmasked = run_check(wall_clock_boundary=())
+        service_hits = [
+            f
+            for f in unmasked.findings
+            if f.rule == "DET102" and "repro/service/" in f.file
+        ]
+        assert service_hits, "boundary removal should unmask service wall-clock reads"
+        # Only DET102 reachability findings appear; no other rule regresses.
+        assert all(f.rule == "DET102" for f in unmasked.findings)
+
 
 class TestCheckCli:
     def test_check_clean_fixture_exits_zero(self, capsys):
