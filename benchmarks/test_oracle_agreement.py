@@ -1,0 +1,144 @@
+"""Oracle: the exact stationary rank law vs the simulator, across beta.
+
+Walzer & Williams (arXiv:2410.08714) give the (1+beta) process's
+stationary removed-rank distribution in closed form: the rank is a sum
+of independent geometrics whose ratios come straight from the removal
+position law ``q_j``.  ``repro.analysis.exact`` implements that law;
+this bench archives how tightly the repo's own simulator agrees with
+it, and how fast the closed form answers questions the grid never
+could.
+
+Three sections:
+
+* **agreement** — a beta grid at ``n = 256``: exact vs empirical mean,
+  exact Kolmogorov distance of the simulated rank sample, relative mean
+  error.  This is prediction vs measurement, not curve fitting: the
+  oracle sees no simulation data.
+* **convergence** — the KS distance along a cumulative t-ladder, the
+  property that makes ``--oracle`` columns a usable distance-from-
+  stationarity diagnostic.
+* **instant predictions** — mean / std / p99.9 / deep tail log-sf at
+  ``n = 65536`` (16x beyond the exact grid's cap), each in
+  milliseconds, via the closed-form moments and the log-space
+  dominant-pole tail expansion.
+"""
+
+import time
+
+from _helpers import archive_json, emit, once
+
+from repro.analysis.exact import ExactRankDistribution
+from repro.bench.tables import format_table
+from repro.vector.sweep import ORACLE_SAMPLE_CAP, _ks_sample, run_vector_backend
+
+N = 256
+BETAS = [1.0, 0.75, 0.5, 0.25]
+REPLICAS = 64
+PREFILL = 64 * N
+BASE_STEPS = 16_000  # scaled by 1/beta^2: relaxation time grows like n/beta^2
+LADDER_FRACTIONS = [1 / 64, 1 / 8, 1.0]
+
+HUGE_N = 65_536
+
+
+def _steps_for(beta: float) -> int:
+    return int(BASE_STEPS / beta**2)
+
+
+def _agreement_rows():
+    rows, ladders = [], {}
+    for beta in BETAS:
+        law = ExactRankDistribution(N, beta)
+        steps = _steps_for(beta)
+        run = run_vector_backend(
+            N, beta, prefill=PREFILL, steps=steps, replicas=REPLICAS, seed=17
+        )
+        sample = _ks_sample(run.ranks, cap=ORACLE_SAMPLE_CAP)
+        emp_mean = float(run.ranks[steps // 8:].mean())
+        rows.append(
+            {
+                "beta": beta,
+                "steps": steps,
+                "oracle mean": law.mean(),
+                "sim mean": emp_mean,
+                "mean rel err": abs(emp_mean - law.mean()) / law.mean(),
+                "oracle ks": law.ks_distance(sample),
+                "oracle p99": law.quantile(0.99),
+            }
+        )
+        ladders[beta] = [
+            law.ks_distance(
+                _ks_sample(run.ranks[: max(1, int(f * steps))], cap=ORACLE_SAMPLE_CAP)
+            )
+            for f in LADDER_FRACTIONS
+        ]
+    return rows, ladders
+
+
+def _instant_rows():
+    rows = []
+    law = ExactRankDistribution(HUGE_N, 1.0)
+    for label, fn in [
+        ("mean", law.mean),
+        ("std", law.std),
+        ("p99.9", lambda: law.quantile_tail(0.999)),
+        ("log sf(mean+12sd)", lambda: law.logsf_tail(int(law.mean() + 12 * law.std()))),
+    ]:
+        start = time.perf_counter()
+        value = float(fn())
+        rows.append(
+            {
+                "quantity": label,
+                "value": value,
+                "ms": 1000.0 * (time.perf_counter() - start),
+            }
+        )
+    return rows
+
+
+def test_oracle_agreement(benchmark):
+    (agreement, ladders), instant = once(
+        benchmark, lambda: (_agreement_rows(), _instant_rows())
+    )
+
+    sections = [
+        format_table(
+            agreement,
+            title=f"Exact oracle vs vector simulator (n={N}, "
+            f"{REPLICAS} replicas, steps scaled by 1/beta^2)",
+            floatfmt=".4f",
+        ),
+        format_table(
+            [
+                {
+                    "beta": beta,
+                    **{
+                        f"ks@{f:.3g}T": ks
+                        for f, ks in zip(LADDER_FRACTIONS, ladder)
+                    },
+                }
+                for beta, ladder in ladders.items()
+            ],
+            title="KS distance to the oracle along the cumulative t-ladder "
+            "(T = per-beta total steps)",
+            floatfmt=".4f",
+        ),
+        format_table(
+            instant,
+            title=f"Closed-form predictions at n={HUGE_N} (grid impossible)",
+            floatfmt=".3f",
+        ),
+    ]
+    emit("oracle_agreement", "\n\n".join(sections))
+    archive_json(
+        "oracle_agreement",
+        {"n": N, "agreement": agreement, "ladders": ladders, "instant": instant},
+    )
+
+    for row in agreement:
+        assert row["mean rel err"] < 0.05
+        assert row["oracle ks"] < 0.05
+    for ladder in ladders.values():
+        assert ladder[0] > ladder[1] > ladder[2]
+    for row in instant:
+        assert row["ms"] < 1000.0

@@ -3,10 +3,19 @@
 from repro.analysis.stats import (
     StreamingMoments,
     bootstrap_ci,
+    ks_1sample,
+    ks_2sample,
     linear_fit,
     loglog_slope,
     rank_summary,
     replica_rank_summary,
+)
+from repro.analysis.exact import (
+    ExactRankDistribution,
+    balance_residuals,
+    gap_ratios,
+    oracle_row,
+    removal_position_law,
 )
 from repro.analysis.rank_series import (
     TimeUniformityReport,
@@ -31,6 +40,13 @@ from repro.analysis.convergence import (
 __all__ = [
     "StreamingMoments",
     "bootstrap_ci",
+    "ks_1sample",
+    "ks_2sample",
+    "ExactRankDistribution",
+    "balance_residuals",
+    "gap_ratios",
+    "oracle_row",
+    "removal_position_law",
     "linear_fit",
     "loglog_slope",
     "rank_summary",

@@ -150,6 +150,12 @@ _SPECS: List[ExperimentSpec] = [
         "live shm service: throughput scales with shard owners, sim rank shape holds",
         "test_service_scaling.py",
     ),
+    ExperimentSpec(
+        "oracle", "Walzer-Williams 2024",
+        "exact stationary rank law matches the simulator; instant closed-form "
+        "predictions at n far beyond the grid",
+        "test_oracle_agreement.py",
+    ),
 ]
 
 

@@ -11,6 +11,8 @@ from typing import Dict, List, Optional, Sequence
 
 
 def _fmt(value, floatfmt: str) -> str:
+    if value is None:
+        return "-"  # out-of-model cells (e.g. oracle columns at beta=0)
     if isinstance(value, bool):
         return str(value)
     if isinstance(value, float):

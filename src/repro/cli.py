@@ -62,6 +62,12 @@ def _add_sweep_grid_args(p: argparse.ArgumentParser) -> None:
         default=None,
         help="reference-side replicas when timing 'both' (default min(replicas, 8))",
     )
+    p.add_argument(
+        "--oracle",
+        action="store_true",
+        help="score rows against the exact stationary rank law "
+        "(oracle_mean/oracle_ks/oracle_mean_err columns)",
+    )
     p.add_argument("--json", type=str, default=None, help="write rows as JSON here")
     p.add_argument(
         "--seeds",
@@ -673,6 +679,7 @@ def _resolve_sweep_fn(args):
         steps=args.steps,
         replicas=args.replicas,
         gamma=args.gamma,
+        oracle=args.oracle,
     )
     if args.backend == "both":
         fn = sweep_cell_compare
@@ -707,6 +714,9 @@ def _print_sweep_results(args, run) -> None:
                 rows.append(dict(result[side]))
             rows[-1]["speedup"] = round(result["speedup"], 2)
             rows[-1]["ks_p"] = round(result["ks_p_value"], 4)
+            if args.oracle:
+                for key in ("oracle_mean", "oracle_ks", "oracle_mean_err"):
+                    rows[-1][key] = result[key]
             if not result["parity_ok"]:
                 print(
                     f"WARNING: rank-law KS test failed at beta={result['beta']} "
@@ -721,7 +731,7 @@ def _print_sweep_results(args, run) -> None:
     )
     if rows:
         columns = list(rows[0].keys())
-        for extra in ("speedup", "ks_p"):
+        for extra in ("speedup", "ks_p", "oracle_mean", "oracle_ks", "oracle_mean_err"):
             if any(extra in r for r in rows) and extra not in columns:
                 columns.append(extra)
         print(format_table(rows, columns=columns, title=title))
@@ -1027,9 +1037,11 @@ def cmd_serve(args) -> None:
                 "beta": row["beta"],
                 "service mean": row["service"]["mean_rank"],
                 "sim mean": row["sim"]["mean_rank"],
+                "oracle mean": row["oracle_mean"],
                 "service p99": row["service"]["p99_rank"],
                 "sim p99": row["sim"]["p99_rank"],
                 "ks stat": row["ks_stat"],
+                "oracle ks": row["oracle_ks"],
             }
             for row in result["rows"]
         ]

@@ -78,7 +78,17 @@ def compare_service_and_sim(
     positively rank-correlated across the grid.  (Exact permutation
     equality is deliberately not required: mid-grid betas often sit
     within noise of each other in both systems.)
+
+    Each row also carries the *exact oracle* columns (``oracle_mean`` /
+    ``oracle_ks`` / ``oracle_mean_err``): the closed-form stationary law
+    at ``n = shards`` scored against the service's measured ranks.  They
+    are ``None`` outside the oracle's model (``beta = 0``, ``gamma !=
+    0``), and — like the sim comparison — a third, independent arbiter:
+    the service adds real scheduling noise, so the oracle deviation is a
+    diagnostic of *how far* the deployment drifts from the ideal law,
+    not a pass/fail gate.
     """
+    from repro.analysis.exact import oracle_row
     if len(betas) < 2:
         raise ValueError("need at least two betas to compare orderings")
     rows = []
@@ -108,6 +118,7 @@ def compare_service_and_sim(
                 "service_empties": svc["empties"],
                 "ks_stat": ks_stat,
                 "ks_p_value": ks_p,
+                **oracle_row(shards, beta, _thin(svc_ranks, cap=20_000), gamma=gamma),
             }
         )
     svc_means = np.array([row["service"]["mean_rank"] for row in rows])

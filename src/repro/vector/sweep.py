@@ -31,6 +31,12 @@ from repro.vector.labelled import VectorSequentialProcess
 #: total so the spacing stays well above the process mixing time.
 KS_SAMPLE_CAP = 2_000
 
+#: Cap for samples compared against the *exact* oracle CDF.  Unlike the
+#: two-sample parity check, the oracle comparison reports a Kolmogorov
+#: *distance* (no i.i.d. p-value is attached), so a larger thinned
+#: sample sharpens the estimate without anti-conservative risk.
+ORACLE_SAMPLE_CAP = 20_000
+
 
 @dataclass
 class BackendRun:
@@ -162,6 +168,7 @@ def compare_backends(
     insert_probs: Optional[np.ndarray] = None,
     ref_replicas: Optional[int] = None,
     ks_alpha: float = 0.001,
+    oracle: bool = False,
 ) -> dict:
     """Time both backends on the same sweep and KS-test their rank laws.
 
@@ -171,6 +178,11 @@ def compare_backends(
     are run back to back.  Parity is judged on the pooled rank
     distributions: both backends simulate the same process law, so the
     KS p-value should be comfortably above ``ks_alpha``.
+
+    With ``oracle=True`` the vector side is additionally scored against
+    the closed-form stationary law (``repro.analysis.exact``): the row
+    gains ``oracle_mean`` / ``oracle_ks`` / ``oracle_mean_err`` columns
+    (``None`` outside the oracle's model — biased insertion, huge n).
     """
     if ref_replicas is None:
         ref_replicas = min(replicas, 8)
@@ -181,7 +193,7 @@ def compare_backends(
         n, beta, prefill, steps, replicas, seed=seed, insert_probs=insert_probs
     )
     stat, p_value = ks_2sample(_ks_sample(ref.ranks), _ks_sample(vec.ranks))
-    return {
+    result = {
         "n": n,
         "beta": beta,
         "prefill": prefill,
@@ -194,6 +206,20 @@ def compare_backends(
         "parity_ok": bool(p_value > ks_alpha),
         "ks_alpha": ks_alpha,
     }
+    if oracle:
+        from repro.analysis.exact import oracle_row
+
+        # Biased insertion (insert_probs set) is outside the oracle's
+        # model; signal that through oracle_row's gamma gate.
+        result.update(
+            oracle_row(
+                n,
+                beta,
+                _ks_sample(vec.ranks, cap=ORACLE_SAMPLE_CAP),
+                gamma=0.0 if insert_probs is None else 1.0,
+            )
+        )
+    return result
 
 
 # -- orchestrator cells ------------------------------------------------------
@@ -223,6 +249,7 @@ def sweep_cell_backend(
     steps: int = 20000,
     replicas: int = 64,
     gamma: float = 0.0,
+    oracle: bool = False,
 ) -> dict:
     """One orchestrated cell: a single-backend run, as its summary row.
 
@@ -231,6 +258,9 @@ def sweep_cell_backend(
     retry policy a ``ValueError`` is classified *fatal*, so a typo fails
     the cell on its first attempt instead of burning the retry budget on
     a deterministic error (or worse, caching a mislabeled row).
+
+    ``oracle=True`` appends the exact-law deviation columns
+    (``oracle_mean`` / ``oracle_ks`` / ``oracle_mean_err``) to the row.
     """
     if backend not in ("vector", "reference"):
         raise ValueError(
@@ -241,7 +271,14 @@ def sweep_cell_backend(
         n, beta, prefill, steps, replicas,
         seed=seed, insert_probs=_insert_probs_for(n, gamma),
     )
-    return run.row()
+    row = run.row()
+    if oracle:
+        from repro.analysis.exact import oracle_row
+
+        row.update(
+            oracle_row(n, beta, _ks_sample(run.ranks, cap=ORACLE_SAMPLE_CAP), gamma=gamma)
+        )
+    return row
 
 
 def sweep_cell_compare(
@@ -254,6 +291,7 @@ def sweep_cell_compare(
     ref_replicas: Optional[int] = None,
     gamma: float = 0.0,
     ks_alpha: float = 0.001,
+    oracle: bool = False,
 ) -> dict:
     """One orchestrated cell: both backends head to head plus KS parity."""
     return compare_backends(
@@ -262,4 +300,5 @@ def sweep_cell_compare(
         insert_probs=_insert_probs_for(n, gamma),
         ref_replicas=ref_replicas,
         ks_alpha=ks_alpha,
+        oracle=oracle,
     )

@@ -1,0 +1,211 @@
+"""The exact stationary rank oracle: internal consistency + external checks.
+
+Three independent lines of evidence pin the closed form down:
+
+1. the stationary balance equations are satisfied to machine precision
+   at every ``(n, beta)`` (``balance_residuals``);
+2. the grid, the closed-form moments, and the log-space tail expansion
+   are three *different* evaluations of the same law and must agree
+   wherever their domains overlap;
+3. the repo's own simulator — an implementation of the process that
+   shares no code with the oracle — must converge to it (spot-checked
+   here at tiny n; the full ladder lives in tests/vector).
+"""
+
+import math
+import time
+
+import numpy as np
+import pytest
+
+from repro.analysis.exact import (
+    GRID_N_MAX,
+    ExactRankDistribution,
+    balance_residuals,
+    gap_ratios,
+    oracle_row,
+    removal_position_law,
+)
+
+
+class TestRemovalLaw:
+    @pytest.mark.parametrize("beta", [1.0, 0.5, 0.1, 0.0])
+    @pytest.mark.parametrize("n", [1, 2, 7, 256])
+    def test_sums_to_one(self, n, beta):
+        q = removal_position_law(n, beta)
+        assert q.shape == (n,)
+        assert q.min() > 0
+        assert q.sum() == pytest.approx(1.0, abs=1e-12)
+
+    def test_beta_zero_is_uniform(self):
+        assert removal_position_law(5, 0.0) == pytest.approx(np.full(5, 0.2))
+
+    def test_beta_one_two_choice(self):
+        # q_j = (2(n-j)+1)/n^2: the ordered-pair-with-replacement law.
+        q = removal_position_law(4, 1.0)
+        assert q == pytest.approx(np.array([7, 5, 3, 1]) / 16.0)
+
+    def test_gap_ratios_increasing_and_proper(self):
+        rho = gap_ratios(256, 0.7)
+        assert rho.shape == (255,)
+        assert (np.diff(rho) > 0).all()
+        assert 0 < rho[0] and rho[-1] < 1
+
+    def test_gap_ratios_improper_at_beta_zero(self):
+        # rho_k == 1 exactly: the geometrics are improper, matching the
+        # Theorem 6 divergence of the single-choice process.
+        assert gap_ratios(64, 0.0) == pytest.approx(np.ones(63))
+
+
+class TestBalance:
+    @pytest.mark.parametrize("beta", [1.0, 0.5, 0.1])
+    @pytest.mark.parametrize("n", [2, 3, 8, 64, 256, 1024])
+    def test_residuals_machine_zero(self, n, beta):
+        res = balance_residuals(n, beta)
+        assert np.abs(res).max() < 1e-10
+
+
+class TestGridAndMoments:
+    @pytest.mark.parametrize(
+        "n,beta", [(2, 1.0), (3, 0.6), (8, 1.0), (256, 1.0), (256, 0.5), (512, 0.25)]
+    )
+    def test_grid_matches_closed_form_moments(self, n, beta):
+        law = ExactRankDistribution(n, beta)
+        r = np.arange(law.support_max + 1, dtype=float)
+        pmf = law.pmf(np.arange(law.support_max + 1))
+        grid_mean = float((r * pmf).sum())
+        grid_var = float((r * r * pmf).sum()) - grid_mean**2
+        assert law.grid_deficit < 1e-10
+        assert grid_mean == pytest.approx(law.mean(), rel=1e-6)
+        assert grid_var == pytest.approx(law.variance(), rel=1e-5)
+
+    def test_pmf_cdf_shapes(self):
+        law = ExactRankDistribution(64, 1.0)
+        pmf = law.pmf(np.arange(law.support_max + 1))
+        assert (pmf >= 0).all()
+        assert pmf[0] == 0.0  # ranks are 1-based
+        assert pmf.sum() == pytest.approx(1.0, abs=1e-10)
+        xs = np.arange(-3, law.support_max + 3)
+        cdf = law.cdf(xs)
+        assert (np.diff(cdf) >= 0).all()
+        assert cdf[0] == 0.0
+        assert cdf[-1] == pytest.approx(1.0, abs=1e-10)
+        assert law.sf(5) == pytest.approx(1.0 - law.cdf(5))
+
+    def test_quantile_is_cdf_inverse(self):
+        law = ExactRankDistribution(128, 0.8)
+        for p in (0.1, 0.5, 0.9, 0.99, 0.999):
+            r = law.quantile(p)
+            assert law.cdf(r) >= p
+            assert law.cdf(r - 1) < p
+
+    def test_n1_is_degenerate(self):
+        law = ExactRankDistribution(1, 1.0)
+        assert law.mean() == 1.0
+        assert law.variance() == 0.0
+        assert float(law.pmf(1)) == pytest.approx(1.0)
+
+    def test_beta_zero_rejected(self):
+        with pytest.raises(ValueError, match="Theorem 6"):
+            ExactRankDistribution(16, 0.0)
+
+    def test_grid_refused_beyond_cap(self):
+        law = ExactRankDistribution(GRID_N_MAX + 1, 1.0)
+        with pytest.raises(ValueError, match="GRID_N_MAX"):
+            law.cdf(10)
+        # ... but the large-n API still works.
+        assert law.mean() > 0
+        assert law.std() > 0
+
+
+class TestTailExpansion:
+    @pytest.mark.parametrize("n,beta", [(512, 1.0), (512, 0.5), (256, 0.25)])
+    def test_matches_grid_in_deep_tail(self, n, beta):
+        law = ExactRankDistribution(n, beta)
+        m, s = law.mean(), law.std()
+        for mult in (6, 8, 10):
+            x = int(m + mult * s)
+            grid = float(law.sf(x))
+            if grid <= 0:
+                continue
+            assert law.logsf_tail(x) == pytest.approx(math.log(grid), abs=1e-2)
+
+    def test_shallow_query_raises(self):
+        law = ExactRankDistribution(512, 1.0)
+        with pytest.raises(ValueError, match="too central"):
+            law.logsf_tail(int(law.mean()))
+
+    def test_quantile_tail_matches_grid(self):
+        law = ExactRankDistribution(2048, 1.0)
+        for p in (0.999, 0.9999):
+            assert abs(law.quantile_tail(p) - law.quantile(p)) <= 2
+
+    def test_quantile_tail_rejects_central_p(self):
+        law = ExactRankDistribution(512, 1.0)
+        with pytest.raises(ValueError, match="tail percentiles"):
+            law.quantile_tail(0.5)
+
+    def test_huge_n_is_instant(self):
+        # The acceptance criterion: closed-form + tail queries at
+        # n = 65536 complete in well under a second.
+        start = time.perf_counter()
+        law = ExactRankDistribution(65536, 1.0)
+        m, s = law.mean(), law.std()
+        p999 = law.quantile_tail(0.999)
+        deep = law.logsf_tail(int(m + 12 * s))
+        elapsed = time.perf_counter() - start
+        assert elapsed < 1.0
+        assert p999 > m
+        assert deep < -10
+        # Sanity against the infinite-n intuition: mean rank grows
+        # linearly in n for fixed beta, far beyond the grid's reach.
+        assert 0.2 * 65536 < m < 2.0 * 65536
+
+    def test_sf_tail_underflow_is_zero(self):
+        law = ExactRankDistribution(256, 1.0)
+        # Deep enough that rho**x underflows double precision entirely.
+        assert law.sf_tail(10_000_000) == 0.0
+
+
+class TestSimulatorAgreement:
+    @pytest.mark.parametrize("n,beta", [(2, 1.0), (3, 0.7), (4, 0.5)])
+    def test_tiny_n_simulation_converges_to_oracle(self, n, beta):
+        # The repo's reference/vector process shares no code with the
+        # oracle; long steady-state runs at tiny n are a sharp check of
+        # the whole reduction (gap chain, product-geometric law, q_j).
+        from repro.vector.sweep import run_vector_backend
+
+        law = ExactRankDistribution(n, beta)
+        run = run_vector_backend(
+            n, beta, prefill=256 * n, steps=30_000, replicas=16, seed=11
+        )
+        sample = run.ranks[5_000:].reshape(-1)  # drop burn-in
+        assert law.ks_distance(sample) < 0.01
+        assert float(sample.mean()) == pytest.approx(law.mean(), rel=0.02)
+
+
+class TestOracleRow:
+    def test_normal_case(self):
+        row = oracle_row(64, 1.0, [1, 2, 3, 5, 80])
+        assert row["oracle_mean"] > 0
+        assert 0 <= row["oracle_ks"] <= 1
+        assert row["oracle_mean_err"] >= 0
+
+    def test_out_of_model_rows_are_none(self):
+        for kwargs in (
+            dict(n=64, beta=0.0, ranks=[1, 2]),
+            dict(n=64, beta=1.0, ranks=[1, 2], gamma=0.25),
+            dict(n=GRID_N_MAX + 1, beta=1.0, ranks=[1, 2]),
+        ):
+            row = oracle_row(**kwargs)
+            assert row == {
+                "oracle_mean": None,
+                "oracle_ks": None,
+                "oracle_mean_err": None,
+            }
+
+    def test_empty_sample_keeps_mean(self):
+        row = oracle_row(64, 1.0, [])
+        assert row["oracle_mean"] > 0
+        assert row["oracle_ks"] is None
+        assert row["oracle_mean_err"] is None

@@ -144,3 +144,164 @@ class TestReplicaRankSummary:
             replica_rank_summary(np.arange(5))
         with pytest.raises(ValueError):
             replica_rank_summary(np.empty((0, 3)))
+
+
+class TestKs2Sample:
+    """Golden fixtures + cross-checks for the from-scratch KS machinery."""
+
+    def test_disjoint_samples_distance_one(self):
+        from repro.analysis.stats import ks_2sample
+
+        stat, p = ks_2sample([1.0, 2.0, 3.0], [10.0, 11.0, 12.0])
+        assert stat == 1.0
+        assert p < 0.05
+
+    def test_interleaved_golden(self):
+        # F_a jumps at 1 and 3, F_b at 2 and 4: the ECDFs differ by
+        # exactly 1/2 just after 1 and just after 3.
+        from repro.analysis.stats import ks_2sample
+
+        stat, _ = ks_2sample([1.0, 3.0], [2.0, 4.0])
+        assert stat == pytest.approx(0.5)
+
+    def test_tied_golden(self):
+        # a = [1,1,2], b = [1,2,2]: at x=1 the ECDFs read 2/3 vs 1/3.
+        # The pooled-evaluation implementation must charge the tie once
+        # (right-continuous CDFs), not once per duplicate.
+        from repro.analysis.stats import ks_2sample
+
+        stat, _ = ks_2sample([1, 1, 2], [1, 2, 2])
+        assert stat == pytest.approx(1.0 / 3.0)
+
+    def test_identical_samples(self):
+        from repro.analysis.stats import ks_2sample
+
+        stat, p = ks_2sample([1, 2, 3, 4], [1, 2, 3, 4])
+        assert stat == 0.0
+        assert p == 1.0
+
+    def test_validation(self):
+        from repro.analysis.stats import ks_2sample
+
+        with pytest.raises(ValueError):
+            ks_2sample([], [1.0])
+        with pytest.raises(ValueError):
+            ks_2sample([1.0], [])
+
+    def test_matches_scipy(self):
+        # scipy is available locally but deliberately not in CI; the
+        # from-scratch implementation is what ships, this pins it to the
+        # reference when present.
+        scipy_stats = pytest.importorskip("scipy.stats")
+        from repro.analysis.stats import ks_2sample
+
+        rng = np.random.default_rng(42)
+        a = rng.normal(0, 1, size=300)
+        b = rng.normal(0.2, 1.1, size=450)
+        stat, p = ks_2sample(a, b)
+        ref = scipy_stats.ks_2samp(a, b, method="asymp")
+        assert stat == pytest.approx(ref.statistic, abs=1e-12)
+        assert p == pytest.approx(ref.pvalue, rel=0.05, abs=1e-4)
+
+    def test_discrete_ties_conservative(self):
+        # Two samples of the *same* heavily tied law: ties can only
+        # deflate the p-value (conservative for parity checks), never
+        # inflate it past the continuous case.
+        from repro.analysis.stats import ks_2sample
+
+        rng = np.random.default_rng(3)
+        a = rng.geometric(0.7, size=500)
+        b = rng.geometric(0.7, size=500)
+        stat, p = ks_2sample(a, b)
+        assert stat < 0.1  # same law: small distance despite ties
+        assert 0.0 <= p <= 1.0
+
+
+class TestKs1Sample:
+    def test_uniform_golden(self):
+        # sample [0.25, 0.75] vs U[0,1]: D+ = D- = 0.25 by hand.
+        from repro.analysis.stats import ks_1sample
+
+        stat, _ = ks_1sample([0.25, 0.75], lambda x: np.clip(x, 0, 1))
+        assert stat == pytest.approx(0.25)
+
+    def test_validation(self):
+        from repro.analysis.stats import ks_1sample
+
+        with pytest.raises(ValueError):
+            ks_1sample([], lambda x: x)
+
+    def test_matches_scipy_continuous(self):
+        scipy_stats = pytest.importorskip("scipy.stats")
+        from repro.analysis.stats import ks_1sample
+
+        rng = np.random.default_rng(5)
+        x = rng.normal(0, 1, size=400)
+        stat, p = ks_1sample(x, scipy_stats.norm.cdf)
+        ref = scipy_stats.kstest(x, scipy_stats.norm.cdf)
+        assert stat == pytest.approx(ref.statistic, abs=1e-12)
+        assert p == pytest.approx(ref.pvalue, rel=0.05, abs=1e-4)
+
+    def test_upper_bound_on_discrete_law(self):
+        # Against a discrete CDF with tied samples the classical
+        # statistic is only an *upper bound*: it charges the full atom
+        # at each tie.  The exact discrete distance (computed on the
+        # integer grid by ExactRankDistribution.ks_distance) must never
+        # exceed it — and on an atom-heavy law the gap is enormous,
+        # which is exactly the bug that once reported KS=0.75 for a
+        # perfectly converged n=2 simulation.
+        from repro.analysis.exact import ExactRankDistribution
+        from repro.analysis.stats import ks_1sample
+
+        law = ExactRankDistribution(2, 1.0)
+        sample = np.array(
+            [law.quantile(p) for p in np.linspace(0.0005, 0.9995, 4000)]
+        )
+        exact = law.ks_distance(sample)
+        classical, _ = ks_1sample(sample, law.cdf)
+        assert exact <= classical
+        assert exact < 0.01  # the sample is the law's own quantile grid
+        assert classical > 0.5  # ~P[R=1] = 0.75: the atom, not the fit
+
+
+class TestUpdateManyMergesExactly:
+    def test_batch_equals_sequential(self):
+        from repro.analysis.stats import StreamingMoments
+
+        rng = np.random.default_rng(11)
+        xs = rng.normal(50, 20, size=5000)
+        seq = StreamingMoments()
+        for x in xs:
+            seq.update(float(x))
+        batched = StreamingMoments()
+        for chunk in np.array_split(xs, 7):  # uneven Chan merges
+            batched.update_many(chunk)
+        assert batched.count == seq.count
+        assert batched.mean == pytest.approx(seq.mean, rel=1e-12)
+        assert batched.variance == pytest.approx(seq.variance, rel=1e-9)
+        assert batched.min == seq.min and batched.max == seq.max
+
+    def test_merge_into_nonempty(self):
+        from repro.analysis.stats import StreamingMoments
+
+        sm = StreamingMoments()
+        sm.update(1.0)
+        sm.update_many([2.0, 3.0, 4.0])
+        assert sm.count == 4
+        assert sm.mean == pytest.approx(2.5)
+        assert sm.variance == pytest.approx(np.var([1, 2, 3, 4], ddof=1))
+
+
+class TestBootstrapFastPath:
+    def test_mean_fast_path_matches_generic(self):
+        # Same rng => same index draws; the vectorized np.mean gather
+        # must reproduce the generic per-row loop bit-for-bit (modulo
+        # float summation order).
+        data = np.random.default_rng(9).exponential(2.0, size=300)
+        fast = bootstrap_ci(data, stat=np.mean, n_resamples=500, rng=13)
+        generic = bootstrap_ci(
+            data, stat=lambda d: np.mean(d), n_resamples=500, rng=13
+        )
+        assert fast[0] == generic[0]
+        assert fast[1] == pytest.approx(generic[1], rel=1e-12)
+        assert fast[2] == pytest.approx(generic[2], rel=1e-12)

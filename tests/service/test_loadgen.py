@@ -24,6 +24,26 @@ class TestSpecValidation:
         with pytest.raises(ValueError, match="burst_factor"):
             ScheduleSpec(mode="diurnal", rate=10.0, burst_factor=1.0)
 
+    def test_bad_burst_factor_onoff(self):
+        with pytest.raises(ValueError, match="burst_factor"):
+            ScheduleSpec(mode="onoff", rate=10.0, burst_factor=0.5)
+
+    @pytest.mark.parametrize("mode", ["poisson", "trace"])
+    def test_burst_factor_ignored_outside_bursty_modes(self, mode, tmp_path):
+        """Regression: modes that never read burst_factor must not reject it.
+
+        A trace replayed through the default spec (burst_factor unset by the
+        caller, or <= 1 from a sweep grid) used to explode in __post_init__
+        even though poisson/trace schedules ignore the field entirely.
+        """
+        kwargs = {"mode": mode, "ops": 10, "burst_factor": 1.0}
+        if mode == "trace":
+            trace = tmp_path / "arrivals.txt"
+            trace.write_text("0.0\n0.001\n")
+            kwargs["trace_path"] = str(trace)
+        spec = ScheduleSpec(**kwargs)
+        assert spec.build().ops == 10
+
 
 class TestModes:
     def test_max_speed_is_all_zero(self):

@@ -1,0 +1,68 @@
+"""Convergence of the vector backend to the exact stationary oracle.
+
+The acceptance test for the ``repro.analysis.exact`` arbiter: starting
+from an all-fresh prefill, the empirical rank law of the vector backend
+must *approach* the closed-form stationary law as the run lengthens —
+KS distance strictly decreasing along a three-point t-ladder, ending
+below an absolute threshold.  This is the property that makes the
+oracle usable as a third arbiter in sweeps and service validation: the
+deviation column measures distance-from-stationarity, so it has to
+shrink on a system that is actually mixing toward the law.
+
+Calibration (n=256, prefill=16384, steps=16000, replicas=64, seed=7):
+beta=1.0 walks 0.169 -> 0.066 -> 0.014; beta=0.5 mixes more slowly,
+0.291 -> 0.169 -> 0.039.  The 0.05 gate leaves slack above both final
+points without letting a non-converging run through (the t=2000 rungs
+are 1.3x-3x above it).
+"""
+
+import numpy as np
+import pytest
+
+from repro.analysis.exact import ExactRankDistribution
+from repro.vector.sweep import ORACLE_SAMPLE_CAP, _ks_sample, run_vector_backend
+
+N = 256
+LADDER = (250, 2_000, 16_000)
+FINAL_KS = 0.05
+
+
+@pytest.mark.parametrize("beta", [1.0, 0.5])
+def test_ks_decreases_along_t_ladder(beta):
+    law = ExactRankDistribution(N, beta)
+    run = run_vector_backend(
+        N, beta, prefill=64 * N, steps=LADDER[-1], replicas=64, seed=7
+    )
+    # Cumulative windows: each rung scores everything up to step t, so a
+    # run stuck away from stationarity cannot luck into a small rung by
+    # sampling one favourable stretch.
+    ks = [
+        law.ks_distance(_ks_sample(run.ranks[:t], cap=ORACLE_SAMPLE_CAP))
+        for t in LADDER
+    ]
+    assert ks[0] > ks[1] > ks[2], f"KS ladder not decreasing: {ks}"
+    assert ks[-1] < FINAL_KS, f"final KS {ks[-1]:.4f} >= {FINAL_KS}"
+    # The mean converges alongside the full distribution.
+    final_mean = float(run.ranks[LADDER[-2]:].mean())
+    assert final_mean == pytest.approx(law.mean(), rel=0.10)
+
+
+def test_oracle_columns_flow_through_sweep_cell():
+    # The same arbiter as consumed by ``repro sweep --oracle``: the cell
+    # row carries the deviation columns and they reflect a converged run.
+    from repro.vector.sweep import sweep_cell_backend
+
+    row = sweep_cell_backend(
+        beta=1.0, seed=3, n=64, prefill=4_096, steps=8_000, replicas=32,
+        oracle=True,
+    )
+    law = ExactRankDistribution(64, 1.0)
+    assert row["oracle_mean"] == pytest.approx(law.mean())
+    assert row["oracle_ks"] < 0.05
+    assert row["oracle_mean_err"] < 0.05
+    # Out-of-model cells are explicit Nones, not missing keys.
+    none_row = sweep_cell_backend(
+        beta=1.0, seed=3, n=64, prefill=512, steps=500, replicas=4,
+        gamma=0.5, oracle=True,
+    )
+    assert none_row["oracle_ks"] is None
