@@ -151,6 +151,12 @@ _SPECS: List[ExperimentSpec] = [
         "test_service_scaling.py",
     ),
     ExperimentSpec(
+        "service-recovery", "infrastructure",
+        "supervised shm service: SIGKILL/zombie takeovers conserve every element, "
+        "rank law holds post-recovery",
+        "test_service_recovery.py",
+    ),
+    ExperimentSpec(
         "oracle", "Walzer-Williams 2024",
         "exact stationary rank law matches the simulator; instant closed-form "
         "predictions at n far beyond the grid",

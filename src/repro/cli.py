@@ -330,6 +330,51 @@ def build_parser() -> argparse.ArgumentParser:
         default=[0.0, 0.5, 1.0],
         help="beta grid for --validate",
     )
+    p.add_argument(
+        "--supervise",
+        action="store_true",
+        help="respawn crashed shard owners from their durable "
+        "snapshot+journal state (epoch-fenced takeovers)",
+    )
+    p.add_argument(
+        "--chaos",
+        action="store_true",
+        help="standing chaos harness: seeded kill/stall/zombie schedule "
+        "against the live cluster, with the journal-based conservation "
+        "audit (implies --supervise; exit 1 on any violation)",
+    )
+    p.add_argument("--kills", type=int, default=3, help="chaos: SIGKILLs to inject")
+    p.add_argument(
+        "--stalls", type=int, default=0,
+        help="chaos: transient SIGSTOP/SIGCONT stalls to inject",
+    )
+    p.add_argument(
+        "--zombies", type=int, default=1,
+        help="chaos: owners left SIGSTOPped until the supervisor fences "
+        "them awake",
+    )
+    p.add_argument(
+        "--chaos-seed", type=int, default=None,
+        help="fault-schedule seed (default: --seed)",
+    )
+    p.add_argument(
+        "--chaos-start-s", type=float, default=0.25,
+        help="chaos: first-fault offset after traffic starts",
+    )
+    p.add_argument(
+        "--chaos-window-s", type=float, default=1.2,
+        help="chaos: faults are spread over this many seconds",
+    )
+    p.add_argument(
+        "--dead-after-s", type=float, default=None,
+        help="heartbeat staleness treated as owner death "
+        "(default 2.0, or 0.35 under --chaos)",
+    )
+    p.add_argument(
+        "--chaos-manifest", type=str, default=None,
+        help="write the executed fault schedule (the chaos manifest) "
+        "to this JSON file",
+    )
     p.add_argument("--json", type=str, default=None, help="write raw result JSON here")
     _add_seed(p)
 
@@ -1094,15 +1139,49 @@ def cmd_serve(args) -> None:
             )
         )
     else:
-        result = run_service(
-            args.shards,
-            args.workers,
-            spec,
-            beta=args.beta,
-            gamma=args.gamma,
-            policy=args.policy,
-            seed=args.seed,
-        )
+        from repro.service.server import AllShardsDeadError
+
+        chaos_spec = None
+        if args.chaos:
+            from repro.service.supervisor import ChaosSpec
+
+            chaos_spec = ChaosSpec(
+                kills=args.kills,
+                stalls=args.stalls,
+                zombies=args.zombies,
+                seed=args.seed if args.chaos_seed is None else args.chaos_seed,
+                start_s=args.chaos_start_s,
+                window_s=args.chaos_window_s,
+            )
+        dead_after_s = args.dead_after_s
+        if dead_after_s is None:
+            dead_after_s = 0.35 if args.chaos else 2.0
+        try:
+            result = run_service(
+                args.shards,
+                args.workers,
+                spec,
+                beta=args.beta,
+                gamma=args.gamma,
+                policy=args.policy,
+                seed=args.seed,
+                supervise=args.supervise or args.chaos,
+                chaos_spec=chaos_spec,
+                dead_after_s=dead_after_s,
+            )
+        except AllShardsDeadError as err:
+            from repro.service.loadgen import EXIT_ALL_SHARDS_DEAD
+
+            record = {
+                "error": "all_shards_dead",
+                "heartbeat_ages_s": {str(s): age for s, age in err.ages.items()},
+                "message": str(err),
+            }
+            print(json.dumps(record), file=sys.stderr)
+            if args.json:
+                with open(args.json, "w") as fh:
+                    json.dump(record, fh, indent=2)
+            raise SystemExit(EXIT_ALL_SHARDS_DEAD)
         headline = {
             "ops/s": result["throughput_ops_s"],
             "wall s": result["wall_s"],
@@ -1132,6 +1211,82 @@ def cmd_serve(args) -> None:
         ]
         print()
         print(format_table(shard_rows, title="per-shard load", floatfmt=".0f"))
+        violations = []
+        supervision = result.get("supervision")
+        if supervision is not None:
+            incident_rows = [
+                {
+                    "shard": inc["shard"],
+                    "kind": inc["kind"],
+                    "recovery s": inc["recovery_s"] if inc["recovery_s"] else float("nan"),
+                    "replayed": inc["replayed"] if inc["replayed"] is not None else 0,
+                    "heap": inc["recovered_heap"]
+                    if inc["recovered_heap"] is not None
+                    else 0,
+                    "ok": "yes" if inc["takeover_ok"] else "no",
+                }
+                for inc in supervision["incidents"]
+            ]
+            print()
+            if incident_rows:
+                print(
+                    format_table(
+                        incident_rows,
+                        title=f"recovery incidents ({supervision['takeovers']} takeovers)",
+                        floatfmt=".3f",
+                    )
+                )
+            else:
+                print("supervision: no incidents")
+            conservation = result["conservation"]
+            print(
+                f"conservation: {'ok' if conservation['ok'] else 'VIOLATED'} "
+                f"(events_match={conservation['events_match']}, "
+                f"epoch_regressions={conservation['epoch_regressions']}, "
+                f"residual_total={conservation['residual_total']})"
+            )
+            post = result.get("post_recovery")
+            if post is not None and post.get("oracle_ks") is not None:
+                print(
+                    f"post-recovery: n={post['n_ranks']}, "
+                    f"oracle ks={post['oracle_ks']:.3f}, "
+                    f"oracle mean err={post['oracle_mean_err']:.3f}"
+                )
+            if args.chaos:
+                if not conservation["ok"]:
+                    violations.append("conservation violated")
+                if conservation["epoch_regressions"]:
+                    violations.append(
+                        f"{conservation['epoch_regressions']} unfenced zombie commits"
+                    )
+                if result["audit"]["torn"]:
+                    violations.append(f"{result['audit']['torn']} torn slots")
+                if result["audit"]["pending"]:
+                    violations.append(
+                        f"{result['audit']['pending']} pending journal entries"
+                    )
+                if supervision["takeovers"] < 1:
+                    violations.append("no takeovers observed")
+        if args.chaos_manifest and result.get("chaos") is not None:
+            with open(args.chaos_manifest, "w") as fh:
+                json.dump(result["chaos"], fh, indent=2)
+            print(f"chaos manifest written to {args.chaos_manifest}")
+        if any(code == 4 for code in result.get("loadgen_exitcodes", [])):
+            from repro.service.loadgen import EXIT_ALL_SHARDS_DEAD
+
+            if args.json:
+                result.pop("rank_values", None)
+                with open(args.json, "w") as fh:
+                    json.dump(result, fh, indent=2)
+            print("a load generator found every shard dead", file=sys.stderr)
+            raise SystemExit(EXIT_ALL_SHARDS_DEAD)
+        if violations:
+            if args.json:
+                result.pop("rank_values", None)
+                with open(args.json, "w") as fh:
+                    json.dump(result, fh, indent=2)
+            print("chaos violations: " + "; ".join(violations), file=sys.stderr)
+            raise SystemExit(1)
     if args.json:
         result.pop("rank_values", None)
         with open(args.json, "w") as fh:

@@ -4,28 +4,38 @@ Real worker *processes* — not simulated threads — exchange requests and
 events through :mod:`repro.service.shm` rings: shard-owner processes
 each own one priority shard, loadgen processes replay open-loop arrival
 schedules against them, and the parent collects events for rank-quality
-and tail-latency analysis.  :mod:`repro.service.validate` closes the
-loop by running the same (n, beta, gamma, threads) grid on the
+and tail-latency analysis.  Every applied op is journaled and the heap
+periodically snapshotted in the same segment, so
+:mod:`repro.service.supervisor` can respawn a SIGKILLed owner with its
+exact state, fence zombie predecessors by epoch, and prove op
+conservation across crash cycles.  :mod:`repro.service.validate` closes
+the loop by running the same (n, beta, gamma, threads) grid on the
 discrete-event simulator and checking shape agreement.
 """
 
 from repro.service.shm import (
+    FencedOwnerError,
+    JournalRing,
     OP_DELETE,
     OP_INSERT,
     OP_STOP,
     ServiceSegment,
     ShardHeader,
+    ShardSnapshot,
     SlotRing,
     TOP_EMPTY,
     TornSlotError,
 )
 
 __all__ = [
+    "FencedOwnerError",
+    "JournalRing",
     "OP_DELETE",
     "OP_INSERT",
     "OP_STOP",
     "ServiceSegment",
     "ShardHeader",
+    "ShardSnapshot",
     "SlotRing",
     "TOP_EMPTY",
     "TornSlotError",

@@ -12,12 +12,14 @@ and the post-mortem ring audit that proves no crash tore shared state.
 
 from __future__ import annotations
 
+import bisect
 import heapq
 import multiprocessing
+import sys
 import threading
 import time
 from dataclasses import dataclass, field
-from typing import List, Optional, Sequence, Tuple
+from typing import Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
@@ -28,11 +30,15 @@ from repro.service.shm import (
     EV_DELETE,
     EV_EMPTY,
     EV_INSERT,
+    J_STOP,
+    JournalEntry,
+    FencedOwnerError,
     OP_DELETE,
     OP_INSERT,
     OP_STOP,
     ServiceSegment,
     TOP_EMPTY,
+    TornSlotError,
 )
 from repro.utils.rngtools import SeedLike, as_generator, spawn_seeds
 
@@ -42,11 +48,35 @@ _NS = 1_000_000_000
 #: header — bounds how stale the published top can get under load.
 OWNER_BATCH = 64
 
+#: Exit code of an owner that discovered it was fenced (a zombie): its
+#: successor already took over, so dying is the correct behaviour.
+EXIT_FENCED = 3
+
 #: Routing policies, mirroring the process variants in ``repro.core``:
 #: ``mq`` is the paper's (1+beta) MultiQueue, ``single`` funnels
 #: everything to one shard (the sequential-heap baseline), ``rr`` is
 #: deterministic round-robin (the d=1-without-randomness strawman).
 POLICIES = ("mq", "single", "rr")
+
+
+class AllShardsDeadError(RuntimeError):
+    """Every shard looked dead to a router: nowhere left to route.
+
+    ``ages`` maps shard -> seconds since its last heartbeat, or ``None``
+    for a shard that never published one — enough for an operator to
+    tell "the cluster never came up" from "the cluster just died".
+    Subclasses :class:`RuntimeError` so pre-existing handlers keep
+    working.
+    """
+
+    def __init__(self, ages: Dict[int, Optional[float]]) -> None:
+        self.ages = dict(ages)
+        detail = ", ".join(
+            f"shard {s}: "
+            + ("never published" if age is None else f"heartbeat {age:.3f}s stale")
+            for s, age in sorted(self.ages.items())
+        )
+        super().__init__(f"every shard is dead; nowhere to route ({detail})")
 
 
 class Router:
@@ -83,11 +113,31 @@ class Router:
     def alive_shards(self) -> Tuple[int, ...]:
         return tuple(self._alive)
 
+    def dead_shards(self) -> Tuple[int, ...]:
+        alive = set(self._alive)
+        return tuple(s for s in range(self.n) if s not in alive)
+
+    def heartbeat_ages(self, now_ns: Optional[int] = None) -> Dict[int, Optional[float]]:
+        """Seconds since each shard's last heartbeat (None: never published)."""
+        now = time.monotonic_ns() if now_ns is None else now_ns
+        ages: Dict[int, Optional[float]] = {}
+        for s in range(self.n):
+            heartbeat_ns = self._segment.header(s).read()[3]
+            ages[s] = None if heartbeat_ns == 0 else (now - heartbeat_ns) / _NS
+        return ages
+
     def mark_dead(self, shard: int) -> None:
         if shard in self._alive:
             self._alive.remove(shard)
         if not self._alive:
-            raise RuntimeError("every shard is dead; nowhere to route")
+            raise AllShardsDeadError(self.heartbeat_ages())
+
+    def mark_alive(self, shard: int) -> None:
+        """Re-admit a recovered shard so traffic stops herding onto survivors."""
+        if not 0 <= shard < self.n:
+            raise IndexError(f"shard {shard} outside [0, {self.n})")
+        if shard not in self._alive:
+            bisect.insort(self._alive, shard)
 
     def _uniform_alive(self) -> int:
         return self._alive[int(self._rng.integers(len(self._alive)))]
@@ -127,8 +177,103 @@ class Router:
 # -- the shard-owner process --------------------------------------------------
 
 
-def run_shard_owner(segment_name: str, shard: int, poll_s: float = 0.0002) -> int:
+@dataclass
+class RecoveredState:
+    """Everything a (re)starting owner rebuilds from snapshot + journal."""
+
+    heap: List[int]
+    clock: int
+    stopped: List[bool]
+    watermarks: List[int]  # per lane: lowest request position not yet applied
+    cum_inserts: int
+    cum_deletes: int
+    cum_empties: int
+    fenced_entries: int  # journal entries skipped for a regressed epoch
+    replayed: int  # journal entries applied on top of the snapshot
+    reemit: List[Tuple[int, int, int, int]]  # (ev, label, clock, t0_ns): journaled, never published
+
+
+def replay_journal(
+    snap, entries: Sequence[JournalEntry], ev_head: int
+) -> RecoveredState:
+    """Fold journal ``entries`` past the snapshot's fold point into state.
+
+    Pure function of shm content so the conservation auditor can run the
+    identical replay out-of-process.  Entries whose epoch regresses below
+    an already-seen epoch are zombie commits and are skipped (they could
+    only exist if fencing failed; the auditor counts them).  ``ev_head``
+    is the recovered event-ring head: journaled events at or past it were
+    never published and must be re-emitted by the successor.
+    """
+    heap = [int(x) for x in snap.labels]
+    heapq.heapify(heap)
+    watermarks = list(snap.watermarks)
+    stopped = [bool(snap.stopped_mask >> lane & 1) for lane in range(len(watermarks))]
+    clock = snap.clock
+    cum_inserts, cum_deletes, cum_empties = (
+        snap.cum_inserts, snap.cum_deletes, snap.cum_empties,
+    )
+    max_epoch = snap.epoch
+    fenced = replayed = 0
+    reemit: List[Tuple[int, int, int, int]] = []
+    for e in entries:
+        if e.pos < snap.fold_pos:
+            continue  # already folded into the snapshot labels
+        if e.epoch < max_epoch:
+            fenced += 1
+            continue
+        max_epoch = max(max_epoch, e.epoch)
+        replayed += 1
+        clock = max(clock, e.clock)
+        watermarks[e.lane] = max(watermarks[e.lane], e.reqpos + 1)
+        if e.op == EV_INSERT:
+            heapq.heappush(heap, e.label)
+            cum_inserts += 1
+        elif e.op == EV_DELETE:
+            if not heap or heap[0] != e.label:
+                raise TornSlotError(
+                    f"journal replay diverged: entry {e.pos} deletes {e.label}, "
+                    f"heap top is {heap[0] if heap else 'empty'}"
+                )
+            heapq.heappop(heap)
+            cum_deletes += 1
+        elif e.op == EV_EMPTY:
+            cum_empties += 1
+        elif e.op == J_STOP:
+            stopped[e.lane] = True
+        if e.op != J_STOP and e.evpos >= ev_head:
+            reemit.append((e.op, e.label, e.clock, e.t0_ns))
+    return RecoveredState(
+        heap=heap, clock=clock, stopped=stopped, watermarks=watermarks,
+        cum_inserts=cum_inserts, cum_deletes=cum_deletes, cum_empties=cum_empties,
+        fenced_entries=fenced, replayed=replayed, reemit=reemit,
+    )
+
+
+def recover_shard_state(segment: ServiceSegment, shard: int) -> RecoveredState:
+    """Reconstruct a shard's full owner state from its snapshot + journal."""
+    snap = segment.snapshot(shard).read()
+    journal = segment.journal(shard)
+    journal.recover()
+    events = segment.event_ring(shard)
+    events.recover()
+    return replay_journal(snap, journal.scan(), events.head)
+
+
+def run_shard_owner(
+    segment_name: str, shard: int, poll_s: float = 0.0002, snapshot_every: int = 1024
+) -> int:
     """Own one shard: drain request lanes into a heap, emit events.
+
+    Every applied request is journaled (commit = the op's linearization
+    point) *before* the heap mutation, the request slot recycle, and the
+    event publish, and the heap is snapshotted every ``snapshot_every``
+    ops — so a successor can rebuild this owner's exact state after a
+    SIGKILL at any instruction.  A virgin start is just recovery of the
+    empty snapshot.  The owner re-checks the header epoch at every
+    commit point; observing a newer epoch means a successor already took
+    over, and the owner dies with :class:`FencedOwnerError` without
+    committing anything further.
 
     Exits when every lane has sent ``OP_STOP``.  Publishes the header
     (top, size, heartbeat) after every sweep so routers and liveness
@@ -137,12 +282,40 @@ def run_shard_owner(segment_name: str, shard: int, poll_s: float = 0.0002) -> in
     segment = ServiceSegment.attach(segment_name)
     try:
         header = segment.header(shard)
-        header.bump_epoch()
+        epoch = header.bump_epoch()
+        state = recover_shard_state(segment, shard)
         lanes = [segment.request_ring(shard, lane) for lane in range(segment.lanes)]
+        for lane_id, ring in enumerate(lanes):
+            ring.recover()
+            # Recycle slots a predecessor applied (journaled) but died
+            # before recycling — including on lanes already stopped,
+            # which the drain loop below never visits again.
+            while ring.tail < state.watermarks[lane_id] and ring.try_peek() is not None:
+                ring.advance()
         events = segment.event_ring(shard)
-        stopped = [False] * segment.lanes
-        heap: List[int] = []
-        clock = 0
+        events.recover()
+        journal = segment.journal(shard)
+        journal.recover()
+        snapshot = segment.snapshot(shard)
+
+        heap = state.heap
+        stopped = state.stopped
+        watermarks = state.watermarks
+        clock = state.clock
+        cum_inserts = state.cum_inserts
+        cum_deletes = state.cum_deletes
+        cum_empties = state.cum_empties
+        since_snapshot = 0
+
+        def fenced() -> bool:
+            return header.epoch() != epoch
+
+        def check_fence() -> None:
+            if fenced():
+                raise FencedOwnerError(
+                    f"shard {shard} owner epoch {epoch} superseded by "
+                    f"epoch {header.epoch()}"
+                )
 
         def publish() -> None:
             header.publish(
@@ -154,42 +327,109 @@ def run_shard_owner(segment_name: str, shard: int, poll_s: float = 0.0002) -> in
         def emit(ev: int, label: int, ev_clock: int, t0_ns: int, t1_ns: int) -> None:
             # The event ring has a single consumer (the collector); if it
             # falls behind, wait — but keep the heartbeat fresh so the
-            # backpressure is not mistaken for death.
+            # backpressure is not mistaken for death.  A fenced zombie
+            # must not keep refreshing a header it no longer owns.
             while not events.try_push(ev, label, ev_clock, t0_ns, t1_ns):
+                check_fence()
                 publish()
                 time.sleep(poll_s)
 
+        def take_snapshot() -> None:
+            check_fence()
+            snapshot.write(
+                epoch=epoch, clock=clock, fold_pos=journal.head,
+                ev_head=events.head, cum_inserts=cum_inserts,
+                cum_deletes=cum_deletes, cum_empties=cum_empties,
+                stopped_mask=sum(1 << i for i, s in enumerate(stopped) if s),
+                watermarks=watermarks, labels=heap,
+            )
+            journal.truncate_to(journal.head)
+
+        def journal_op(
+            ev: int, label: int, op_clock: int, t0_ns: int,
+            lane_id: int, reqpos: int, evpos: int,
+        ) -> None:
+            while not journal.try_append(
+                ev, label, op_clock, t0_ns, lane_id, reqpos, evpos, epoch,
+                fence=fenced,
+            ):
+                take_snapshot()  # folds the journal, freeing every slot
+
+        # A successor first re-publishes ownership, then re-emits the
+        # journaled events its predecessor applied but never published —
+        # they land at exactly the event positions the journal recorded.
         publish()
+        for ev, label, ev_clock, t0_ns in state.reemit:
+            emit(ev, label, ev_clock, t0_ns, time.monotonic_ns())
+        take_snapshot()  # fold the replayed suffix: recovery is idempotent
+
         while not all(stopped):
+            check_fence()
             processed = 0
             for lane_id in range(segment.lanes):
                 if stopped[lane_id]:
                     continue
                 ring = lanes[lane_id]
                 for _ in range(OWNER_BATCH):
-                    req = ring.try_pop()
+                    reqpos = ring.tail
+                    req = ring.try_peek()
                     if req is None:
                         break
+                    if reqpos < watermarks[lane_id]:
+                        # A predecessor journaled this request but died
+                        # before recycling the slot: already applied.
+                        ring.advance()
+                        continue
                     op, label, req_clock, t0_ns, _ = req
                     clock = max(clock, req_clock) + 1
                     processed += 1
+                    since_snapshot += 1
                     if op == OP_INSERT:
+                        journal_op(
+                            EV_INSERT, label, clock, t0_ns, lane_id, reqpos,
+                            events.head,
+                        )
                         heapq.heappush(heap, label)
+                        cum_inserts += 1
+                        watermarks[lane_id] = reqpos + 1
+                        ring.advance()
                         publish()  # per-op: stale tops make two-choice herd
                         emit(EV_INSERT, label, clock, t0_ns, time.monotonic_ns())
                     elif op == OP_DELETE:
                         if heap:
-                            popped = heapq.heappop(heap)
+                            popped = heap[0]
+                            journal_op(
+                                EV_DELETE, popped, clock, t0_ns, lane_id, reqpos,
+                                events.head,
+                            )
+                            heapq.heappop(heap)
+                            cum_deletes += 1
+                            watermarks[lane_id] = reqpos + 1
+                            ring.advance()
                             publish()
                             emit(EV_DELETE, popped, clock, t0_ns, time.monotonic_ns())
                         else:
+                            journal_op(
+                                EV_EMPTY, -1, clock, t0_ns, lane_id, reqpos,
+                                events.head,
+                            )
+                            cum_empties += 1
+                            watermarks[lane_id] = reqpos + 1
+                            ring.advance()
                             emit(EV_EMPTY, -1, clock, t0_ns, time.monotonic_ns())
                     elif op == OP_STOP:
+                        journal_op(J_STOP, 0, clock, t0_ns, lane_id, reqpos, -1)
                         stopped[lane_id] = True
+                        watermarks[lane_id] = reqpos + 1
+                        ring.advance()
                         break
+                    if since_snapshot >= snapshot_every:
+                        take_snapshot()
+                        since_snapshot = 0
             publish()
             if processed == 0:
                 time.sleep(poll_s)
+        take_snapshot()  # durable goodbye: journal folded, heap preserved
         emit(EV_BYE, len(heap), clock + 1, 0, time.monotonic_ns())
         publish()
         return len(heap)
@@ -197,9 +437,14 @@ def run_shard_owner(segment_name: str, shard: int, poll_s: float = 0.0002) -> in
         segment.close()
 
 
-def shard_owner_main(segment_name: str, shard: int, poll_s: float) -> None:
+def shard_owner_main(
+    segment_name: str, shard: int, poll_s: float, snapshot_every: int = 1024
+) -> None:
     """``multiprocessing.Process`` target wrapper."""
-    run_shard_owner(segment_name, shard, poll_s)
+    try:
+        run_shard_owner(segment_name, shard, poll_s, snapshot_every)
+    except FencedOwnerError:
+        sys.exit(EXIT_FENCED)
 
 
 def _mp_context():
@@ -210,23 +455,33 @@ def _mp_context():
 
 @dataclass
 class ServiceCluster:
-    """Lifecycle of the shard-owner processes over one segment."""
+    """Lifecycle of the shard-owner processes over one segment.
+
+    ``processes[shard]`` is always the *current* generation; respawned
+    predecessors (dead or fenced zombies) move to ``retired`` so their
+    exit codes stay observable.
+    """
 
     segment: ServiceSegment
     poll_s: float = 0.0002
+    snapshot_every: int = 1024
     processes: List[multiprocessing.Process] = field(default_factory=list)
+    retired: List[Tuple[int, multiprocessing.Process]] = field(default_factory=list)
+
+    def _spawn(self, shard: int, generation: int) -> multiprocessing.Process:
+        ctx = _mp_context()
+        proc = ctx.Process(
+            target=shard_owner_main,
+            args=(self.segment.name, shard, self.poll_s, self.snapshot_every),
+            name=f"shard-owner-{shard}.g{generation}",
+            daemon=True,
+        )
+        proc.start()
+        return proc
 
     def start(self) -> None:
-        ctx = _mp_context()
         for shard in range(self.segment.shards):
-            proc = ctx.Process(
-                target=shard_owner_main,
-                args=(self.segment.name, shard, self.poll_s),
-                name=f"shard-owner-{shard}",
-                daemon=True,
-            )
-            proc.start()
-            self.processes.append(proc)
+            self.processes.append(self._spawn(shard, generation=0))
 
     def kill(self, shard: int) -> None:
         """SIGKILL one owner — the crash-safety test's hammer."""
@@ -234,12 +489,33 @@ class ServiceCluster:
         proc.kill()
         proc.join()
 
+    def respawn(self, shard: int) -> multiprocessing.Process:
+        """Retire the current owner generation and start the next one.
+
+        The caller (the supervisor) is responsible for having killed or
+        fenced the predecessor first; a fenced zombie is retired while
+        still running and joined at :meth:`join` time, after it has
+        noticed the fence and exited.
+        """
+        old = self.processes[shard]
+        self.retired.append((shard, old))
+        generation = sum(1 for s, _ in self.retired if s == shard)
+        proc = self._spawn(shard, generation)
+        self.processes[shard] = proc
+        return proc
+
     def alive(self) -> List[bool]:
         return [p.is_alive() for p in self.processes]
 
+    def retired_exitcodes(self) -> List[dict]:
+        return [
+            {"shard": shard, "exitcode": proc.exitcode}
+            for shard, proc in self.retired
+        ]
+
     def join(self, timeout_s: float = 30.0) -> List[Optional[int]]:
         deadline = time.monotonic() + timeout_s
-        for proc in self.processes:
+        for proc in list(self.processes) + [p for _, p in self.retired]:
             proc.join(timeout=max(0.0, deadline - time.monotonic()))
             if proc.is_alive():  # wedged: don't hang the parent
                 proc.kill()
@@ -255,17 +531,31 @@ class EventCollector(threading.Thread):
 
     Runs in the parent while the service is live so bounded event rings
     never become the bottleneck.  A shard is finished when it sends
-    ``EV_BYE`` (clean) or its owner died with nothing left to drain.
+    ``EV_BYE`` (clean) or its owner died with nothing left to drain —
+    unless a supervisor is active, in which case a dead owner is about
+    to be respawned and the shard stays live until its eventual BYE.
     """
 
-    def __init__(self, segment: ServiceSegment, cluster: ServiceCluster) -> None:
+    def __init__(
+        self,
+        segment: ServiceSegment,
+        cluster: ServiceCluster,
+        supervisor=None,
+    ) -> None:
         super().__init__(name="service-collector", daemon=True)
         self._segment = segment
         self._cluster = cluster
+        self._supervisor = supervisor
         self.events_by_shard: List[List[Tuple[int, int, int, int, int]]] = [
             [] for _ in range(segment.shards)
         ]
         self.residual_sizes: List[Optional[int]] = [None] * segment.shards
+
+    def attach_supervisor(self, supervisor) -> None:
+        self._supervisor = supervisor
+
+    def _supervised(self) -> bool:
+        return self._supervisor is not None and self._supervisor.active
 
     def run(self) -> None:
         rings = [self._segment.event_ring(s) for s in range(self._segment.shards)]
@@ -288,8 +578,13 @@ class EventCollector(threading.Thread):
                         break
                     self.events_by_shard[s].append(ev)
                 progressed = progressed or drained_any
-                if live[s] and not drained_any and not owners_alive[s]:
-                    live[s] = False  # killed owner, ring fully drained
+                if (
+                    live[s]
+                    and not drained_any
+                    and not owners_alive[s]
+                    and not self._supervised()
+                ):
+                    live[s] = False  # killed owner, ring fully drained, no respawn coming
             if not progressed:
                 time.sleep(0.0005)
 
@@ -326,17 +621,58 @@ def _prefill(
         time.sleep(0.001)
 
 
-def _stop_owners(segment: ServiceSegment, timeout_s: float = 10.0) -> None:
-    """Send the control lane's STOP to every shard (dead owners skipped)."""
+def _stop_owners(
+    segment: ServiceSegment,
+    timeout_s: float = 10.0,
+    dead_after_s: Optional[float] = None,
+) -> None:
+    """Send the control lane's STOP to every shard.
+
+    ``timeout_s`` caps the *cluster-wide* wait (not per shard: N dead
+    owners must not cost N timeouts), and shards whose heartbeat is
+    already ``dead_after_s`` stale are skipped outright — a full ring on
+    a dead owner would otherwise burn the whole budget for nothing.
+    """
     lane = segment.lanes - 1
+    deadline = time.monotonic() + timeout_s
     for s in range(segment.shards):
+        if dead_after_s is not None:
+            heartbeat_ns = segment.header(s).read()[3]
+            age_s = (time.monotonic_ns() - heartbeat_ns) / _NS
+            if heartbeat_ns == 0 or age_s > dead_after_s:
+                continue  # dead (or never-born) owner: nobody to stop
         ring = segment.request_ring(s, lane)
         ring.recover()  # prefill advanced this lane's position
-        deadline = time.monotonic() + timeout_s
         while not ring.try_push(OP_STOP, 0, 0, 0, 0):
             if time.monotonic() > deadline:
                 break  # owner dead and ring full: nobody left to stop
             time.sleep(0.0002)
+
+
+def _finish_stops(segment: ServiceSegment, timeout_s: float = 10.0) -> None:
+    """Deliver the STOPs the loadgens gave up on (supervised shutdown).
+
+    A loadgen skips a shard that is dead at broadcast time, but a
+    supervised cluster respawns it — and a successor that never sees its
+    STOPs runs forever.  By the time this sweep runs the loadgens have
+    exited, so each lane ring has a single producer again: the parent
+    recovers the producer position and pushes the missing STOP.  Whether
+    a STOP was already delivered is read from the lane's final slot
+    (:meth:`SlotRing.last_op`): a loadgen never pushes past its STOP, so
+    the last payload ever written tells the whole story even after the
+    slot was consumed and recycled.
+    """
+    deadline = time.monotonic() + timeout_s
+    for s in range(segment.shards):
+        for lane in range(segment.lanes - 1):  # control lane: _stop_owners
+            ring = segment.request_ring(s, lane)
+            ring.recover()
+            if ring.last_op() == OP_STOP:
+                continue
+            while not ring.try_push(OP_STOP, 0, 0, 0, 0):
+                if time.monotonic() > deadline:
+                    break
+                time.sleep(0.0002)
 
 
 def run_service(
@@ -349,9 +685,14 @@ def run_service(
     seed: int = 0,
     req_capacity: int = 2048,
     ev_capacity: int = 8192,
+    journal_capacity: int = 8192,
+    state_capacity: Optional[int] = None,
+    snapshot_every: int = 1024,
     rank_sample_every: int = 16,
     dead_after_s: float = 2.0,
     chaos: Optional[Tuple[int, float]] = None,
+    chaos_spec=None,
+    supervise: bool = False,
     poll_s: float = 0.0002,
 ) -> dict:
     """Run one complete service experiment and summarize it.
@@ -360,20 +701,49 @@ def run_service(
     prefills, replays the schedule, tears down, audits every ring, and
     returns the metrics summary (throughput, tail latency, sampled rank
     quality) plus the audit.  ``chaos=(shard, delay_s)`` SIGKILLs one
-    owner ``delay_s`` after traffic starts — the degraded-mode path.
+    owner ``delay_s`` after traffic starts — the degraded-mode path with
+    no recovery.  ``supervise=True`` runs a :class:`Supervisor` that
+    respawns crashed owners via snapshot+journal recovery and fences
+    zombies; ``chaos_spec`` (a :class:`repro.service.supervisor.ChaosSpec`)
+    unleashes a deterministic seeded kill/stall/zombie schedule against
+    the live cluster, and the result then carries the full conservation
+    audit and recovery incident log.
     """
-    from repro.service.metrics import summarize
+    from repro.service.metrics import conservation_audit, summarize
 
     schedule = spec.build()
+    if state_capacity is None:
+        # The heap can never outgrow prefill + every scheduled insert.
+        state_capacity = spec.prefill + (spec.ops + 1) // 2 + 8
     segment = ServiceSegment.create(
-        shards, lanes=workers + 1, req_capacity=req_capacity, ev_capacity=ev_capacity
+        shards, lanes=workers + 1, req_capacity=req_capacity,
+        ev_capacity=ev_capacity, journal_capacity=journal_capacity,
+        state_capacity=state_capacity,
     )
-    cluster = ServiceCluster(segment, poll_s=poll_s)
+    cluster = ServiceCluster(segment, poll_s=poll_s, snapshot_every=snapshot_every)
     killer: Optional[threading.Timer] = None
+    supervisor = None
+    injector = None
     try:
         cluster.start()
         collector = EventCollector(segment, cluster)
         collector.start()
+        if supervise or chaos_spec is not None:
+            from repro.service.supervisor import ChaosInjector, Supervisor
+
+            zombies = bool(chaos_spec is not None and chaos_spec.zombies)
+            supervisor = Supervisor(
+                segment,
+                cluster,
+                dead_after_s=dead_after_s,
+                stall_action="fence" if zombies else "kill",
+                # Successor boot (journal replay) is quick relative to the
+                # death threshold; a long grace just stretches the window
+                # in which a SIGSTOPped successor goes undiagnosed.
+                respawn_grace_s=max(2.0, 8.0 * dead_after_s),
+            )
+            collector.attach_supervisor(supervisor)
+            supervisor.start()
         control_router = Router(
             segment, beta=beta, gamma=gamma, policy=policy, rng=seed
         )
@@ -409,6 +779,11 @@ def run_service(
             wait_s = max(0.0, (start_ns - time.monotonic_ns()) / _NS + delay_s)
             killer = threading.Timer(wait_s, cluster.kill, args=(kill_shard,))
             killer.start()
+        if chaos_spec is not None:
+            from repro.service.supervisor import ChaosInjector
+
+            injector = ChaosInjector(cluster, segment, chaos_spec, start_ns=start_ns)
+            injector.start()
 
         wall_start = time.monotonic_ns()
         for proc in loadgens:
@@ -418,12 +793,22 @@ def run_service(
                 proc.join()
         if killer is not None:
             killer.join()
-        _stop_owners(segment)
+        if injector is not None:
+            injector.join(timeout=60.0)
+        if supervisor is not None:
+            # Let in-flight recoveries land, then stand down *before*
+            # STOPs go out so nobody respawns a cleanly-exited owner.
+            supervisor.await_healthy(timeout_s=30.0)
+            supervisor.stop()
+            supervisor.join(timeout=30.0)
+            _finish_stops(segment)
+        _stop_owners(segment, dead_after_s=dead_after_s if supervisor is None else None)
         owner_exits = cluster.join(timeout_s=30.0)
         collector.join(timeout=30.0)
         wall_s = (time.monotonic_ns() - wall_start) / _NS
 
         audit = segment.audit()
+        conservation = conservation_audit(segment, collector.events_by_shard)
         result = summarize(
             collector.events_by_shard,
             schedule,
@@ -440,17 +825,59 @@ def run_service(
                 "seed": seed,
                 "mode": spec.mode,
                 "audit": audit,
+                "conservation": conservation,
                 "owner_exitcodes": owner_exits,
                 "loadgen_exitcodes": [p.exitcode for p in loadgens],
                 "residual_sizes": collector.residual_sizes,
                 "killed_shard": chaos[0] if chaos else None,
             }
         )
+        if supervisor is not None:
+            result["supervision"] = {
+                "incidents": [inc.as_dict() for inc in supervisor.incidents],
+                "takeovers": supervisor.takeovers,
+                "retired_exitcodes": cluster.retired_exitcodes(),
+            }
+            last_recovered = max(
+                (
+                    inc.recovered_ns
+                    for inc in supervisor.incidents
+                    if inc.recovered_ns is not None
+                ),
+                default=None,
+            )
+            if last_recovered is not None:
+                # Post-recovery convergence: score only deletes completed
+                # after the last takeover against the exact stationary law.
+                from repro.analysis.exact import oracle_row
+                from repro.service.metrics import merge_events, ranks_after
+
+                merged = merge_events(collector.events_by_shard)
+                recovered_ranks = ranks_after(
+                    merged, schedule.label_universe, last_recovered
+                )
+                block = {"after_ns": last_recovered, "n_ranks": int(recovered_ranks.size)}
+                if recovered_ranks.size:
+                    block.update(oracle_row(shards, beta, recovered_ranks, gamma=gamma))
+                else:
+                    block.update(
+                        {"oracle_mean": None, "oracle_ks": None, "oracle_mean_err": None}
+                    )
+                result["post_recovery"] = block
+        if injector is not None:
+            # staticcheck: allow(DET102) fault manifest; spec/planned are seed-determined, wall-clock taint lands only in the declared-volatile fired_at_s/pid fields
+            result["chaos"] = injector.manifest()
         return result
     finally:
         if killer is not None:
             killer.cancel()
-        for proc in cluster.processes:
+        if injector is not None and injector.is_alive():
+            injector.abort()
+            injector.join(timeout=10.0)
+        if supervisor is not None and supervisor.is_alive():
+            supervisor.stop()
+            supervisor.join(timeout=10.0)
+        for proc in cluster.processes + [p for _, p in cluster.retired]:
             if proc.is_alive():
                 proc.kill()
         segment.close()

@@ -32,14 +32,32 @@ TSO/release semantics keep that order visible across processes.)
 routers can read two shard tops without locks, and carries a fencing
 ``epoch`` bumped by every new owner generation — events stamped with a
 stale epoch are from a zombie predecessor and can be fenced.
+
+**Durable shard state (journal + snapshot).**  Each shard also owns a
+commit *journal* — a ring of applied operations under the same
+claim/commit protocol, each entry stamped with the owner's fencing
+epoch, the request's ``(lane, position)`` identity, and the event-ring
+position its event was (or will be) published at — plus a double-
+buffered heap *snapshot* committed by a single atomic buffer-index
+flip.  Together they make the owner's private heap reconstructible
+after a SIGKILL at any instruction: replay the active snapshot, then
+every journal entry past its fold point.  The ``(lane, position)``
+identity dedups requests the dead owner applied but never recycled
+(exactly-once application), and the recorded event position tells the
+successor which journaled events were never published (exactly-once
+event emission).  Entries whose epoch regresses below an already-seen
+epoch are zombie writes and are fenced out of the replay.
 """
 
 from __future__ import annotations
 
 import struct
+import time
 from dataclasses import dataclass
 from multiprocessing import resource_tracker, shared_memory
-from typing import List, Optional, Tuple
+from typing import List, NamedTuple, Optional, Sequence, Tuple
+
+import numpy as np
 
 #: Slot layout: absolute sequence number, opcode, label, Lamport clock,
 #: intended-start and completion timestamps (monotonic ns), checksum.
@@ -57,6 +75,11 @@ EV_DELETE = 12
 EV_EMPTY = 13  # delete arrived while the shard heap was empty
 EV_BYE = 14  # owner shut down cleanly; label carries the residual size
 
+#: Journal opcodes reuse the event opcodes (the journal records the event
+#: each applied request produced); J_STOP additionally journals a lane's
+#: STOP so a successor does not wait on a lane that already said goodbye.
+J_STOP = 15
+
 #: Published "top" for an empty shard: worse than every real label.
 TOP_EMPTY = 1 << 62
 
@@ -65,8 +88,21 @@ _MASK64 = (1 << 64) - 1
 #: Shard header layout: fencing epoch, seqlock, top, size, heartbeat ns.
 HEADER = struct.Struct("<QQqqq")
 
-_SEG_HEADER = struct.Struct("<QIIIII")
-_SEG_HEADER_SIZE = 32
+#: Journal slot layout: absolute sequence, opcode, label, Lamport clock,
+#: intended-start ns, source lane, request-ring position the op came from,
+#: event-ring position its event publishes at (-1: no event), owner epoch,
+#: checksum.
+JSLOT = struct.Struct("<QQqQqQQqQQ")
+
+#: Snapshot buffer header: format version, owner epoch, Lamport clock,
+#: heap count, journal fold position, event-ring head, cumulative
+#: inserts/deletes/empties, per-lane stopped bitmask, checksum.
+_SNAP_HEADER = struct.Struct("<QQQQQQQQQQQ")
+_SNAP_CONTROL = struct.Struct("<QQ")  # active buffer index + pad
+SNAP_VERSION = 1
+
+_SEG_HEADER = struct.Struct("<QIIIIIII")
+_SEG_HEADER_SIZE = 40
 _MAGIC = 0x4D51534852564D51  # "MQSHRVMQ"
 
 
@@ -78,8 +114,55 @@ def slot_checksum(op: int, label: int, clock: int, t0_ns: int, t1_ns: int) -> in
     return h or 1
 
 
+def journal_checksum(
+    op: int, label: int, clock: int, t0_ns: int,
+    lane: int, reqpos: int, evpos: int, epoch: int,
+) -> int:
+    """FNV-style fold of a journal entry payload."""
+    h = 0x9E3779B97F4A7C15
+    for v in (
+        op, label & _MASK64, clock, t0_ns & _MASK64,
+        lane, reqpos, evpos & _MASK64, epoch,
+    ):
+        h = ((h ^ v) * 0x100000001B3) & _MASK64
+    return h or 1
+
+
+_SNAP_SALT = 0xA5A5A5A55A5A5A5A
+_SNAP_PRIME = 0x100000001B3
+
+
+def snapshot_checksum(scalars: Sequence[int], watermarks, labels) -> int:
+    """Checksum of one snapshot buffer's full content.
+
+    ``scalars`` are the header fields before the checksum itself;
+    ``watermarks``/``labels`` are uint64/int64 numpy arrays.  The label
+    fold is an order-insensitive XOR reduce so it vectorises.
+    """
+    h = 0x9E3779B97F4A7C15
+    for v in scalars:
+        h = ((h ^ (v & _MASK64)) * _SNAP_PRIME) & _MASK64
+    for v in watermarks.tolist():
+        h = ((h ^ (v & _MASK64)) * _SNAP_PRIME) & _MASK64
+    if labels.size:
+        mixed = (labels.astype(np.uint64) ^ np.uint64(_SNAP_SALT)) * np.uint64(
+            _SNAP_PRIME
+        )
+        h = ((h ^ int(np.bitwise_xor.reduce(mixed))) * _SNAP_PRIME) & _MASK64
+    return h or 1
+
+
 class TornSlotError(RuntimeError):
     """A committed slot failed its checksum — the protocol was violated."""
+
+
+class FencedOwnerError(RuntimeError):
+    """An owner observed a newer epoch in its header: it is a zombie.
+
+    Raised between a journal entry's payload write and its commit store,
+    so a fenced owner can never publish another committed entry — its
+    half-written slot stays invisible (``seq`` unchanged).
+    """
 
 
 @dataclass
@@ -94,6 +177,52 @@ class RingAudit:
     @property
     def ok(self) -> bool:
         return self.torn == 0
+
+
+def _recover_positions(
+    buf, offset: int, slot_size: int, capacity: int, max_scans: int = 64
+) -> Tuple[int, int]:
+    """Derive ``(head, tail)`` from slot sequence residues, safely even
+    while the ring's producer is live.
+
+    Free slots carry their future producer position, committed slots
+    carry ``position + 1``.  In any *consistent* snapshot the free
+    region starts at the producer head, so every free future-position
+    strictly exceeds every committed position.  A scan that observes a
+    free slot at or below a committed position raced a concurrent
+    commit (the producer committed the earlier slot after we read it
+    but before we read the later one); accepting such a scan would set
+    the consumer tail past a committed slot and silently drop that
+    request — so rescan.  Committed slots cannot revert while we (the
+    recovering side) are not consuming, so one rescan normally settles.
+    """
+    for _ in range(max_scans):
+        free_positions: List[int] = []
+        committed_positions: List[int] = []
+        for i in range(capacity):
+            (seq,) = _SEQ.unpack_from(buf, offset + i * slot_size)
+            if (seq - i) % capacity == 0:
+                free_positions.append(seq)
+            elif (seq - i - 1) % capacity == 0:
+                committed_positions.append(seq - 1)
+        if (
+            free_positions
+            and committed_positions
+            and min(free_positions) <= max(committed_positions)
+        ):
+            time.sleep(0.0005)  # let the in-flight commit land
+            continue  # torn scan: a producer committed mid-scan
+        if free_positions:
+            head = min(free_positions)
+        elif committed_positions:
+            head = min(committed_positions) + capacity
+        else:
+            head = 0
+        tail = min(committed_positions) if committed_positions else head
+        return head, tail
+    raise TornSlotError(
+        f"ring recover(): no consistent scan in {max_scans} attempts"
+    )
 
 
 class SlotRing:
@@ -120,6 +249,16 @@ class SlotRing:
 
     def _slot_offset(self, position: int) -> int:
         return self._offset + (position % self.capacity) * SLOT.size
+
+    @property
+    def head(self) -> int:
+        """Next producer position (absolute)."""
+        return self._head
+
+    @property
+    def tail(self) -> int:
+        """Next consumer position (absolute)."""
+        return self._tail
 
     def initialize(self) -> None:
         """Format every slot as free (slot ``i`` gets ``seq = i``)."""
@@ -157,6 +296,18 @@ class SlotRing:
         by construction of the commit ordering this cannot happen from a
         crash, only from a protocol bug, so it is loud.
         """
+        out = self.try_peek()
+        if out is not None:
+            self.advance()
+        return out
+
+    def try_peek(self) -> Optional[Tuple[int, int, int, int, int]]:
+        """Read the tail slot without recycling it; ``None`` = nothing committed.
+
+        Lets a consumer apply+journal an op durably *before* recycling the
+        slot — the recovery dedup key is the slot's absolute position, which
+        must stay stable until the journal entry is committed.
+        """
         c = self._tail
         off = self._slot_offset(c)
         seq, op, label, clock, t0_ns, t1_ns, checksum = SLOT.unpack_from(self._buf, off)
@@ -166,9 +317,32 @@ class SlotRing:
             raise TornSlotError(
                 f"slot at position {c} committed with a bad checksum (op={op})"
             )
-        _SEQ.pack_into(self._buf, off, c + self.capacity)
-        self._tail = c + 1
         return op, label, clock, t0_ns, t1_ns
+
+    def advance(self) -> None:
+        """Recycle the tail slot previously observed via :meth:`try_peek`."""
+        c = self._tail
+        _SEQ.pack_into(self._buf, self._slot_offset(c), c + self.capacity)
+        self._tail = c + 1
+
+    def last_op(self) -> Optional[int]:
+        """The op of the last slot ever written (committed *or* consumed).
+
+        Consumption recycles a slot's sequence but never rewrites its
+        payload, so after :meth:`recover` the slot at ``head - 1`` still
+        holds whatever the producer wrote there last.  The supervised
+        shutdown sweep uses this to ask "was a STOP ever delivered on
+        this lane?" without assuming it is still pending.  ``None`` when
+        nothing was ever pushed or the payload fails its checksum (a
+        producer killed mid-write of that final slot).
+        """
+        if self._head == 0:
+            return None
+        off = self._slot_offset(self._head - 1)
+        _seq, op, label, clock, t0_ns, t1_ns, checksum = SLOT.unpack_from(self._buf, off)
+        if checksum != slot_checksum(op, label, clock, t0_ns, t1_ns):
+            return None
+        return op
 
     # -- crash recovery and audit ----------------------------------------
 
@@ -177,23 +351,13 @@ class SlotRing:
 
         Used by a process attaching to a ring mid-life (e.g. a restarted
         owner, or the post-kill auditor): free slots carry their future
-        producer position, committed slots carry ``position + 1``.
+        producer position, committed slots carry ``position + 1``.  Safe
+        to run while the ring's producer is live (a respawned owner
+        recovers its request lanes under active loadgen traffic).
         """
-        free_positions: List[int] = []
-        committed_positions: List[int] = []
-        for i in range(self.capacity):
-            (seq,) = _SEQ.unpack_from(self._buf, self._offset + i * SLOT.size)
-            if (seq - i) % self.capacity == 0:
-                free_positions.append(seq)
-            elif (seq - i - 1) % self.capacity == 0:
-                committed_positions.append(seq - 1)
-        if free_positions:
-            self._head = min(free_positions)
-        elif committed_positions:
-            self._head = min(committed_positions) + self.capacity
-        else:
-            self._head = 0
-        self._tail = min(committed_positions) if committed_positions else self._head
+        self._head, self._tail = _recover_positions(
+            self._buf, self._offset, SLOT.size, self.capacity
+        )
 
     def audit(self) -> RingAudit:
         """Census every slot; a nonzero ``torn`` count is a protocol breach."""
@@ -211,6 +375,299 @@ class SlotRing:
             else:
                 torn += 1
         return RingAudit(capacity=self.capacity, committed=committed, free=free, torn=torn)
+
+
+class JournalEntry(NamedTuple):
+    """One committed journal record, tagged with its absolute position."""
+
+    pos: int
+    op: int
+    label: int
+    clock: int
+    t0_ns: int
+    lane: int
+    reqpos: int
+    evpos: int
+    epoch: int
+
+
+class JournalRing:
+    """The per-shard commit journal: an SPSC ring the owner appends to.
+
+    Same claim/commit discipline as :class:`SlotRing`, but consumption is
+    bulk: the owner *truncates* everything below the snapshot fold point
+    instead of popping entry by entry, and a successor *scans* the live
+    suffix non-destructively during recovery.  The commit store doubles as
+    the linearization point of the whole shard — an op happened iff its
+    journal entry is committed — and the optional ``fence`` hook lets a
+    zombie owner detect its own staleness after the payload write but
+    before the slot becomes visible.
+    """
+
+    def __init__(self, buf, offset: int, capacity: int) -> None:
+        if capacity <= 0:
+            raise ValueError(f"capacity must be positive, got {capacity}")
+        self._buf = buf
+        self._offset = offset
+        self.capacity = capacity
+        self._head = 0  # next append position
+        self._tail = 0  # lowest retained (un-truncated) position
+
+    @staticmethod
+    def region_size(capacity: int) -> int:
+        return capacity * JSLOT.size
+
+    def _slot_offset(self, position: int) -> int:
+        return self._offset + (position % self.capacity) * JSLOT.size
+
+    @property
+    def head(self) -> int:
+        return self._head
+
+    @property
+    def tail(self) -> int:
+        return self._tail
+
+    def initialize(self) -> None:
+        for i in range(self.capacity):
+            JSLOT.pack_into(
+                self._buf, self._offset + i * JSLOT.size, i, 0, 0, 0, 0, 0, 0, 0, 0, 0
+            )
+
+    # -- producer side ---------------------------------------------------
+
+    def try_append(
+        self, op: int, label: int, clock: int, t0_ns: int,
+        lane: int, reqpos: int, evpos: int, epoch: int,
+        fence=None,
+    ) -> bool:
+        """Claim, write payload, check ``fence``, commit.  False = full.
+
+        ``fence`` is called (if given) after the payload write and before
+        the commit store; if it returns true the append raises
+        :class:`FencedOwnerError` with the slot still free — a fenced
+        zombie cannot commit even one more entry.
+        """
+        p = self._head
+        off = self._slot_offset(p)
+        (seq,) = _SEQ.unpack_from(self._buf, off)
+        if seq != p:
+            return False
+        JSLOT.pack_into(
+            self._buf, off, seq, op, label, clock, t0_ns, lane, reqpos, evpos,
+            epoch, journal_checksum(op, label, clock, t0_ns, lane, reqpos, evpos, epoch),
+        )
+        if fence is not None and fence():
+            raise FencedOwnerError(
+                f"owner epoch {epoch} fenced before committing journal pos {p}"
+            )
+        _SEQ.pack_into(self._buf, off, p + 1)
+        self._head = p + 1
+        return True
+
+    def truncate_to(self, new_tail: int) -> None:
+        """Recycle every entry below ``new_tail`` (the snapshot fold point)."""
+        if not self._tail <= new_tail <= self._head:
+            raise ValueError(
+                f"truncate_to({new_tail}) outside [{self._tail}, {self._head}]"
+            )
+        for c in range(self._tail, new_tail):
+            _SEQ.pack_into(self._buf, self._slot_offset(c), c + self.capacity)
+        self._tail = new_tail
+
+    # -- recovery / audit -------------------------------------------------
+
+    def scan(self) -> List[JournalEntry]:
+        """All committed entries in ``[tail, head)``, non-destructively."""
+        out: List[JournalEntry] = []
+        for pos in range(self._tail, self._head):
+            off = self._slot_offset(pos)
+            seq, op, label, clock, t0_ns, lane, reqpos, evpos, epoch, checksum = (
+                JSLOT.unpack_from(self._buf, off)
+            )
+            if seq != pos + 1:
+                raise TornSlotError(
+                    f"journal position {pos} inside [tail, head) is not committed"
+                )
+            if checksum != journal_checksum(
+                op, label, clock, t0_ns, lane, reqpos, evpos, epoch
+            ):
+                raise TornSlotError(
+                    f"journal position {pos} committed with a bad checksum"
+                )
+            out.append(
+                JournalEntry(pos, op, label, clock, t0_ns, lane, reqpos, evpos, epoch)
+            )
+        return out
+
+    def recover(self) -> None:
+        """Rederive head/tail from slot sequences (same scheme as SlotRing)."""
+        self._head, self._tail = _recover_positions(
+            self._buf, self._offset, JSLOT.size, self.capacity
+        )
+
+    def audit(self) -> RingAudit:
+        committed = free = torn = 0
+        for i in range(self.capacity):
+            off = self._offset + i * JSLOT.size
+            seq, op, label, clock, t0_ns, lane, reqpos, evpos, epoch, checksum = (
+                JSLOT.unpack_from(self._buf, off)
+            )
+            if (seq - i) % self.capacity == 0:
+                free += 1
+            elif (seq - i - 1) % self.capacity == 0:
+                if checksum == journal_checksum(
+                    op, label, clock, t0_ns, lane, reqpos, evpos, epoch
+                ):
+                    committed += 1
+                else:
+                    torn += 1
+            else:
+                torn += 1
+        return RingAudit(capacity=self.capacity, committed=committed, free=free, torn=torn)
+
+
+class SnapshotState(NamedTuple):
+    """Decoded content of the active snapshot buffer."""
+
+    epoch: int
+    clock: int
+    fold_pos: int  # journal entries below this are folded into the labels
+    ev_head: int  # event-ring head as of the fold point
+    cum_inserts: int
+    cum_deletes: int
+    cum_empties: int
+    stopped_mask: int  # bit per lane: STOP already consumed
+    watermarks: Tuple[int, ...]  # per-lane next-unapplied request position
+    labels: "np.ndarray"  # heap content at the fold point (count elements)
+
+
+class ShardSnapshot:
+    """Double-buffered heap snapshot committed by one atomic index flip.
+
+    The owner always writes the *inactive* buffer, then flips the active
+    index with a single aligned 8-byte store.  A reader (the recovering
+    successor) takes the active buffer if its checksum validates, else
+    falls back to the other one — a writer killed at any instruction
+    leaves at least one valid buffer, because :meth:`initialize` plants a
+    valid empty snapshot before any owner runs.
+    """
+
+    def __init__(self, buf, offset: int, lanes: int, state_capacity: int) -> None:
+        self._buf = buf
+        self._offset = offset
+        self.lanes = lanes
+        self.state_capacity = state_capacity
+
+    @staticmethod
+    def buffer_size(lanes: int, state_capacity: int) -> int:
+        return _SNAP_HEADER.size + lanes * 8 + state_capacity * 8
+
+    @classmethod
+    def region_size(cls, lanes: int, state_capacity: int) -> int:
+        return _SNAP_CONTROL.size + 2 * cls.buffer_size(lanes, state_capacity)
+
+    def _buffer_offset(self, index: int) -> int:
+        return self._offset + _SNAP_CONTROL.size + index * self.buffer_size(
+            self.lanes, self.state_capacity
+        )
+
+    def initialize(self) -> None:
+        """Plant a valid empty snapshot in buffer 0 and mark it active."""
+        _SNAP_CONTROL.pack_into(self._buf, self._offset, 0, 0)
+        # Invalidate buffer 1 (checksum 0 can never validate: folds end `or 1`).
+        _SNAP_HEADER.pack_into(self._buf, self._buffer_offset(1), *([0] * 11))
+        self._write_buffer(
+            0, epoch=0, clock=0, fold_pos=0, ev_head=0, cum_inserts=0,
+            cum_deletes=0, cum_empties=0, stopped_mask=0,
+            watermarks=np.zeros(self.lanes, dtype=np.uint64),
+            labels=np.empty(0, dtype=np.int64),
+        )
+
+    def _write_buffer(
+        self, index: int, *, epoch: int, clock: int, fold_pos: int, ev_head: int,
+        cum_inserts: int, cum_deletes: int, cum_empties: int, stopped_mask: int,
+        watermarks, labels,
+    ) -> None:
+        count = int(labels.size)
+        if count > self.state_capacity:
+            raise ValueError(
+                f"snapshot of {count} labels exceeds state capacity "
+                f"{self.state_capacity}"
+            )
+        base = self._buffer_offset(index)
+        scalars = (
+            SNAP_VERSION, epoch, clock, count, fold_pos, ev_head,
+            cum_inserts, cum_deletes, cum_empties, stopped_mask,
+        )
+        checksum = snapshot_checksum(scalars, watermarks, labels)
+        wm_off = base + _SNAP_HEADER.size
+        self._buf[wm_off : wm_off + self.lanes * 8] = watermarks.astype(
+            np.uint64
+        ).tobytes()
+        lab_off = wm_off + self.lanes * 8
+        self._buf[lab_off : lab_off + count * 8] = labels.astype(np.int64).tobytes()
+        _SNAP_HEADER.pack_into(self._buf, base, *scalars, checksum)
+
+    def write(
+        self, *, epoch: int, clock: int, fold_pos: int, ev_head: int,
+        cum_inserts: int, cum_deletes: int, cum_empties: int, stopped_mask: int,
+        watermarks, labels,
+    ) -> None:
+        """Write the inactive buffer, then commit it with the index flip."""
+        (active, _pad) = _SNAP_CONTROL.unpack_from(self._buf, self._offset)
+        target = 1 - int(active)
+        self._write_buffer(
+            target, epoch=epoch, clock=clock, fold_pos=fold_pos, ev_head=ev_head,
+            cum_inserts=cum_inserts, cum_deletes=cum_deletes,
+            cum_empties=cum_empties, stopped_mask=stopped_mask,
+            watermarks=np.asarray(watermarks, dtype=np.uint64),
+            labels=np.asarray(labels, dtype=np.int64),
+        )
+        _SNAP_CONTROL.pack_into(self._buf, self._offset, target, 0)
+
+    def _read_buffer(self, index: int) -> Optional[SnapshotState]:
+        base = self._buffer_offset(index)
+        (
+            version, epoch, clock, count, fold_pos, ev_head,
+            cum_inserts, cum_deletes, cum_empties, stopped_mask, checksum,
+        ) = _SNAP_HEADER.unpack_from(self._buf, base)
+        if version != SNAP_VERSION or count > self.state_capacity:
+            return None
+        wm_off = base + _SNAP_HEADER.size
+        watermarks = np.frombuffer(
+            bytes(self._buf[wm_off : wm_off + self.lanes * 8]), dtype=np.uint64
+        )
+        lab_off = wm_off + self.lanes * 8
+        labels = np.frombuffer(
+            bytes(self._buf[lab_off : lab_off + count * 8]), dtype=np.int64
+        )
+        scalars = (
+            version, epoch, clock, count, fold_pos, ev_head,
+            cum_inserts, cum_deletes, cum_empties, stopped_mask,
+        )
+        if checksum != snapshot_checksum(scalars, watermarks, labels):
+            return None
+        return SnapshotState(
+            epoch=epoch, clock=clock, fold_pos=fold_pos, ev_head=ev_head,
+            cum_inserts=cum_inserts, cum_deletes=cum_deletes,
+            cum_empties=cum_empties, stopped_mask=stopped_mask,
+            watermarks=tuple(int(w) for w in watermarks),
+            labels=labels.copy(),
+        )
+
+    def read(self) -> SnapshotState:
+        """The newest valid snapshot (active buffer, else its sibling)."""
+        (active, _pad) = _SNAP_CONTROL.unpack_from(self._buf, self._offset)
+        active = int(active) & 1
+        for index in (active, 1 - active):
+            state = self._read_buffer(index)
+            if state is not None:
+                return state
+        raise TornSlotError(
+            "both snapshot buffers failed validation — snapshots are "
+            "double-buffered, so this is a protocol breach, not a crash"
+        )
 
 
 class ShardHeader:
@@ -236,12 +693,19 @@ class ShardHeader:
         return epoch + 1
 
     def publish(self, top: int, size: int, heartbeat_ns: int) -> None:
-        """Seqlock write: odd seq while the fields are in flight."""
+        """Seqlock write: odd seq while the fields are in flight.
+
+        ``| 1`` (rather than ``+ 1``) absorbs a predecessor that died
+        mid-publish and left the seqlock odd: blindly incrementing would
+        invert the parity convention for the rest of the shard's life,
+        sending every read down the stale-fallback path.
+        """
         off = self._offset
         (seqlock,) = struct.unpack_from("<Q", self._buf, off + 8)
-        struct.pack_into("<Q", self._buf, off + 8, seqlock + 1)  # odd: writing
+        writing = seqlock | 1
+        struct.pack_into("<Q", self._buf, off + 8, writing)  # odd: writing
         struct.pack_into("<qqq", self._buf, off + 16, top, size, heartbeat_ns)
-        struct.pack_into("<Q", self._buf, off + 8, seqlock + 2)  # even: stable
+        struct.pack_into("<Q", self._buf, off + 8, writing + 1)  # even: stable
 
     # -- reader side -----------------------------------------------------
 
@@ -297,6 +761,7 @@ class ServiceSegment:
     def __init__(
         self, shm: shared_memory.SharedMemory, *, owns: bool,
         shards: int, lanes: int, req_capacity: int, ev_capacity: int,
+        journal_capacity: int, state_capacity: int,
     ) -> None:
         self._shm = shm
         self._owns = owns
@@ -304,6 +769,8 @@ class ServiceSegment:
         self.lanes = lanes
         self.req_capacity = req_capacity
         self.ev_capacity = ev_capacity
+        self.journal_capacity = journal_capacity
+        self.state_capacity = state_capacity
 
     # -- creation / attachment -------------------------------------------
 
@@ -314,22 +781,34 @@ class ServiceSegment:
         lanes: int,
         req_capacity: int = 2048,
         ev_capacity: int = 8192,
+        journal_capacity: int = 8192,
+        state_capacity: int = 4096,
         name: Optional[str] = None,
     ) -> "ServiceSegment":
         if shards <= 0 or lanes <= 0:
             raise ValueError(f"need positive geometry, got shards={shards}, lanes={lanes}")
-        total = cls._total_size(shards, lanes, req_capacity, ev_capacity)
+        if lanes > 64:
+            raise ValueError(
+                f"at most 64 lanes (snapshot stopped_mask is one u64), got {lanes}"
+            )
+        total = cls._total_size(
+            shards, lanes, req_capacity, ev_capacity, journal_capacity, state_capacity
+        )
         shm = shared_memory.SharedMemory(name=name, create=True, size=total)
         seg = cls(
             shm, owns=True, shards=shards, lanes=lanes,
             req_capacity=req_capacity, ev_capacity=ev_capacity,
+            journal_capacity=journal_capacity, state_capacity=state_capacity,
         )
         _SEG_HEADER.pack_into(
-            shm.buf, 0, _MAGIC, 1, shards, lanes, req_capacity, ev_capacity
+            shm.buf, 0, _MAGIC, 2, shards, lanes, req_capacity, ev_capacity,
+            journal_capacity, state_capacity,
         )
         for s in range(shards):
             seg.header(s).initialize()
             seg.event_ring(s).initialize()
+            seg.journal(s).initialize()
+            seg.snapshot(s).initialize()
             for lane in range(lanes):
                 seg.request_ring(s, lane).initialize()
         return seg
@@ -337,15 +816,22 @@ class ServiceSegment:
     @classmethod
     def attach(cls, name: str) -> "ServiceSegment":
         shm = _attach_segment(name)
-        magic, version, shards, lanes, req_capacity, ev_capacity = _SEG_HEADER.unpack_from(
-            shm.buf, 0
-        )
+        (
+            magic, version, shards, lanes, req_capacity, ev_capacity,
+            journal_capacity, state_capacity,
+        ) = _SEG_HEADER.unpack_from(shm.buf, 0)
         if magic != _MAGIC:
             shm.close()
             raise ValueError(f"shared segment {name!r} is not a repro.service segment")
+        if version != 2:
+            shm.close()
+            raise ValueError(
+                f"shared segment {name!r} has layout version {version}, expected 2"
+            )
         return cls(
             shm, owns=False, shards=shards, lanes=lanes,
             req_capacity=req_capacity, ev_capacity=ev_capacity,
+            journal_capacity=journal_capacity, state_capacity=state_capacity,
         )
 
     @property
@@ -353,12 +839,17 @@ class ServiceSegment:
         return self._shm.name
 
     @staticmethod
-    def _total_size(shards: int, lanes: int, req_capacity: int, ev_capacity: int) -> int:
+    def _total_size(
+        shards: int, lanes: int, req_capacity: int, ev_capacity: int,
+        journal_capacity: int, state_capacity: int,
+    ) -> int:
         return (
             _SEG_HEADER_SIZE
             + shards * ShardHeader.region_size()
             + shards * lanes * SlotRing.region_size(req_capacity)
             + shards * SlotRing.region_size(ev_capacity)
+            + shards * JournalRing.region_size(journal_capacity)
+            + shards * ShardSnapshot.region_size(lanes, state_capacity)
         )
 
     # -- views ------------------------------------------------------------
@@ -372,6 +863,14 @@ class ServiceSegment:
     def _events_base(self) -> int:
         return self._requests_base() + self.shards * self.lanes * SlotRing.region_size(
             self.req_capacity
+        )
+
+    def _journals_base(self) -> int:
+        return self._events_base() + self.shards * SlotRing.region_size(self.ev_capacity)
+
+    def _snapshots_base(self) -> int:
+        return self._journals_base() + self.shards * JournalRing.region_size(
+            self.journal_capacity
         )
 
     def header(self, shard: int) -> ShardHeader:
@@ -394,6 +893,20 @@ class ServiceSegment:
         offset = self._events_base() + shard * SlotRing.region_size(self.ev_capacity)
         return SlotRing(self._shm.buf, offset, self.ev_capacity)
 
+    def journal(self, shard: int) -> JournalRing:
+        self._check_shard(shard)
+        offset = self._journals_base() + shard * JournalRing.region_size(
+            self.journal_capacity
+        )
+        return JournalRing(self._shm.buf, offset, self.journal_capacity)
+
+    def snapshot(self, shard: int) -> ShardSnapshot:
+        self._check_shard(shard)
+        offset = self._snapshots_base() + shard * ShardSnapshot.region_size(
+            self.lanes, self.state_capacity
+        )
+        return ShardSnapshot(self._shm.buf, offset, self.lanes, self.state_capacity)
+
     def _check_shard(self, shard: int) -> None:
         if not 0 <= shard < self.shards:
             raise IndexError(f"shard {shard} outside [0, {self.shards})")
@@ -405,7 +918,7 @@ class ServiceSegment:
         torn = committed = 0
         rings = 0
         for s in range(self.shards):
-            audits = [self.event_ring(s).audit()]
+            audits = [self.event_ring(s).audit(), self.journal(s).audit()]
             audits.extend(
                 self.request_ring(s, lane).audit() for lane in range(self.lanes)
             )

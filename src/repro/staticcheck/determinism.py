@@ -153,6 +153,7 @@ DEFAULT_WALL_CLOCK_BOUNDARY = (
     "repro.service.loadgen",
     "repro.service.metrics",
     "repro.service.validate",
+    "repro.service.supervisor",
 )
 
 

@@ -1,11 +1,16 @@
 """Slot protocol, seqlock header, and segment layout tests (in-process)."""
 
 import struct
+import threading
 
+import numpy as np
 import pytest
 
 from repro.service.shm import (
     EV_DELETE,
+    EV_INSERT,
+    FencedOwnerError,
+    JSLOT,
     OP_DELETE,
     OP_INSERT,
     SLOT,
@@ -14,6 +19,7 @@ from repro.service.shm import (
     SlotRing,
     TOP_EMPTY,
     TornSlotError,
+    journal_checksum,
     slot_checksum,
 )
 
@@ -213,9 +219,294 @@ class TestServiceSegment:
 
     def test_audit_counts_all_rings(self, segment):
         audit = segment.audit()
-        # 2 shards x (3 request lanes + 1 event ring)
-        assert audit == {"rings": 8, "torn": 0, "pending": 0}
+        # 2 shards x (3 request lanes + 1 event ring + 1 journal ring)
+        assert audit == {"rings": 10, "torn": 0, "pending": 0}
 
     def test_bad_geometry_rejected(self):
         with pytest.raises(ValueError):
             ServiceSegment.create(shards=0, lanes=1)
+        with pytest.raises(ValueError, match="at most 64 lanes"):
+            ServiceSegment.create(shards=1, lanes=65)
+
+
+class TestCrashEdges:
+    """The exact crash windows the recovery protocol leans on."""
+
+    def test_header_read_falls_back_on_odd_seqlock(self, segment):
+        """A writer SIGKILLed mid-seqlock (odd seq forever) must not hang
+        readers: after max_tries the stale snapshot is returned."""
+        hdr = segment.header(0)
+        hdr.publish(top=41, size=3, heartbeat_ns=99)
+        # Kill "mid-publish": odd seqlock, half-updated fields.
+        (seq,) = struct.unpack_from("<Q", hdr._buf, hdr._offset + 8)
+        struct.pack_into("<Q", hdr._buf, hdr._offset + 8, seq + 1)  # odd
+        struct.pack_into("<q", hdr._buf, hdr._offset + 16, 77)  # torn top
+        epoch, top, size, hb = hdr.read(max_tries=8)
+        # The fallback returns whatever the fields hold — usable for
+        # routing (tops are advisory), never a hang.
+        assert (top, size, hb) == (77, 3, 99)
+
+    def test_recover_at_exact_wraparound_boundary(self, segment):
+        """Producer exactly one full lap ahead of the consumer: every slot
+        committed, head == tail + capacity."""
+        ring = segment.request_ring(0, 0)
+        cap = ring.capacity
+        consumer = segment.request_ring(0, 0)
+        # Advance a full lap first so absolute positions exceed capacity.
+        for i in range(cap):
+            assert ring.try_push(OP_INSERT, i)
+            assert consumer.try_pop()[1] == i
+        for i in range(cap):
+            assert ring.try_push(OP_INSERT, 100 + i)
+        recovered = segment.request_ring(0, 0)
+        recovered.recover()
+        assert recovered.head == 2 * cap
+        assert recovered.tail == cap
+        got = [recovered.try_pop()[1] for _ in range(cap)]
+        assert got == [100 + i for i in range(cap)]
+
+    def test_recover_with_maximally_torn_final_slot(self, segment):
+        """Writer killed between the final slot's payload write and its
+        commit store: the payload (checksum included) is fully present
+        but seq still reads free — recovery must treat it as free and
+        hand the producer that exact position back."""
+        ring = segment.request_ring(0, 0)
+        for i in range(3):
+            assert ring.try_push(OP_INSERT, i)
+        # Hand-craft the "maximally torn" 4th push: complete payload and
+        # valid checksum, seq left at the free value 3.
+        off = ring._slot_offset(3)
+        SLOT.pack_into(
+            ring._buf, off, 3, OP_INSERT, 999, 7, 8, 9,
+            slot_checksum(OP_INSERT, 999, 7, 8, 9),
+        )
+        recovered = segment.request_ring(0, 0)
+        recovered.recover()
+        assert recovered.head == 3  # the torn slot is invisible
+        assert recovered.tail == 0
+        audit = recovered.audit()
+        assert audit.torn == 0 and audit.committed == 3
+        # The successor's next push lands exactly there and reads back.
+        assert recovered.try_push(OP_INSERT, 1000)
+        for want in (0, 1, 2, 1000):
+            assert recovered.try_pop()[1] == want
+
+    def test_recover_torn_slot_at_wraparound_position(self, segment):
+        """Same torn-final-slot window, but with the torn slot at the ring's
+        physical index 0 after a wraparound — the modular arithmetic edge."""
+        ring = segment.request_ring(0, 0)
+        cap = ring.capacity
+        consumer = segment.request_ring(0, 0)
+        for i in range(cap):  # one full lap
+            assert ring.try_push(OP_INSERT, i)
+            assert consumer.try_pop()[1] == i
+        # Torn write at absolute position `cap` (physical slot 0): payload
+        # stored, seq still at the recycled/free value `cap`.
+        off = ring._slot_offset(cap)
+        SLOT.pack_into(
+            ring._buf, off, cap, OP_INSERT, 555, 0, 0, 0,
+            slot_checksum(OP_INSERT, 555, 0, 0, 0),
+        )
+        recovered = segment.request_ring(0, 0)
+        recovered.recover()
+        assert recovered.head == cap and recovered.tail == cap
+        assert recovered.try_pop() is None
+        assert recovered.audit().torn == 0
+
+    def test_recover_rescans_when_a_commit_lands_mid_scan(self, segment):
+        """recover() racing a live producer can observe an earlier slot
+        free (pre-commit) while a later slot is already committed — no
+        quiescent ring looks like that.  Accepting the scan would place
+        the consumer tail past the earlier commit and silently drop its
+        request (a respawned owner recovers request lanes under live
+        loadgen traffic); recover must rescan until consistent."""
+        ring = segment.request_ring(0, 0)
+        assert ring.try_push(OP_INSERT, 7)
+        assert ring.try_push(OP_INSERT, 8)
+        off = ring._slot_offset(0)
+        # Freeze the racy observation: rewind slot 0's seq to its
+        # pre-commit (free) residue while slot 1 stays committed...
+        struct.pack_into("<Q", ring._buf, off, 0)
+        # ...and let "the producer's commit store" land mid-recover.
+        repair = threading.Timer(
+            0.01, struct.pack_into, ("<Q", ring._buf, off, 1)
+        )
+        repair.start()
+        recovered = segment.request_ring(0, 0)
+        recovered.recover()
+        repair.join()
+        assert recovered.tail == 0 and recovered.head == 2
+        assert recovered.try_pop()[1] == 7  # nothing dropped
+        assert recovered.try_pop()[1] == 8
+
+    def test_recover_raises_when_no_scan_is_consistent(self, segment):
+        """A *permanently* inconsistent ring (free below committed, with
+        nobody finishing the commit) is corruption, not a race in
+        flight: recover must fail loudly, never drop the slot."""
+        ring = segment.request_ring(0, 0)
+        assert ring.try_push(OP_INSERT, 7)
+        assert ring.try_push(OP_INSERT, 8)
+        struct.pack_into("<Q", ring._buf, ring._slot_offset(0), 0)
+        fresh = segment.request_ring(0, 0)
+        with pytest.raises(TornSlotError):
+            fresh.recover()
+
+
+@pytest.fixture
+def small_segment():
+    seg = ServiceSegment.create(
+        shards=1, lanes=1, req_capacity=8, ev_capacity=8,
+        journal_capacity=8, state_capacity=16,
+    )
+    yield seg
+    seg.close()
+    seg.unlink()
+
+
+class TestJournalRing:
+    def test_append_scan_roundtrip(self, small_segment):
+        journal = small_segment.journal(0)
+        for i in range(3):
+            assert journal.try_append(
+                OP_INSERT, 10 + i, clock=i, t0_ns=100 + i,
+                lane=0, reqpos=i, evpos=i, epoch=1,
+            )
+        entries = journal.scan()
+        assert [e.label for e in entries] == [10, 11, 12]
+        assert [e.pos for e in entries] == [0, 1, 2]
+        assert all(e.epoch == 1 for e in entries)
+
+    def test_full_rejects_append(self, small_segment):
+        journal = small_segment.journal(0)
+        for i in range(journal.capacity):
+            assert journal.try_append(OP_INSERT, i, 0, 0, 0, i, i, 1)
+        assert not journal.try_append(OP_INSERT, 99, 0, 0, 0, 99, 99, 1)
+
+    def test_truncate_recycles_and_wraps(self, small_segment):
+        journal = small_segment.journal(0)
+        cap = journal.capacity
+        for i in range(cap):
+            assert journal.try_append(OP_INSERT, i, 0, 0, 0, i, i, 1)
+        journal.truncate_to(cap - 2)  # snapshot folded all but the last 2
+        assert [e.label for e in journal.scan()] == [cap - 2, cap - 1]
+        for i in range(cap - 2):  # refill the recycled slots (wraps)
+            assert journal.try_append(OP_INSERT, 100 + i, 0, 0, 0, i, i, 2)
+        assert [e.label for e in journal.scan()] == (
+            [cap - 2, cap - 1] + [100 + i for i in range(cap - 2)]
+        )
+
+    def test_fence_raises_with_slot_still_free(self, small_segment):
+        """A fenced zombie must not commit: the append raises *after* the
+        payload write but the slot seq never flips, so a successor reusing
+        the position sees a free slot."""
+        journal = small_segment.journal(0)
+        assert journal.try_append(OP_INSERT, 1, 0, 0, 0, 0, 0, 1)
+        with pytest.raises(FencedOwnerError):
+            journal.try_append(OP_DELETE, 2, 0, 0, 0, 1, 1, 1, fence=lambda: True)
+        # The fenced payload is invisible: scan sees only the first entry...
+        successor = small_segment.journal(0)
+        successor.recover()
+        assert [e.label for e in successor.scan()] == [1]
+        # ... and the successor commits over the same position.
+        assert successor.try_append(OP_DELETE, 3, 0, 0, 0, 1, 1, 2)
+        assert [(e.label, e.epoch) for e in successor.scan()] == [(1, 1), (3, 2)]
+
+    def test_scan_raises_on_torn_committed_slot(self, small_segment):
+        journal = small_segment.journal(0)
+        journal.try_append(OP_INSERT, 42, 0, 0, 0, 0, 0, 1)
+        off = journal._slot_offset(0) + 16  # label field
+        journal._buf[off] ^= 0xFF
+        with pytest.raises(TornSlotError):
+            journal.scan()
+        assert journal.audit().torn == 1
+
+    def test_recover_after_truncate_and_wrap(self, small_segment):
+        journal = small_segment.journal(0)
+        cap = journal.capacity
+        for i in range(cap + 3):
+            assert journal.try_append(OP_INSERT, i, 0, 0, 0, i, i, 1)
+            if journal.head - journal.tail > 2:
+                journal.truncate_to(journal.head - 2)
+        recovered = small_segment.journal(0)
+        recovered.recover()
+        assert recovered.head == journal.head
+        assert recovered.tail == journal.tail
+        assert [e.label for e in recovered.scan()] == [
+            e.label for e in journal.scan()
+        ]
+
+    def test_checksum_covers_every_field(self):
+        base = journal_checksum(1, 2, 3, 4, 5, 6, 7, 8)
+        for i in range(8):
+            args = [1, 2, 3, 4, 5, 6, 7, 8]
+            args[i] += 1
+            assert journal_checksum(*args) != base
+
+
+class TestShardSnapshot:
+    def test_initialized_snapshot_is_empty_and_valid(self, small_segment):
+        state = small_segment.snapshot(0).read()
+        assert state.epoch == 0 and state.fold_pos == 0
+        assert state.labels.size == 0
+        assert state.watermarks == (0,)
+        assert state.stopped_mask == 0
+
+    def test_write_read_roundtrip(self, small_segment):
+        snap = small_segment.snapshot(0)
+        snap.write(
+            epoch=3, clock=17, fold_pos=9, ev_head=4, cum_inserts=12,
+            cum_deletes=5, cum_empties=1, stopped_mask=0b1,
+            watermarks=[7], labels=np.array([5, 2, 9], dtype=np.int64),
+        )
+        state = small_segment.snapshot(0).read()
+        assert (state.epoch, state.clock, state.fold_pos, state.ev_head) == (3, 17, 9, 4)
+        assert (state.cum_inserts, state.cum_deletes, state.cum_empties) == (12, 5, 1)
+        assert state.stopped_mask == 0b1 and state.watermarks == (7,)
+        assert list(state.labels) == [5, 2, 9]
+
+    def test_reader_falls_back_when_writer_died_mid_write(self, small_segment):
+        """A writer killed mid-way through the inactive buffer leaves the
+        previously committed snapshot readable."""
+        snap = small_segment.snapshot(0)
+        snap.write(
+            epoch=1, clock=5, fold_pos=2, ev_head=1, cum_inserts=3,
+            cum_deletes=1, cum_empties=0, stopped_mask=0,
+            watermarks=[3], labels=np.array([8], dtype=np.int64),
+        )
+        # Scribble over the *inactive* buffer: a partially-written header
+        # with a checksum that cannot validate.
+        (active, _pad) = struct.unpack_from("<QQ", snap._buf, snap._offset)
+        garbage = snap._buffer_offset(1 - int(active))
+        snap._buf[garbage : garbage + 32] = b"\xde\xad" * 16
+        state = small_segment.snapshot(0).read()
+        assert state.epoch == 1 and list(state.labels) == [8]
+
+    def test_reader_falls_back_when_flip_preceded_valid_data(self, small_segment):
+        """Corrupt the *active* buffer (torn flip / bad checksum): the reader
+        must fall back to the sibling instead of raising."""
+        snap = small_segment.snapshot(0)
+        snap.write(
+            epoch=2, clock=1, fold_pos=0, ev_head=0, cum_inserts=1,
+            cum_deletes=0, cum_empties=0, stopped_mask=0,
+            watermarks=[1], labels=np.array([4], dtype=np.int64),
+        )
+        snap.write(
+            epoch=2, clock=2, fold_pos=1, ev_head=1, cum_inserts=2,
+            cum_deletes=0, cum_empties=0, stopped_mask=0,
+            watermarks=[2], labels=np.array([4, 6], dtype=np.int64),
+        )
+        (active, _pad) = struct.unpack_from("<QQ", snap._buf, snap._offset)
+        bad = snap._buffer_offset(int(active))
+        snap._buf[bad + 8] ^= 0xFF  # corrupt the active header
+        state = small_segment.snapshot(0).read()
+        assert state.clock == 1 and list(state.labels) == [4]  # the older one
+
+    def test_capacity_overflow_rejected(self, small_segment):
+        snap = small_segment.snapshot(0)
+        with pytest.raises(ValueError, match="exceeds state capacity"):
+            snap.write(
+                epoch=1, clock=0, fold_pos=0, ev_head=0, cum_inserts=0,
+                cum_deletes=0, cum_empties=0, stopped_mask=0,
+                watermarks=[0],
+                labels=np.arange(snap.state_capacity + 1, dtype=np.int64),
+            )
